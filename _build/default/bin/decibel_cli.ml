@@ -1,0 +1,413 @@
+(* decibel — command-line interface to Decibel repositories.
+
+   A repository is a directory managed by one of the storage schemes;
+   every command opens it, performs one operation, and persists the
+   result, mirroring how git is driven from a shell.
+
+     decibel init /tmp/repo --schema "id:int,name:str,score:int" --pk id
+     decibel insert /tmp/repo --branch master --values "1,ada,90"
+     decibel commit /tmp/repo --branch master -m "first rows"
+     decibel branch /tmp/repo dev --from master
+     decibel scan /tmp/repo --branch dev
+     decibel diff /tmp/repo master dev
+     decibel merge /tmp/repo --into master --from dev
+     decibel log /tmp/repo
+     decibel sql /tmp/repo "SELECT * FROM r WHERE HEAD(r.Version) = true"
+*)
+
+open Decibel
+open Decibel_storage
+open Cmdliner
+module Vg = Decibel_graph.Version_graph
+
+(* ------------------------------------------------------------------ *)
+(* helpers *)
+
+let parse_schema spec pk =
+  let columns =
+    List.map
+      (fun field ->
+        match String.split_on_char ':' (String.trim field) with
+        | [ name; "int" ] -> { Schema.col_name = name; col_type = Schema.T_int }
+        | [ name; "str" ] -> { Schema.col_name = name; col_type = Schema.T_str }
+        | _ ->
+            failwith
+              (Printf.sprintf "bad column spec %S (want name:int|str)" field))
+      (String.split_on_char ',' spec)
+  in
+  Schema.make ~name:"r" ~columns ~pk
+
+let parse_tuple schema spec =
+  let parts = String.split_on_char ',' spec in
+  let cols = Schema.columns schema in
+  if List.length parts <> Array.length cols then
+    failwith
+      (Printf.sprintf "expected %d fields, got %d" (Array.length cols)
+         (List.length parts));
+  Array.of_list
+    (List.mapi
+       (fun i part ->
+         let part = String.trim part in
+         match cols.(i).Schema.col_type with
+         | Schema.T_int -> Value.Int (Int64.of_string part)
+         | Schema.T_str -> Value.Str part)
+       parts)
+
+let with_repo dir f =
+  let db = Database.reopen ~dir () in
+  Fun.protect ~finally:(fun () -> Database.close db) (fun () -> f db)
+
+let branch_arg db name =
+  match Vg.branch_by_name (Database.graph db) name with
+  | Some b -> b.Vg.bid
+  | None -> failwith (Printf.sprintf "no branch named %S" name)
+
+let print_tuple t = print_endline (Tuple.to_string t)
+
+let wrap f =
+  try
+    f ();
+    0
+  with
+  | Failure msg | Types.Engine_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+  | Vquel.Parse_error msg ->
+      Printf.eprintf "parse error: %s\n" msg;
+      1
+  | Sys_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+  | Invalid_argument msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+
+(* ------------------------------------------------------------------ *)
+(* common arguments *)
+
+let dir_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"REPO" ~doc:"Repository directory.")
+
+let branch_opt =
+  Arg.(
+    value & opt string "master"
+    & info [ "branch"; "b" ] ~docv:"BRANCH"
+        ~doc:"Branch to operate on (default master).")
+
+(* ------------------------------------------------------------------ *)
+(* commands *)
+
+let init_cmd =
+  let schema_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "schema" ] ~docv:"COLS"
+          ~doc:"Comma-separated columns, e.g. $(i,id:int,name:str).")
+  in
+  let pk_arg =
+    Arg.(value & opt string "id" & info [ "pk" ] ~doc:"Primary key column.")
+  in
+  let scheme_arg =
+    let scheme_conv =
+      Arg.enum
+        [
+          ("tuple-first", Database.Tuple_first);
+          ("version-first", Database.Version_first);
+          ("hybrid", Database.Hybrid);
+        ]
+    in
+    Arg.(
+      value & opt scheme_conv Database.Hybrid
+      & info [ "scheme" ]
+          ~doc:
+            "Storage scheme: $(b,tuple-first), $(b,version-first) or \
+             $(b,hybrid) (default).")
+  in
+  let run dir spec pk scheme =
+    wrap (fun () ->
+        if Sys.file_exists dir && Sys.readdir dir <> [||] then
+          failwith (Printf.sprintf "%s already exists and is not empty" dir);
+        let schema = parse_schema spec pk in
+        let db = Database.open_ ~scheme ~dir ~schema () in
+        Database.close db;
+        Printf.printf "initialized %s repository in %s\n"
+          (Database.scheme_name scheme) dir)
+  in
+  Cmd.v
+    (Cmd.info "init" ~doc:"Create a new versioned repository.")
+    Term.(const run $ dir_arg $ schema_arg $ pk_arg $ scheme_arg)
+
+let values_opt =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "values"; "v" ] ~docv:"V1,V2,..."
+        ~doc:"Field values in schema order.")
+
+let insert_cmd =
+  let run dir branch spec =
+    wrap (fun () ->
+        with_repo dir (fun db ->
+            let t = parse_tuple (Database.schema db) spec in
+            Database.insert db (branch_arg db branch) t))
+  in
+  Cmd.v
+    (Cmd.info "insert" ~doc:"Insert a record into a branch's working copy.")
+    Term.(const run $ dir_arg $ branch_opt $ values_opt)
+
+let update_cmd =
+  let run dir branch spec =
+    wrap (fun () ->
+        with_repo dir (fun db ->
+            let t = parse_tuple (Database.schema db) spec in
+            Database.update db (branch_arg db branch) t))
+  in
+  Cmd.v
+    (Cmd.info "update" ~doc:"Update the record with a matching key.")
+    Term.(const run $ dir_arg $ branch_opt $ values_opt)
+
+let delete_cmd =
+  let key =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "key"; "k" ] ~docv:"KEY" ~doc:"Primary key value.")
+  in
+  let run dir branch key =
+    wrap (fun () ->
+        with_repo dir (fun db ->
+            let schema = Database.schema db in
+            let pk_col = (Schema.columns schema).(Schema.pk_index schema) in
+            let k =
+              match pk_col.Schema.col_type with
+              | Schema.T_int -> Value.Int (Int64.of_string key)
+              | Schema.T_str -> Value.Str key
+            in
+            Database.delete db (branch_arg db branch) k))
+  in
+  Cmd.v
+    (Cmd.info "delete" ~doc:"Delete the record with the given key.")
+    Term.(const run $ dir_arg $ branch_opt $ key)
+
+let commit_cmd =
+  let msg =
+    Arg.(
+      value & opt string ""
+      & info [ "message"; "m" ] ~docv:"MSG" ~doc:"Commit message.")
+  in
+  let run dir branch message =
+    wrap (fun () ->
+        with_repo dir (fun db ->
+            let v = Database.commit db (branch_arg db branch) ~message in
+            Printf.printf "committed version %d on %s\n" v branch))
+  in
+  Cmd.v
+    (Cmd.info "commit" ~doc:"Snapshot a branch's working state.")
+    Term.(const run $ dir_arg $ branch_opt $ msg)
+
+let branch_cmd =
+  let name_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"NAME" ~doc:"Name of the new branch.")
+  in
+  let from_arg =
+    Arg.(
+      value & opt string "master"
+      & info [ "from" ] ~docv:"BRANCH|#N"
+          ~doc:
+            "Source: a branch name (its head commit) or $(i,#n) for version \
+             n.")
+  in
+  let run dir name from =
+    wrap (fun () ->
+        with_repo dir (fun db ->
+            let from_version =
+              if String.length from > 1 && from.[0] = '#' then
+                int_of_string (String.sub from 1 (String.length from - 1))
+              else Vg.head (Database.graph db) (branch_arg db from)
+            in
+            let b = Database.create_branch db ~name ~from:from_version in
+            Printf.printf "created branch %s (id %d) from version %d\n" name b
+              from_version))
+  in
+  Cmd.v
+    (Cmd.info "branch" ~doc:"Create a branch from a commit (no data copied).")
+    Term.(const run $ dir_arg $ name_arg $ from_arg)
+
+let scan_cmd =
+  let version =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "at" ] ~docv:"N"
+          ~doc:"Scan committed version N (--at N) instead of a branch head.")
+  in
+  let run dir branch version =
+    wrap (fun () ->
+        with_repo dir (fun db ->
+            match version with
+            | Some v -> Database.scan_version db v print_tuple
+            | None -> Database.scan db (branch_arg db branch) print_tuple))
+  in
+  Cmd.v
+    (Cmd.info "scan" ~doc:"Print the live records of a branch or version.")
+    Term.(const run $ dir_arg $ branch_opt $ version)
+
+let diff_cmd =
+  let b1 = Arg.(required & pos 1 (some string) None & info [] ~docv:"A") in
+  let b2 = Arg.(required & pos 2 (some string) None & info [] ~docv:"B") in
+  let run dir a b =
+    wrap (fun () ->
+        with_repo dir (fun db ->
+            Database.diff db (branch_arg db a) (branch_arg db b)
+              ~pos:(fun t -> Printf.printf "< %s\n" (Tuple.to_string t))
+              ~neg:(fun t -> Printf.printf "> %s\n" (Tuple.to_string t))))
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"Differences between two branches ('<' only in A, '>' only in B).")
+    Term.(const run $ dir_arg $ b1 $ b2)
+
+let merge_cmd =
+  let into =
+    Arg.(required & opt (some string) None & info [ "into" ] ~docv:"BRANCH")
+  in
+  let from =
+    Arg.(required & opt (some string) None & info [ "from" ] ~docv:"BRANCH")
+  in
+  let policy =
+    let policy_conv =
+      Arg.enum
+        [
+          ("ours", Types.Ours);
+          ("theirs", Types.Theirs);
+          ("three-way", Types.Three_way);
+        ]
+    in
+    Arg.(
+      value & opt policy_conv Types.Three_way
+      & info [ "policy" ]
+          ~doc:
+            "Conflict policy: $(b,ours), $(b,theirs) or $(b,three-way) \
+             (default: field-level three-way with destination precedence).")
+  in
+  let msg = Arg.(value & opt string "merge" & info [ "message"; "m" ]) in
+  let run dir into from policy message =
+    wrap (fun () ->
+        with_repo dir (fun db ->
+            let r =
+              Database.merge db ~into:(branch_arg db into)
+                ~from:(branch_arg db from) ~policy ~message
+            in
+            Printf.printf
+              "merged %s into %s: version %d, %d conflicts (%d/%d/%d keys \
+               ours/theirs/both)\n"
+              from into r.Types.merge_version
+              (List.length r.Types.conflicts)
+              r.Types.keys_ours r.Types.keys_theirs r.Types.keys_both;
+            List.iter
+              (fun (c : Types.conflict) ->
+                Printf.printf "  conflict key=%s fields=[%s]\n"
+                  (Value.to_string c.Types.key)
+                  (String.concat "," (List.map string_of_int c.Types.fields)))
+              r.Types.conflicts))
+  in
+  Cmd.v
+    (Cmd.info "merge" ~doc:"Merge one branch into another.")
+    Term.(const run $ dir_arg $ into $ from $ policy $ msg)
+
+let log_cmd =
+  let run dir =
+    wrap (fun () ->
+        with_repo dir (fun db ->
+            let g = Database.graph db in
+            List.iter
+              (fun (v : Vg.version) ->
+                let branch = (Vg.branch g v.Vg.on_branch).Vg.name in
+                Printf.printf "version %-4d on %-12s parents=[%s] %s%s\n"
+                  v.Vg.id branch
+                  (String.concat ", " (List.map string_of_int v.Vg.parents))
+                  v.Vg.message
+                  (if Vg.is_head g v.Vg.id then "  <- head" else ""))
+              (Vg.versions g)))
+  in
+  Cmd.v (Cmd.info "log" ~doc:"Print the version graph.")
+    Term.(const run $ dir_arg)
+
+let branches_cmd =
+  let run dir =
+    wrap (fun () ->
+        with_repo dir (fun db ->
+            List.iter
+              (fun (b : Vg.branch) ->
+                Printf.printf "%-16s id=%-3d base=v%-4d head=v%-4d%s\n"
+                  b.Vg.name b.Vg.bid b.Vg.base b.Vg.head
+                  (if b.Vg.active then "" else "  (retired)"))
+              (Vg.branches (Database.graph db))))
+  in
+  Cmd.v (Cmd.info "branches" ~doc:"List branches.") Term.(const run $ dir_arg)
+
+let sql_cmd =
+  let query =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"SQL"
+          ~doc:
+            "A VQuel query (see the paper's Table 1 for the four supported \
+             shapes).")
+  in
+  let run dir q =
+    wrap (fun () ->
+        with_repo dir (fun db ->
+            let rows = Vquel.query db q in
+            List.iter
+              (fun (r : Vquel.row) ->
+                if r.Vquel.row_branches = [] then print_tuple r.Vquel.values
+                else
+                  Printf.printf "%s  [%s]\n"
+                    (Tuple.to_string r.Vquel.values)
+                    (String.concat ", " r.Vquel.row_branches))
+              rows;
+            Printf.printf "(%d rows)\n" (List.length rows)))
+  in
+  Cmd.v (Cmd.info "sql" ~doc:"Run a versioned query.")
+    Term.(const run $ dir_arg $ query)
+
+let stats_cmd =
+  let run dir =
+    wrap (fun () ->
+        with_repo dir (fun db ->
+            let g = Database.graph db in
+            Printf.printf "scheme:        %s\n" (Database.scheme_of db);
+            Printf.printf "schema:        %s\n"
+              (Format.asprintf "%a" Schema.pp (Database.schema db));
+            Printf.printf "branches:      %d\n" (Vg.branch_count g);
+            Printf.printf "versions:      %d\n" (Vg.version_count g);
+            Printf.printf "data bytes:    %d\n" (Database.dataset_bytes db);
+            Printf.printf "commit bytes:  %d\n" (Database.commit_meta_bytes db)))
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Repository statistics.")
+    Term.(const run $ dir_arg)
+
+let () =
+  let info =
+    Cmd.info "decibel" ~version:"1.0.0"
+      ~doc:
+        "Relational dataset branching: branch, commit, diff and merge tables \
+         like code."
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            init_cmd; insert_cmd; update_cmd; delete_cmd; commit_cmd;
+            branch_cmd; scan_cmd; diff_cmd; merge_cmd; log_cmd; branches_cmd;
+            sql_cmd; stats_cmd;
+          ]))

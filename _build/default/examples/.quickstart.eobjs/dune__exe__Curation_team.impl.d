@@ -1,0 +1,1 @@
+examples/curation_team.ml: Database Decibel Decibel_graph Decibel_storage Decibel_util List Printf Schema String Tuple Types Value

@@ -1,0 +1,1 @@
+examples/durable_workflows.ml: Acl Database Decibel Decibel_graph Decibel_storage Decibel_util Printf Schema Value

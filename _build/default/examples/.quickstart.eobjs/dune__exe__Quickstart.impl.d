@@ -1,0 +1,1 @@
+examples/quickstart.ml: Database Decibel Decibel_graph Decibel_storage Decibel_util List Printf Schema Tuple Types Value

@@ -1,0 +1,1 @@
+examples/science_team.ml: Array Database Decibel Decibel_graph Decibel_storage Decibel_util Int64 List Printf Schema Value

@@ -1,0 +1,1 @@
+examples/science_team.mli:

@@ -1,0 +1,1 @@
+examples/versioned_queries.ml: Database Decibel Decibel_graph Decibel_storage Decibel_util List Printf Query Schema String Tuple Value Vquel

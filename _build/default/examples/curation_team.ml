@@ -1,0 +1,117 @@
+(* The paper's "curation pattern" (§1.1): a team maintains a canonical
+   product catalog on the mainline; curators stage edits on development
+   branches and merge them back after review.  Shows conflict
+   detection at field granularity and precedence resolution (§2.2.3).
+
+     dune exec examples/curation_team.exe
+*)
+
+open Decibel
+open Decibel_storage
+module Vg = Decibel_graph.Version_graph
+
+let schema =
+  Schema.make ~name:"catalog"
+    ~columns:
+      [
+        { Schema.col_name = "sku"; col_type = Schema.T_int };
+        { Schema.col_name = "title"; col_type = Schema.T_str };
+        { Schema.col_name = "price_cents"; col_type = Schema.T_int };
+        { Schema.col_name = "stock"; col_type = Schema.T_int };
+      ]
+    ~pk:"sku"
+
+let item sku title price stock =
+  [| Value.int sku; Value.Str title; Value.int price; Value.int stock |]
+
+let show db label b =
+  Printf.printf "%s:\n" label;
+  let rows = ref [] in
+  Database.scan db b (fun t -> rows := t :: !rows);
+  List.iter
+    (fun t -> Printf.printf "  %s\n" (Tuple.to_string t))
+    (List.sort compare !rows)
+
+let () =
+  let dir = Decibel_util.Fsutil.fresh_dir "decibel-curation" in
+  let db = Database.open_ ~scheme:Database.Hybrid ~dir ~schema () in
+
+  Database.insert db Vg.master (item 100 "usb cable" 799 42);
+  Database.insert db Vg.master (item 101 "keyboard" 4999 7);
+  Database.insert db Vg.master (item 102 "mouse" 2599 0);
+  let base = Database.commit db Vg.master ~message:"catalog v1" in
+
+  (* curator 1: a pricing pass on a development branch *)
+  let pricing = Database.create_branch db ~name:"pricing-pass" ~from:base in
+  Database.update db pricing (item 100 "usb cable" 699 42);
+  Database.update db pricing (item 101 "keyboard" 4499 7);
+  let _ = Database.commit db pricing ~message:"spring discounts" in
+
+  (* curator 2: inventory fixes on another branch from the same base *)
+  let inventory = Database.create_branch db ~name:"inventory-fix" ~from:base in
+  Database.update db inventory (item 101 "keyboard" 4999 12);
+  Database.update db inventory (item 102 "mouse" 2599 30);
+  Database.insert db inventory (item 103 "monitor" 18999 5);
+  let _ = Database.commit db inventory ~message:"restock count" in
+
+  (* meanwhile production fixes a title directly on the mainline *)
+  Database.update db Vg.master (item 100 "usb-c cable" 799 42);
+  let _ = Database.commit db Vg.master ~message:"title hotfix" in
+
+  (* merge the pricing pass: sku 100 changed on both sides — master
+     changed the title, pricing changed the price.  Disjoint fields, so
+     the three-way merge combines them silently. *)
+  let r1 =
+    Database.merge db ~into:Vg.master ~from:pricing ~policy:Types.Three_way
+      ~message:"merge pricing-pass"
+  in
+  Printf.printf "merge pricing-pass: %d conflicts\n"
+    (List.length r1.Types.conflicts);
+  show db "master after pricing merge" Vg.master;
+
+  (* merge the inventory fixes: sku 101 now conflicts — pricing changed
+     its price to 4499, inventory kept 4999 while changing stock.
+     Stock auto-merges; price was only changed on one side, so it
+     auto-merges too.  No conflict expected. *)
+  let r2 =
+    Database.merge db ~into:Vg.master ~from:inventory ~policy:Types.Three_way
+      ~message:"merge inventory-fix"
+  in
+  Printf.printf "merge inventory-fix: %d conflicts\n"
+    (List.length r2.Types.conflicts);
+  show db "master after inventory merge" Vg.master;
+
+  (* a genuine conflict: two curators discount the same sku to
+     different prices *)
+  let promo = Database.create_branch db ~name:"promo"
+      ~from:(Vg.head (Database.graph db) Vg.master) in
+  Database.update db promo (item 103 "monitor" 14999 5);
+  let _ = Database.commit db promo ~message:"promo price" in
+  Database.update db Vg.master (item 103 "monitor" 15999 5);
+  let r3 =
+    Database.merge db ~into:Vg.master ~from:promo ~policy:Types.Three_way
+      ~message:"merge promo"
+  in
+  List.iter
+    (fun (c : Types.conflict) ->
+      Printf.printf
+        "conflict on sku %s, fields %s: ours=%s theirs=%s -> resolved %s\n"
+        (Value.to_string c.Types.key)
+        (String.concat "," (List.map string_of_int c.Types.fields))
+        (match c.Types.ours with Some t -> Tuple.to_string t | None -> "(deleted)")
+        (match c.Types.theirs with Some t -> Tuple.to_string t | None -> "(deleted)")
+        (match c.Types.resolved with Some t -> Tuple.to_string t | None -> "(deleted)"))
+    r3.Types.conflicts;
+  show db "master final" Vg.master;
+
+  (* the audit trail: every version of the catalog remains readable *)
+  Printf.printf "catalog versions:\n";
+  List.iter
+    (fun (v : Vg.version) ->
+      let n = ref 0 in
+      Database.scan_version db v.Vg.id (fun _ -> incr n);
+      Printf.printf "  v%-2d %-24s %d items\n" v.Vg.id v.Vg.message !n)
+    (Vg.versions (Database.graph db));
+
+  Database.close db;
+  Decibel_util.Fsutil.rm_rf dir

@@ -1,0 +1,114 @@
+(* The paper's "science pattern" (§1.1): a data-science team works on
+   snapshots of an evolving dataset.  The mainline keeps ingesting new
+   measurements while two analysts branch from a fixed snapshot, apply
+   different normalization strategies, and compare their results —
+   without ever copying the dataset.
+
+     dune exec examples/science_team.exe
+*)
+
+open Decibel
+open Decibel_storage
+module Vg = Decibel_graph.Version_graph
+
+(* sensor readings: (id, sensor, raw value, normalized value) *)
+let schema = Schema.ints ~name:"readings" ~width:4
+
+let reading id sensor raw norm =
+  [| Value.int id; Value.int sensor; Value.int raw; Value.int norm |]
+
+let ingest db branch ~from_id ~count =
+  for i = from_id to from_id + count - 1 do
+    Database.insert db branch (reading i (i mod 7) ((i * 37) mod 1000) 0)
+  done
+
+let mean_normalized db branch =
+  let sum = ref 0L and n = ref 0 in
+  Database.scan db branch (fun t ->
+      sum := Int64.add !sum (Value.to_int_exn t.(3));
+      incr n);
+  if !n = 0 then 0.0 else Int64.to_float !sum /. float_of_int !n
+
+let () =
+  let dir = Decibel_util.Fsutil.fresh_dir "decibel-science" in
+  let db = Database.open_ ~scheme:Database.Hybrid ~dir ~schema () in
+
+  (* the canonical dataset evolves on the mainline *)
+  ingest db Vg.master ~from_id:0 ~count:500;
+  let snapshot = Database.commit db Vg.master ~message:"week 1 data" in
+
+  (* analysts pin their work to the week-1 snapshot; later mainline
+     ingests must not leak into their analysis *)
+  let minmax = Database.create_branch db ~name:"norm-minmax" ~from:snapshot in
+  let zscore = Database.create_branch db ~name:"norm-zscore" ~from:snapshot in
+
+  (* mainline keeps ingesting concurrently *)
+  ingest db Vg.master ~from_id:500 ~count:300;
+  let _ = Database.commit db Vg.master ~message:"week 2 data" in
+
+  (* analyst A: min-max normalization to [0, 100] *)
+  let lo = ref Int64.max_int and hi = ref Int64.min_int in
+  Database.scan db minmax (fun t ->
+      let v = Value.to_int_exn t.(2) in
+      if v < !lo then lo := v;
+      if v > !hi then hi := v);
+  let span = Int64.to_float (Int64.sub !hi !lo) in
+  let tuples = ref [] in
+  Database.scan db minmax (fun t -> tuples := t :: !tuples);
+  List.iter
+    (fun t ->
+      let raw = Int64.to_float (Value.to_int_exn t.(2)) in
+      let norm =
+        Int64.of_float ((raw -. Int64.to_float !lo) /. span *. 100.0)
+      in
+      let t' = Array.copy t in
+      t'.(3) <- Value.Int norm;
+      Database.update db minmax t')
+    !tuples;
+  let _ = Database.commit db minmax ~message:"min-max normalization" in
+
+  (* analyst B: coarse z-score-style normalization *)
+  let tuples = ref [] in
+  Database.scan db zscore (fun t -> tuples := t :: !tuples);
+  let n = List.length !tuples in
+  let mean =
+    List.fold_left
+      (fun acc t -> acc +. Int64.to_float (Value.to_int_exn t.(2)))
+      0.0 !tuples
+    /. float_of_int n
+  in
+  List.iter
+    (fun t ->
+      let raw = Int64.to_float (Value.to_int_exn t.(2)) in
+      let t' = Array.copy t in
+      t'.(3) <- Value.Int (Int64.of_float (50.0 +. ((raw -. mean) /. 10.0)));
+      Database.update db zscore t')
+    !tuples;
+  let _ = Database.commit db zscore ~message:"z-score normalization" in
+
+  (* compare the two strategies and the untouched snapshot *)
+  Printf.printf "records: snapshot=%d mainline=%d (analysis unaffected)\n"
+    (let c = ref 0 in
+     Database.scan_version db snapshot (fun _ -> incr c);
+     !c)
+    (let c = ref 0 in
+     Database.scan db Vg.master (fun _ -> incr c);
+     !c);
+  Printf.printf "mean normalized value: min-max=%.1f z-score=%.1f\n"
+    (mean_normalized db minmax)
+    (mean_normalized db zscore);
+
+  (* how many records did the strategies normalize differently? *)
+  let differing = ref 0 in
+  Database.diff db minmax zscore ~pos:(fun _ -> incr differing) ~neg:(fun _ -> ());
+  Printf.printf "records with differing normalization: %d of %d\n" !differing n;
+
+  (* Q4-style overview: which branch heads exist right now? *)
+  List.iter
+    (fun (b : Vg.branch) ->
+      Printf.printf "branch %-12s head=version %d%s\n" b.Vg.name b.Vg.head
+        (if b.Vg.active then "" else " (retired)"))
+    (Vg.branches (Database.graph db));
+
+  Database.close db;
+  Decibel_util.Fsutil.rm_rf dir

@@ -1,0 +1,1 @@
+lib/bench/config.ml: Decibel_storage Format String Sys

@@ -1,0 +1,1 @@
+lib/bench/driver.ml: Array Config Database Decibel Decibel_graph Decibel_storage Decibel_util Fsutil Gc Hashtbl Int64 List Option Printf Prng Query Schema Tuple Types Unix Value Workload

@@ -1,0 +1,1 @@
+lib/bench/report.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/bench/strategy.ml: Array Config Decibel Decibel_util Hashtbl List Printf Prng String Types Vec Workload

@@ -1,0 +1,1 @@
+lib/bench/workload.ml: Decibel Format Hashtbl List Option Printf Types

@@ -1,0 +1,473 @@
+(** Branching strategies (paper §4.1).
+
+    Each strategy produces a {!Workload.t}: a concrete operation stream
+    plus role annotations telling the driver which branches the queries
+    should target.
+
+    - {!deep}: a single linear chain; each branch is created from the
+      end of the previous one, and only the newest branch takes data
+      operations.  Stresses long lineage chains.
+    - {!flat}: one parent, many siblings; inserts are interleaved
+      across all children uniformly at random.  Stresses wide bitmap
+      fan-out and interleaved heap files.
+    - {!science}: an evolving mainline; working branches start from
+      historical mainline commits or from active branch heads, live a
+      fixed lifetime, and are never merged.  Inserts favour the
+      mainline with a configurable skew.
+    - {!curation}: an authoritative mainline plus development branches
+      that merge back, with short-lived feature branches off mainline
+      or dev branches (the only strategy with merges). *)
+
+open Decibel
+open Decibel_util
+
+(* ------------------------------------------------------------------ *)
+(* Key bookkeeping.
+
+   Branch key sets mirror the engines' semantics without running an
+   engine: keys are only ever added (the benchmark mix has no deletes),
+   a child inherits the keys its base commit could see, and a merge
+   unions the source's keys into the destination.  Sets are represented
+   structurally — parent pointer plus own appended keys — so snapshots
+   at commits are just own-counts. *)
+
+type key_set = {
+  parent : (key_set * int) option; (* parent set, total count at branch *)
+  own : int Vec.t;
+  mutable commit_counts : int list; (* own totals at commits, newest first *)
+}
+
+let ks_create ?parent () =
+  { parent; own = Vec.create ~dummy:0 (); commit_counts = [] }
+
+let ks_total ks =
+  (match ks.parent with Some (_, n) -> n | None -> 0) + Vec.length ks.own
+
+(* total as of [commits_back] commits ago *)
+let ks_total_at ks commits_back =
+  let own = List.nth ks.commit_counts commits_back in
+  (match ks.parent with Some (_, n) -> n | None -> 0) + own
+
+let rec ks_get ks bound i =
+  let inherited = match ks.parent with Some (_, n) -> n | None -> 0 in
+  assert (i < bound);
+  if i < inherited then
+    match ks.parent with
+    | Some (p, n) -> ks_get p n i
+    | None -> assert false
+  else Vec.get ks.own (i - inherited)
+
+let ks_pick rng ks =
+  let n = ks_total ks in
+  if n = 0 then None else Some (ks_get ks n (Prng.int rng n))
+
+let ks_mark_commit ks =
+  ks.commit_counts <- Vec.length ks.own :: ks.commit_counts
+
+let rec ks_mem ks bound key =
+  (* membership within the first [bound] keys *)
+  let inherited = match ks.parent with Some (_, n) -> n | None -> 0 in
+  let found_own = ref false in
+  let upto_own = bound - inherited in
+  (try
+     for i = 0 to min upto_own (Vec.length ks.own) - 1 do
+       if Vec.get ks.own i = key then begin
+         found_own := true;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !found_own
+  ||
+  match ks.parent with
+  | Some (p, n) -> ks_mem p n key
+  | None -> false
+
+let ks_all ks =
+  let rec collect ks bound acc =
+    let inherited = match ks.parent with Some (_, n) -> n | None -> 0 in
+    let acc = ref acc in
+    for i = 0 to min (bound - inherited) (Vec.length ks.own) - 1 do
+      acc := Vec.get ks.own i :: !acc
+    done;
+    match ks.parent with Some (p, n) -> collect p n !acc | None -> !acc
+  in
+  collect ks (ks_total ks) []
+
+(* ------------------------------------------------------------------ *)
+(* Generator state shared by all strategies *)
+
+type branch_state = {
+  name : string;
+  keys : key_set;
+  mutable ops_since_commit : int;
+  mutable dirty : bool;
+  mutable total_ops : int; (* data ops applied to this branch *)
+  mutable alive : bool;
+}
+
+type gen = {
+  cfg : Config.t;
+  rng : Prng.t;
+  mutable ops : Workload.op list; (* reversed *)
+  mutable next_key : int;
+  branches : (string, branch_state) Hashtbl.t;
+  mutable branch_order : string list; (* creation order, reversed *)
+}
+
+let gen_create cfg =
+  let g =
+    {
+      cfg;
+      rng = Prng.create cfg.Config.seed;
+      ops = [];
+      next_key = 0;
+      branches = Hashtbl.create 64;
+      branch_order = [];
+    }
+  in
+  let master =
+    {
+      name = "master";
+      keys = ks_create ();
+      ops_since_commit = 0;
+      dirty = false;
+      total_ops = 0;
+      alive = true;
+    }
+  in
+  Hashtbl.replace g.branches "master" master;
+  g.branch_order <- [ "master" ];
+  g
+
+let emit g op = g.ops <- op :: g.ops
+
+let branch_state g name = Hashtbl.find g.branches name
+
+let commit_branch g b =
+  if b.dirty then begin
+    emit g (Workload.Commit b.name);
+    ks_mark_commit b.keys;
+    b.dirty <- false;
+    b.ops_since_commit <- 0
+  end
+
+(* ensure at least one commit exists so branch/merge targets resolve *)
+let ensure_committed g b = if b.dirty || b.keys.commit_counts = [] then begin
+    emit g (Workload.Commit b.name);
+    ks_mark_commit b.keys;
+    b.dirty <- false;
+    b.ops_since_commit <- 0
+  end
+
+let data_op g b =
+  let cfg = g.cfg in
+  let do_update =
+    Prng.chance g.rng cfg.Config.update_fraction && ks_total b.keys > 0
+  in
+  (if do_update then
+     match ks_pick g.rng b.keys with
+     | Some key -> emit g (Workload.Update { branch = b.name; key })
+     | None -> ()
+   else begin
+     let key = g.next_key in
+     g.next_key <- key + 1;
+     let _ = Vec.push b.keys.own key in
+     emit g (Workload.Insert { branch = b.name; key })
+   end);
+  b.dirty <- true;
+  b.total_ops <- b.total_ops + 1;
+  b.ops_since_commit <- b.ops_since_commit + 1;
+  if b.ops_since_commit >= cfg.Config.commit_every then commit_branch g b
+
+let new_branch g ~name ~from ~commits_back =
+  let parent = branch_state g from in
+  if commits_back = 0 then ensure_committed g parent;
+  let bound =
+    if commits_back = 0 then ks_total parent.keys
+    else ks_total_at parent.keys commits_back
+  in
+  let b =
+    {
+      name;
+      keys = ks_create ~parent:(parent.keys, bound) ();
+      ops_since_commit = 0;
+      dirty = false;
+      total_ops = 0;
+      alive = true;
+    }
+  in
+  Hashtbl.replace g.branches name b;
+  g.branch_order <- name :: g.branch_order;
+  emit g (Workload.Create_branch { name; from_branch = from; commits_back });
+  b
+
+let merge_branches g ~into ~from ~policy =
+  let bi = branch_state g into and bf = branch_state g from in
+  ensure_committed g bi;
+  ensure_committed g bf;
+  (* union the source's keys into the destination (no deletes exist) *)
+  let have = Hashtbl.create 256 in
+  List.iter (fun k -> Hashtbl.replace have k ()) (ks_all bi.keys);
+  List.iter
+    (fun k ->
+      if not (Hashtbl.mem have k) then begin
+        let _ = Vec.push bi.keys.own k in
+        ()
+      end)
+    (ks_all bf.keys);
+  emit g (Workload.Merge { into; from; policy });
+  (* the merge creates a commit in the engines *)
+  ks_mark_commit bi.keys;
+  bi.dirty <- false;
+  bi.ops_since_commit <- 0
+
+let retire g name =
+  let b = branch_state g name in
+  commit_branch g b;
+  b.alive <- false;
+  emit g (Workload.Retire name)
+
+let finish g roles =
+  (* final commit on every live branch so heads are committed *)
+  List.iter
+    (fun name ->
+      let b = branch_state g name in
+      if b.alive then commit_branch g b)
+    (List.rev g.branch_order);
+  { Workload.ops = List.rev g.ops; roles }
+
+(* ------------------------------------------------------------------ *)
+(* Deep: a linear chain of branches (paper: "inserts and updates always
+   occur in the branch that was created last"). *)
+
+let deep cfg =
+  let g = gen_create cfg in
+  let current = ref (branch_state g "master") in
+  for i = 1 to cfg.Config.branches do
+    if i > 1 then begin
+      let name = Printf.sprintf "deep%d" i in
+      current := new_branch g ~name ~from:!current.name ~commits_back:0
+    end;
+    for _ = 1 to cfg.Config.records_per_branch do
+      data_op g !current
+    done
+  done;
+  let names = List.rev g.branch_order in
+  finish g
+    [
+      ("tail", [ !current.name ]);
+      ("tail-parent",
+       [ (match List.rev names with _ :: p :: _ -> p | _ -> "master") ]);
+      ("head", [ "master" ]);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Flat: many children of one parent, modified concurrently (inserts
+   interleaved uniformly at random across children). *)
+
+let flat cfg =
+  let g = gen_create cfg in
+  let master = branch_state g "master" in
+  for _ = 1 to cfg.Config.records_per_branch do
+    data_op g master
+  done;
+  ensure_committed g master;
+  let children =
+    List.init
+      (max 1 (cfg.Config.branches - 1))
+      (fun i ->
+        new_branch g
+          ~name:(Printf.sprintf "flat%d" (i + 1))
+          ~from:"master" ~commits_back:0)
+  in
+  let arr = Array.of_list children in
+  let total = Array.length arr * cfg.Config.records_per_branch in
+  for _ = 1 to total do
+    data_op g arr.(Prng.int g.rng (Array.length arr))
+  done;
+  finish g
+    [
+      ("parent", [ "master" ]);
+      ("child", [ arr.(Prng.int g.rng (Array.length arr)).name ]);
+      ("children", List.map (fun b -> b.name) children);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Science: evolving mainline, no merges; branches start either from a
+   historical mainline commit or from an active branch head, live a
+   fixed lifetime, then retire.  Inserts favour the mainline. *)
+
+let science cfg =
+  let g = gen_create cfg in
+  let mainline = branch_state g "master" in
+  let active : branch_state list ref = ref [] in
+  let created = ref 0 in
+  let total_ops = cfg.Config.branches * cfg.Config.records_per_branch in
+  let branch_interval =
+    max 1 (total_ops / max 1 (cfg.Config.branches - 1))
+  in
+  for op = 1 to total_ops do
+    (* spawn working branches on a fixed cadence *)
+    if op mod branch_interval = 0 && !created < cfg.Config.branches - 1 then begin
+      incr created;
+      let name = Printf.sprintf "sci%d" !created in
+      let from_mainline = Prng.chance g.rng 0.5 || !active = [] in
+      let b =
+        if from_mainline then begin
+          ensure_committed g mainline;
+          let ncommits = List.length mainline.keys.commit_counts in
+          let commits_back = Prng.int g.rng (min 5 ncommits) in
+          new_branch g ~name ~from:"master" ~commits_back
+        end
+        else begin
+          let src = Prng.pick g.rng !active in
+          new_branch g ~name ~from:src.name ~commits_back:0
+        end
+      in
+      active := b :: !active
+    end;
+    (* retire expired branches *)
+    let expired, live =
+      List.partition
+        (fun b -> b.total_ops >= cfg.Config.science_lifetime)
+        !active
+    in
+    List.iter (fun b -> retire g b.name) expired;
+    active := live;
+    (* route the data op: mainline gets extra weight *)
+    let targets = mainline :: !active in
+    let weights =
+      List.map
+        (fun b -> if b == mainline then cfg.Config.science_mainline_skew else 1.0)
+        targets
+    in
+    let total_w = List.fold_left ( +. ) 0.0 weights in
+    let x = Prng.float g.rng total_w in
+    let rec pick ts ws acc =
+      match ts, ws with
+      | [ t ], _ -> t
+      | t :: _, w :: _ when x < acc +. w -> t
+      | t :: ts', w :: ws' ->
+          ignore t;
+          pick ts' ws' (acc +. w)
+      | _ -> mainline
+    in
+    data_op g (pick targets weights 0.0)
+  done;
+  let oldest =
+    match List.rev !active with b :: _ -> b.name | [] -> "master"
+  in
+  let youngest = match !active with b :: _ -> b.name | [] -> "master" in
+  finish g
+    [
+      ("mainline", [ "master" ]);
+      ("oldest-active", [ oldest ]);
+      ("youngest-active", [ youngest ]);
+      ("active", "master" :: List.rev_map (fun b -> b.name) !active);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Curation: mainline plus development branches merged back into it,
+   with short-lived feature branches off mainline or a dev branch,
+   merged back into their parent (§4.1). *)
+
+let curation cfg =
+  let g = gen_create cfg in
+  let mainline = branch_state g "master" in
+  (* (branch, parent name, lifetime) *)
+  let active : (branch_state * string * int) list ref = ref [] in
+  let created = ref 0 in
+  let total_ops = cfg.Config.branches * cfg.Config.records_per_branch in
+  let branch_interval =
+    max 1 (total_ops / max 1 (cfg.Config.branches - 1))
+  in
+  let devs_at_end = ref [] and features_at_end = ref [] in
+  for op = 1 to total_ops do
+    if op mod branch_interval = 0 && !created < cfg.Config.branches - 1 then begin
+      incr created;
+      let is_feature = Prng.chance g.rng cfg.Config.curation_feature_prob in
+      let parent_name =
+        if is_feature && !active <> [] && Prng.chance g.rng 0.5 then
+          let b, _, _ = Prng.pick g.rng !active in
+          b.name
+        else "master"
+      in
+      let name =
+        Printf.sprintf "%s%d" (if is_feature then "feat" else "dev") !created
+      in
+      let lifetime =
+        if is_feature then cfg.Config.curation_feature_lifetime
+        else cfg.Config.curation_dev_lifetime
+      in
+      ensure_committed g (branch_state g parent_name);
+      let b = new_branch g ~name ~from:parent_name ~commits_back:0 in
+      active := (b, parent_name, lifetime) :: !active
+    end;
+    (* merge back expired branches, children before their parents *)
+    let rec merge_expired () =
+      let expired, live =
+        List.partition (fun (b, _, life) -> b.total_ops >= life) !active
+      in
+      (* do not merge a parent while it still has active children *)
+      let has_active_child name =
+        List.exists (fun (_, p, _) -> p = name) live
+      in
+      let ready, postponed =
+        List.partition (fun (b, _, _) -> not (has_active_child b.name)) expired
+      in
+      active := live @ postponed;
+      if ready <> [] then begin
+        List.iter
+          (fun (b, parent, _) ->
+            merge_branches g ~into:parent ~from:b.name
+              ~policy:Types.Three_way;
+            retire g b.name)
+          ready;
+        merge_expired ()
+      end
+    in
+    merge_expired ();
+    let targets = mainline :: List.map (fun (b, _, _) -> b) !active in
+    data_op g (List.nth targets (Prng.int g.rng (List.length targets)))
+  done;
+  devs_at_end :=
+    List.filter_map
+      (fun (b, _, _) ->
+        if String.length b.name >= 3 && String.sub b.name 0 3 = "dev" then
+          Some b.name
+        else None)
+      !active;
+  features_at_end :=
+    List.filter_map
+      (fun (b, _, _) ->
+        if String.length b.name >= 4 && String.sub b.name 0 4 = "feat" then
+          Some b.name
+        else None)
+      !active;
+  finish g
+    [
+      ("mainline", [ "master" ]);
+      ("dev", if !devs_at_end = [] then [ "master" ] else !devs_at_end);
+      ( "feature",
+        if !features_at_end = [] then [ "master" ] else !features_at_end );
+      ( "active",
+        "master" :: List.rev_map (fun (b, _, _) -> b.name) !active );
+    ]
+
+type kind = Deep | Flat | Science | Curation
+
+let kind_name = function
+  | Deep -> "deep"
+  | Flat -> "flat"
+  | Science -> "sci"
+  | Curation -> "cur"
+
+let generate kind cfg =
+  match kind with
+  | Deep -> deep cfg
+  | Flat -> flat cfg
+  | Science -> science cfg
+  | Curation -> curation cfg
+
+let all = [ Deep; Flat; Science; Curation ]

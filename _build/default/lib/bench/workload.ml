@@ -1,0 +1,100 @@
+(** Workload representation: a fully concrete operation stream.
+
+    Strategies (paper §4.1) emit every operation with its target branch
+    and primary key decided up front, so each storage scheme replays
+    exactly the same operations in the same order — the paper's
+    methodology for comparable load and query measurements (§5.6). *)
+
+open Decibel
+
+type op =
+  | Insert of { branch : string; key : int }
+  | Update of { branch : string; key : int }
+  | Commit of string
+  | Create_branch of {
+      name : string;
+      from_branch : string;
+      commits_back : int;
+          (** 0 = the source branch's latest commit; [n] = n commits
+              earlier (science branches start from historical mainline
+              commits). *)
+    }
+  | Merge of { into : string; from : string; policy : Types.merge_policy }
+  | Retire of string
+
+type t = {
+  ops : op list;
+  roles : (string * string list) list;
+      (** Query-target roles, e.g. ("tail", [...]), ("mainline", [...]),
+          ("dev", [...]); meaning is strategy-specific (§4.1). *)
+}
+
+let role t name =
+  match List.assoc_opt name t.roles with Some (b :: _) -> Some b | _ -> None
+
+let role_exn t name =
+  match role t name with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "workload has no %S role" name)
+
+let roles t name = Option.value ~default:[] (List.assoc_opt name t.roles)
+
+let op_counts t =
+  let ins = ref 0 and upd = ref 0 and com = ref 0 in
+  let br = ref 0 and mrg = ref 0 in
+  List.iter
+    (fun op ->
+      match op with
+      | Insert _ -> incr ins
+      | Update _ -> incr upd
+      | Commit _ -> incr com
+      | Create_branch _ -> incr br
+      | Merge _ -> incr mrg
+      | Retire _ -> ())
+    t.ops;
+  (!ins, !upd, !com, !br, !mrg)
+
+let pp_op fmt = function
+  | Insert { branch; key } -> Format.fprintf fmt "insert %s #%d" branch key
+  | Update { branch; key } -> Format.fprintf fmt "update %s #%d" branch key
+  | Commit b -> Format.fprintf fmt "commit %s" b
+  | Create_branch { name; from_branch; commits_back } ->
+      Format.fprintf fmt "branch %s from %s~%d" name from_branch commits_back
+  | Merge { into; from; _ } -> Format.fprintf fmt "merge %s <- %s" into from
+  | Retire b -> Format.fprintf fmt "retire %s" b
+
+(* Clustered loading mode (§4.2): group consecutive data operations by
+   branch between structural barriers, so each branch's records land
+   contiguously.  Interleaved mode is whatever order the strategy
+   emitted. *)
+let cluster t =
+  let out = ref [] in
+  let emit op = out := op :: !out in
+  let pending : (string, op list ref) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  let flush () =
+    List.iter
+      (fun b ->
+        match Hashtbl.find_opt pending b with
+        | Some l ->
+            List.iter emit (List.rev !l);
+            Hashtbl.remove pending b
+        | None -> ())
+      (List.rev !order);
+    order := []
+  in
+  List.iter
+    (fun op ->
+      match op with
+      | Insert { branch; _ } | Update { branch; _ } -> (
+          match Hashtbl.find_opt pending branch with
+          | Some l -> l := op :: !l
+          | None ->
+              Hashtbl.replace pending branch (ref [ op ]);
+              order := branch :: !order)
+      | Commit _ | Create_branch _ | Merge _ | Retire _ ->
+          flush ();
+          emit op)
+    t.ops;
+  flush ();
+  { t with ops = List.rev !out }

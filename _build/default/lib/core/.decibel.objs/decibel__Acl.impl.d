@@ -1,0 +1,1 @@
+lib/core/acl.ml: Binio Buffer Database Decibel_graph Decibel_util Filename Fun Hashtbl List Printf Sys

@@ -1,0 +1,1 @@
+lib/core/database.ml: Buffer_pool Decibel_graph Decibel_storage Decibel_util Engine_intf Filename Hybrid List Lock_manager Model Option Sys Tuple_first Types Version_first Wal

@@ -1,0 +1,1 @@
+lib/core/database.mli: Buffer_pool Decibel_graph Decibel_storage Lock_manager Schema Tuple Types Value

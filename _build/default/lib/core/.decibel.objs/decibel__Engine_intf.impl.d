@@ -1,0 +1,1 @@
+lib/core/engine_intf.ml: Buffer_pool Decibel_graph Decibel_storage Schema Tuple Types Value

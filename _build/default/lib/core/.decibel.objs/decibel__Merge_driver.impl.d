@@ -1,0 +1,1 @@
+lib/core/merge_driver.ml: Array Decibel_storage Hashtbl List Tuple Types Value

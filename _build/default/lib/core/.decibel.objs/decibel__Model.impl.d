@@ -1,0 +1,1 @@
+lib/core/model.ml: Array Decibel_graph Decibel_storage Hashtbl List Map Merge_driver Option Schema Tuple Types Value

@@ -1,0 +1,1 @@
+lib/core/query.ml: Array Database Decibel_storage Hashtbl Schema Tuple Types Value

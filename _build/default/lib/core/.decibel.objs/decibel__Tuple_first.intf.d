@@ -1,0 +1,1 @@
+lib/core/tuple_first.mli: Decibel_index Engine_intf

@@ -1,0 +1,1 @@
+lib/core/types.ml: Decibel_graph Decibel_storage Printf Tuple Value

@@ -1,0 +1,1 @@
+lib/core/version_first.mli: Engine_intf

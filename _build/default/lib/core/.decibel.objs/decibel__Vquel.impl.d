@@ -1,0 +1,1 @@
+lib/core/vquel.ml: Array Database Decibel_graph Decibel_storage Hashtbl Int64 List Option Printf Query Schema String Tuple Types Value

@@ -1,0 +1,1 @@
+lib/core/wal.ml: Binio Buffer Char Decibel_storage Decibel_util List Printf String Sys Tuple Types Value

@@ -1,0 +1,203 @@
+(** Branch-level access control.
+
+    The paper envisions that "each branch could have different access
+    privileges for different users" (§2.2.2) without implementing it;
+    this module supplies a small, persistent grant table and the checks
+    {!Guarded} enforces on top of the {!Database} facade.
+
+    Principals are user names; rights are per branch, with an optional
+    wildcard branch ["*"].  Admins may additionally create branches,
+    merge into branches they can write, and administer grants.  The
+    table is serialized alongside the repository. *)
+
+type right = Read | Write | Admin
+
+let right_rank = function Read -> 0 | Write -> 1 | Admin -> 2
+
+let right_name = function
+  | Read -> "read"
+  | Write -> "write"
+  | Admin -> "admin"
+
+type t = {
+  grants : (string * string, right) Hashtbl.t; (* (user, branch or "*") *)
+  mutable default_right : right option;
+      (** Right granted to users with no entry at all ([None] = deny). *)
+}
+
+exception Denied of string
+
+let denied fmt = Printf.ksprintf (fun s -> raise (Denied s)) fmt
+
+let create ?default () = { grants = Hashtbl.create 16; default_right = default }
+
+let grant t ~user ~branch right =
+  Hashtbl.replace t.grants (user, branch) right
+
+let revoke t ~user ~branch = Hashtbl.remove t.grants (user, branch)
+
+let set_default t right = t.default_right <- right
+
+(* the effective right is the strongest of: exact grant, wildcard
+   grant, and the table default *)
+let effective t ~user ~branch =
+  let candidates =
+    List.filter_map Fun.id
+      [
+        Hashtbl.find_opt t.grants (user, branch);
+        Hashtbl.find_opt t.grants (user, "*");
+        t.default_right;
+      ]
+  in
+  List.fold_left
+    (fun acc r ->
+      match acc with
+      | Some best when right_rank best >= right_rank r -> acc
+      | _ -> Some r)
+    None candidates
+
+let allows t ~user ~branch right =
+  match effective t ~user ~branch with
+  | Some have -> right_rank have >= right_rank right
+  | None -> false
+
+let check t ~user ~branch right =
+  if not (allows t ~user ~branch right) then
+    denied "user %s lacks %s on branch %s" user (right_name right) branch
+
+let grants_for t ~user =
+  Hashtbl.fold
+    (fun (u, b) r acc -> if u = user then (b, r) :: acc else acc)
+    t.grants []
+  |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* persistence *)
+
+let serialize t =
+  let open Decibel_util in
+  let buf = Buffer.create 256 in
+  (match t.default_right with
+  | None -> Binio.write_u8 buf 0
+  | Some r ->
+      Binio.write_u8 buf 1;
+      Binio.write_u8 buf (right_rank r));
+  Binio.write_varint buf (Hashtbl.length t.grants);
+  Hashtbl.iter
+    (fun (user, branch) r ->
+      Binio.write_string buf user;
+      Binio.write_string buf branch;
+      Binio.write_u8 buf (right_rank r))
+    t.grants;
+  Buffer.contents buf
+
+let right_of_rank = function
+  | 0 -> Read
+  | 1 -> Write
+  | 2 -> Admin
+  | n ->
+      raise (Decibel_util.Binio.Corrupt (Printf.sprintf "Acl: bad right %d" n))
+
+let deserialize s =
+  let open Decibel_util in
+  let pos = ref 0 in
+  let default_right =
+    match Binio.read_u8 s pos with
+    | 0 -> None
+    | _ -> Some (right_of_rank (Binio.read_u8 s pos))
+  in
+  let t = { grants = Hashtbl.create 16; default_right } in
+  let n = Binio.read_varint s pos in
+  for _ = 1 to n do
+    let user = Binio.read_string s pos in
+    let branch = Binio.read_string s pos in
+    Hashtbl.replace t.grants (user, branch) (right_of_rank (Binio.read_u8 s pos))
+  done;
+  t
+
+let acl_path dir = Filename.concat dir "acl.bin"
+
+let save t ~dir = Decibel_util.Binio.write_file (acl_path dir) (serialize t)
+
+let load ~dir =
+  if Sys.file_exists (acl_path dir) then
+    deserialize (Decibel_util.Binio.read_file (acl_path dir))
+  else create ()
+
+(* ------------------------------------------------------------------ *)
+
+(** The guarded facade: every operation names the acting user and is
+    checked against the grant table before delegating to {!Database}. *)
+module Guarded = struct
+  type guarded = { db : Database.t; acl : t; dir : string }
+
+  let make ~db ~acl ~dir = { db; acl; dir }
+
+  let branch_name g b = Database.branch_name g.db b
+
+  let check_branch g ~user right b = check g.acl ~user ~branch:(branch_name g b) right
+
+  let insert g ~user b tuple =
+    check_branch g ~user Write b;
+    Database.insert g.db b tuple
+
+  let update g ~user b tuple =
+    check_branch g ~user Write b;
+    Database.update g.db b tuple
+
+  let delete g ~user b key =
+    check_branch g ~user Write b;
+    Database.delete g.db b key
+
+  let scan g ~user b f =
+    check_branch g ~user Read b;
+    Database.scan g.db b f
+
+  let scan_version g ~user v f =
+    (* a version is readable if its owning branch is *)
+    let graph = Database.graph g.db in
+    let owner =
+      (Decibel_graph.Version_graph.version graph v)
+        .Decibel_graph.Version_graph.on_branch
+    in
+    check_branch g ~user Read owner;
+    Database.scan_version g.db v f
+
+  let commit g ~user b ~message =
+    check_branch g ~user Write b;
+    Database.commit g.db b ~message
+
+  let diff g ~user a b ~pos ~neg =
+    check_branch g ~user Read a;
+    check_branch g ~user Read b;
+    Database.diff g.db a b ~pos ~neg
+
+  let create_branch g ~user ~name ~from =
+    (* creating requires admin on the source branch's line *)
+    let graph = Database.graph g.db in
+    let owner =
+      (Decibel_graph.Version_graph.version graph from)
+        .Decibel_graph.Version_graph.on_branch
+    in
+    check_branch g ~user Admin owner;
+    let b = Database.create_branch g.db ~name ~from in
+    (* the creator owns the new branch *)
+    grant g.acl ~user ~branch:name Admin;
+    save g.acl ~dir:g.dir;
+    b
+
+  let merge g ~user ~into ~from ~policy ~message =
+    check_branch g ~user Write into;
+    check_branch g ~user Read from;
+    Database.merge g.db ~into ~from ~policy ~message
+
+  let grant g ~admin ~user ~branch right =
+    check g.acl ~user:admin ~branch Admin;
+    grant g.acl ~user ~branch right;
+    save g.acl ~dir:g.dir
+
+  let revoke g ~admin ~user ~branch =
+    check g.acl ~user:admin ~branch Admin;
+    revoke g.acl ~user ~branch;
+    save g.acl ~dir:g.dir
+end

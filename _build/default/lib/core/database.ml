@@ -1,0 +1,348 @@
+(** Top-level database facade.
+
+    Wraps any {!Engine_intf.S} implementation behind one concrete type
+    (via a first-class module), adds branch-name resolution, session
+    management with two-phase locking (paper §2.2.3: concurrent
+    transactions on the same version are isolated through 2PL), and
+    convenience operations used by the benchmark (table-wise updates,
+    list-returning scans). *)
+
+open Decibel_storage
+open Types
+module Vg = Decibel_graph.Version_graph
+
+(** Storage scheme selector (paper §3, plus the testing oracle). *)
+type scheme =
+  | Tuple_first  (** branch-oriented bitmap, the paper's default (§5) *)
+  | Tuple_first_tuple_oriented
+  | Version_first
+  | Hybrid
+  | Model
+
+let scheme_name = function
+  | Tuple_first -> "tuple-first"
+  | Tuple_first_tuple_oriented -> "tuple-first-tuple-oriented"
+  | Version_first -> "version-first"
+  | Hybrid -> "hybrid"
+  | Model -> "model"
+
+let all_schemes = [ Tuple_first; Tuple_first_tuple_oriented; Version_first; Hybrid ]
+
+type t =
+  | Db : {
+      engine : (module Engine_intf.S with type t = 'e);
+      state : 'e;
+      pool : Buffer_pool.t;
+      locks : Lock_manager.t;
+      mutable wal : Wal.t option;
+      mutable next_session : int;
+    }
+      -> t
+
+let wal_path dir = Filename.concat dir "wal.log"
+
+let open_ ?pool ?(durable = false) ?(compress = false) ?lock_timeout_s
+    ~scheme ~dir ~schema () =
+  let pool =
+    match pool with Some p -> p | None -> Buffer_pool.create ()
+  in
+  let locks = Lock_manager.create ?timeout_s:lock_timeout_s () in
+  let pack (type e) (module E : Engine_intf.S with type t = e) =
+    let state = E.create ~compress ~dir ~pool ~schema in
+    let wal =
+      if durable then begin
+        (* checkpoint 0: the freshly-initialized state, so a crash
+           before the first flush still has a base to replay onto *)
+        E.flush state;
+        Some (Wal.open_log ~path:(wal_path dir))
+      end
+      else None
+    in
+    Db
+      { engine = (module E); state; pool; locks; wal; next_session = 0 }
+  in
+  match scheme with
+  | Tuple_first -> pack (module Tuple_first.Branch_oriented)
+  | Tuple_first_tuple_oriented -> pack (module Tuple_first.Tuple_oriented)
+  | Version_first -> pack (module Version_first)
+  | Hybrid -> pack (module Hybrid)
+  | Model -> pack (module Model)
+
+(* Reopen a repository persisted by [flush]/[close].  The scheme is
+   discovered from the manifest each engine leaves behind. *)
+let manifest_schemes =
+  [
+    ("manifest.tf", Tuple_first);
+    ("manifest.vf", Version_first);
+    ("manifest.hy", Hybrid);
+  ]
+
+let detect_scheme dir =
+  let candidates =
+    List.filter_map
+      (fun (file, scheme) ->
+        if Sys.file_exists (Filename.concat dir file) then Some (file, scheme)
+        else None)
+      manifest_schemes
+  in
+  match candidates with
+  | [ (file, scheme) ] ->
+      if scheme = Tuple_first then begin
+        (* both bitmap layouts share the manifest file; it records which
+           layout wrote it *)
+        let data =
+          Decibel_util.Binio.read_file (Filename.concat dir file)
+        in
+        let pos = ref 0 in
+        match Decibel_util.Binio.read_string data pos with
+        | "tuple-oriented" -> Tuple_first_tuple_oriented
+        | _ -> Tuple_first
+      end
+      else scheme
+  | [] -> errorf "no Decibel repository found in %s" dir
+  | _ :: _ :: _ -> errorf "ambiguous repository manifests in %s" dir
+
+let reopen_checkpoint ?pool ?scheme ~dir () =
+  let pool = match pool with Some p -> p | None -> Buffer_pool.create () in
+  let scheme = match scheme with Some s -> s | None -> detect_scheme dir in
+  let pack (type e) (module E : Engine_intf.S with type t = e) =
+    let state = E.open_existing ~dir ~pool in
+    Db
+      {
+        engine = (module E);
+        state;
+        pool;
+        locks = Lock_manager.create ();
+        wal = None;
+        next_session = 0;
+      }
+  in
+  match scheme with
+  | Tuple_first -> pack (module Tuple_first.Branch_oriented)
+  | Tuple_first_tuple_oriented -> pack (module Tuple_first.Tuple_oriented)
+  | Version_first -> pack (module Version_first)
+  | Hybrid -> pack (module Hybrid)
+  | Model -> pack (module Model)
+
+let scheme_of (Db { engine = (module E); _ }) = E.scheme
+let schema (Db { engine = (module E); state; _ }) = E.schema state
+let graph (Db { engine = (module E); state; _ }) = E.graph state
+
+let branch_named t name =
+  match Vg.branch_by_name (graph t) name with
+  | Some b -> b.Vg.bid
+  | None -> errorf "no branch named %S" name
+
+let branch_name t bid = (Vg.branch (graph t) bid).Vg.name
+
+let log (Db { engine = (module E); state; wal; _ }) entry =
+  match wal with
+  | Some w -> Wal.append w (E.schema state) entry
+  | None -> ()
+
+let create_branch (Db { engine = (module E); state; _ } as t) ~name ~from =
+  log t (Wal.W_branch (name, from));
+  E.create_branch state ~name ~from
+
+let branch_from t ~name ~of_branch =
+  (* branch off the current head commit of an existing branch; goes
+     through [create_branch] so the operation is write-ahead-logged *)
+  let from = Vg.head (graph t) of_branch in
+  create_branch t ~name ~from
+
+let commit (Db { engine = (module E); state; _ } as t) b ~message =
+  log t (Wal.W_commit (b, message));
+  E.commit state b ~message
+
+let insert (Db { engine = (module E); state; _ } as t) b tuple =
+  log t (Wal.W_insert (b, tuple));
+  E.insert state b tuple
+
+let update (Db { engine = (module E); state; _ } as t) b tuple =
+  log t (Wal.W_update (b, tuple));
+  E.update state b tuple
+
+let delete (Db { engine = (module E); state; _ } as t) b key =
+  log t (Wal.W_delete (b, key));
+  E.delete state b key
+
+let lookup (Db { engine = (module E); state; _ }) b key = E.lookup state b key
+
+let scan (Db { engine = (module E); state; _ }) b f = E.scan state b f
+
+let scan_version (Db { engine = (module E); state; _ }) v f =
+  E.scan_version state v f
+
+let multi_scan (Db { engine = (module E); state; _ }) bs f =
+  E.multi_scan state bs f
+
+let diff (Db { engine = (module E); state; _ }) a b ~pos ~neg =
+  E.diff state a b ~pos ~neg
+
+let merge (Db { engine = (module E); state; _ } as t) ~into ~from ~policy
+    ~message =
+  log t (Wal.W_merge (into, from, policy, message));
+  E.merge state ~into ~from ~policy ~message
+
+let dataset_bytes (Db { engine = (module E); state; _ }) =
+  E.dataset_bytes state
+
+let commit_meta_bytes (Db { engine = (module E); state; _ }) =
+  E.commit_meta_bytes state
+
+(* flushing checkpoints: once the engine's durable state reflects all
+   applied operations, the log can restart empty *)
+let flush (Db { engine = (module E); state; wal; _ }) =
+  E.flush state;
+  Option.iter Wal.reset wal
+
+let close (Db { engine = (module E); state; wal; _ }) =
+  E.close state;
+  Option.iter
+    (fun w ->
+      Wal.reset w;
+      Wal.close w)
+    wal
+
+let pool (Db { pool; _ }) = pool
+
+(* Simulate a cold cache between measurements, standing in for the
+   paper's disk-cache flushes before each operation (§5). *)
+let drop_caches (Db { pool; _ } as t) =
+  flush t;
+  Buffer_pool.drop_all pool
+
+let scan_list t b =
+  let acc = ref [] in
+  scan t b (fun tuple -> acc := tuple :: !acc);
+  !acc
+
+let scan_version_list t v =
+  let acc = ref [] in
+  scan_version t v (fun tuple -> acc := tuple :: !acc);
+  !acc
+
+let count t b =
+  let n = ref 0 in
+  scan t b (fun _ -> incr n);
+  !n
+
+(* Table-wise update (paper §5.5): rewrite every live record of the
+   branch.  Each update copies the full record, so the dataset grows by
+   about the branch's size and the branch's data ends up re-clustered
+   at the end of storage. *)
+let update_all t b f =
+  let tuples = scan_list t b in
+  List.iter (fun tuple -> update t b (f tuple)) tuples;
+  List.length tuples
+
+let heads t =
+  List.filter_map
+    (fun (b : Vg.branch) -> if b.Vg.active then Some b.Vg.bid else None)
+    (Vg.branches (graph t))
+
+(** {1 Sessions}
+
+    A session captures a user's state: the commit or branch its
+    operations read or modify (paper §2.2.3).  Write operations take an
+    exclusive lock on the branch; reads take a shared lock; all locks
+    are held until [end_transaction] (strict two-phase locking). *)
+
+type session = {
+  sid : int;
+  db : t;
+  mutable at : [ `Branch of branch_id | `Version of version_id ];
+}
+
+let new_session (Db d as t) =
+  let sid = d.next_session in
+  d.next_session <- sid + 1;
+  { sid; db = t; at = `Branch Vg.master }
+
+let locks_of (Db d) = d.locks
+
+let session_checkout_branch s name = s.at <- `Branch (branch_named s.db name)
+
+let session_checkout_version s vid =
+  let _ = Vg.version (graph s.db) vid in
+  s.at <- `Version vid
+
+let current_branch s =
+  match s.at with
+  | `Branch b -> b
+  | `Version _ -> errorf "session is at a version checkout; writes need a branch"
+
+let lock s mode b =
+  Lock_manager.acquire (locks_of s.db) ~owner:s.sid
+    ~resource:(branch_name s.db b) mode
+
+let session_insert s tuple =
+  let b = current_branch s in
+  lock s Lock_manager.Exclusive b;
+  insert s.db b tuple
+
+let session_update s tuple =
+  let b = current_branch s in
+  lock s Lock_manager.Exclusive b;
+  update s.db b tuple
+
+let session_delete s key =
+  let b = current_branch s in
+  lock s Lock_manager.Exclusive b;
+  delete s.db b key
+
+let session_scan s f =
+  match s.at with
+  | `Branch b ->
+      lock s Lock_manager.Shared b;
+      scan s.db b f
+  | `Version v -> scan_version s.db v f
+
+let session_commit s ~message =
+  let b = current_branch s in
+  lock s Lock_manager.Exclusive b;
+  let vid = commit s.db b ~message in
+  Lock_manager.release_all (locks_of s.db) ~owner:s.sid;
+  vid
+
+let end_transaction s =
+  Lock_manager.release_all (locks_of s.db) ~owner:s.sid
+
+(* ------------------------------------------------------------------ *)
+(* Reopen with crash recovery.
+
+   The engine reloads its last checkpoint (the manifest written by the
+   most recent flush or close); any intact write-ahead-log tail beyond
+   it is replayed through the ordinary operations and the result is
+   checkpointed.  [durable] re-arms logging for subsequent operations
+   (default: on, if the repository ever had a log). *)
+
+let replay_entry t (e : Wal.entry) =
+  match e with
+  | Wal.W_insert (b, tuple) -> insert t b tuple
+  | Wal.W_update (b, tuple) -> update t b tuple
+  | Wal.W_delete (b, key) -> delete t b key
+  | Wal.W_commit (b, message) -> ignore (commit t b ~message)
+  | Wal.W_branch (name, from) -> ignore (create_branch t ~name ~from)
+  | Wal.W_merge (into, from, policy, message) ->
+      ignore (merge t ~into ~from ~policy ~message)
+  | Wal.W_retire b -> Vg.retire (graph t) b
+
+let reopen ?pool ?scheme ?durable ~dir () =
+  let t = reopen_checkpoint ?pool ?scheme ~dir () in
+  let had_log = Sys.file_exists (wal_path dir) in
+  let durable = Option.value durable ~default:had_log in
+  if had_log then begin
+    let entries = Wal.read_entries ~path:(wal_path dir) (schema t) in
+    List.iter (replay_entry t) entries;
+    (* the replayed state becomes the new checkpoint *)
+    flush t;
+    let w = Wal.open_log ~path:(wal_path dir) in
+    Wal.reset w;
+    Wal.close w
+  end;
+  if durable then begin
+    let (Db d) = t in
+    d.wal <- Some (Wal.open_log ~path:(wal_path dir))
+  end;
+  t

@@ -1,0 +1,142 @@
+(** Top-level database facade.
+
+    Wraps any storage engine ({!Engine_intf.S}) behind one concrete
+    type, adds branch-name resolution, persistence with optional
+    write-ahead logging, and sessions with two-phase locking (paper
+    §2.2.3).  This is the API applications use; the engines are
+    selected by {!scheme} and otherwise indistinguishable. *)
+
+open Decibel_storage
+open Types
+
+(** Storage scheme selector (paper §3, plus the testing oracle). *)
+type scheme =
+  | Tuple_first  (** Branch-oriented bitmap — the paper's default (§5). *)
+  | Tuple_first_tuple_oriented
+  | Version_first
+  | Hybrid
+  | Model  (** In-memory oracle for tests; does not persist. *)
+
+val scheme_name : scheme -> string
+
+val all_schemes : scheme list
+(** The four physical schemes (excludes {!Model}). *)
+
+type t
+
+val open_ :
+  ?pool:Buffer_pool.t ->
+  ?durable:bool ->
+  ?compress:bool ->
+  ?lock_timeout_s:float ->
+  scheme:scheme ->
+  dir:string ->
+  schema:Schema.t ->
+  unit ->
+  t
+(** Initialize a fresh repository in [dir].  [durable] arms write-ahead
+    logging of every operation (default off); [compress] stores record
+    payloads LZ77-compressed (the paper's §5.5 space/materialization
+    trade-off, default off); [lock_timeout_s] bounds session lock
+    waits. *)
+
+val reopen :
+  ?pool:Buffer_pool.t -> ?scheme:scheme -> ?durable:bool -> dir:string ->
+  unit -> t
+(** Reopen a persisted repository: reloads the last checkpoint and
+    replays any intact write-ahead-log tail (crash recovery).  The
+    scheme is auto-detected from the manifest unless given.  [durable]
+    defaults to whether the repository ever had a log. *)
+
+val scheme_of : t -> string
+val schema : t -> Schema.t
+val graph : t -> Decibel_graph.Version_graph.t
+
+val branch_named : t -> string -> branch_id
+(** Raises {!Types.Engine_error} for unknown names. *)
+
+val branch_name : t -> branch_id -> string
+
+(** {1 Version control} *)
+
+val create_branch : t -> name:string -> from:version_id -> branch_id
+
+val branch_from : t -> name:string -> of_branch:branch_id -> branch_id
+(** Branch from another branch's current head commit. *)
+
+val commit : t -> branch_id -> message:string -> version_id
+
+val merge :
+  t ->
+  into:branch_id ->
+  from:branch_id ->
+  policy:merge_policy ->
+  message:string ->
+  merge_result
+
+(** {1 Data modification (branch working heads)} *)
+
+val insert : t -> branch_id -> Tuple.t -> unit
+val update : t -> branch_id -> Tuple.t -> unit
+val delete : t -> branch_id -> Value.t -> unit
+val lookup : t -> branch_id -> Value.t -> Tuple.t option
+
+(** {1 Scans and comparison} *)
+
+val scan : t -> branch_id -> (Tuple.t -> unit) -> unit
+val scan_version : t -> version_id -> (Tuple.t -> unit) -> unit
+val multi_scan : t -> branch_id list -> (annotated -> unit) -> unit
+
+val diff :
+  t -> branch_id -> branch_id -> pos:(Tuple.t -> unit) ->
+  neg:(Tuple.t -> unit) -> unit
+
+val scan_list : t -> branch_id -> Tuple.t list
+val scan_version_list : t -> version_id -> Tuple.t list
+val count : t -> branch_id -> int
+
+val update_all : t -> branch_id -> (Tuple.t -> Tuple.t) -> int
+(** Table-wise update (paper §5.5): rewrite every live record; returns
+    the number touched. *)
+
+val heads : t -> branch_id list
+(** Active (non-retired) branches. *)
+
+(** {1 Storage introspection and lifecycle} *)
+
+val dataset_bytes : t -> int
+val commit_meta_bytes : t -> int
+val pool : t -> Buffer_pool.t
+
+val drop_caches : t -> unit
+(** Flush, then empty the buffer pool (cold-cache benchmarking). *)
+
+val flush : t -> unit
+(** Checkpoint: persist engine manifests and truncate the WAL. *)
+
+val close : t -> unit
+
+(** {1 Sessions}
+
+    A session captures a user's state — the commit or branch its
+    operations read or modify (paper §2.2.3).  Writes take an exclusive
+    lock on the branch, reads a shared lock; locks are held until
+    [session_commit] or [end_transaction] (strict two-phase locking).
+    Lock waits beyond the configured timeout raise
+    {!Decibel_storage.Lock_manager.Deadlock}. *)
+
+type session
+
+val new_session : t -> session
+val session_checkout_branch : session -> string -> unit
+val session_checkout_version : session -> version_id -> unit
+val current_branch : session -> branch_id
+val session_insert : session -> Tuple.t -> unit
+val session_update : session -> Tuple.t -> unit
+val session_delete : session -> Value.t -> unit
+val session_scan : session -> (Tuple.t -> unit) -> unit
+val session_commit : session -> message:string -> version_id
+val end_transaction : session -> unit
+
+val locks_of : t -> Lock_manager.t
+(** The lock manager (for tests and instrumentation). *)

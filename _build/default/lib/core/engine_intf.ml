@@ -1,0 +1,118 @@
+(** The versioned storage engine interface.
+
+    All three physical representations (tuple-first, version-first,
+    hybrid — paper §3) implement this signature, as do the reference
+    model used by the test suite and the git-like baseline's adapter.
+    The benchmark, query layer, examples and CLI are written against it,
+    so schemes are interchangeable.
+
+    Semantics (paper §2.2.3):
+    - Modifications apply to a branch's working head and become a
+      checkable version only at {!S.commit}.
+    - Branches are created from any committed version.
+    - A version is immutable; [scan_version] of a commit returns the
+      same records forever.
+    - [diff] and [multi_scan] compare current branch heads (the working
+      copies); [scan_version] reads historical commits. *)
+
+open Decibel_storage
+open Types
+
+module type S = sig
+  type t
+
+  val scheme : string
+  (** Short name for reports: ["tuple-first"], ["version-first"],
+      ["hybrid"], ... *)
+
+  val create :
+    compress:bool -> dir:string -> pool:Buffer_pool.t -> schema:Schema.t -> t
+  (** Initialize a repository in [dir] (created if absent): the root
+      version (empty dataset) on the master branch.  The paper's [init]
+      operation (§2.2.3).  [dir] should be empty or absent; existing
+      repository files are truncated.
+
+      [compress] stores record payloads LZ77-compressed — the paper's
+      suggested mitigation for the storage blowup of whole-record
+      copies on table-wise updates (§5.5), trading materialization
+      (decode) cost for space.  Default off, as in the paper. *)
+
+  val open_existing : dir:string -> pool:Buffer_pool.t -> t
+  (** Reopen a repository persisted by {!S.flush} or {!S.close}.
+      Raises {!Types.Engine_error} if [dir] holds no repository of this
+      scheme. *)
+
+  val schema : t -> Schema.t
+  val graph : t -> Decibel_graph.Version_graph.t
+
+  (** {1 Version control} *)
+
+  val create_branch : t -> name:string -> from:version_id -> branch_id
+  (** New branch whose initial contents are version [from].  Raises
+      {!Types.Engine_error} if the name is taken. *)
+
+  val commit : t -> branch_id -> message:string -> version_id
+  (** Snapshot the branch's working state as a new version. *)
+
+  val merge :
+    t ->
+    into:branch_id ->
+    from:branch_id ->
+    policy:merge_policy ->
+    message:string ->
+    merge_result
+  (** Merge [from]'s head state into [into]; the merged state becomes a
+      new merge commit at the head of [into] (paper §2.2.3 “Merge”,
+      with the merged version made the new head of the destination). *)
+
+  (** {1 Data modification (working head of a branch)} *)
+
+  val insert : t -> branch_id -> Tuple.t -> unit
+  (** Raises {!Types.Engine_error} if the key already exists in the
+      branch or the tuple does not match the schema. *)
+
+  val update : t -> branch_id -> Tuple.t -> unit
+  (** Replace the record with the tuple's key.  Raises
+      {!Types.Engine_error} if the key is absent. *)
+
+  val delete : t -> branch_id -> Value.t -> unit
+  (** Raises {!Types.Engine_error} if the key is absent. *)
+
+  val lookup : t -> branch_id -> Value.t -> Tuple.t option
+  (** Point read by primary key in the working head. *)
+
+  (** {1 Scans} *)
+
+  val scan : t -> branch_id -> (Tuple.t -> unit) -> unit
+  (** All live records of the branch's working head (Q1). *)
+
+  val scan_version : t -> version_id -> (Tuple.t -> unit) -> unit
+  (** All records of a committed version (checkout + scan). *)
+
+  val multi_scan : t -> branch_id list -> (annotated -> unit) -> unit
+  (** Records live in any of the given branch heads, each emitted once
+      per physical record with its branch annotations (Q4). *)
+
+  val diff :
+    t ->
+    branch_id ->
+    branch_id ->
+    pos:(Tuple.t -> unit) ->
+    neg:(Tuple.t -> unit) ->
+    unit
+  (** Content difference of two branch heads: [pos] receives records
+      live in the first branch whose key is absent or whose fields
+      differ in the second; [neg] the converse (Q2 runs [pos] only). *)
+
+  (** {1 Introspection} *)
+
+  val dataset_bytes : t -> int
+  (** Bytes of record data on disk (heap/segment files). *)
+
+  val commit_meta_bytes : t -> int
+  (** Bytes of commit metadata (compressed bitmap histories or commit
+      maps) — the paper's “pack file size” column in Table 2. *)
+
+  val flush : t -> unit
+  val close : t -> unit
+end

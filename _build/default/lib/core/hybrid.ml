@@ -1,0 +1,698 @@
+(** Hybrid storage (paper §3.4).
+
+    Records are clustered into per-branch segment files as in
+    version-first, but liveness is tracked with bitmaps as in
+    tuple-first: every segment carries a local bitmap index over its own
+    rows, and a global branch–segment bitmap records which segments hold
+    records live in each branch, letting scans skip irrelevant segments
+    entirely and proceed in any order.
+
+    Head segments receive a branch's fresh modifications; when a branch
+    is created from a clean head, the old head is frozen into an
+    internal segment (its data no longer changes, only its bitmaps) and
+    both branches get fresh head segments.  Commits snapshot, per
+    segment the branch touches, the branch's local column into a
+    compressed history — many small histories rather than tuple-first's
+    single wide one, which is why hybrid's commit data is smaller and
+    its checkouts faster (Table 2). *)
+
+open Decibel_util
+open Decibel_storage
+open Decibel_index
+open Types
+module Vg = Decibel_graph.Version_graph
+
+type seg = {
+  seg_id : int;
+  file : Heap_file.t;
+  local : Branch_bitmap.t; (* columns indexed by global branch id *)
+  offsets : int Vec.t; (* local row -> file offset *)
+}
+
+type t = {
+  dir : string;
+  pool : Buffer_pool.t;
+  schema : Schema.t;
+  compress : bool;
+  graph : Vg.t;
+  segments : seg Vec.t;
+  head_seg : int Vec.t; (* branch -> head segment id *)
+  seg_index : Branch_bitmap.t; (* branch column over segment-id rows *)
+  pk : (int * int) Pk_index.t; (* branch -> key -> (segment, local row) *)
+  histories : (int * int, Commit_history.t) Hashtbl.t; (* (branch, seg) *)
+  hist_segs : (branch_id, int list ref) Hashtbl.t;
+      (* segments having a history for the branch, in creation order *)
+  commit_loc : (version_id, branch_id * (int * int) list) Hashtbl.t;
+      (* version -> (branch, [(segment, history index)]) *)
+  dirty : (branch_id, bool) Hashtbl.t;
+  mutable closed : bool;
+}
+
+let scheme = "hybrid"
+
+let segment t id = Vec.get t.segments id
+
+let new_segment t =
+  let seg_id = Vec.length t.segments in
+  let file =
+    Heap_file.create ~pool:t.pool
+      (Filename.concat t.dir (Printf.sprintf "seg_%d.dat" seg_id))
+  in
+  let s =
+    {
+      seg_id;
+      file;
+      local = Branch_bitmap.create ();
+      offsets = Vec.create ~dummy:(-1) ();
+    }
+  in
+  let _ = Vec.push t.segments s in
+  s
+
+(* Local bitmaps and the global index allocate branch columns lazily so
+   a segment only pays for branches that actually reach it. *)
+let ensure_branch bm b =
+  while Branch_bitmap.branch_count bm <= b do
+    let _ = Branch_bitmap.add_branch bm ~from:None in
+    ()
+  done
+
+(* Record payload codec, as in tuple-first (§5.5 mitigation). *)
+let encode_tuple t tuple =
+  let buf = Buffer.create 64 in
+  if t.compress then begin
+    Binio.write_u8 buf 1;
+    Buffer.add_string buf (Lz77.compress (Tuple.encode t.schema tuple))
+  end
+  else begin
+    Binio.write_u8 buf 0;
+    Tuple.encode_into t.schema buf tuple
+  end;
+  Buffer.contents buf
+
+let decode_tuple t payload =
+  let pos = ref 0 in
+  match Binio.read_u8 payload pos with
+  | 0 -> Tuple.decode t.schema payload pos
+  | 1 ->
+      let raw =
+        Lz77.decompress (String.sub payload 1 (String.length payload - 1))
+      in
+      Tuple.decode t.schema raw (ref 0)
+  | k -> raise (Binio.Corrupt (Printf.sprintf "hybrid: record tag %d" k))
+
+let create ~compress ~dir ~pool ~schema =
+  Fsutil.mkdir_p dir;
+  let t =
+    {
+      dir;
+      pool;
+      schema;
+      compress;
+      graph = Vg.create ();
+      (* dummy never dereferenced; fills unused Vec capacity *)
+      segments =
+        Vec.create
+          ~dummy:
+            {
+              seg_id = -1;
+              file = Obj.magic `never_dereferenced;
+              local = Branch_bitmap.create ();
+              offsets = Vec.create ~dummy:(-1) ();
+            }
+          ();
+      head_seg = Vec.create ~dummy:(-1) ();
+      seg_index = Branch_bitmap.create ();
+      pk = Pk_index.create ();
+      histories = Hashtbl.create 64;
+      hist_segs = Hashtbl.create 16;
+      commit_loc = Hashtbl.create 64;
+      dirty = Hashtbl.create 16;
+      closed = false;
+    }
+  in
+  let s0 = new_segment t in
+  let _ = Vec.push t.head_seg s0.seg_id in
+  let _ = Pk_index.add_branch t.pk ~from:None in
+  ensure_branch t.seg_index 0;
+  Hashtbl.replace t.commit_loc Vg.root_version (Vg.master, []);
+  t
+
+let schema t = t.schema
+let graph t = t.graph
+
+let is_dirty t b = Hashtbl.find_opt t.dirty b = Some true
+let set_dirty t b v = Hashtbl.replace t.dirty b v
+
+let history t b sid =
+  match Hashtbl.find_opt t.histories (b, sid) with
+  | Some h -> h
+  | None ->
+      let path =
+        Filename.concat t.dir (Printf.sprintf "hist_b%d_s%d.chx" b sid)
+      in
+      let h =
+        if Sys.file_exists path then Commit_history.open_existing ~path
+        else Commit_history.create ~path
+      in
+      Hashtbl.replace t.histories (b, sid) h;
+      let l =
+        match Hashtbl.find_opt t.hist_segs b with
+        | Some l -> l
+        | None ->
+            let l = ref [] in
+            Hashtbl.replace t.hist_segs b l;
+            l
+      in
+      l := sid :: !l;
+      h
+
+let tuple_at t sid row =
+  let s = segment t sid in
+  decode_tuple t (Heap_file.get s.file (Vec.get s.offsets row))
+
+let key_at t sid row = Tuple.pk t.schema (tuple_at t sid row)
+
+(* Segments holding live records of a branch, per the global
+   branch–segment bitmap. *)
+let segs_of_branch t b =
+  if b >= Branch_bitmap.branch_count t.seg_index then []
+  else Bitvec.to_list (Branch_bitmap.column_view t.seg_index ~branch:b)
+
+let local_col t b sid =
+  let s = segment t sid in
+  if b >= Branch_bitmap.branch_count s.local then Bitvec.create ()
+  else Branch_bitmap.column_view s.local ~branch:b
+
+let set_live t b sid row =
+  let s = segment t sid in
+  ensure_branch s.local b;
+  Branch_bitmap.set s.local ~branch:b ~row;
+  ensure_branch t.seg_index b;
+  Branch_bitmap.set t.seg_index ~branch:b ~row:sid
+
+let clear_live t b sid row =
+  let s = segment t sid in
+  ensure_branch s.local b;
+  Branch_bitmap.clear s.local ~branch:b ~row;
+  (* keep the branch–segment bitmap exact: drop the segment when the
+     branch's last record there dies (§3.4 "at least one record alive") *)
+  if Bitvec.is_empty (Branch_bitmap.column_view s.local ~branch:b) then begin
+    ensure_branch t.seg_index b;
+    Branch_bitmap.clear t.seg_index ~branch:b ~row:sid
+  end
+
+let commit t b ~message =
+  (* snapshot every segment the branch has ever had a history for plus
+     any it now touches, so deletions round-trip through checkout *)
+  let touched : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  List.iter (fun s -> Hashtbl.replace touched s ()) (segs_of_branch t b);
+  (match Hashtbl.find_opt t.hist_segs b with
+  | Some l -> List.iter (fun s -> Hashtbl.replace touched s ()) !l
+  | None -> ());
+  let snaps =
+    Hashtbl.fold
+      (fun sid () acc ->
+        let col = Bitvec.copy (local_col t b sid) in
+        let idx = Commit_history.commit (history t b sid) col in
+        (sid, idx) :: acc)
+      touched []
+  in
+  let vid = Vg.commit t.graph b ~message in
+  Hashtbl.replace t.commit_loc vid (b, snaps);
+  set_dirty t b false;
+  vid
+
+let commit_cols t vid =
+  match Hashtbl.find_opt t.commit_loc vid with
+  | None -> errorf "hybrid: version %d has no snapshot" vid
+  | Some (b, snaps) ->
+      List.map (fun (sid, idx) ->
+          (sid, Commit_history.checkout (history t b sid) idx))
+        snaps
+
+let create_branch t ~name ~from =
+  let v = Vg.version t.graph from in
+  let parent = v.Vg.on_branch in
+  let nb =
+    try Vg.create_branch t.graph ~name ~from
+    with Invalid_argument msg -> errorf "hybrid: %s" msg
+  in
+  if Vg.head t.graph parent = from && not (is_dirty t parent) then begin
+    (* clean-head branch: freeze the parent's head segment (it becomes
+       internal, holding records of both branches) and give both
+       branches fresh head segments (§3.4 Branch) *)
+    List.iter
+      (fun sid ->
+        let s = segment t sid in
+        ensure_branch s.local nb;
+        Branch_bitmap.overwrite_column s.local ~branch:nb
+          (local_col t parent sid);
+        ensure_branch t.seg_index nb;
+        if not (Bitvec.is_empty (local_col t nb sid)) then
+          Branch_bitmap.set t.seg_index ~branch:nb ~row:sid)
+      (segs_of_branch t parent);
+    ensure_branch t.seg_index nb;
+    let parent_head = new_segment t in
+    Vec.set t.head_seg parent parent_head.seg_id;
+    let child_head = new_segment t in
+    let slot = Vec.push t.head_seg child_head.seg_id in
+    assert (slot = nb);
+    let bid = Pk_index.add_branch t.pk ~from:(Some parent) in
+    assert (bid = nb)
+  end
+  else begin
+    (* branch from a historical commit: restore each covered segment's
+       column from its history and rebuild the key index *)
+    let bid = Pk_index.add_branch t.pk ~from:None in
+    assert (bid = nb);
+    ensure_branch t.seg_index nb;
+    List.iter
+      (fun (sid, col) ->
+        let s = segment t sid in
+        ensure_branch s.local nb;
+        Branch_bitmap.overwrite_column s.local ~branch:nb col;
+        if not (Bitvec.is_empty col) then
+          Branch_bitmap.set t.seg_index ~branch:nb ~row:sid;
+        Bitvec.iter_set
+          (fun row ->
+            Pk_index.set t.pk ~branch:nb (key_at t sid row) (sid, row))
+          col)
+      (commit_cols t from);
+    let child_head = new_segment t in
+    let slot = Vec.push t.head_seg child_head.seg_id in
+    assert (slot = nb)
+  end;
+  set_dirty t nb false;
+  nb
+
+let validate t tuple =
+  match Schema.validate t.schema tuple with
+  | Ok () -> ()
+  | Error msg -> errorf "hybrid: %s" msg
+
+let append_record t b tuple =
+  let sid = Vec.get t.head_seg b in
+  let s = segment t sid in
+  let off = Heap_file.append s.file (encode_tuple t tuple) in
+  let row = Vec.push s.offsets off in
+  (sid, row)
+
+let insert t b tuple =
+  validate t tuple;
+  let key = Tuple.pk t.schema tuple in
+  if Pk_index.mem t.pk ~branch:b key then
+    errorf "hybrid: duplicate key %s in branch %d" (Value.to_string key) b;
+  let sid, row = append_record t b tuple in
+  set_live t b sid row;
+  Pk_index.set t.pk ~branch:b key (sid, row);
+  set_dirty t b true
+
+let update t b tuple =
+  validate t tuple;
+  let key = Tuple.pk t.schema tuple in
+  match Pk_index.find t.pk ~branch:b key with
+  | None -> errorf "hybrid: update of absent key %s" (Value.to_string key)
+  | Some (old_sid, old_row) ->
+      clear_live t b old_sid old_row;
+      let sid, row = append_record t b tuple in
+      set_live t b sid row;
+      Pk_index.set t.pk ~branch:b key (sid, row);
+      set_dirty t b true
+
+let delete t b key =
+  match Pk_index.find t.pk ~branch:b key with
+  | None -> errorf "hybrid: delete of absent key %s" (Value.to_string key)
+  | Some (sid, row) ->
+      clear_live t b sid row;
+      Pk_index.remove t.pk ~branch:b key;
+      set_dirty t b true
+
+let lookup t b key =
+  Option.map
+    (fun (sid, row) -> tuple_at t sid row)
+    (Pk_index.find t.pk ~branch:b key)
+
+let scan_segment_col t sid col f =
+  let s = segment t sid in
+  let row = ref 0 in
+  Heap_file.iter s.file (fun _off payload ->
+      if Bitvec.get col !row then f (decode_tuple t payload);
+      incr row)
+
+(* Single-branch scan: only segments flagged in the branch–segment
+   bitmap are read, in any order (§3.4 “Single-branch Scan”). *)
+let scan t b f =
+  List.iter (fun sid -> scan_segment_col t sid (local_col t b sid) f)
+    (segs_of_branch t b)
+
+let scan_version t vid f =
+  List.iter (fun (sid, col) -> scan_segment_col t sid col f)
+    (commit_cols t vid)
+
+let multi_scan t branches f =
+  let seg_set : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun b -> List.iter (fun s -> Hashtbl.replace seg_set s ()) (segs_of_branch t b))
+    branches;
+  let segs = List.sort compare (Hashtbl.fold (fun s () a -> s :: a) seg_set []) in
+  List.iter
+    (fun sid ->
+      let cols = List.map (fun b -> (b, local_col t b sid)) branches in
+      let s = segment t sid in
+      let row = ref 0 in
+      Heap_file.iter s.file (fun _off payload ->
+          let live =
+            List.filter_map
+              (fun (b, col) -> if Bitvec.get col !row then Some b else None)
+              cols
+          in
+          if live <> [] then
+            f { tuple = decode_tuple t payload; in_branches = live };
+          incr row))
+    segs
+
+let diff t a b ~pos ~neg =
+  let seg_set : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  List.iter (fun s -> Hashtbl.replace seg_set s ()) (segs_of_branch t a);
+  List.iter (fun s -> Hashtbl.replace seg_set s ()) (segs_of_branch t b);
+  let emit_side ~live_in ~other out sid row =
+    if Bitvec.get live_in row then begin
+      let tuple = tuple_at t sid row in
+      let key = Tuple.pk t.schema tuple in
+      let same =
+        match lookup t other key with
+        | Some other_t -> Tuple.equal tuple other_t
+        | None -> false
+      in
+      if not same then out tuple
+    end
+  in
+  Hashtbl.iter
+    (fun sid () ->
+      let ca = local_col t a sid and cb = local_col t b sid in
+      Bitvec.iter_set
+        (fun row ->
+          emit_side ~live_in:ca ~other:b pos sid row;
+          emit_side ~live_in:cb ~other:a neg sid row)
+        (Bitvec.xor ca cb))
+    seg_set
+
+(* Change tables for merge: per segment, XOR the branch's current
+   column against the LCA's restored column; set-minus directions give
+   new live copies and overwritten/deleted LCA copies (§3.4 Merge). *)
+let changes_since t b lca_cols =
+  let tbl : (Value.t, Merge_driver.side_change) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  let lca_map : (int, Bitvec.t) Hashtbl.t = Hashtbl.create 16 in
+  List.iter (fun (sid, col) -> Hashtbl.replace lca_map sid col) lca_cols;
+  let seg_set : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  List.iter (fun s -> Hashtbl.replace seg_set s ()) (segs_of_branch t b);
+  List.iter (fun (sid, _) -> Hashtbl.replace seg_set sid ()) lca_cols;
+  Hashtbl.iter
+    (fun sid () ->
+      let col = local_col t b sid in
+      let col_lca =
+        Option.value ~default:(Bitvec.create ()) (Hashtbl.find_opt lca_map sid)
+      in
+      Bitvec.iter_set
+        (fun row ->
+          let tuple = tuple_at t sid row in
+          Hashtbl.replace tbl (Tuple.pk t.schema tuple)
+            { Merge_driver.state = Some tuple; base = None })
+        (Bitvec.diff col col_lca))
+    seg_set;
+  Hashtbl.iter
+    (fun sid () ->
+      let col = local_col t b sid in
+      let col_lca =
+        Option.value ~default:(Bitvec.create ()) (Hashtbl.find_opt lca_map sid)
+      in
+      Bitvec.iter_set
+        (fun row ->
+          let tuple = tuple_at t sid row in
+          let key = Tuple.pk t.schema tuple in
+          match Hashtbl.find_opt tbl key with
+          | Some c -> Hashtbl.replace tbl key { c with base = Some tuple }
+          | None ->
+              Hashtbl.replace tbl key
+                { Merge_driver.state = None; base = Some tuple })
+        (Bitvec.diff col_lca col))
+    seg_set;
+  (* changes are by content: a key updated back to its LCA value via a
+     fresh physical row is not a change *)
+  Hashtbl.filter_map_inplace
+    (fun _key (c : Merge_driver.side_change) ->
+      if Merge_driver.opt_tuple_equal c.state c.base then None else Some c)
+    tbl;
+  tbl
+
+let merge t ~into ~from ~policy ~message =
+  let v_ours = Vg.head t.graph into and v_theirs = Vg.head t.graph from in
+  let lca = Vg.lca t.graph v_ours v_theirs in
+  let lca_cols = commit_cols t lca in
+  let ours = changes_since t into lca_cols in
+  let theirs = changes_since t from lca_cols in
+  let decisions, stats = Merge_driver.decide ~policy ~ours ~theirs in
+  List.iter
+    (fun (d : Merge_driver.decision) ->
+      let key = d.Merge_driver.d_key in
+      let install_state final =
+        let current = Pk_index.find t.pk ~branch:into key in
+        match final with
+        | None ->
+            Option.iter
+              (fun (sid, row) ->
+                clear_live t into sid row;
+                Pk_index.remove t.pk ~branch:into key)
+              current
+        | Some tuple ->
+            let target =
+              match d.Merge_driver.origin with
+              | Merge_driver.O_theirs -> Pk_index.find t.pk ~branch:from key
+              | Merge_driver.O_merged | Merge_driver.O_ours -> None
+            in
+            let sid, row =
+              match target with
+              | Some loc -> loc
+              | None -> append_record t into tuple
+            in
+            Option.iter
+              (fun (osid, orow) ->
+                if (osid, orow) <> (sid, row) then clear_live t into osid orow)
+              current;
+            set_live t into sid row;
+            Pk_index.set t.pk ~branch:into key (sid, row)
+      in
+      match d.Merge_driver.changed_in, d.Merge_driver.origin with
+      | `Ours, _ -> ()
+      | _, Merge_driver.O_ours -> ()
+      | (`Theirs | `Both), _ -> install_state d.Merge_driver.final)
+    decisions;
+  let vid = Vg.merge_commit t.graph ~into ~theirs:v_theirs ~message in
+  (* snapshot the merged state, like any commit *)
+  let touched : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  List.iter (fun s -> Hashtbl.replace touched s ()) (segs_of_branch t into);
+  (match Hashtbl.find_opt t.hist_segs into with
+  | Some l -> List.iter (fun s -> Hashtbl.replace touched s ()) !l
+  | None -> ());
+  let snaps =
+    Hashtbl.fold
+      (fun sid () acc ->
+        let col = Bitvec.copy (local_col t into sid) in
+        let idx = Commit_history.commit (history t into sid) col in
+        (sid, idx) :: acc)
+      touched []
+  in
+  Hashtbl.replace t.commit_loc vid (into, snaps);
+  set_dirty t into false;
+  {
+    merge_version = vid;
+    conflicts = Merge_driver.conflicts_of decisions;
+    keys_ours = stats.Merge_driver.n_ours;
+    keys_theirs = stats.Merge_driver.n_theirs;
+    keys_both = stats.Merge_driver.n_both;
+  }
+
+let dataset_bytes t =
+  let acc = ref 0 in
+  Vec.iter (fun s -> acc := !acc + Heap_file.size s.file) t.segments;
+  !acc
+
+let commit_meta_bytes t =
+  (* count the persisted history files, including ones not yet lazily
+     (re)opened in this process *)
+  Array.fold_left
+    (fun acc name ->
+      if String.length name > 5 && String.sub name 0 5 = "hist_" then
+        acc + (Unix.stat (Filename.concat t.dir name)).Unix.st_size
+      else acc)
+    0 (Sys.readdir t.dir)
+
+(* The manifest persists the graph, every segment's local bitmap and
+   row-offset table, branch head segments, the branch–segment bitmap,
+   history bookkeeping, the commit locator and dirtiness; the key index
+   is rebuilt from local bitmaps on reopen. *)
+let manifest_path dir = Filename.concat dir "manifest.hy"
+
+let save_manifest t =
+  let buf = Buffer.create 4096 in
+  Binio.write_u8 buf (if t.compress then 1 else 0);
+  Binio.write_string buf (Vg.serialize t.graph);
+  Schema.serialize buf t.schema;
+  Binio.write_varint buf (Vec.length t.segments);
+  Vec.iter
+    (fun s ->
+      Binio.write_varint buf (Heap_file.size s.file);
+      Branch_bitmap.serialize buf s.local;
+      Binio.write_varint buf (Vec.length s.offsets);
+      Vec.iter (fun off -> Binio.write_varint buf off) s.offsets)
+    t.segments;
+  Binio.write_varint buf (Vec.length t.head_seg);
+  Vec.iter (fun sid -> Binio.write_varint buf sid) t.head_seg;
+  Branch_bitmap.serialize buf t.seg_index;
+  Binio.write_varint buf (Hashtbl.length t.hist_segs);
+  Hashtbl.iter
+    (fun b l ->
+      Binio.write_varint buf b;
+      Binio.write_list (fun buf s -> Binio.write_varint buf s) buf !l)
+    t.hist_segs;
+  Binio.write_varint buf (Hashtbl.length t.commit_loc);
+  Hashtbl.iter
+    (fun vid (b, snaps) ->
+      Binio.write_varint buf vid;
+      Binio.write_varint buf b;
+      Binio.write_list
+        (fun buf (sid, idx) ->
+          Binio.write_varint buf sid;
+          Binio.write_varint buf idx)
+        buf snaps)
+    t.commit_loc;
+  Binio.write_varint buf (Hashtbl.length t.dirty);
+  Hashtbl.iter
+    (fun b d ->
+      Binio.write_varint buf b;
+      Binio.write_u8 buf (if d then 1 else 0))
+    t.dirty;
+  Binio.write_file (manifest_path t.dir) (Buffer.contents buf)
+
+let flush t =
+  Vec.iter (fun s -> Heap_file.flush s.file) t.segments;
+  save_manifest t
+
+let open_existing ~dir ~pool =
+  let data =
+    try Binio.read_file (manifest_path dir)
+    with Sys_error _ -> errorf "hybrid: no repository in %s" dir
+  in
+  let pos = ref 0 in
+  let compress = Binio.read_u8 data pos = 1 in
+  let graph = Vg.deserialize (Binio.read_string data pos) in
+  let schema = Schema.deserialize data pos in
+  let t =
+    {
+      dir;
+      pool;
+      schema;
+      compress;
+      graph;
+      segments =
+        Vec.create
+          ~dummy:
+            {
+              seg_id = -1;
+              file = Obj.magic `never_dereferenced;
+              local = Branch_bitmap.create ();
+              offsets = Vec.create ~dummy:(-1) ();
+            }
+          ();
+      head_seg = Vec.create ~dummy:(-1) ();
+      seg_index = Branch_bitmap.create ();
+      pk = Pk_index.create ();
+      histories = Hashtbl.create 64;
+      hist_segs = Hashtbl.create 16;
+      commit_loc = Hashtbl.create 64;
+      dirty = Hashtbl.create 16;
+      closed = false;
+    }
+  in
+  let nsegs = Binio.read_varint data pos in
+  for seg_id = 0 to nsegs - 1 do
+    let size = Binio.read_varint data pos in
+    let local = Branch_bitmap.deserialize data pos in
+    let offsets = Vec.create ~dummy:(-1) () in
+    let noff = Binio.read_varint data pos in
+    for _ = 1 to noff do
+      let _ = Vec.push offsets (Binio.read_varint data pos) in
+      ()
+    done;
+    let file =
+      Heap_file.open_existing ~pool
+        (Filename.concat dir (Printf.sprintf "seg_%d.dat" seg_id))
+    in
+    (* drop bytes past the checkpoint (recovered via the WAL instead) *)
+    Heap_file.truncate_to file size;
+    let _ = Vec.push t.segments { seg_id; file; local; offsets } in
+    ()
+  done;
+  let nheads = Binio.read_varint data pos in
+  for _ = 1 to nheads do
+    let _ = Vec.push t.head_seg (Binio.read_varint data pos) in
+    ()
+  done;
+  let seg_index = Branch_bitmap.deserialize data pos in
+  (* seg_index is immutable in the record; rebuild via overwrite *)
+  for b = 0 to Branch_bitmap.branch_count seg_index - 1 do
+    ensure_branch t.seg_index b;
+    Branch_bitmap.overwrite_column t.seg_index ~branch:b
+      (Branch_bitmap.column_view seg_index ~branch:b)
+  done;
+  let nhist = Binio.read_varint data pos in
+  for _ = 1 to nhist do
+    let b = Binio.read_varint data pos in
+    let l = Binio.read_list (fun s p -> Binio.read_varint s p) data pos in
+    Hashtbl.replace t.hist_segs b (ref l)
+  done;
+  let ncommits = Binio.read_varint data pos in
+  for _ = 1 to ncommits do
+    let vid = Binio.read_varint data pos in
+    let b = Binio.read_varint data pos in
+    let snaps =
+      Binio.read_list
+        (fun s p ->
+          let sid = Binio.read_varint s p in
+          let idx = Binio.read_varint s p in
+          (sid, idx))
+        data pos
+    in
+    Hashtbl.replace t.commit_loc vid (b, snaps)
+  done;
+  let ndirty = Binio.read_varint data pos in
+  for _ = 1 to ndirty do
+    let b = Binio.read_varint data pos in
+    Hashtbl.replace t.dirty b (Binio.read_u8 data pos = 1)
+  done;
+  (* rebuild the key index from the local bitmaps *)
+  for b = 0 to Vec.length t.head_seg - 1 do
+    let bid = Pk_index.add_branch t.pk ~from:None in
+    assert (bid = b)
+  done;
+  Vec.iter
+    (fun s ->
+      for b = 0 to Branch_bitmap.branch_count s.local - 1 do
+        Bitvec.iter_set
+          (fun row ->
+            Pk_index.set t.pk ~branch:b (key_at t s.seg_id row) (s.seg_id, row))
+          (Branch_bitmap.column_view s.local ~branch:b)
+      done)
+    t.segments;
+  t
+
+let close t =
+  if not t.closed then begin
+    flush t;
+    Vec.iter (fun s -> Heap_file.close s.file) t.segments;
+    Hashtbl.iter (fun _ h -> Commit_history.close h) t.histories;
+    t.closed <- true
+  end

@@ -1,0 +1,6 @@
+(** Hybrid storage (paper §3.4): version-first's per-branch segment
+    files combined with tuple-first's bitmaps — per-segment local
+    bitmaps plus a global branch–segment bitmap.  The paper's best
+    performing scheme. *)
+
+include Engine_intf.S

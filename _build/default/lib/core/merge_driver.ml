@@ -1,0 +1,157 @@
+(** Engine-independent merge decisions.
+
+    All three schemes detect merge candidates the same way at the
+    logical level (paper §3.2/§3.3/§3.4): compute the set of keys
+    changed in each branch since the lowest common ancestor, join the
+    two sets on primary key, and resolve keys changed on both sides by
+    policy — tuple-level precedence for two-way merges, field-level
+    three-way comparison against the LCA copy otherwise.  What differs
+    per engine is how the change sets are *found* (bitmap XOR against a
+    restored LCA snapshot vs. segment-file suffixes) and how the chosen
+    states are *installed*; engines supply those parts and this module
+    supplies the shared decision logic. *)
+
+open Decibel_storage
+open Types
+
+(** What one branch did to a key since the LCA. *)
+type side_change = {
+  state : Tuple.t option;  (** Live state in the branch ([None] = deleted). *)
+  base : Tuple.t option;
+      (** The LCA's copy of the key, when the engine had it at hand
+          ([None] also covers keys inserted after the LCA). *)
+}
+
+(** Where a decided final state originated — engines use this to avoid
+    physically rewriting records that are already in place. *)
+type origin = O_ours | O_theirs | O_merged
+
+type decision = {
+  d_key : Value.t;
+  final : Tuple.t option;
+  origin : origin;
+  changed_in : [ `Ours | `Theirs | `Both ];
+  d_conflict : conflict option;
+}
+
+type stats = { n_ours : int; n_theirs : int; n_both : int }
+
+let opt_tuple_equal a b =
+  match a, b with
+  | None, None -> true
+  | Some x, Some y -> Tuple.equal x y
+  | None, Some _ | Some _, None -> false
+
+(* Field-level resolution when both sides touched overlapping fields:
+   non-conflicting fields take whichever side changed them; conflicting
+   fields take the precedence side (paper §2.2.3: one branch "is the
+   authoritative version for each conflicting field"). *)
+let resolve_fields ~base ~winner ~loser =
+  let n = Array.length base in
+  let out = Array.copy base in
+  for i = 0 to n - 1 do
+    let w_changed = not (Value.equal winner.(i) base.(i)) in
+    let l_changed = not (Value.equal loser.(i) base.(i)) in
+    out.(i) <-
+      (match w_changed, l_changed with
+      | false, false -> base.(i)
+      | true, _ -> winner.(i)
+      | false, true -> loser.(i))
+  done;
+  out
+
+let decide_key policy key (o : side_change) (t : side_change) =
+  let conflict ?(fields = []) resolved =
+    Some
+      {
+        key;
+        base = (match o.base with Some _ as b -> b | None -> t.base);
+        ours = o.state;
+        theirs = t.state;
+        fields;
+        resolved;
+      }
+  in
+  if opt_tuple_equal o.state t.state then
+    (* both sides converged on the same state: not a conflict *)
+    { d_key = key; final = o.state; origin = O_ours; changed_in = `Both;
+      d_conflict = None }
+  else
+    match policy with
+    | Ours ->
+        { d_key = key; final = o.state; origin = O_ours; changed_in = `Both;
+          d_conflict = conflict o.state }
+    | Theirs ->
+        { d_key = key; final = t.state; origin = O_theirs;
+          changed_in = `Both; d_conflict = conflict t.state }
+    | Three_way -> (
+        let base = match o.base with Some _ as b -> b | None -> t.base in
+        match o.state, t.state, base with
+        | Some ours_t, Some theirs_t, Some base_t -> (
+            match Tuple.merge_fields ~base:(Some base_t) ~ours:ours_t
+                    ~theirs:theirs_t with
+            | Ok merged ->
+                let origin =
+                  if Tuple.equal merged ours_t then O_ours
+                  else if Tuple.equal merged theirs_t then O_theirs
+                  else O_merged
+                in
+                { d_key = key; final = Some merged; origin;
+                  changed_in = `Both; d_conflict = None }
+            | Error fields ->
+                let resolved =
+                  resolve_fields ~base:base_t ~winner:ours_t ~loser:theirs_t
+                in
+                let origin =
+                  if Tuple.equal resolved ours_t then O_ours else O_merged
+                in
+                { d_key = key; final = Some resolved; origin;
+                  changed_in = `Both;
+                  d_conflict = conflict ~fields (Some resolved) })
+        | Some _, Some _, None ->
+            (* independently inserted with differing fields: whole-record
+               conflict, destination precedence *)
+            { d_key = key; final = o.state; origin = O_ours;
+              changed_in = `Both; d_conflict = conflict o.state }
+        | None, Some _, _ | Some _, None, _ ->
+            (* delete vs. modify is always a conflict (§2.2.3);
+               destination precedence *)
+            { d_key = key; final = o.state; origin = O_ours;
+              changed_in = `Both; d_conflict = conflict o.state }
+        | None, None, _ -> assert false (* states equal, handled above *))
+
+(* The pipelined hash join of the paper's merge (§3.2): iterate one
+   change table probing the other; keys present in both go through
+   conflict handling, the rest pass straight through. *)
+let decide ~policy ~(ours : (Value.t, side_change) Hashtbl.t)
+    ~(theirs : (Value.t, side_change) Hashtbl.t) =
+  let decisions = ref [] in
+  let n_ours = ref 0 and n_theirs = ref 0 and n_both = ref 0 in
+  Hashtbl.iter
+    (fun key (o : side_change) ->
+      match Hashtbl.find_opt theirs key with
+      | None ->
+          incr n_ours;
+          decisions :=
+            { d_key = key; final = o.state; origin = O_ours;
+              changed_in = `Ours; d_conflict = None }
+            :: !decisions
+      | Some t ->
+          incr n_both;
+          decisions := decide_key policy key o t :: !decisions)
+    ours;
+  Hashtbl.iter
+    (fun key (t : side_change) ->
+      if not (Hashtbl.mem ours key) then begin
+        incr n_theirs;
+        decisions :=
+          { d_key = key; final = t.state; origin = O_theirs;
+            changed_in = `Theirs; d_conflict = None }
+          :: !decisions
+      end)
+    theirs;
+  ( !decisions,
+    { n_ours = !n_ours; n_theirs = !n_theirs; n_both = !n_both } )
+
+let conflicts_of decisions =
+  List.filter_map (fun d -> d.d_conflict) decisions

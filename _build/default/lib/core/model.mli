@@ -1,0 +1,5 @@
+(** Reference model engine: executable semantics over plain maps, used
+    as the oracle for property-based engine-equivalence tests.  Raises
+    on [open_existing] (it does not persist). *)
+
+include Engine_intf.S

@@ -1,0 +1,461 @@
+(** Tuple-first storage (paper §3.2).
+
+    Every tuple that has ever existed in any branch lives in one shared
+    heap file, in insertion order; a bitmap index with one bit per
+    (tuple, branch) records which branches each tuple is live in.
+    Branching clones the parent's bitmap column; commits snapshot the
+    column into a compressed per-branch history file; updates and
+    deletes only flip bits (plus append the new copy on update), so old
+    record versions remain readable through historical commits.
+
+    The module is a functor over the bitmap layout
+    ({!Decibel_index.Bitmap_intf.S}) so tuple-oriented and
+    branch-oriented variants share all versioning logic. *)
+
+open Decibel_util
+open Decibel_storage
+open Decibel_index
+open Types
+module Vg = Decibel_graph.Version_graph
+
+module Make (B : Bitmap_intf.S) = struct
+  type t = {
+    dir : string;
+    schema : Schema.t;
+    compress : bool;
+    graph : Vg.t;
+    heap : Heap_file.t;
+    bitmap : B.t;
+    offsets : int Vec.t; (* row -> heap offset *)
+    pk : int Pk_index.t; (* branch -> key -> live row *)
+    histories : (branch_id, Commit_history.t) Hashtbl.t;
+    commit_loc : (version_id, branch_id * int) Hashtbl.t;
+        (* version -> (branch, index in that branch's history) *)
+    dirty : (branch_id, bool) Hashtbl.t;
+    mutable closed : bool;
+  }
+
+  let scheme = "tuple-first (" ^ B.layout ^ ")"
+
+  let history t b =
+    match Hashtbl.find_opt t.histories b with
+    | Some h -> h
+    | None ->
+        let path = Filename.concat t.dir (Printf.sprintf "hist_b%d.chx" b) in
+        let h =
+          if Sys.file_exists path then Commit_history.open_existing ~path
+          else Commit_history.create ~path
+        in
+        Hashtbl.replace t.histories b h;
+        h
+
+  (* Record payload codec: a leading tag byte selects raw or LZ77 form,
+     so files remain self-describing (§5.5 compression mitigation). *)
+  let encode_tuple t tuple =
+    let buf = Buffer.create 64 in
+    if t.compress then begin
+      Binio.write_u8 buf 1;
+      Buffer.add_string buf (Lz77.compress (Tuple.encode t.schema tuple))
+    end
+    else begin
+      Binio.write_u8 buf 0;
+      Tuple.encode_into t.schema buf tuple
+    end;
+    Buffer.contents buf
+
+  let decode_tuple t payload =
+    let pos = ref 0 in
+    match Binio.read_u8 payload pos with
+    | 0 -> Tuple.decode t.schema payload pos
+    | 1 ->
+        let raw =
+          Lz77.decompress (String.sub payload 1 (String.length payload - 1))
+        in
+        Tuple.decode t.schema raw (ref 0)
+    | k -> raise (Binio.Corrupt (Printf.sprintf "tuple-first: record tag %d" k))
+
+  let create ~compress ~dir ~pool ~schema =
+    Fsutil.mkdir_p dir;
+    let heap = Heap_file.create ~pool (Filename.concat dir "heap.dat") in
+    let t =
+      {
+        dir;
+        schema;
+        compress;
+        graph = Vg.create ();
+        heap;
+        bitmap = B.create ();
+        offsets = Vec.create ~dummy:(-1) ();
+        pk = Pk_index.create ();
+        histories = Hashtbl.create 16;
+        commit_loc = Hashtbl.create 64;
+        dirty = Hashtbl.create 16;
+        closed = false;
+      }
+    in
+    let master = B.add_branch t.bitmap ~from:None in
+    let _ = Pk_index.add_branch t.pk ~from:None in
+    (* the root version is an explicit empty snapshot so scan_version
+       treats it like any other commit *)
+    let idx = Commit_history.commit (history t master) (Bitvec.create ()) in
+    Hashtbl.replace t.commit_loc Vg.root_version (master, idx);
+    t
+
+  let schema t = t.schema
+  let graph t = t.graph
+
+  let is_dirty t b = Hashtbl.find_opt t.dirty b = Some true
+  let set_dirty t b v = Hashtbl.replace t.dirty b v
+
+  let tuple_at t row =
+    decode_tuple t (Heap_file.get t.heap (Vec.get t.offsets row))
+
+  let key_at t row = Tuple.pk t.schema (tuple_at t row)
+
+  let bitmap_at_version t vid =
+    match Hashtbl.find_opt t.commit_loc vid with
+    | Some (b, idx) -> Commit_history.checkout (history t b) idx
+    | None -> errorf "tuple-first: version %d has no snapshot" vid
+
+  let commit t b ~message =
+    let col = B.snapshot t.bitmap ~branch:b in
+    let idx = Commit_history.commit (history t b) col in
+    let vid = Vg.commit t.graph b ~message in
+    Hashtbl.replace t.commit_loc vid (b, idx);
+    set_dirty t b false;
+    vid
+
+  let create_branch t ~name ~from =
+    let v = Vg.version t.graph from in
+    let parent = v.Vg.on_branch in
+    let nb =
+      try Vg.create_branch t.graph ~name ~from
+      with Invalid_argument msg -> errorf "tuple-first: %s" msg
+    in
+    if Vg.head t.graph parent = from && not (is_dirty t parent)
+       && (Vg.branch t.graph parent).Vg.head = from
+    then begin
+      (* fast path: clone the parent's live column and key index,
+         the paper's "simple memory copy" (§3.2 Branch) *)
+      let bid = B.add_branch t.bitmap ~from:(Some parent) in
+      let _ = Pk_index.add_branch t.pk ~from:(Some parent) in
+      assert (bid = nb)
+    end
+    else begin
+      (* branching from a historical commit: restore its bitmap and
+         rebuild the key index from the restored column *)
+      let col = bitmap_at_version t from in
+      let bid = B.add_branch t.bitmap ~from:None in
+      let _ = Pk_index.add_branch t.pk ~from:None in
+      assert (bid = nb);
+      B.overwrite_column t.bitmap ~branch:nb col;
+      Bitvec.iter_set
+        (fun row -> Pk_index.set t.pk ~branch:nb (key_at t row) row)
+        col
+    end;
+    set_dirty t nb false;
+    nb
+
+  let validate t tuple =
+    match Schema.validate t.schema tuple with
+    | Ok () -> ()
+    | Error msg -> errorf "tuple-first: %s" msg
+
+  let append_record t tuple =
+    let off = Heap_file.append t.heap (encode_tuple t tuple) in
+    let row = B.append_row t.bitmap in
+    let row' = Vec.push t.offsets off in
+    assert (row = row');
+    row
+
+  let insert t b tuple =
+    validate t tuple;
+    let key = Tuple.pk t.schema tuple in
+    if Pk_index.mem t.pk ~branch:b key then
+      errorf "tuple-first: duplicate key %s in branch %d"
+        (Value.to_string key) b;
+    let row = append_record t tuple in
+    B.set t.bitmap ~branch:b ~row;
+    Pk_index.set t.pk ~branch:b key row;
+    set_dirty t b true
+
+  let update t b tuple =
+    validate t tuple;
+    let key = Tuple.pk t.schema tuple in
+    match Pk_index.find t.pk ~branch:b key with
+    | None ->
+        errorf "tuple-first: update of absent key %s" (Value.to_string key)
+    | Some old_row ->
+        B.clear t.bitmap ~branch:b ~row:old_row;
+        let row = append_record t tuple in
+        B.set t.bitmap ~branch:b ~row;
+        Pk_index.set t.pk ~branch:b key row;
+        set_dirty t b true
+
+  let delete t b key =
+    match Pk_index.find t.pk ~branch:b key with
+    | None ->
+        errorf "tuple-first: delete of absent key %s" (Value.to_string key)
+    | Some row ->
+        B.clear t.bitmap ~branch:b ~row;
+        Pk_index.remove t.pk ~branch:b key;
+        set_dirty t b true
+
+  let lookup t b key =
+    Option.map (tuple_at t) (Pk_index.find t.pk ~branch:b key)
+
+  (* Single scans fetch exactly the rows whose bit is set, through the
+     buffer pool's pages.  With interleaved loads a branch's rows are
+     scattered across the shared heap file, so nearly every page is
+     fetched for a few valid records — the tuple-first penalty of §5.2;
+     with clustered loads the same rows share pages and the scan
+     touches few of them (figure 7's clustered variant). *)
+  let scan_col t col f =
+    Bitvec.iter_set (fun row -> f (tuple_at t row)) col
+
+  let scan t b f = scan_col t (B.column_view t.bitmap ~branch:b) f
+
+  let scan_version t vid f = scan_col t (bitmap_at_version t vid) f
+
+  let multi_scan t branches f =
+    let row = ref 0 in
+    Heap_file.iter t.heap (fun _off payload ->
+        let live =
+          List.filter (fun b -> B.get t.bitmap ~branch:b ~row:!row) branches
+        in
+        if live <> [] then
+          f { tuple = decode_tuple t payload; in_branches = live };
+        incr row)
+
+  (* Bitmap XOR yields candidate rows; a key-level content check drops
+     rows whose key has an identical live copy on the other side, so
+     diff is by content, consistently across engines. *)
+  let diff t a b ~pos ~neg =
+    let ca = B.column_view t.bitmap ~branch:a in
+    let cb = B.column_view t.bitmap ~branch:b in
+    let emit_side ~live_in ~other out row =
+      if Bitvec.get live_in row then begin
+        let tuple = tuple_at t row in
+        let key = Tuple.pk t.schema tuple in
+        let same =
+          match lookup t other key with
+          | Some other_t -> Tuple.equal tuple other_t
+          | None -> false
+        in
+        if not same then out tuple
+      end
+    in
+    Bitvec.iter_set
+      (fun row ->
+        emit_side ~live_in:ca ~other:b pos row;
+        emit_side ~live_in:cb ~other:a neg row)
+      (Bitvec.xor ca cb)
+
+  (* Change table for one branch relative to the LCA snapshot: rows set
+     now but not at the LCA are new live copies; rows live at the LCA
+     but not now are overwritten or deleted copies, which also supply
+     the base tuples for three-way field merges (§3.2 Merge). *)
+  let changes_since t col_lca branch =
+    let col = B.column_view t.bitmap ~branch in
+    let tbl : (Value.t, Merge_driver.side_change) Hashtbl.t =
+      Hashtbl.create 256
+    in
+    Bitvec.iter_set
+      (fun row ->
+        let tuple = tuple_at t row in
+        Hashtbl.replace tbl (Tuple.pk t.schema tuple)
+          { Merge_driver.state = Some tuple; base = None })
+      (Bitvec.diff col col_lca);
+    Bitvec.iter_set
+      (fun row ->
+        let tuple = tuple_at t row in
+        let key = Tuple.pk t.schema tuple in
+        match Hashtbl.find_opt tbl key with
+        | Some c -> Hashtbl.replace tbl key { c with base = Some tuple }
+        | None ->
+            Hashtbl.replace tbl key
+              { Merge_driver.state = None; base = Some tuple })
+      (Bitvec.diff col_lca col);
+    (* drop keys whose content is back to the LCA state (e.g. updated
+       to the same value through a fresh physical row): changes are by
+       content, not by row identity *)
+    Hashtbl.filter_map_inplace
+      (fun _key (c : Merge_driver.side_change) ->
+        if Merge_driver.opt_tuple_equal c.state c.base then None else Some c)
+      tbl;
+    tbl
+
+  let merge t ~into ~from ~policy ~message =
+    let v_ours = Vg.head t.graph into and v_theirs = Vg.head t.graph from in
+    let lca = Vg.lca t.graph v_ours v_theirs in
+    let col_lca = bitmap_at_version t lca in
+    let ours = changes_since t col_lca into in
+    let theirs = changes_since t col_lca from in
+    let decisions, stats = Merge_driver.decide ~policy ~ours ~theirs in
+    List.iter
+      (fun (d : Merge_driver.decision) ->
+        let install_state final =
+          let current = Pk_index.find t.pk ~branch:into d.Merge_driver.d_key in
+          match final with
+          | None ->
+              Option.iter
+                (fun row ->
+                  B.clear t.bitmap ~branch:into ~row;
+                  Pk_index.remove t.pk ~branch:into d.Merge_driver.d_key)
+                current
+          | Some tuple ->
+              let target_row =
+                match d.Merge_driver.origin with
+                | Merge_driver.O_theirs ->
+                    (* adopt the source branch's physical copy *)
+                    Pk_index.find t.pk ~branch:from d.Merge_driver.d_key
+                | Merge_driver.O_merged | Merge_driver.O_ours -> None
+              in
+              let row =
+                match target_row with
+                | Some r -> r
+                | None -> append_record t tuple
+              in
+              Option.iter
+                (fun old -> if old <> row then B.clear t.bitmap ~branch:into ~row:old)
+                current;
+              B.set t.bitmap ~branch:into ~row;
+              Pk_index.set t.pk ~branch:into d.Merge_driver.d_key row
+        in
+        match d.Merge_driver.changed_in, d.Merge_driver.origin with
+        | `Ours, _ -> () (* already in place *)
+        | _, Merge_driver.O_ours -> () (* precedence kept our copy *)
+        | (`Theirs | `Both), _ -> install_state d.Merge_driver.final)
+      decisions;
+    let vid = Vg.merge_commit t.graph ~into ~theirs:v_theirs ~message in
+    let col = B.snapshot t.bitmap ~branch:into in
+    let idx = Commit_history.commit (history t into) col in
+    Hashtbl.replace t.commit_loc vid (into, idx);
+    set_dirty t into false;
+    {
+      merge_version = vid;
+      conflicts = Merge_driver.conflicts_of decisions;
+      keys_ours = stats.Merge_driver.n_ours;
+      keys_theirs = stats.Merge_driver.n_theirs;
+      keys_both = stats.Merge_driver.n_both;
+    }
+
+  let dataset_bytes t = Heap_file.size t.heap
+
+  let commit_meta_bytes t =
+    (* count the persisted history files, including ones not yet
+       lazily (re)opened in this process *)
+    Array.fold_left
+      (fun acc name ->
+        if String.length name > 5 && String.sub name 0 5 = "hist_" then
+          acc + (Unix.stat (Filename.concat t.dir name)).Unix.st_size
+        else acc)
+      0 (Sys.readdir t.dir)
+
+  (* The manifest persists everything the heap file and commit
+     histories do not: the version graph, the live bitmap, the
+     row-offset table, the commit locator and per-branch dirtiness.
+     The key index is rebuilt from the bitmap on reopen. *)
+  let manifest_path dir = Filename.concat dir "manifest.tf"
+
+  let save_manifest t =
+    let buf = Buffer.create 4096 in
+    Binio.write_string buf B.layout;
+    Binio.write_u8 buf (if t.compress then 1 else 0);
+    Schema.serialize buf t.schema;
+    Binio.write_string buf (Vg.serialize t.graph);
+    Binio.write_varint buf (Heap_file.size t.heap);
+    Binio.write_varint buf (Vec.length t.offsets);
+    Vec.iter (fun off -> Binio.write_varint buf off) t.offsets;
+    B.serialize buf t.bitmap;
+    Binio.write_varint buf (Hashtbl.length t.commit_loc);
+    Hashtbl.iter
+      (fun vid (b, idx) ->
+        Binio.write_varint buf vid;
+        Binio.write_varint buf b;
+        Binio.write_varint buf idx)
+      t.commit_loc;
+    Binio.write_varint buf (Hashtbl.length t.dirty);
+    Hashtbl.iter
+      (fun b d ->
+        Binio.write_varint buf b;
+        Binio.write_u8 buf (if d then 1 else 0))
+      t.dirty;
+    Binio.write_file (manifest_path t.dir) (Buffer.contents buf)
+
+  let flush t =
+    Heap_file.flush t.heap;
+    save_manifest t
+
+  let open_existing ~dir ~pool =
+    let s = Binio.read_file (manifest_path dir) in
+    let pos = ref 0 in
+    let layout = Binio.read_string s pos in
+    if layout <> B.layout then
+      errorf "tuple-first: manifest written by %s layout, opening as %s"
+        layout B.layout;
+    let compress = Binio.read_u8 s pos = 1 in
+    let schema = Schema.deserialize s pos in
+    let graph = Vg.deserialize (Binio.read_string s pos) in
+    let heap_size = Binio.read_varint s pos in
+    let heap = Heap_file.open_existing ~pool (Filename.concat dir "heap.dat") in
+    (* drop bytes past the checkpoint (recovered via the WAL instead) *)
+    Heap_file.truncate_to heap heap_size;
+    let offsets = Vec.create ~dummy:(-1) () in
+    let noff = Binio.read_varint s pos in
+    for _ = 1 to noff do
+      let _ = Vec.push offsets (Binio.read_varint s pos) in
+      ()
+    done;
+    let bitmap = B.deserialize s pos in
+    let commit_loc = Hashtbl.create 64 in
+    let ncommits = Binio.read_varint s pos in
+    for _ = 1 to ncommits do
+      let vid = Binio.read_varint s pos in
+      let b = Binio.read_varint s pos in
+      let idx = Binio.read_varint s pos in
+      Hashtbl.replace commit_loc vid (b, idx)
+    done;
+    let dirty = Hashtbl.create 16 in
+    let ndirty = Binio.read_varint s pos in
+    for _ = 1 to ndirty do
+      let b = Binio.read_varint s pos in
+      Hashtbl.replace dirty b (Binio.read_u8 s pos = 1)
+    done;
+    let t =
+      {
+        dir;
+        schema;
+        compress;
+        graph;
+        heap;
+        bitmap;
+        offsets;
+        pk = Pk_index.create ();
+        histories = Hashtbl.create 16;
+        commit_loc;
+        dirty;
+        closed = false;
+      }
+    in
+    (* rebuild the per-branch key index from the live bitmap *)
+    for b = 0 to B.branch_count t.bitmap - 1 do
+      let bid = Pk_index.add_branch t.pk ~from:None in
+      assert (bid = b);
+      Bitvec.iter_set
+        (fun row -> Pk_index.set t.pk ~branch:b (key_at t row) row)
+        (B.column_view t.bitmap ~branch:b)
+    done;
+    t
+
+  let close t =
+    if not t.closed then begin
+      flush t;
+      Heap_file.close t.heap;
+      Hashtbl.iter (fun _ h -> Commit_history.close h) t.histories;
+      t.closed <- true
+    end
+end
+
+module Branch_oriented = Make (Branch_bitmap)
+module Tuple_oriented = Make (Tuple_bitmap)

@@ -1,0 +1,10 @@
+(** Tuple-first storage (paper §3.2): one shared heap file plus a
+    bitmap index relating every tuple to the branches it is live in,
+    functorized over the bitmap layout (§3.1). *)
+
+module Make (_ : Decibel_index.Bitmap_intf.S) : Engine_intf.S
+
+module Branch_oriented : Engine_intf.S
+(** The evaluation's default layout (§5). *)
+
+module Tuple_oriented : Engine_intf.S

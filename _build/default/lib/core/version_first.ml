@@ -1,0 +1,604 @@
+(** Version-first storage (paper §3.3).
+
+    Each branch's modifications are appended to that branch's own head
+    segment file; a child segment records, for each parent segment, the
+    byte offset of the branch point, so anything the parent writes
+    afterwards is invisible to the child.  A branch's contents are the
+    records reachable through this chain of segment files, newest copy
+    of each primary key winning.  Deletes append tombstones because a
+    record physically present in an ancestor file cannot be removed.
+
+    Scan order: the paper scans segments so that descendants are read
+    before ancestors (reverse topological order, §3.3 “Multi-branch
+    Scan”), with ties broken by parent precedence; within one segment,
+    records are read newest-first.  The first copy of a key seen wins.
+
+    Merges create a fresh head segment whose parents are both merged
+    heads.  Keys changed only in the destination branch resolve lazily
+    through scan order; keys changed in the source branch (or in both)
+    have their decided states materialized into the merge segment so
+    they dominate any stale copies in either lineage. *)
+
+open Decibel_util
+open Decibel_storage
+open Decibel_index
+open Types
+module Vg = Decibel_graph.Version_graph
+
+type segment = {
+  seg_id : int;
+  file : Heap_file.t;
+  parents : (int * int) list; (* (segment, branch-point offset), precedence *)
+}
+
+type t = {
+  dir : string;
+  pool : Buffer_pool.t;
+  schema : Schema.t;
+  compress : bool;
+  graph : Vg.t;
+  segments : segment Vec.t;
+  head_seg : int Vec.t; (* branch -> its current head segment *)
+  pk : (int * int) Pk_index.t; (* branch -> key -> (segment, offset) *)
+  commits : (version_id, int * int) Hashtbl.t; (* version -> (seg, upto) *)
+  dirty : (branch_id, bool) Hashtbl.t;
+  mutable closed : bool;
+}
+
+let scheme = "version-first"
+
+(* Record wire format: [u8 flags][body]; flag bit 0 marks a tombstone
+   (body = deleted key, §3.3 “Data Modification”), flag bit 1 an
+   LZ77-compressed tuple body (§5.5 compression mitigation). *)
+let encode_record t = function
+  | `Tuple tuple ->
+      let buf = Buffer.create 64 in
+      if t.compress then begin
+        Binio.write_u8 buf 2;
+        Buffer.add_string buf (Lz77.compress (Tuple.encode t.schema tuple))
+      end
+      else begin
+        Binio.write_u8 buf 0;
+        Tuple.encode_into t.schema buf tuple
+      end;
+      Buffer.contents buf
+  | `Tombstone key ->
+      let buf = Buffer.create 16 in
+      Binio.write_u8 buf 1;
+      Value.encode buf key;
+      Buffer.contents buf
+
+let decode_record t payload =
+  let pos = ref 0 in
+  match Binio.read_u8 payload pos with
+  | 0 ->
+      let tuple = Tuple.decode t.schema payload pos in
+      `Tuple tuple
+  | 1 -> `Tombstone (Value.decode payload pos)
+  | 2 ->
+      let raw =
+        Lz77.decompress (String.sub payload 1 (String.length payload - 1))
+      in
+      `Tuple (Tuple.decode t.schema raw (ref 0))
+  | f -> raise (Binio.Corrupt (Printf.sprintf "version-first: bad flags %d" f))
+
+let record_key schema = function
+  | `Tuple tuple -> Tuple.pk schema tuple
+  | `Tombstone key -> key
+
+let segment t id = Vec.get t.segments id
+
+let new_segment t parents =
+  let seg_id = Vec.length t.segments in
+  let file =
+    Heap_file.create ~pool:t.pool
+      (Filename.concat t.dir (Printf.sprintf "seg_%d.dat" seg_id))
+  in
+  let s = { seg_id; file; parents } in
+  let _ = Vec.push t.segments s in
+  s
+
+let create ~compress ~dir ~pool ~schema =
+  Fsutil.mkdir_p dir;
+  let t =
+    {
+      dir;
+      pool;
+      schema;
+      compress;
+      graph = Vg.create ();
+      (* the dummy fills unused Vec capacity only and is never read;
+         its file handle is a placeholder that no code path touches *)
+      segments =
+        Vec.create
+          ~dummy:{ seg_id = -1; file = Obj.magic `never_dereferenced;
+                   parents = [] }
+          ();
+      head_seg = Vec.create ~dummy:(-1) ();
+      pk = Pk_index.create ();
+      commits = Hashtbl.create 64;
+      dirty = Hashtbl.create 16;
+      closed = false;
+    }
+  in
+  let s0 = new_segment t [] in
+  let _ = Vec.push t.head_seg s0.seg_id in
+  let _ = Pk_index.add_branch t.pk ~from:None in
+  Hashtbl.replace t.commits Vg.root_version (s0.seg_id, 0);
+  t
+
+let schema t = t.schema
+let graph t = t.graph
+
+let is_dirty t b = Hashtbl.find_opt t.dirty b = Some true
+let set_dirty t b v = Hashtbl.replace t.dirty b v
+
+(* Scan plan from a root (segment, upto): every reachable segment with
+   the maximum branch-point offset over all paths, ordered descendants
+   before ancestors, ties broken by precedence-DFS discovery order. *)
+let plan t seg0 upto0 =
+  let upto_tbl : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let disc : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let next_disc = ref 0 in
+  let rec visit seg upto =
+    (match Hashtbl.find_opt upto_tbl seg with
+    | Some u when u >= upto -> ()
+    | _ -> Hashtbl.replace upto_tbl seg upto);
+    if not (Hashtbl.mem disc seg) then begin
+      Hashtbl.replace disc seg !next_disc;
+      incr next_disc;
+      (* branch-point offsets recorded in parent pointers never change,
+         so parents need no re-visit when only [upto] grows *)
+      List.iter (fun (p, off) -> visit p off) (segment t seg).parents
+    end
+  in
+  visit seg0 upto0;
+  let members = Hashtbl.fold (fun s _ acc -> s :: acc) disc [] in
+  (* children-before-parents topological order (Kahn), preferring the
+     earliest-discovered ready segment so parent precedence breaks
+     ties *)
+  let pending : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter (fun s -> Hashtbl.replace pending s 0) members;
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (p, _) ->
+          match Hashtbl.find_opt pending p with
+          | Some n -> Hashtbl.replace pending p (n + 1)
+          | None -> ())
+        (segment t s).parents)
+    members;
+  let emitted : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  for _ = 1 to List.length members do
+    let best =
+      List.fold_left
+        (fun acc s ->
+          if Hashtbl.mem emitted s || Hashtbl.find pending s <> 0 then acc
+          else
+            match acc with
+            | None -> Some s
+            | Some b ->
+                if Hashtbl.find disc s < Hashtbl.find disc b then Some s
+                else acc)
+        None members
+    in
+    match best with
+    | None -> failwith "version-first: cyclic segment graph"
+    | Some s ->
+        Hashtbl.replace emitted s ();
+        order := s :: !order;
+        List.iter
+          (fun (p, _) ->
+            match Hashtbl.find_opt pending p with
+            | Some n -> Hashtbl.replace pending p (n - 1)
+            | None -> ())
+          (segment t s).parents
+  done;
+  List.rev_map (fun s -> (s, Hashtbl.find upto_tbl s)) !order
+
+(* Core lineage scan: emit each key's winning record once, newest copy
+   first within a segment, descendants before ancestors across
+   segments.  [f] receives the segment, offset and decoded record of
+   each winner (tombstone winners mean "deleted here"). *)
+let scan_winners t seg0 upto0 f =
+  let seen : (Value.t, unit) Hashtbl.t = Hashtbl.create 1024 in
+  List.iter
+    (fun (sid, upto) ->
+      let s = segment t sid in
+      Heap_file.iter_rev ~upto s.file (fun off payload ->
+          let record = decode_record t payload in
+          let key = record_key t.schema record in
+          if not (Hashtbl.mem seen key) then begin
+            Hashtbl.replace seen key ();
+            f sid off record
+          end))
+    (plan t seg0 upto0)
+
+let scan_live t seg0 upto0 f =
+  scan_winners t seg0 upto0 (fun sid off record ->
+      match record with
+      | `Tuple tuple -> f sid off tuple
+      | `Tombstone _ -> ())
+
+let head_loc t b =
+  let sid = Vec.get t.head_seg b in
+  (sid, Heap_file.size (segment t sid).file)
+
+let commit_loc t vid =
+  match Hashtbl.find_opt t.commits vid with
+  | Some loc -> loc
+  | None -> errorf "version-first: version %d has no commit record" vid
+
+let commit t b ~message =
+  let sid, upto = head_loc t b in
+  Heap_file.flush (segment t sid).file;
+  let vid = Vg.commit t.graph b ~message in
+  Hashtbl.replace t.commits vid (sid, upto);
+  set_dirty t b false;
+  vid
+
+let create_branch t ~name ~from =
+  let v = Vg.version t.graph from in
+  let parent = v.Vg.on_branch in
+  let psid, poff = commit_loc t from in
+  let nb =
+    try Vg.create_branch t.graph ~name ~from
+    with Invalid_argument msg -> errorf "version-first: %s" msg
+  in
+  let s = new_segment t [ (psid, poff) ] in
+  let slot = Vec.push t.head_seg s.seg_id in
+  assert (slot = nb);
+  if Vg.head t.graph parent = from && not (is_dirty t parent) then begin
+    let bid = Pk_index.add_branch t.pk ~from:(Some parent) in
+    assert (bid = nb)
+  end
+  else begin
+    (* branching from a historical commit: rebuild the key index by
+       scanning that commit's lineage *)
+    let bid = Pk_index.add_branch t.pk ~from:None in
+    assert (bid = nb);
+    scan_live t psid poff (fun sid off tuple ->
+        Pk_index.set t.pk ~branch:nb (Tuple.pk t.schema tuple) (sid, off))
+  end;
+  set_dirty t nb false;
+  nb
+
+let validate t tuple =
+  match Schema.validate t.schema tuple with
+  | Ok () -> ()
+  | Error msg -> errorf "version-first: %s" msg
+
+let append t b record =
+  let sid = Vec.get t.head_seg b in
+  let off = Heap_file.append (segment t sid).file (encode_record t record) in
+  (sid, off)
+
+let insert t b tuple =
+  validate t tuple;
+  let key = Tuple.pk t.schema tuple in
+  if Pk_index.mem t.pk ~branch:b key then
+    errorf "version-first: duplicate key %s in branch %d"
+      (Value.to_string key) b;
+  let loc = append t b (`Tuple tuple) in
+  Pk_index.set t.pk ~branch:b key loc;
+  set_dirty t b true
+
+let update t b tuple =
+  validate t tuple;
+  let key = Tuple.pk t.schema tuple in
+  if not (Pk_index.mem t.pk ~branch:b key) then
+    errorf "version-first: update of absent key %s" (Value.to_string key);
+  let loc = append t b (`Tuple tuple) in
+  Pk_index.set t.pk ~branch:b key loc;
+  set_dirty t b true
+
+let delete t b key =
+  if not (Pk_index.mem t.pk ~branch:b key) then
+    errorf "version-first: delete of absent key %s" (Value.to_string key);
+  let _ = append t b (`Tombstone key) in
+  Pk_index.remove t.pk ~branch:b key;
+  set_dirty t b true
+
+let fetch t (sid, off) =
+  match decode_record t (Heap_file.get (segment t sid).file off) with
+  | `Tuple tuple -> tuple
+  | `Tombstone _ -> errorf "version-first: key index points at tombstone"
+
+let lookup t b key =
+  Option.map (fetch t) (Pk_index.find t.pk ~branch:b key)
+
+let scan t b f =
+  let sid, upto = head_loc t b in
+  scan_live t sid upto (fun _ _ tuple -> f tuple)
+
+let scan_version t vid f =
+  let sid, upto = commit_loc t vid in
+  scan_live t sid upto (fun _ _ tuple -> f tuple)
+
+(* Multi-branch scan, per the paper's two-pass scheme (§3.3): pass one
+   records each branch's live (segment, offset) pairs in hash tables;
+   pass two walks the union of segments in storage order emitting each
+   live record once with its branch annotations. *)
+let multi_scan t branches f =
+  let ann : (int * int, branch_id list) Hashtbl.t = Hashtbl.create 4096 in
+  let segs : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun b ->
+      let sid, upto = head_loc t b in
+      scan_live t sid upto (fun s off _tuple ->
+          Hashtbl.replace segs s ();
+          let prev = Option.value ~default:[] (Hashtbl.find_opt ann (s, off)) in
+          Hashtbl.replace ann (s, off) (b :: prev)))
+    branches;
+  let seg_ids = Hashtbl.fold (fun s () acc -> s :: acc) segs [] in
+  List.iter
+    (fun sid ->
+      let s = segment t sid in
+      Heap_file.iter s.file (fun off payload ->
+          match Hashtbl.find_opt ann (sid, off) with
+          | None -> ()
+          | Some bs -> (
+              match decode_record t payload with
+              | `Tuple tuple ->
+                  f { tuple; in_branches = List.sort compare bs }
+              | `Tombstone _ ->
+                  errorf "version-first: annotated tombstone")))
+    (List.sort compare seg_ids)
+
+(* Content diff needs the active records of both branches, which
+   version-first can only obtain with full lineage scans — the
+   multiple-pass cost the paper reports for Q2 (§5.2). *)
+let diff t a b ~pos ~neg =
+  let in_a : (Value.t, Tuple.t) Hashtbl.t = Hashtbl.create 4096 in
+  scan t a (fun tuple -> Hashtbl.replace in_a (Tuple.pk t.schema tuple) tuple);
+  scan t b (fun tuple ->
+      let key = Tuple.pk t.schema tuple in
+      match Hashtbl.find_opt in_a key with
+      | Some ta when Tuple.equal ta tuple -> Hashtbl.remove in_a key
+      | Some ta ->
+          pos ta;
+          neg tuple;
+          Hashtbl.remove in_a key
+      | None -> neg tuple);
+  Hashtbl.iter (fun _ tuple -> pos tuple) in_a
+
+(* Keys a branch touched since the LCA: scan only the segment ranges of
+   the branch's lineage that lie beyond the LCA's coverage (the records
+   "appearing after the lowest common ancestor", §3.3 Diff/Merge). *)
+let changed_keys_since t b lca_loc =
+  let lca_sid, lca_upto = lca_loc in
+  let lca_cover : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (s, u) -> Hashtbl.replace lca_cover s u)
+    (plan t lca_sid lca_upto);
+  let keys : (Value.t, unit) Hashtbl.t = Hashtbl.create 256 in
+  let sid, upto = head_loc t b in
+  List.iter
+    (fun (s, u) ->
+      let from = Option.value ~default:0 (Hashtbl.find_opt lca_cover s) in
+      if u > from then
+        Heap_file.iter ~from ~upto:u (segment t s).file (fun _off payload ->
+            let record = decode_record t payload in
+            Hashtbl.replace keys (record_key t.schema record) ()))
+    (plan t sid upto);
+  keys
+
+let changes_since t b lca_loc ~lca_state =
+  let keys = changed_keys_since t b lca_loc in
+  let tbl : (Value.t, Merge_driver.side_change) Hashtbl.t =
+    Hashtbl.create (Hashtbl.length keys)
+  in
+  Hashtbl.iter
+    (fun key () ->
+      let state = lookup t b key in
+      let base =
+        match lca_state with
+        | Some m -> Hashtbl.find_opt m key
+        | None -> None
+      in
+      let unchanged =
+        match state, base with
+        | Some s, Some bse -> Tuple.equal s bse
+        | None, None -> true
+        | _ -> false
+      in
+      if not unchanged then
+        Hashtbl.replace tbl key { Merge_driver.state; base })
+    keys;
+  tbl
+
+let merge t ~into ~from ~policy ~message =
+  let v_ours = Vg.head t.graph into and v_theirs = Vg.head t.graph from in
+  let lca = Vg.lca t.graph v_ours v_theirs in
+  let lca_loc = commit_loc t lca in
+  (* The LCA commit is scanned in its entirety for every merge: the
+     segment-suffix candidate sets only record which keys were
+     *touched*, so the LCA values are needed to drop keys whose content
+     is unchanged (otherwise a touched-but-equal key would spuriously
+     win precedence over a real change on the other side).  The paper
+     notes the same full-LCA-scan burden for version-first field-level
+     merges (§3.3 Merge, §5.4). *)
+  let lca_state =
+    let m : (Value.t, Tuple.t) Hashtbl.t = Hashtbl.create 4096 in
+    let lca_sid, lca_upto = lca_loc in
+    scan_live t lca_sid lca_upto (fun _ _ tuple ->
+        Hashtbl.replace m (Tuple.pk t.schema tuple) tuple);
+    Some m
+  in
+  let ours = changes_since t into lca_loc ~lca_state in
+  let theirs = changes_since t from lca_loc ~lca_state in
+  let decisions, stats = Merge_driver.decide ~policy ~ours ~theirs in
+  (* fresh merge segment: scanned before either parent lineage *)
+  let ours_loc = head_loc t into and theirs_loc = head_loc t from in
+  let parents =
+    match policy with
+    | Theirs -> [ theirs_loc; ours_loc ]
+    | Ours | Three_way -> [ ours_loc; theirs_loc ]
+  in
+  let s = new_segment t parents in
+  Vec.set t.head_seg into s.seg_id;
+  (* Every decided state is materialized into the merge segment, which
+     is scanned before both parent lineages, so it dominates any copy
+     either lineage holds.  Lazy scan-order resolution is unsound in
+     general: a key live in the source branch (whose segments are
+     topological descendants of shared ancestry) would shadow the
+     destination's own post-LCA copy.  The write volume stays
+     proportional to the inter-branch diff, the unit the paper reports
+     merge throughput in (§5.4). *)
+  List.iter
+    (fun (d : Merge_driver.decision) ->
+      let key = d.Merge_driver.d_key in
+      match d.Merge_driver.final with
+      | None ->
+          let _ = append t into (`Tombstone key) in
+          Pk_index.remove t.pk ~branch:into key
+      | Some tuple ->
+          let loc = append t into (`Tuple tuple) in
+          Pk_index.set t.pk ~branch:into key loc)
+    decisions;
+  Heap_file.flush s.file;
+  let vid = Vg.merge_commit t.graph ~into ~theirs:v_theirs ~message in
+  Hashtbl.replace t.commits vid (s.seg_id, Heap_file.size s.file);
+  set_dirty t into false;
+  {
+    merge_version = vid;
+    conflicts = Merge_driver.conflicts_of decisions;
+    keys_ours = stats.Merge_driver.n_ours;
+    keys_theirs = stats.Merge_driver.n_theirs;
+    keys_both = stats.Merge_driver.n_both;
+  }
+
+let dataset_bytes t =
+  let acc = ref 0 in
+  Vec.iter (fun s -> acc := !acc + Heap_file.size s.file) t.segments;
+  !acc
+
+(* Version-first keeps no bitmap histories; its commit metadata is the
+   version -> (segment, offset) map. *)
+let commit_meta_bytes t = Hashtbl.length t.commits * 12
+
+(* The manifest persists the version graph, the segment DAG (parent
+   pointers with branch-point offsets), branch head segments, the
+   commit locator and dirtiness; segment contents live in their own
+   files and the key index is rebuilt by lineage scans on reopen. *)
+let manifest_path dir = Filename.concat dir "manifest.vf"
+
+let save_manifest t =
+  let buf = Buffer.create 4096 in
+  Binio.write_u8 buf (if t.compress then 1 else 0);
+  Binio.write_string buf (Vg.serialize t.graph);
+  Schema.serialize buf t.schema;
+  Binio.write_varint buf (Vec.length t.segments);
+  Vec.iter
+    (fun s ->
+      Binio.write_varint buf (Heap_file.size s.file);
+      Binio.write_list
+        (fun b (p, off) ->
+          Binio.write_varint b p;
+          Binio.write_varint b off)
+        buf s.parents)
+    t.segments;
+  Binio.write_varint buf (Vec.length t.head_seg);
+  Vec.iter (fun sid -> Binio.write_varint buf sid) t.head_seg;
+  Binio.write_varint buf (Hashtbl.length t.commits);
+  Hashtbl.iter
+    (fun vid (sid, upto) ->
+      Binio.write_varint buf vid;
+      Binio.write_varint buf sid;
+      Binio.write_varint buf upto)
+    t.commits;
+  Binio.write_varint buf (Hashtbl.length t.dirty);
+  Hashtbl.iter
+    (fun b d ->
+      Binio.write_varint buf b;
+      Binio.write_u8 buf (if d then 1 else 0))
+    t.dirty;
+  Binio.write_file (manifest_path t.dir) (Buffer.contents buf)
+
+let flush t =
+  Vec.iter (fun s -> Heap_file.flush s.file) t.segments;
+  save_manifest t
+
+let open_existing ~dir ~pool =
+  let data =
+    try Binio.read_file (manifest_path dir)
+    with Sys_error _ -> errorf "version-first: no repository in %s" dir
+  in
+  let pos = ref 0 in
+  let compress = Binio.read_u8 data pos = 1 in
+  let graph = Vg.deserialize (Binio.read_string data pos) in
+  let schema = Schema.deserialize data pos in
+  let t =
+    {
+      dir;
+      pool;
+      schema;
+      compress;
+      graph;
+      segments =
+        Vec.create
+          ~dummy:{ seg_id = -1; file = Obj.magic `never_dereferenced;
+                   parents = [] }
+          ();
+      head_seg = Vec.create ~dummy:(-1) ();
+      pk = Pk_index.create ();
+      commits = Hashtbl.create 64;
+      dirty = Hashtbl.create 16;
+      closed = false;
+    }
+  in
+  let nsegs = Binio.read_varint data pos in
+  for seg_id = 0 to nsegs - 1 do
+    let size = Binio.read_varint data pos in
+    let parents =
+      Binio.read_list
+        (fun s p ->
+          let a = Binio.read_varint s p in
+          let b = Binio.read_varint s p in
+          (a, b))
+        data pos
+    in
+    let file =
+      Heap_file.open_existing ~pool
+        (Filename.concat dir (Printf.sprintf "seg_%d.dat" seg_id))
+    in
+    (* drop bytes past the checkpoint (recovered via the WAL instead) *)
+    Heap_file.truncate_to file size;
+    let _ = Vec.push t.segments { seg_id; file; parents } in
+    ()
+  done;
+  let nheads = Binio.read_varint data pos in
+  for _ = 1 to nheads do
+    let _ = Vec.push t.head_seg (Binio.read_varint data pos) in
+    ()
+  done;
+  let ncommits = Binio.read_varint data pos in
+  for _ = 1 to ncommits do
+    let vid = Binio.read_varint data pos in
+    let sid = Binio.read_varint data pos in
+    let upto = Binio.read_varint data pos in
+    Hashtbl.replace t.commits vid (sid, upto)
+  done;
+  let ndirty = Binio.read_varint data pos in
+  for _ = 1 to ndirty do
+    let b = Binio.read_varint data pos in
+    Hashtbl.replace t.dirty b (Binio.read_u8 data pos = 1)
+  done;
+  (* rebuild the per-branch key index with one lineage scan each *)
+  for b = 0 to Vec.length t.head_seg - 1 do
+    let bid = Pk_index.add_branch t.pk ~from:None in
+    assert (bid = b);
+    let sid = Vec.get t.head_seg b in
+    scan_live t sid (Heap_file.size (segment t sid).file)
+      (fun s off tuple ->
+        Pk_index.set t.pk ~branch:b (Tuple.pk t.schema tuple) (s, off))
+  done;
+  t
+
+let close t =
+  if not t.closed then begin
+    flush t;
+    Vec.iter (fun s -> Heap_file.close s.file) t.segments;
+    t.closed <- true
+  end

@@ -1,0 +1,5 @@
+(** Version-first storage (paper §3.3): per-branch segment files
+    chained by branch-point offsets; see the implementation header for
+    the scan-order and merge-materialization details. *)
+
+include Engine_intf.S

@@ -1,0 +1,686 @@
+(** A small versioned query language (paper §2.3, Table 1).
+
+    Decibel exposes versioned queries through VQuel; the paper gives
+    the SQL equivalents of the four benchmark query classes and notes
+    nothing is tied to the concrete syntax.  This module implements
+    exactly that SQL subset — a lexer, a recursive-descent parser, and
+    a planner that recognizes the four shapes:
+
+    {v
+    1. SELECT * FROM R WHERE R.Version = 'v01'                   (scan)
+    2. SELECT * FROM R WHERE R.Version = 'v01' AND R.id NOT IN
+         (SELECT id FROM R WHERE R.Version = 'v02')              (diff)
+    3. SELECT * FROM R AS R1, R AS R2 WHERE R1.Version = 'v01'
+         AND R1.name = 'Sam' AND R1.id = R2.id
+         AND R2.Version = 'v02'                                  (join)
+    4. SELECT * FROM R WHERE HEAD(R.Version) = true              (heads)
+    v}
+
+    plus ordinary column predicates ([<], [<=], [=], [<>], [>=], [>])
+    on any of them.  Version literals name either a branch (its working
+    head is queried) or [#n] for the committed version with id [n]. *)
+
+open Decibel_storage
+open Types
+
+(* ------------------------------------------------------------------ *)
+(* lexer *)
+
+type token =
+  | Tident of string
+  | Tstring of string
+  | Tint of int64
+  | Tstar
+  | Tcomma
+  | Tdot
+  | Tlparen
+  | Trparen
+  | Teq
+  | Tneq
+  | Tlt
+  | Tle
+  | Tgt
+  | Tge
+  | Tkw of string (* uppercased keyword: SELECT FROM WHERE AND AS NOT IN HEAD TRUE FALSE *)
+  | Teof
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let keywords =
+  [ "SELECT"; "FROM"; "WHERE"; "AND"; "AS"; "NOT"; "IN"; "HEAD"; "TRUE";
+    "FALSE"; "COUNT"; "SUM"; "AVG"; "MIN"; "MAX"; "GROUP"; "BY" ]
+
+let lex input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some input.[!pos] else None in
+  let advance () = incr pos in
+  let is_ident_char c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_' || c = '#'
+  in
+  while !pos < n do
+    match input.[!pos] with
+    | ' ' | '\t' | '\n' | '\r' -> advance ()
+    | '*' -> advance (); tokens := Tstar :: !tokens
+    | ',' -> advance (); tokens := Tcomma :: !tokens
+    | '.' -> advance (); tokens := Tdot :: !tokens
+    | '(' -> advance (); tokens := Tlparen :: !tokens
+    | ')' -> advance (); tokens := Trparen :: !tokens
+    | '=' -> advance (); tokens := Teq :: !tokens
+    | '<' ->
+        advance ();
+        (match peek () with
+        | Some '=' -> advance (); tokens := Tle :: !tokens
+        | Some '>' -> advance (); tokens := Tneq :: !tokens
+        | _ -> tokens := Tlt :: !tokens)
+    | '>' ->
+        advance ();
+        (match peek () with
+        | Some '=' -> advance (); tokens := Tge :: !tokens
+        | _ -> tokens := Tgt :: !tokens)
+    | '\'' ->
+        advance ();
+        let start = !pos in
+        while !pos < n && input.[!pos] <> '\'' do
+          advance ()
+        done;
+        if !pos >= n then fail "unterminated string literal";
+        tokens := Tstring (String.sub input start (!pos - start)) :: !tokens;
+        advance ()
+    | c when c >= '0' && c <= '9' ->
+        let start = !pos in
+        while !pos < n && input.[!pos] >= '0' && input.[!pos] <= '9' do
+          advance ()
+        done;
+        tokens :=
+          Tint (Int64.of_string (String.sub input start (!pos - start)))
+          :: !tokens
+    | c when is_ident_char c ->
+        let start = !pos in
+        while !pos < n && is_ident_char input.[!pos] do
+          advance ()
+        done;
+        let word = String.sub input start (!pos - start) in
+        let upper = String.uppercase_ascii word in
+        if List.mem upper keywords then tokens := Tkw upper :: !tokens
+        else tokens := Tident word :: !tokens
+    | c -> fail "unexpected character %C" c
+  done;
+  List.rev (Teof :: !tokens)
+
+(* ------------------------------------------------------------------ *)
+(* AST *)
+
+type column_ref = { table : string option; column : string }
+
+(** Aggregate functions (evaluated in the query layer, as the paper
+    notes for SimpleDB-level plans, §2.1).  [Avg] uses integer
+    division, as SQL does over integer columns. *)
+type agg = Count | Sum | Avg | Min_agg | Max_agg
+
+type sel_item =
+  | S_col of column_ref
+  | S_agg of agg * column_ref option  (** [None] means COUNT over rows. *)
+
+type operand =
+  | Col of column_ref
+  | Lit_str of string
+  | Lit_int of int64
+  | Lit_bool of bool
+
+type cond =
+  | Cmp of Query.comparison * operand * operand
+  | Not_in of column_ref * select
+  | Head_cond of column_ref (* HEAD(ref) = true *)
+
+and select = {
+  projection : [ `Star | `Items of sel_item list ];
+  from : (string * string option) list; (* table, alias *)
+  where : cond list; (* conjunction *)
+  group_by : column_ref option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* parser *)
+
+type parser_state = { mutable toks : token list }
+
+let peek_tok p = match p.toks with t :: _ -> t | [] -> Teof
+
+let next_tok p =
+  match p.toks with
+  | t :: rest ->
+      p.toks <- rest;
+      t
+  | [] -> Teof
+
+let expect p want desc =
+  let t = next_tok p in
+  if t <> want then fail "expected %s" desc
+
+let parse_ident p =
+  match next_tok p with
+  | Tident s -> s
+  | _ -> fail "expected identifier"
+
+let parse_column_ref p first =
+  match peek_tok p with
+  | Tdot ->
+      let _ = next_tok p in
+      let col = parse_ident p in
+      { table = Some first; column = col }
+  | _ -> { table = None; column = first }
+
+let rec parse_select p =
+  expect p (Tkw "SELECT") "SELECT";
+  let parse_item () =
+    let agg_of = function
+      | "COUNT" -> Count
+      | "SUM" -> Sum
+      | "AVG" -> Avg
+      | "MIN" -> Min_agg
+      | "MAX" -> Max_agg
+      | kw -> fail "unexpected keyword %s in select list" kw
+    in
+    match next_tok p with
+    | Tkw (("COUNT" | "SUM" | "AVG" | "MIN" | "MAX") as kw) ->
+        expect p Tlparen "(";
+        let arg =
+          match peek_tok p with
+          | Tstar ->
+              let _ = next_tok p in
+              if agg_of kw <> Count then fail "%s(*) is not valid" kw;
+              None
+          | _ -> Some (parse_column_ref p (parse_ident p))
+        in
+        expect p Trparen ")";
+        S_agg (agg_of kw, arg)
+    | Tident first -> S_col (parse_column_ref p first)
+    | _ -> fail "expected column or aggregate in select list"
+  in
+  let projection =
+    match peek_tok p with
+    | Tstar ->
+        let _ = next_tok p in
+        `Star
+    | _ ->
+        let rec items acc =
+          let it = parse_item () in
+          match peek_tok p with
+          | Tcomma ->
+              let _ = next_tok p in
+              items (it :: acc)
+          | _ -> List.rev (it :: acc)
+        in
+        `Items (items [])
+  in
+  expect p (Tkw "FROM") "FROM";
+  let rec tables acc =
+    let name = parse_ident p in
+    let alias =
+      match peek_tok p with
+      | Tkw "AS" ->
+          let _ = next_tok p in
+          Some (parse_ident p)
+      | _ -> None
+    in
+    match peek_tok p with
+    | Tcomma ->
+        let _ = next_tok p in
+        tables ((name, alias) :: acc)
+    | _ -> List.rev ((name, alias) :: acc)
+  in
+  let from = tables [] in
+  let where =
+    match peek_tok p with
+    | Tkw "WHERE" ->
+        let _ = next_tok p in
+        let rec conds acc =
+          let c = parse_cond p in
+          match peek_tok p with
+          | Tkw "AND" ->
+              let _ = next_tok p in
+              conds (c :: acc)
+          | _ -> List.rev (c :: acc)
+        in
+        conds []
+    | _ -> []
+  in
+  let group_by =
+    match peek_tok p with
+    | Tkw "GROUP" ->
+        let _ = next_tok p in
+        expect p (Tkw "BY") "BY";
+        Some (parse_column_ref p (parse_ident p))
+    | _ -> None
+  in
+  { projection; from; where; group_by }
+
+and parse_cond p =
+  match next_tok p with
+  | Tkw "HEAD" ->
+      expect p Tlparen "(";
+      let r = parse_column_ref p (parse_ident p) in
+      expect p Trparen ")";
+      expect p Teq "=";
+      (match next_tok p with
+      | Tkw "TRUE" -> Head_cond r
+      | _ -> fail "HEAD(...) must compare to true")
+  | Tident first -> (
+      let lhs = parse_column_ref p first in
+      match next_tok p with
+      | Teq -> Cmp (Query.Eq, Col lhs, parse_operand p)
+      | Tneq -> Cmp (Query.Ne, Col lhs, parse_operand p)
+      | Tlt -> Cmp (Query.Lt, Col lhs, parse_operand p)
+      | Tle -> Cmp (Query.Le, Col lhs, parse_operand p)
+      | Tgt -> Cmp (Query.Gt, Col lhs, parse_operand p)
+      | Tge -> Cmp (Query.Ge, Col lhs, parse_operand p)
+      | Tkw "NOT" ->
+          expect p (Tkw "IN") "IN";
+          expect p Tlparen "(";
+          let sub = parse_select p in
+          expect p Trparen ")";
+          Not_in (lhs, sub)
+      | _ -> fail "expected comparison operator")
+  | _ -> fail "expected condition"
+
+and parse_operand p =
+  match next_tok p with
+  | Tstring s -> Lit_str s
+  | Tint i -> Lit_int i
+  | Tkw "TRUE" -> Lit_bool true
+  | Tkw "FALSE" -> Lit_bool false
+  | Tident first -> Col (parse_column_ref p first)
+  | _ -> fail "expected literal or column"
+
+let parse input =
+  let p = { toks = lex input } in
+  let s = parse_select p in
+  (match peek_tok p with Teof -> () | _ -> fail "trailing input");
+  s
+
+(* ------------------------------------------------------------------ *)
+(* planner: recognize the four versioned query shapes *)
+
+type version_target =
+  | Branch_head of string (* branch name: its working head *)
+  | Committed of version_id (* '#n' literal *)
+
+type plan =
+  | Scan of { target : version_target; preds : pred list }
+  | Pos_diff of {
+      target : version_target;
+      other : version_target;
+      preds : pred list;
+    }
+  | Join of {
+      left : version_target;
+      right : version_target;
+      left_preds : pred list;
+      right_preds : pred list;
+    }
+  | Head_scan of { preds : pred list }
+
+and pred = { p_column : string; p_op : Query.comparison; p_value : Value.t }
+
+(** What happens to the selected rows: pass through, project columns,
+    or aggregate (optionally grouped). *)
+type post =
+  | P_star
+  | P_items of sel_item list * column_ref option (* select list, GROUP BY *)
+
+type query_plan = { base : plan; post : post }
+
+let version_of_literal s =
+  if String.length s > 1 && s.[0] = '#' then
+    match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+    | Some v -> Committed v
+    | None -> fail "bad version literal %S" s
+  else Branch_head s
+
+let is_version_col (r : column_ref) =
+  String.lowercase_ascii r.column = "version"
+
+(* binding of condition lists: split per alias, recognize version
+   equalities, join equalities, HEAD and plain predicates *)
+type binding = {
+  mutable versions : (string option * version_target) list;
+  mutable preds : (string option * pred) list;
+  mutable join_on : (column_ref * column_ref) option;
+  mutable not_in : (column_ref * select) option;
+  mutable head : bool;
+}
+
+let operand_value = function
+  | Lit_str s -> Value.Str s
+  | Lit_int i -> Value.Int i
+  | Lit_bool _ -> fail "boolean literals only valid with HEAD()"
+  | Col _ -> fail "column on right-hand side only valid in join conditions"
+
+let bind_conditions conds =
+  let b =
+    { versions = []; preds = []; join_on = None; not_in = None; head = false }
+  in
+  List.iter
+    (fun c ->
+      match c with
+      | Head_cond r when is_version_col r -> b.head <- true
+      | Head_cond _ -> fail "HEAD() applies to a Version column"
+      | Not_in (r, sub) ->
+          if b.not_in <> None then fail "at most one NOT IN subquery";
+          b.not_in <- Some (r, sub)
+      | Cmp (Query.Eq, Col l, Col r) ->
+          if is_version_col l || is_version_col r then
+            fail "version columns cannot join";
+          if b.join_on <> None then fail "at most one join condition";
+          b.join_on <- Some (l, r)
+      | Cmp (op, Col l, rhs) when is_version_col l -> (
+          match op, rhs with
+          | Query.Eq, Lit_str s ->
+              b.versions <- (l.table, version_of_literal s) :: b.versions
+          | _ -> fail "Version supports only = 'name' comparisons")
+      | Cmp (op, Col l, rhs) ->
+          b.preds <-
+            (l.table, { p_column = l.column; p_op = op;
+                        p_value = operand_value rhs })
+            :: b.preds
+      | Cmp (_, _, _) -> fail "left side of a comparison must be a column")
+    conds;
+  b
+
+let preds_for b alias =
+  List.filter_map
+    (fun (t, p) ->
+      match t, alias with
+      | None, _ -> Some p
+      | Some a, Some alias when a = alias -> Some p
+      | Some _, None -> Some p
+      | Some _, Some _ -> None)
+    b.preds
+
+let plan_of_select (s : select) =
+  let base_of (s : select) =
+  match s.from with
+  | [ (_, _) ] -> (
+      let b = bind_conditions s.where in
+      match b.head, b.versions, b.not_in with
+      | true, [], None -> Head_scan { preds = preds_for b None }
+      | false, [ (_, target) ], None ->
+          Scan { target; preds = preds_for b None }
+      | false, [ (_, target) ], Some (r, sub) ->
+          if String.lowercase_ascii r.column <> "id" then
+            fail "NOT IN must compare primary keys (id)";
+          let sub_b = bind_conditions sub.where in
+          (match sub_b.versions with
+          | [ (_, other) ] ->
+              Pos_diff { target; other; preds = preds_for b None }
+          | _ -> fail "subquery must constrain exactly one version")
+      | true, _ :: _, _ -> fail "HEAD() cannot be mixed with Version = ..."
+      | true, [], Some _ -> fail "HEAD() cannot be mixed with NOT IN"
+      | false, [], _ -> fail "missing Version constraint"
+      | false, _ :: _ :: _, _ -> fail "one table cannot have two versions")
+  | [ (t1, a1); (t2, a2) ] -> (
+      if t1 <> t2 then fail "self-joins across versions only";
+      let alias1 = Option.value ~default:t1 a1 in
+      let alias2 = Option.value ~default:t2 a2 in
+      let b = bind_conditions s.where in
+      if b.head then fail "HEAD() is not valid in a join";
+      (match b.join_on with
+      | Some (l, r) ->
+          let lt = Option.value ~default:alias1 l.table in
+          let rt = Option.value ~default:alias2 r.table in
+          if String.lowercase_ascii l.column <> "id"
+             || String.lowercase_ascii r.column <> "id"
+          then fail "joins must be on the primary key (id)";
+          if not ((lt = alias1 && rt = alias2) || (lt = alias2 && rt = alias1))
+          then fail "join condition must relate the two aliases"
+      | None -> fail "two-table query needs a join condition");
+      let version_for alias =
+        match
+          List.find_opt
+            (fun (t, _) -> t = Some alias)
+            b.versions
+        with
+        | Some (_, v) -> v
+        | None -> fail "alias %s has no Version constraint" alias
+      in
+      Join
+        {
+          left = version_for alias1;
+          right = version_for alias2;
+          left_preds = preds_for b (Some alias1);
+          right_preds = preds_for b (Some alias2);
+        })
+  | _ -> fail "only one or two tables are supported"
+  in
+  let base = base_of s in
+  let post =
+    match s.projection, s.group_by with
+    | `Star, Some _ -> fail "GROUP BY requires an aggregate select list"
+    | `Star, None -> P_star
+    | `Items items, group ->
+        (match base with
+        | Join _ -> fail "projections and aggregates need a single table"
+        | Scan _ | Pos_diff _ | Head_scan _ -> ());
+        let has_agg =
+          List.exists (function S_agg _ -> true | S_col _ -> false) items
+        in
+        (match group, has_agg with
+        | Some _, false -> fail "GROUP BY requires an aggregate select list"
+        | Some g, true ->
+            (* plain columns must be the grouping column *)
+            List.iter
+              (function
+                | S_col c when c.column <> g.column ->
+                    fail "column %s is not in the GROUP BY clause" c.column
+                | S_col _ | S_agg _ -> ())
+              items
+        | None, true ->
+            List.iter
+              (function
+                | S_col c ->
+                    fail "column %s mixed with aggregates needs GROUP BY"
+                      c.column
+                | S_agg _ -> ())
+              items
+        | None, false -> ());
+        P_items (items, group)
+  in
+  { base; post }
+
+(* ------------------------------------------------------------------ *)
+(* executor *)
+
+let resolve_pred schema (p : pred) : Query.predicate =
+  match Schema.column_index schema p.p_column with
+  | exception Not_found -> fail "unknown column %S" p.p_column
+  | _ -> Query.column_pred schema ~column:p.p_column p.p_op p.p_value
+
+let conj preds tuple = List.for_all (fun p -> p tuple) preds
+
+(* Scans of a committed version go through scan_version; branch names
+   resolve to working heads. *)
+let scan_target db target f =
+  match target with
+  | Branch_head name -> Database.scan db (Database.branch_named db name) f
+  | Committed v -> Database.scan_version db v f
+
+type row = { values : Tuple.t; row_branches : string list }
+
+let run_base db plan =
+  let schema = Database.schema db in
+  let rows = ref [] in
+  let emit ?(branches = []) t =
+    rows := { values = t; row_branches = branches } :: !rows
+  in
+  (match plan with
+  | Scan { target; preds } ->
+      let preds = List.map (resolve_pred schema) preds in
+      scan_target db target (fun t -> if conj preds t then emit t)
+  | Pos_diff { target; other; preds } ->
+      let preds = List.map (resolve_pred schema) preds in
+      (* materialize the subquery's key set, probe while scanning *)
+      let keys = Hashtbl.create 4096 in
+      scan_target db other (fun t ->
+          Hashtbl.replace keys (Tuple.pk schema t) ());
+      scan_target db target (fun t ->
+          if (not (Hashtbl.mem keys (Tuple.pk schema t))) && conj preds t then
+            emit t)
+  | Join { left; right; left_preds; right_preds } ->
+      let lp = List.map (resolve_pred schema) left_preds in
+      let rp = List.map (resolve_pred schema) right_preds in
+      let build = Hashtbl.create 4096 in
+      scan_target db left (fun t ->
+          if conj lp t then Hashtbl.replace build (Tuple.pk schema t) t);
+      scan_target db right (fun t2 ->
+          if conj rp t2 then
+            match Hashtbl.find_opt build (Tuple.pk schema t2) with
+            | Some t1 -> emit (Array.append t1 t2)
+            | None -> ())
+  | Head_scan { preds } ->
+      let preds = List.map (resolve_pred schema) preds in
+      let graph = Database.graph db in
+      Database.multi_scan db (Database.heads db) (fun a ->
+          if conj preds a.tuple then
+            emit
+              ~branches:
+                (List.map
+                   (fun b ->
+                     (Decibel_graph.Version_graph.branch graph b)
+                       .Decibel_graph.Version_graph.name)
+                   a.in_branches)
+              a.tuple));
+  List.rev !rows
+
+(* aggregate accumulation over int columns; MIN/MAX also work on
+   strings via Value.compare *)
+type accum = {
+  mutable a_count : int;
+  mutable a_sum : int64;
+  mutable a_min : Value.t option;
+  mutable a_max : Value.t option;
+}
+
+let fresh_accum () =
+  { a_count = 0; a_sum = 0L; a_min = None; a_max = None }
+
+let accumulate acc (v : Value.t option) =
+  acc.a_count <- acc.a_count + 1;
+  match v with
+  | None -> ()
+  | Some v ->
+      (match v with
+      | Value.Int x -> acc.a_sum <- Int64.add acc.a_sum x
+      | Value.Str _ -> ());
+      (match acc.a_min with
+      | Some m when Value.compare m v <= 0 -> ()
+      | Some _ | None -> acc.a_min <- Some v);
+      (match acc.a_max with
+      | Some m when Value.compare m v >= 0 -> ()
+      | Some _ | None -> acc.a_max <- Some v)
+
+let finish_agg agg (acc : accum) =
+  match agg with
+  | Count -> Value.int acc.a_count
+  | Sum -> Value.Int acc.a_sum
+  | Avg ->
+      if acc.a_count = 0 then Value.int 0
+      else Value.Int (Int64.div acc.a_sum (Int64.of_int acc.a_count))
+  | Min_agg -> Option.value ~default:(Value.int 0) acc.a_min
+  | Max_agg -> Option.value ~default:(Value.int 0) acc.a_max
+
+let apply_post schema post rows =
+  match post with
+  | P_star -> rows
+  | P_items (items, group) ->
+      let col_index (c : column_ref) =
+        match Schema.column_index schema c.column with
+        | i -> i
+        | exception Not_found -> fail "unknown column %S" c.column
+      in
+      let has_agg =
+        List.exists (function S_agg _ -> true | S_col _ -> false) items
+      in
+      if not has_agg then
+        (* plain projection *)
+        let idxs = List.map col_index (List.filter_map (function S_col c -> Some c | S_agg _ -> None) items) in
+        List.map
+          (fun r ->
+            {
+              r with
+              values = Array.of_list (List.map (fun i -> r.values.(i)) idxs);
+            })
+          rows
+      else begin
+        (* aggregation, optionally grouped *)
+        let group_idx = Option.map col_index group in
+        (* per select item needing its own accumulator: pair item with
+           the column index it aggregates over (if any) *)
+        let agg_specs =
+          List.filter_map
+            (function
+              | S_agg (a, c) -> Some (a, Option.map col_index c)
+              | S_col _ -> None)
+            items
+        in
+        let groups : (Value.t option, accum array) Hashtbl.t =
+          Hashtbl.create 16
+        in
+        let order = ref [] in
+        List.iter
+          (fun r ->
+            let key = Option.map (fun i -> r.values.(i)) group_idx in
+            let accs =
+              match Hashtbl.find_opt groups key with
+              | Some a -> a
+              | None ->
+                  let a =
+                    Array.init (List.length agg_specs) (fun _ ->
+                        fresh_accum ())
+                  in
+                  Hashtbl.replace groups key a;
+                  order := key :: !order;
+                  a
+            in
+            List.iteri
+              (fun i (_, cidx) ->
+                accumulate accs.(i) (Option.map (fun c -> r.values.(c)) cidx))
+              agg_specs)
+          rows;
+        (* an ungrouped aggregate over zero rows still yields one row *)
+        if Hashtbl.length groups = 0 && group_idx = None then begin
+          Hashtbl.replace groups None
+            (Array.init (List.length agg_specs) (fun _ -> fresh_accum ()));
+          order := [ None ]
+        end;
+        List.rev_map
+          (fun key ->
+            let accs = Hashtbl.find groups key in
+            let agg_pos = ref (-1) in
+            let values =
+              List.map
+                (fun item ->
+                  match item with
+                  | S_col _ -> (
+                      match key with
+                      | Some v -> v
+                      | None -> fail "grouping column without GROUP BY")
+                  | S_agg (a, _) ->
+                      incr agg_pos;
+                      finish_agg a accs.(!agg_pos))
+                items
+            in
+            { values = Array.of_list values; row_branches = [] })
+          !order
+      end
+
+let run db { base; post } =
+  apply_post (Database.schema db) post (run_base db base)
+
+let query db input = run db (plan_of_select (parse input))

@@ -1,0 +1,166 @@
+(** Write-ahead logging of versioning operations.
+
+    The paper notes that fault tolerance "can be done by employing
+    standard write-ahead logging techniques on writes" (§2.1) and
+    leaves it to future work; this module supplies it.  The log records
+    *logical* operations (insert/update/delete/commit/branch/merge), so
+    one implementation covers every storage scheme: after a crash, the
+    engine reloads its last checkpoint (the manifest written by flush)
+    and the tail of the log is replayed through the ordinary engine
+    operations.
+
+    Entries are framed as [u32 length][u32 checksum][payload] and the
+    payload checksummed with FNV-1a; replay stops at the first frame
+    that is truncated or fails its checksum, which is exactly the torn
+    tail a crash mid-append leaves behind.  A checkpoint truncates the
+    log. *)
+
+open Decibel_util
+open Decibel_storage
+open Types
+
+type entry =
+  | W_insert of branch_id * Tuple.t
+  | W_update of branch_id * Tuple.t
+  | W_delete of branch_id * Value.t
+  | W_commit of branch_id * string
+  | W_branch of string * version_id
+  | W_merge of branch_id * branch_id * merge_policy * string
+  | W_retire of branch_id
+
+type t = {
+  path : string;
+  mutable oc : out_channel;
+  mutable entries : int; (* entries appended since last checkpoint *)
+}
+
+let fnv1a s =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c ->
+      h := (!h lxor Char.code c) * 0x01000193 land 0xFFFFFFFF)
+    s;
+  !h
+
+let policy_tag = function Ours -> 0 | Theirs -> 1 | Three_way -> 2
+
+let policy_of_tag = function
+  | 0 -> Ours
+  | 1 -> Theirs
+  | 2 -> Three_way
+  | n -> raise (Binio.Corrupt (Printf.sprintf "Wal: bad policy %d" n))
+
+let encode_entry schema e =
+  let buf = Buffer.create 64 in
+  (match e with
+  | W_insert (b, tuple) ->
+      Binio.write_u8 buf 0;
+      Binio.write_varint buf b;
+      Tuple.encode_into schema buf tuple
+  | W_update (b, tuple) ->
+      Binio.write_u8 buf 1;
+      Binio.write_varint buf b;
+      Tuple.encode_into schema buf tuple
+  | W_delete (b, key) ->
+      Binio.write_u8 buf 2;
+      Binio.write_varint buf b;
+      Value.encode buf key
+  | W_commit (b, message) ->
+      Binio.write_u8 buf 3;
+      Binio.write_varint buf b;
+      Binio.write_string buf message
+  | W_branch (name, from) ->
+      Binio.write_u8 buf 4;
+      Binio.write_string buf name;
+      Binio.write_varint buf from
+  | W_merge (into, from, policy, message) ->
+      Binio.write_u8 buf 5;
+      Binio.write_varint buf into;
+      Binio.write_varint buf from;
+      Binio.write_u8 buf (policy_tag policy);
+      Binio.write_string buf message
+  | W_retire b ->
+      Binio.write_u8 buf 6;
+      Binio.write_varint buf b);
+  Buffer.contents buf
+
+let decode_entry schema s =
+  let pos = ref 0 in
+  let e =
+    match Binio.read_u8 s pos with
+    | 0 ->
+        let b = Binio.read_varint s pos in
+        W_insert (b, Tuple.decode schema s pos)
+    | 1 ->
+        let b = Binio.read_varint s pos in
+        W_update (b, Tuple.decode schema s pos)
+    | 2 ->
+        let b = Binio.read_varint s pos in
+        W_delete (b, Value.decode s pos)
+    | 3 ->
+        let b = Binio.read_varint s pos in
+        W_commit (b, Binio.read_string s pos)
+    | 4 ->
+        let name = Binio.read_string s pos in
+        W_branch (name, Binio.read_varint s pos)
+    | 5 ->
+        let into = Binio.read_varint s pos in
+        let from = Binio.read_varint s pos in
+        let policy = policy_of_tag (Binio.read_u8 s pos) in
+        W_merge (into, from, policy, Binio.read_string s pos)
+    | 6 -> W_retire (Binio.read_varint s pos)
+    | n -> raise (Binio.Corrupt (Printf.sprintf "Wal: bad entry tag %d" n))
+  in
+  if !pos <> String.length s then
+    raise (Binio.Corrupt "Wal: trailing bytes in entry");
+  e
+
+let open_log ~path =
+  let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
+  { path; oc; entries = 0 }
+
+let append t schema entry =
+  let payload = encode_entry schema entry in
+  let buf = Buffer.create (String.length payload + 8) in
+  Binio.write_u32 buf (String.length payload);
+  Binio.write_u32 buf (fnv1a payload);
+  Buffer.add_string buf payload;
+  output_string t.oc (Buffer.contents buf);
+  flush t.oc;
+  t.entries <- t.entries + 1
+
+(* Read every intact entry; a truncated or corrupt tail ends replay
+   silently (that is the crash case being recovered from). *)
+let read_entries ~path schema =
+  if not (Sys.file_exists path) then []
+  else begin
+    let data = Binio.read_file path in
+    let n = String.length data in
+    let pos = ref 0 in
+    let acc = ref [] in
+    (try
+       while !pos + 8 <= n do
+         let p = ref !pos in
+         let len = Binio.read_u32 data p in
+         let sum = Binio.read_u32 data p in
+         if !p + len > n then raise Exit;
+         let payload = String.sub data !p len in
+         if fnv1a payload <> sum then raise Exit;
+         acc := decode_entry schema payload :: !acc;
+         pos := !p + len
+       done
+     with Exit | Binio.Corrupt _ -> ());
+    List.rev !acc
+  end
+
+(* Checkpoint: everything up to now is reflected in the engine's
+   durable state, so the log restarts empty. *)
+let reset t =
+  close_out_noerr t.oc;
+  let oc = open_out_gen [ Open_wronly; Open_trunc; Open_creat; Open_binary ] 0o644 t.path in
+  t.oc <- oc;
+  t.entries <- 0
+
+let pending t = t.entries
+
+let close t = close_out_noerr t.oc

@@ -1,0 +1,1 @@
+lib/gitlike/git_engine.ml: Array Binio Buffer Decibel_graph Decibel_storage Decibel_util Fsutil Hashtbl Int64 List Map Object_store Printf Schema String Tuple Value

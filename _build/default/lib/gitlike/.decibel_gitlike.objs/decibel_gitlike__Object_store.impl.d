@@ -1,0 +1,1 @@
+lib/gitlike/object_store.ml: Array Binio Buffer Decibel_util Delta Digest Filename Fsutil Hashtbl List Lz77 Option Printf String Sys

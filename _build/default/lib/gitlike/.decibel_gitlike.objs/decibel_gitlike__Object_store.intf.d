@@ -1,0 +1,1 @@
+lib/gitlike/object_store.mli:

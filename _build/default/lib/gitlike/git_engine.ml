@@ -1,0 +1,262 @@
+(** Decibel's versioning API implemented on the git-like object store
+    (paper §5.7).
+
+    Two layouts are modelled, as in the paper's comparison:
+    - [One_file]: the whole relation is one blob per commit ("git 1
+      file"), so any change re-hashes and re-compresses the full table;
+    - [File_per_tuple]: one blob per record ("git file/tup"), so
+      commits hash every file but unchanged blobs dedupe by content
+      address, while trees grow with the record count.
+
+    Record encodings are [Bin] (the fixed binary tuple codec) or [Csv]
+    (textual, larger raw size — the paper notes CSV "results in a
+    larger raw size due to string encoding").
+
+    Branches are head pointers onto commit objects; working states are
+    in-memory key→tuple maps, mirroring a git working tree plus index.
+    Only the operations the §5.7 benchmark exercises are provided
+    (modifications, commit, checkout, branch, repack). *)
+
+open Decibel_util
+open Decibel_storage
+module Vg = Decibel_graph.Version_graph
+
+type layout = One_file | File_per_tuple
+type format = Bin | Csv
+
+let layout_name = function
+  | One_file -> "1 file"
+  | File_per_tuple -> "file/tup"
+
+let format_name = function Bin -> "bin" | Csv -> "csv"
+
+module Vmap = Map.Make (struct
+  type t = Value.t
+
+  let compare = Value.compare
+end)
+
+type state = Tuple.t Vmap.t
+
+type t = {
+  store : Object_store.t;
+  schema : Schema.t;
+  layout : layout;
+  format : format;
+  graph : Vg.t;
+  mutable heads : state array;
+  mutable nheads : int;
+  commit_oids : (Vg.version_id, Object_store.oid) Hashtbl.t;
+}
+
+let create ~dir ~schema ~layout ~format =
+  Fsutil.mkdir_p dir;
+  let t =
+    {
+      store = Object_store.create ~dir;
+      schema;
+      layout;
+      format;
+      graph = Vg.create ();
+      heads = Array.make 4 Vmap.empty;
+      nheads = 1;
+      commit_oids = Hashtbl.create 64;
+    }
+  in
+  t
+
+let graph t = t.graph
+
+let variant t =
+  Printf.sprintf "git %s (%s)" (layout_name t.layout) (format_name t.format)
+
+(* ------------------------------------------------------------------ *)
+(* record encodings *)
+
+let encode_tuple t tuple =
+  match t.format with
+  | Bin -> Tuple.encode t.schema tuple
+  | Csv ->
+      String.concat ","
+        (Array.to_list
+           (Array.map
+              (fun (v : Value.t) ->
+                match v with
+                | Value.Int x -> Int64.to_string x
+                | Value.Str s -> s)
+              tuple))
+
+let decode_tuple t s =
+  match t.format with
+  | Bin ->
+      let pos = ref 0 in
+      Tuple.decode t.schema s pos
+  | Csv ->
+      let parts = String.split_on_char ',' s in
+      let cols = Schema.columns t.schema in
+      if List.length parts <> Array.length cols then
+        raise (Binio.Corrupt "git csv: field count mismatch");
+      Array.of_list
+        (List.mapi
+           (fun i part ->
+             match cols.(i).Schema.col_type with
+             | Schema.T_int -> Value.Int (Int64.of_string part)
+             | Schema.T_str -> Value.Str part)
+           parts)
+
+(* ------------------------------------------------------------------ *)
+(* working-state modifications (upsert-style, as the benchmark drives
+   them; validity is the caller's concern as in a real working tree) *)
+
+let head t b =
+  if b < 0 || b >= t.nheads then invalid_arg "git engine: unknown branch";
+  t.heads.(b)
+
+let write t b tuple =
+  t.heads.(b) <- Vmap.add (Tuple.pk t.schema tuple) tuple (head t b)
+
+let delete t b key = t.heads.(b) <- Vmap.remove key (head t b)
+
+let lookup t b key = Vmap.find_opt key (head t b)
+
+let scan t b f = Vmap.iter (fun _ tuple -> f tuple) (head t b)
+
+let data_bytes t b =
+  Vmap.fold
+    (fun _ tuple acc -> acc + String.length (encode_tuple t tuple))
+    (head t b) 0
+
+(* ------------------------------------------------------------------ *)
+(* trees and commits *)
+
+let serialize_tree entries =
+  let buf = Buffer.create 256 in
+  Binio.write_varint buf (List.length entries);
+  List.iter
+    (fun (name, oid) ->
+      Binio.write_string buf name;
+      Binio.write_string buf oid)
+    entries;
+  Buffer.contents buf
+
+let deserialize_tree s =
+  let pos = ref 0 in
+  let n = Binio.read_varint s pos in
+  List.init n (fun _ ->
+      let name = Binio.read_string s pos in
+      let oid = Binio.read_string s pos in
+      (name, oid))
+
+let tree_of_state t st =
+  match t.layout with
+  | One_file ->
+      (* one blob holding every record, newline/length framed *)
+      let buf = Buffer.create 4096 in
+      Vmap.iter
+        (fun _ tuple ->
+          match t.format with
+          | Bin -> Binio.write_string buf (encode_tuple t tuple)
+          | Csv ->
+              Buffer.add_string buf (encode_tuple t tuple);
+              Buffer.add_char buf '\n')
+        st;
+      let blob = Object_store.put t.store (Buffer.contents buf) in
+      [ ("table", blob) ]
+  | File_per_tuple ->
+      Vmap.fold
+        (fun key tuple acc ->
+          let blob = Object_store.put t.store (encode_tuple t tuple) in
+          (Value.to_string key, blob) :: acc)
+        st []
+      |> List.rev
+
+let state_of_tree t entries =
+  match t.layout with
+  | One_file -> (
+      match entries with
+      | [ ("table", blob) ] ->
+          let data = Object_store.get t.store blob in
+          let st = ref Vmap.empty in
+          (match t.format with
+          | Bin ->
+              let pos = ref 0 in
+              while !pos < String.length data do
+                let rec_data = Binio.read_string data pos in
+                let tuple = decode_tuple t rec_data in
+                st := Vmap.add (Tuple.pk t.schema tuple) tuple !st
+              done
+          | Csv ->
+              List.iter
+                (fun line ->
+                  if line <> "" then begin
+                    let tuple = decode_tuple t line in
+                    st := Vmap.add (Tuple.pk t.schema tuple) tuple !st
+                  end)
+                (String.split_on_char '\n' data));
+          !st
+      | _ -> raise (Binio.Corrupt "git 1-file: malformed tree"))
+  | File_per_tuple ->
+      List.fold_left
+        (fun st (_, blob) ->
+          let tuple = decode_tuple t (Object_store.get t.store blob) in
+          Vmap.add (Tuple.pk t.schema tuple) tuple st)
+        Vmap.empty entries
+
+let serialize_commit ~tree ~parents ~message =
+  let buf = Buffer.create 128 in
+  Binio.write_string buf tree;
+  Binio.write_list (fun b p -> Binio.write_string b p) buf parents;
+  Binio.write_string buf message;
+  Buffer.contents buf
+
+let deserialize_commit s =
+  let pos = ref 0 in
+  let tree = Binio.read_string s pos in
+  let parents = Binio.read_list Binio.read_string s pos in
+  let message = Binio.read_string s pos in
+  (tree, parents, message)
+
+let commit t b ~message =
+  let entries = tree_of_state t (head t b) in
+  let tree_oid = Object_store.put t.store (serialize_tree entries) in
+  let parents =
+    match Hashtbl.find_opt t.commit_oids (Vg.head t.graph b) with
+    | Some oid -> [ oid ]
+    | None -> []
+  in
+  let commit_oid =
+    Object_store.put t.store (serialize_commit ~tree:tree_oid ~parents ~message)
+  in
+  let vid = Vg.commit t.graph b ~message in
+  Hashtbl.replace t.commit_oids vid commit_oid;
+  vid
+
+let checkout t vid =
+  if vid = Vg.root_version then Vmap.empty
+  else
+    match Hashtbl.find_opt t.commit_oids vid with
+    | None -> invalid_arg "git engine: version has no commit object"
+    | Some oid ->
+        let tree_oid, _, _ = deserialize_commit (Object_store.get t.store oid) in
+        state_of_tree t (deserialize_tree (Object_store.get t.store tree_oid))
+
+let read_version t vid =
+  Vmap.fold (fun _ tuple acc -> tuple :: acc) (checkout t vid) []
+
+let create_branch t ~name ~from =
+  let st = checkout t from in
+  let nb = Vg.create_branch t.graph ~name ~from in
+  if t.nheads = Array.length t.heads then begin
+    let a = Array.make (2 * t.nheads) Vmap.empty in
+    Array.blit t.heads 0 a 0 t.nheads;
+    t.heads <- a
+  end;
+  t.heads.(nb) <- st;
+  t.nheads <- t.nheads + 1;
+  nb
+
+let repack t = Object_store.repack t.store
+
+let repo_bytes t = Object_store.repo_bytes t.store
+
+let object_count t = Object_store.object_count t.store

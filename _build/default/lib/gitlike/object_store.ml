@@ -1,0 +1,173 @@
+open Decibel_util
+
+type oid = string
+
+type location =
+  | Loose
+  | Packed of { pack : int; offset : int }
+
+type t = {
+  dir : string;
+  objects_dir : string;
+  packs_dir : string;
+  index : (oid, location) Hashtbl.t;
+  mutable pack_cache : string array; (* pack id -> file contents *)
+  mutable npacks : int;
+}
+
+let max_chain_depth = 50
+let window = 10
+
+let create ~dir =
+  let objects_dir = Filename.concat dir "objects" in
+  let packs_dir = Filename.concat dir "packs" in
+  Fsutil.mkdir_p objects_dir;
+  Fsutil.mkdir_p packs_dir;
+  {
+    dir;
+    objects_dir;
+    packs_dir;
+    index = Hashtbl.create 1024;
+    pack_cache = Array.make 4 "";
+    npacks = 0;
+  }
+
+let hash data = Digest.to_hex (Digest.string data)
+
+let loose_path t oid = Filename.concat t.objects_dir oid
+
+let mem t oid = Hashtbl.mem t.index oid
+
+let put t data =
+  let oid = hash data in
+  if not (mem t oid) then begin
+    Binio.write_file (loose_path t oid) (Lz77.compress data);
+    Hashtbl.replace t.index oid Loose
+  end;
+  oid
+
+(* Pack entry framing: [oid hex, 32 bytes][u8 kind][payload string with
+   varint length prefix]; kind 0 = full object (LZ77), kind 1 = delta
+   (base oid hex 32 bytes + LZ77'd delta). *)
+let rec get t oid =
+  match Hashtbl.find_opt t.index oid with
+  | None -> raise Not_found
+  | Some Loose -> Lz77.decompress (Binio.read_file (loose_path t oid))
+  | Some (Packed { pack; offset }) ->
+      let data = t.pack_cache.(pack) in
+      let pos = ref offset in
+      let stored_oid = String.sub data !pos 32 in
+      pos := !pos + 32;
+      if stored_oid <> oid then
+        raise (Binio.Corrupt "Object_store: pack entry id mismatch");
+      let kind = Binio.read_u8 data pos in
+      let payload = Binio.read_string data pos in
+      (match kind with
+      | 0 -> Lz77.decompress payload
+      | 1 ->
+          let ppos = ref 0 in
+          let base_oid = String.sub payload 0 32 in
+          ppos := 32;
+          let delta =
+            Lz77.decompress (String.sub payload 32 (String.length payload - 32))
+          in
+          ignore ppos;
+          Delta.apply ~base:(get t base_oid) delta
+      | k ->
+          raise (Binio.Corrupt (Printf.sprintf "Object_store: pack kind %d" k)))
+
+let object_count t = Hashtbl.length t.index
+
+let loose_count t =
+  Hashtbl.fold
+    (fun _ loc acc -> match loc with Loose -> acc + 1 | Packed _ -> acc)
+    t.index 0
+
+(* Repack: exhaustive window search for the best delta base, mirroring
+   git's behaviour (and its cost).  Objects are ordered by decreasing
+   size so larger objects become bases; each object is delta'd against
+   up to [window] predecessors and keeps the smallest encoding that
+   beats full compression, within the chain-depth cap. *)
+let repack t =
+  let loose =
+    Hashtbl.fold
+      (fun oid loc acc -> match loc with Loose -> oid :: acc | Packed _ -> acc)
+      t.index []
+  in
+  if loose <> [] then begin
+    let objs =
+      List.map (fun oid -> (oid, get t oid)) loose
+      |> List.sort (fun (_, a) (_, b) ->
+             compare (String.length b) (String.length a))
+      |> Array.of_list
+    in
+    let n = Array.length objs in
+    let depth = Hashtbl.create n in
+    let buf = Buffer.create (1 lsl 20) in
+    let offsets = Array.make n 0 in
+    for i = 0 to n - 1 do
+      let oid, data = objs.(i) in
+      let full = Lz77.compress data in
+      (* exhaustive candidate search over the window; candidates are
+         ranked by raw delta size and only the winner is compressed *)
+      let best = ref None in
+      for j = max 0 (i - window) to i - 1 do
+        let base_oid, base = objs.(j) in
+        let base_depth =
+          Option.value ~default:0 (Hashtbl.find_opt depth base_oid)
+        in
+        if base_depth + 1 <= max_chain_depth then begin
+          let raw = Delta.make ~base ~target:data in
+          let candidate_size = 32 + Delta.size raw in
+          let better =
+            match !best with
+            | Some (_, _, s) -> candidate_size < s
+            | None -> candidate_size < String.length full * 9 / 10
+          in
+          if better then best := Some (base_oid, raw, candidate_size)
+        end
+      done;
+      let best =
+        Option.map
+          (fun (base_oid, raw, _) ->
+            let d = Lz77.compress raw in
+            (base_oid, d, 32 + String.length d))
+          !best
+      in
+      let best = ref best in
+      offsets.(i) <- Buffer.length buf;
+      Buffer.add_string buf oid;
+      (match !best with
+      | Some (base_oid, d, _) ->
+          Hashtbl.replace depth oid
+            (1 + Option.value ~default:0 (Hashtbl.find_opt depth base_oid));
+          Binio.write_u8 buf 1;
+          Binio.write_string buf (base_oid ^ d)
+      | None ->
+          Hashtbl.replace depth oid 0;
+          Binio.write_u8 buf 0;
+          Binio.write_string buf full)
+    done;
+    let pack_id = t.npacks in
+    let pack_path =
+      Filename.concat t.packs_dir (Printf.sprintf "pack_%d.pack" pack_id)
+    in
+    let contents = Buffer.contents buf in
+    Binio.write_file pack_path contents;
+    if t.npacks = Array.length t.pack_cache then begin
+      let a = Array.make (2 * t.npacks) "" in
+      Array.blit t.pack_cache 0 a 0 t.npacks;
+      t.pack_cache <- a
+    end;
+    t.pack_cache.(pack_id) <- contents;
+    t.npacks <- t.npacks + 1;
+    (* move index entries over and drop the loose files *)
+    Array.iteri
+      (fun i (oid, _) ->
+        Hashtbl.replace t.index oid (Packed { pack = pack_id; offset = offsets.(i) });
+        let p = loose_path t oid in
+        if Sys.file_exists p then Sys.remove p)
+      objs
+  end
+
+let repo_bytes t = Fsutil.dir_bytes t.dir

@@ -1,0 +1,1 @@
+lib/graph/version_graph.ml: Array Binio Bitvec Buffer Decibel_util Format Hashtbl List Option Printf String

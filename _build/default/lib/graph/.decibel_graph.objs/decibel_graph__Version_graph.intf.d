@@ -1,0 +1,1 @@
+lib/graph/version_graph.mli: Format

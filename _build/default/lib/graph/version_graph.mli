@@ -1,0 +1,101 @@
+(** The version graph.
+
+    Version-level provenance is maintained as a directed acyclic graph
+    whose nodes are committed versions and whose edges point to parent
+    versions; a branch is a named working copy whose lineage is the path
+    from its head to the root (paper §2.2.2).  All storage schemes keep
+    this graph in memory and persist it on every branch or commit.
+
+    Version ids and branch ids are dense non-negative integers assigned
+    in creation order, so a parent's id is always smaller than its
+    child's — several algorithms below exploit that monotonicity. *)
+
+type version_id = int
+type branch_id = int
+
+val root_version : version_id
+(** The version created by [init] (always [0]). *)
+
+val master : branch_id
+(** The initial, authoritative branch (always [0]). *)
+
+type version = {
+  id : version_id;
+  parents : version_id list;
+      (** Most-recent-head first; a merge commit lists the precedence
+          winner first. Empty only for the root. *)
+  on_branch : branch_id;  (** Branch this version was committed to. *)
+  message : string;
+}
+
+type branch = {
+  bid : branch_id;
+  name : string;
+  base : version_id;  (** Version the branch was created from. *)
+  mutable head : version_id;
+  mutable active : bool;
+      (** Benchmark strategies retire branches; inactive branches take
+          no further modifications but remain queryable. *)
+}
+
+type t
+
+val create : unit -> t
+(** A graph holding only the root version and the master branch. *)
+
+val commit : t -> branch_id -> message:string -> version_id
+(** New version on the branch; its single parent is the old head. *)
+
+val merge_commit :
+  t -> into:branch_id -> theirs:version_id -> message:string -> version_id
+(** New head of [into] with parents [\[old head of into; theirs\]]. *)
+
+val create_branch : t -> name:string -> from:version_id -> branch_id
+(** Raises [Invalid_argument] if the name is taken or the version is
+    unknown. *)
+
+val retire : t -> branch_id -> unit
+
+val version : t -> version_id -> version
+val branch : t -> branch_id -> branch
+val branch_by_name : t -> string -> branch option
+val branches : t -> branch list
+(** In creation order. *)
+
+val versions : t -> version list
+(** In creation (= topological) order. *)
+
+val head : t -> branch_id -> version_id
+val heads : t -> (branch_id * version_id) list
+(** Head version of every branch, in branch order. *)
+
+val is_head : t -> version_id -> bool
+(** Whether the version is some branch's head — the paper's [HEAD()]
+    predicate (Table 1, query 4). *)
+
+val version_count : t -> int
+val branch_count : t -> int
+
+val is_ancestor : t -> ancestor:version_id -> version_id -> bool
+(** Reflexive: a version is its own ancestor. *)
+
+val ancestors : t -> version_id -> version_id list
+(** All ancestors including the version itself, descending id order. *)
+
+val lca : t -> version_id -> version_id -> version_id
+(** Lowest common ancestor used as the merge base: the common ancestor
+    with the greatest id (ids are topological, so this is a deepest
+    common ancestor; like git's merge-base we pick one deterministically
+    when several candidates exist).  Total because every pair shares the
+    root. *)
+
+val lineage : t -> version_id -> version_id list
+(** Versions from the given one back to the root, newest first,
+    following parents in precedence order and visiting each version
+    once (the scan order for version-first lineage traversal, §3.3). *)
+
+val serialize : t -> string
+val deserialize : string -> t
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line dump for debugging. *)

@@ -1,0 +1,1 @@
+lib/index/bitmap_intf.ml: Buffer Decibel_util

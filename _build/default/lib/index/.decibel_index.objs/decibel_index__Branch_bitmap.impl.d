@@ -1,0 +1,1 @@
+lib/index/branch_bitmap.ml: Array Bitvec Decibel_util Printf

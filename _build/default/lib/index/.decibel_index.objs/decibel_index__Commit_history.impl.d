@@ -1,0 +1,1 @@
+lib/index/commit_history.ml: Array Binio Bitvec Buffer Decibel_util Printf Rle String

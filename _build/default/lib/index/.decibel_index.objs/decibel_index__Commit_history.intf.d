@@ -1,0 +1,1 @@
+lib/index/commit_history.mli: Decibel_util

@@ -1,0 +1,1 @@
+lib/index/pk_index.ml: Array Decibel_storage Hashtbl Printf Value

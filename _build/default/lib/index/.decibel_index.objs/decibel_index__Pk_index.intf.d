@@ -1,0 +1,1 @@
+lib/index/pk_index.mli: Decibel_storage Value

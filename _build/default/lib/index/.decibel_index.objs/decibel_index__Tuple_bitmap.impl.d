@@ -1,0 +1,1 @@
+lib/index/tuple_bitmap.ml: Bitvec Decibel_util Printf

@@ -1,0 +1,60 @@
+(** Common interface of the two bitmap-index layouts.
+
+    The tuple-first scheme's bitmap index can be laid out
+    tuple-oriented (one bitmap row per tuple, branches contiguous) or
+    branch-oriented (one bitmap per branch, rows contiguous) — paper
+    §3.1.  Engines are functorized over this signature so both layouts
+    run through identical versioning logic and can be benchmarked
+    against each other (the paper's evaluation uses branch-oriented,
+    §5; the ablation bench measures both). *)
+
+module type S = sig
+  type t
+
+  val layout : string
+  (** ["branch-oriented"] or ["tuple-oriented"], for reports. *)
+
+  val create : unit -> t
+
+  val add_branch : t -> from:int option -> int
+  (** Register the next branch id (dense, starting at 0).  With
+      [from = Some parent], the new branch's column starts as a copy of
+      the parent's — the paper's branch operation clones the parent
+      bitmap (§3.2 “Branch”). Returns the new branch id. *)
+
+  val branch_count : t -> int
+
+  val row_count : t -> int
+
+  val append_row : t -> int
+  (** Allocate the next row (tuple slot), all bits clear; returns its
+      index. *)
+
+  val set : t -> branch:int -> row:int -> unit
+  val clear : t -> branch:int -> row:int -> unit
+  val get : t -> branch:int -> row:int -> bool
+
+  val snapshot : t -> branch:int -> Decibel_util.Bitvec.t
+  (** Copy of a branch's liveness column (commit snapshots, §3.2). *)
+
+  val column_view : t -> branch:int -> Decibel_util.Bitvec.t
+  (** The branch's column for read-only use.  Branch-oriented returns
+      the live vector without copying (callers must not mutate);
+      tuple-oriented materializes it, which is exactly the extra work
+      the paper attributes to that layout on single-branch scans. *)
+
+  val overwrite_column : t -> branch:int -> Decibel_util.Bitvec.t -> unit
+  (** Replace a branch's column wholesale (merge installs, tests). *)
+
+  val row_membership : t -> row:int -> int list
+  (** Branches a row is live in.  Tuple-oriented reads one contiguous
+      run of bits; branch-oriented probes every column — the layout
+      trade-off for multi-branch scans (§3.1). *)
+
+  val memory_bytes : t -> int
+  (** Approximate resident size, for reports. *)
+
+  val serialize : Buffer.t -> t -> unit
+  val deserialize : string -> int ref -> t
+  (** Self-delimiting persistence (engine manifests). *)
+end

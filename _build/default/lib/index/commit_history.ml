@@ -1,0 +1,132 @@
+open Decibel_util
+
+let layer_stride = 16
+
+type entry = { compressed : string }
+
+type t = {
+  path : string;
+  mutable units : entry array; (* delta i: commit i-1 -> i (or empty -> 0) *)
+  mutable nunits : int;
+  mutable composites : entry array; (* delta j: commit (j*S - 1) -> j*S+S-1 *)
+  mutable ncomposites : int;
+  mutable last : Bitvec.t; (* bitmap at latest commit *)
+  mutable anchor : Bitvec.t; (* bitmap at last composite boundary *)
+  mutable disk : int;
+  oc : out_channel;
+}
+
+let push_entry arr n e =
+  let arr = if n = Array.length arr then begin
+      let a = Array.make (max 8 (2 * n)) { compressed = "" } in
+      Array.blit arr 0 a 0 n;
+      a
+    end
+    else arr
+  in
+  arr.(n) <- e;
+  arr
+
+(* File framing: [u8 kind][varint rle length][rle bytes]; kind 0 = unit
+   delta, 1 = composite delta. *)
+let write_record oc kind compressed =
+  let buf = Buffer.create (String.length compressed + 8) in
+  Binio.write_u8 buf kind;
+  Binio.write_string buf compressed;
+  let s = Buffer.contents buf in
+  output_string oc s;
+  String.length s
+
+let make path oc =
+  {
+    path;
+    units = Array.make 8 { compressed = "" };
+    nunits = 0;
+    composites = Array.make 2 { compressed = "" };
+    ncomposites = 0;
+    last = Bitvec.create ();
+    anchor = Bitvec.create ();
+    disk = 0;
+    oc;
+  }
+
+let create ~path =
+  let oc = open_out_bin path in
+  make path oc
+
+let commit t bitmap =
+  let idx = t.nunits in
+  let delta = Bitvec.xor t.last bitmap in
+  let compressed = Rle.encode delta in
+  t.units <- push_entry t.units t.nunits { compressed };
+  t.nunits <- t.nunits + 1;
+  t.disk <- t.disk + write_record t.oc 0 compressed;
+  t.last <- Bitvec.copy bitmap;
+  if (idx + 1) mod layer_stride = 0 then begin
+    let comp = Bitvec.xor t.anchor bitmap in
+    let comp_c = Rle.encode comp in
+    t.composites <- push_entry t.composites t.ncomposites { compressed = comp_c };
+    t.ncomposites <- t.ncomposites + 1;
+    t.disk <- t.disk + write_record t.oc 1 comp_c;
+    t.anchor <- Bitvec.copy bitmap
+  end;
+  flush t.oc;
+  idx
+
+let decode_entry e =
+  let pos = ref 0 in
+  Rle.decode e.compressed pos
+
+(* Plan for reaching commit [idx]: apply composites 0..c-1 (reaching
+   commit c*S - 1), then unit deltas c*S .. idx. *)
+let plan _t idx =
+  let c = (idx + 1) / layer_stride in
+  (c, (c * layer_stride, idx))
+
+let checkout t idx =
+  if idx < 0 || idx >= t.nunits then
+    invalid_arg (Printf.sprintf "Commit_history.checkout: index %d/%d" idx t.nunits);
+  let ncomp, (ufrom, uto) = plan t idx in
+  let acc = ref (Bitvec.create ()) in
+  for j = 0 to ncomp - 1 do
+    acc := Bitvec.xor !acc (decode_entry t.composites.(j))
+  done;
+  for i = ufrom to uto do
+    acc := Bitvec.xor !acc (decode_entry t.units.(i))
+  done;
+  !acc
+
+let replay_length t idx =
+  let ncomp, (ufrom, uto) = plan t idx in
+  ncomp + (uto - ufrom + 1)
+
+let count t = t.nunits
+let disk_bytes t = t.disk
+
+let close t = close_out_noerr t.oc
+
+let open_existing ~path =
+  let data = Binio.read_file path in
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+  let t = make path oc in
+  t.disk <- String.length data;
+  let pos = ref 0 in
+  while !pos < String.length data do
+    let kind = Binio.read_u8 data pos in
+    let compressed = Binio.read_string data pos in
+    match kind with
+    | 0 ->
+        t.units <- push_entry t.units t.nunits { compressed };
+        t.nunits <- t.nunits + 1
+    | 1 ->
+        t.composites <- push_entry t.composites t.ncomposites { compressed };
+        t.ncomposites <- t.ncomposites + 1
+    | k -> raise (Binio.Corrupt (Printf.sprintf "Commit_history: kind %d" k))
+  done;
+  if t.nunits > 0 then begin
+    t.last <- checkout t (t.nunits - 1);
+    let boundary = t.nunits / layer_stride * layer_stride in
+    t.anchor <-
+      (if boundary = 0 then Bitvec.create () else checkout t (boundary - 1))
+  end;
+  t

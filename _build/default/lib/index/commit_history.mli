@@ -1,0 +1,43 @@
+(** Compressed commit histories for bitmap-backed engines.
+
+    Tuple-first and hybrid keep historical commit data out of the live
+    bitmap index: each commit stores the XOR delta between the branch's
+    bitmap now and at the previous commit, run-length-encoded, appended
+    to a per-branch (or per branch-and-segment, in hybrid) history file
+    (paper §3.2 “Commit”).  Checkout replays deltas up to the commit of
+    interest.  To bound replay length, every [layer_stride] commits a
+    second-layer composite delta (XOR across the whole stride) is also
+    written, so a checkout applies at most
+    [n / stride + stride] deltas — the paper's two-layer scheme.
+
+    Compressed entries are cached in memory; the backing file is the
+    durable copy and the thing whose size Table 2 reports. *)
+
+type t
+
+val layer_stride : int
+(** Commits per composite delta (16). *)
+
+val create : path:string -> t
+(** New empty history backed by the given file (truncated). *)
+
+val open_existing : path:string -> t
+(** Reload a persisted history. *)
+
+val commit : t -> Decibel_util.Bitvec.t -> int
+(** Record the branch bitmap at a commit; returns the commit's index in
+    this history (0-based). *)
+
+val checkout : t -> int -> Decibel_util.Bitvec.t
+(** Reconstruct the bitmap as of the given commit index.  Raises
+    [Invalid_argument] if out of range. *)
+
+val count : t -> int
+val disk_bytes : t -> int
+(** Size of the persisted history file. *)
+
+val replay_length : t -> int -> int
+(** Number of delta applications a checkout of the given index needs
+    (for the layering ablation). *)
+
+val close : t -> unit

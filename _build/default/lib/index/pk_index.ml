@@ -1,0 +1,59 @@
+open Decibel_storage
+
+module H = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+type 'a t = { mutable maps : 'a H.t array; mutable n : int }
+
+let create () = { maps = Array.make 4 (H.create 1); n = 0 }
+
+let branch_count t = t.n
+
+let check t b =
+  if b < 0 || b >= t.n then
+    invalid_arg (Printf.sprintf "Pk_index: unknown branch %d" b)
+
+let add_branch t ~from =
+  let m =
+    match from with
+    | None -> H.create 64
+    | Some parent ->
+        check t parent;
+        H.copy t.maps.(parent)
+  in
+  if t.n = Array.length t.maps then begin
+    let a = Array.make (2 * t.n) (H.create 1) in
+    Array.blit t.maps 0 a 0 t.n;
+    t.maps <- a
+  end;
+  t.maps.(t.n) <- m;
+  t.n <- t.n + 1;
+  t.n - 1
+
+let find t ~branch k =
+  check t branch;
+  H.find_opt t.maps.(branch) k
+
+let set t ~branch k v =
+  check t branch;
+  H.replace t.maps.(branch) k v
+
+let remove t ~branch k =
+  check t branch;
+  H.remove t.maps.(branch) k
+
+let mem t ~branch k =
+  check t branch;
+  H.mem t.maps.(branch) k
+
+let iter t ~branch f =
+  check t branch;
+  H.iter f t.maps.(branch)
+
+let cardinal t ~branch =
+  check t branch;
+  H.length t.maps.(branch)

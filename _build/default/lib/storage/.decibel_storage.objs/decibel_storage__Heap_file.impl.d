@@ -1,0 +1,1 @@
+lib/storage/heap_file.ml: Binio Buffer Buffer_pool Bytes Decibel_util List Option Printf String Sys Unix

@@ -1,0 +1,1 @@
+lib/storage/schema.ml: Array Binio Decibel_util Format List Printf Set String Value

@@ -1,0 +1,1 @@
+lib/storage/tuple.ml: Array Binio Buffer Decibel_util Format Schema String Value

@@ -1,0 +1,1 @@
+lib/storage/value.ml: Binio Decibel_util Format Hashtbl Int64 Printf String

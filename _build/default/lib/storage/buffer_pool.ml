@@ -1,0 +1,141 @@
+type key = int * int
+
+type entry = { data : bytes; mutable referenced : bool }
+
+type stats = { hits : int; misses : int; evictions : int }
+
+type t = {
+  page_size : int;
+  capacity : int;
+  table : (key, entry) Hashtbl.t;
+  mutable ring : key array; (* clock ring; (-1,-1) marks a free slot *)
+  mutable hand : int;
+  mutable resident : int;
+  mutable next_file : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let no_key = (-1, -1)
+
+let create ?(page_size = 65536) ?(capacity_pages = 1024) () =
+  if page_size <= 0 || capacity_pages <= 0 then
+    invalid_arg "Buffer_pool.create: sizes must be positive";
+  {
+    page_size;
+    capacity = capacity_pages;
+    table = Hashtbl.create (capacity_pages * 2);
+    ring = Array.make capacity_pages no_key;
+    hand = 0;
+    resident = 0;
+    next_file = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let page_size t = t.page_size
+
+let next_file_id t =
+  let id = t.next_file in
+  t.next_file <- id + 1;
+  id
+
+let find t ~file ~page =
+  match Hashtbl.find_opt t.table (file, page) with
+  | Some e ->
+      e.referenced <- true;
+      t.hits <- t.hits + 1;
+      Some e.data
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+(* Advance the clock hand until a victim with referenced=false is found,
+   clearing reference bits along the way; bounded by 2 * capacity. *)
+let evict_one t =
+  let rec loop steps =
+    if steps > 2 * t.capacity then ()
+    else begin
+      let k = t.ring.(t.hand) in
+      if k = no_key then begin
+        t.hand <- (t.hand + 1) mod t.capacity;
+        loop (steps + 1)
+      end
+      else
+        match Hashtbl.find_opt t.table k with
+        | None ->
+            t.ring.(t.hand) <- no_key;
+            t.hand <- (t.hand + 1) mod t.capacity
+        | Some e ->
+            if e.referenced then begin
+              e.referenced <- false;
+              t.hand <- (t.hand + 1) mod t.capacity;
+              loop (steps + 1)
+            end
+            else begin
+              Hashtbl.remove t.table k;
+              t.ring.(t.hand) <- no_key;
+              t.resident <- t.resident - 1;
+              t.evictions <- t.evictions + 1;
+              t.hand <- (t.hand + 1) mod t.capacity
+            end
+    end
+  in
+  loop 0
+
+let add t ~file ~page data =
+  let k = (file, page) in
+  (match Hashtbl.find_opt t.table k with
+  | Some e ->
+      (* refresh in place (a partial page grew) *)
+      Hashtbl.replace t.table k { data; referenced = e.referenced }
+  | None -> ());
+  if not (Hashtbl.mem t.table k) then begin
+    if t.resident >= t.capacity then evict_one t;
+    if t.resident < t.capacity then begin
+      Hashtbl.replace t.table k { data; referenced = true };
+      (* place in a free ring slot starting from the hand *)
+      let rec place i steps =
+        if steps >= t.capacity then ()
+        else if t.ring.(i) = no_key then t.ring.(i) <- k
+        else place ((i + 1) mod t.capacity) (steps + 1)
+      in
+      place t.hand 0;
+      t.resident <- t.resident + 1
+    end
+  end
+
+let invalidate_page t ~file ~page =
+  let k = (file, page) in
+  if Hashtbl.mem t.table k then begin
+    Hashtbl.remove t.table k;
+    t.resident <- t.resident - 1;
+    Array.iteri (fun i k' -> if k' = k then t.ring.(i) <- no_key) t.ring
+  end
+
+let invalidate_file t file =
+  let keys =
+    Hashtbl.fold
+      (fun ((f, _) as k) _ acc -> if f = file then k :: acc else acc)
+      t.table []
+  in
+  List.iter (Hashtbl.remove t.table) keys;
+  Array.iteri
+    (fun i ((f, _) as k) -> if k <> no_key && f = file then t.ring.(i) <- no_key)
+    t.ring;
+  t.resident <- Hashtbl.length t.table
+
+let drop_all t =
+  Hashtbl.reset t.table;
+  Array.fill t.ring 0 (Array.length t.ring) no_key;
+  t.resident <- 0;
+  t.hand <- 0
+
+let stats t = { hits = t.hits; misses = t.misses; evictions = t.evictions }
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.evictions <- 0

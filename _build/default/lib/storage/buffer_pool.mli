@@ -1,0 +1,43 @@
+(** Page cache shared by heap files.
+
+    Decibel stores pages "in a fairly conventional buffer pool
+    architecture" (paper §2.1; 4 MB pages on their testbed).  This pool
+    caches fixed-size pages keyed by (file id, page number) with clock
+    (second-chance) eviction.  Files perform their own I/O and consult
+    the pool; only complete pages are cached, so a file's growing tail
+    page is always re-read and never stale.
+
+    The pool counts hits/misses/evictions for benchmark reporting, and
+    {!drop_all} simulates a cold cache between measurements (the paper
+    flushes disk caches before each operation, §5). *)
+
+type t
+
+val create : ?page_size:int -> ?capacity_pages:int -> unit -> t
+(** [page_size] in bytes (default 65536); [capacity_pages] bounds
+    residency (default 1024, i.e. 64 MiB at the default page size). *)
+
+val page_size : t -> int
+
+val next_file_id : t -> int
+(** Fresh identifier for a file joining the pool. *)
+
+val find : t -> file:int -> page:int -> bytes option
+(** Cached page contents, if resident. Marks the page recently-used. *)
+
+val add : t -> file:int -> page:int -> bytes -> unit
+(** Insert a (complete) page, evicting if at capacity. *)
+
+val invalidate_file : t -> int -> unit
+(** Drop every cached page of one file (file truncated or deleted). *)
+
+val invalidate_page : t -> file:int -> page:int -> unit
+(** Drop one cached page (its durable contents grew). *)
+
+val drop_all : t -> unit
+(** Empty the cache; statistics are retained. *)
+
+type stats = { hits : int; misses : int; evictions : int }
+
+val stats : t -> stats
+val reset_stats : t -> unit

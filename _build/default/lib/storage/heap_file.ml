@@ -1,0 +1,187 @@
+open Decibel_util
+
+type t = {
+  path : string;
+  fd : Unix.file_descr;
+  pool : Buffer_pool.t;
+  file_id : int;
+  mutable size : int; (* logical end, including pending bytes *)
+  mutable flushed : int; (* bytes durable in [fd] *)
+  pending : Buffer.t;
+  mutable closed : bool;
+}
+
+let flush_threshold = 1 lsl 20
+
+let make ~pool path fd initial_size =
+  {
+    path;
+    fd;
+    pool;
+    file_id = Buffer_pool.next_file_id pool;
+    size = initial_size;
+    flushed = initial_size;
+    pending = Buffer.create flush_threshold;
+    closed = false;
+  }
+
+let create ~pool path =
+  let fd = Unix.openfile path [ O_RDWR; O_CREAT; O_TRUNC ] 0o644 in
+  make ~pool path fd 0
+
+let open_existing ~pool path =
+  let fd = Unix.openfile path [ O_RDWR ] 0o644 in
+  let size = (Unix.fstat fd).st_size in
+  make ~pool path fd size
+
+let path t = t.path
+let size t = t.size
+
+let check_open t = if t.closed then invalid_arg "Heap_file: closed"
+
+let flush t =
+  check_open t;
+  if Buffer.length t.pending > 0 then begin
+    let data = Buffer.contents t.pending in
+    let _ = Unix.lseek t.fd t.flushed SEEK_SET in
+    let len = String.length data in
+    let written = Unix.write_substring t.fd data 0 len in
+    if written <> len then failwith "Heap_file.flush: short write";
+    (* the old tail page may be cached with its old, shorter contents *)
+    let psz = Buffer_pool.page_size t.pool in
+    Buffer_pool.invalidate_page t.pool ~file:t.file_id ~page:(t.flushed / psz);
+    t.flushed <- t.flushed + len;
+    Buffer.clear t.pending
+  end
+
+let truncate_to t size =
+  check_open t;
+  if Buffer.length t.pending > 0 then
+    invalid_arg "Heap_file.truncate_to: pending appends";
+  if size < 0 || size > t.flushed then
+    invalid_arg "Heap_file.truncate_to: size out of range";
+  Unix.ftruncate t.fd size;
+  Buffer_pool.invalidate_file t.pool t.file_id;
+  t.flushed <- size;
+  t.size <- size
+
+let append t payload =
+  check_open t;
+  let off = t.size in
+  Binio.write_varint t.pending (String.length payload);
+  Buffer.add_string t.pending payload;
+  t.size <- t.flushed + Buffer.length t.pending;
+  if Buffer.length t.pending >= flush_threshold then flush t;
+  off
+
+(* Read [len] bytes at [off] from the durable region, assembling from
+   buffer-pool pages.  Only complete pages are cached; the partial tail
+   page of the durable region is read directly each time. *)
+let read_disk t off len out out_pos =
+  let psz = Buffer_pool.page_size t.pool in
+  let pread file_off buf buf_pos n =
+    let _ = Unix.lseek t.fd file_off SEEK_SET in
+    let rec loop pos remaining =
+      if remaining > 0 then begin
+        let r = Unix.read t.fd buf pos remaining in
+        if r = 0 then failwith "Heap_file: unexpected EOF";
+        loop (pos + r) (remaining - r)
+      end
+    in
+    loop buf_pos n
+  in
+  let first_page = off / psz and last_page = (off + len - 1) / psz in
+  for p = first_page to last_page do
+    let page_start = p * psz in
+    let avail = min psz (t.flushed - page_start) in
+    (* partial tail pages are cached too; flush invalidates the stale
+       boundary page when the durable region grows past it *)
+    let cached =
+      match Buffer_pool.find t.pool ~file:t.file_id ~page:p with
+      | Some data when Bytes.length data >= avail -> Some data
+      | Some _ | None -> None
+    in
+    let page =
+      match cached with
+      | Some data -> data
+      | None ->
+          let data = Bytes.create avail in
+          pread page_start data 0 avail;
+          Buffer_pool.add t.pool ~file:t.file_id ~page:p data;
+          data
+    in
+    let seg_start = max off page_start in
+    let seg_end = min (off + len) (page_start + avail) in
+    if seg_end > seg_start then
+      Bytes.blit page (seg_start - page_start) out
+        (out_pos + (seg_start - off))
+        (seg_end - seg_start)
+  done
+
+let read_raw t off len =
+  check_open t;
+  if off < 0 || off + len > t.size then
+    invalid_arg
+      (Printf.sprintf "Heap_file.read_raw: [%d,%d) out of bounds (size %d)"
+         off (off + len) t.size);
+  let out = Bytes.create len in
+  let disk_len = min len (max 0 (t.flushed - off)) in
+  if disk_len > 0 then read_disk t off disk_len out 0;
+  if disk_len < len then begin
+    let mem_off = max off t.flushed - t.flushed in
+    let mem_len = len - disk_len in
+    let s = Buffer.sub t.pending mem_off mem_len in
+    Bytes.blit_string s 0 out disk_len mem_len
+  end;
+  Bytes.unsafe_to_string out
+
+let read_header t off =
+  let n = min 5 (t.size - off) in
+  if n <= 0 then
+    raise (Binio.Corrupt "Heap_file: record offset at or past end of file");
+  let hdr = read_raw t off n in
+  let pos = ref 0 in
+  let len = Binio.read_varint hdr pos in
+  (len, off + !pos)
+
+let get t off =
+  let len, payload_off = read_header t off in
+  read_raw t payload_off len
+
+let iter ?(from = 0) ?upto t f =
+  check_open t;
+  let upto = Option.value upto ~default:t.size in
+  let pos = ref from in
+  while !pos < upto do
+    let len, payload_off = read_header t !pos in
+    f !pos (read_raw t payload_off len);
+    pos := payload_off + len
+  done
+
+let iter_rev ?(from = 0) ?upto t f =
+  check_open t;
+  let upto = Option.value upto ~default:t.size in
+  (* First pass collects record extents (headers only), second reads
+     payloads newest-first. *)
+  let extents = ref [] in
+  let pos = ref from in
+  while !pos < upto do
+    let len, payload_off = read_header t !pos in
+    extents := (!pos, payload_off, len) :: !extents;
+    pos := payload_off + len
+  done;
+  List.iter
+    (fun (off, payload_off, len) -> f off (read_raw t payload_off len))
+    !extents
+
+let close t =
+  if not t.closed then begin
+    flush t;
+    Unix.close t.fd;
+    Buffer_pool.invalidate_file t.pool t.file_id;
+    t.closed <- true
+  end
+
+let remove t =
+  close t;
+  if Sys.file_exists t.path then Sys.remove t.path

@@ -1,0 +1,57 @@
+(** Append-only record files (heap files).
+
+    All three Decibel storage schemes keep tuple data in heap files that
+    only ever grow: tuple-first uses one shared file, version-first and
+    hybrid use one segment file per branch (paper §3).  Records are
+    varint-length-prefixed byte strings addressed by their starting byte
+    offset; offsets double as record identifiers and as the branch-point
+    markers version-first stores in its version graph.
+
+    Appends are buffered in memory and flushed in large writes; reads go
+    through the shared {!Buffer_pool} so sequential scans hit cached
+    pages.  A single writer is assumed per file (Decibel serializes
+    branch modifications with branch-level locks). *)
+
+type t
+
+val create : pool:Buffer_pool.t -> string -> t
+(** Create or truncate the file at the given path. *)
+
+val open_existing : pool:Buffer_pool.t -> string -> t
+(** Open for reading and appending; raises [Sys_error] if missing. *)
+
+val path : t -> string
+
+val size : t -> int
+(** Logical size in bytes, including unflushed appends.  This is the
+    offset the next append will return, i.e. the "end of segment" that
+    branch points record (paper §3.3). *)
+
+val append : t -> string -> int
+(** Append one record; returns its offset. *)
+
+val get : t -> int -> string
+(** Record starting at the given offset.  Raises [Invalid_argument] on
+    an out-of-range offset and [Decibel_util.Binio.Corrupt] if the
+    offset does not address a record header. *)
+
+val iter : ?from:int -> ?upto:int -> t -> (int -> string -> unit) -> unit
+(** Sequential scan of records whose offsets lie in [\[from, upto)];
+    calls [f offset payload] in file order. *)
+
+val iter_rev : ?from:int -> ?upto:int -> t -> (int -> string -> unit) -> unit
+(** Like {!iter} but emits records in reverse file order (used by
+    version-first lineage scans, which read newest-first). *)
+
+val flush : t -> unit
+(** Push buffered appends to the operating system. *)
+
+val truncate_to : t -> int -> unit
+(** Discard everything past the given logical size (crash recovery:
+    bytes written after the last checkpoint are replayed from the
+    write-ahead log instead).  Requires no pending appends and a target
+    within the current size. *)
+
+val close : t -> unit
+val remove : t -> unit
+(** Close and delete the underlying file. *)

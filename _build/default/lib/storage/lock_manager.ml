@@ -1,0 +1,85 @@
+type mode = Shared | Exclusive
+
+exception Deadlock of string
+
+type entry = { mutable locks : (int * mode) list }
+
+type t = {
+  mutex : Mutex.t;
+  changed : Condition.t;
+  table : (string, entry) Hashtbl.t;
+  timeout_s : float;
+}
+
+let create ?(timeout_s = 5.0) () =
+  {
+    mutex = Mutex.create ();
+    changed = Condition.create ();
+    table = Hashtbl.create 64;
+    timeout_s;
+  }
+
+let entry_of t resource =
+  match Hashtbl.find_opt t.table resource with
+  | Some e -> e
+  | None ->
+      let e = { locks = [] } in
+      Hashtbl.replace t.table resource e;
+      e
+
+let compatible entry ~owner mode =
+  match mode with
+  | Shared ->
+      List.for_all
+        (fun (o, m) -> o = owner || m = Shared)
+        entry.locks
+  | Exclusive -> List.for_all (fun (o, _) -> o = owner) entry.locks
+
+let acquire t ~owner ~resource mode =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      let e = entry_of t resource in
+      let deadline = Unix.gettimeofday () +. t.timeout_s in
+      let rec wait () =
+        if compatible e ~owner mode then begin
+          let held = List.assoc_opt owner e.locks in
+          match held, mode with
+          | Some Exclusive, _ | Some Shared, Shared -> ()
+          | Some Shared, Exclusive ->
+              e.locks <-
+                (owner, Exclusive) :: List.remove_assoc owner e.locks
+          | None, _ -> e.locks <- (owner, mode) :: e.locks
+        end
+        else begin
+          if Unix.gettimeofday () > deadline then raise (Deadlock resource);
+          (* Condition.wait has no timeout; poll with a short sleep while
+             releasing the mutex so holders can make progress. *)
+          Mutex.unlock t.mutex;
+          Thread.yield ();
+          Unix.sleepf 0.002;
+          Mutex.lock t.mutex;
+          wait ()
+        end
+      in
+      wait ())
+
+let release_all t ~owner =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      Hashtbl.iter
+        (fun _ e -> e.locks <- List.filter (fun (o, _) -> o <> owner) e.locks)
+        t.table;
+      Condition.broadcast t.changed)
+
+let holders t ~resource =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      match Hashtbl.find_opt t.table resource with
+      | Some e -> e.locks
+      | None -> [])

@@ -1,0 +1,39 @@
+(** Relation schemas.
+
+    Each relation has a well-defined, immutable primary key used to
+    track records across versions and branches (paper §2.2.1).  A schema
+    names the relation, its columns and their types, and designates the
+    primary-key column. *)
+
+type col_type = T_int | T_str
+
+type column = { col_name : string; col_type : col_type }
+
+type t
+
+val make : name:string -> columns:column list -> pk:string -> t
+(** Raises [Invalid_argument] if [pk] is not a column name, column names
+    are not distinct, or [columns] is empty. *)
+
+val name : t -> string
+val columns : t -> column array
+val arity : t -> int
+
+val pk_index : t -> int
+(** Position of the primary-key column. *)
+
+val column_index : t -> string -> int
+(** Raises [Not_found] for an unknown column name. *)
+
+val validate : t -> Value.t array -> (unit, string) result
+(** Arity and per-column type check for a candidate tuple. *)
+
+val ints : name:string -> width:int -> t
+(** Benchmark-style schema: [width] int columns [c0..c{width-1}] with
+    [c0] as primary key (paper §4.2 uses all-integer rows). *)
+
+val serialize : Buffer.t -> t -> unit
+val deserialize : string -> int ref -> t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,94 @@
+open Decibel_util
+
+type t = Value.t array
+
+let pk schema t = t.(Schema.pk_index schema)
+let field t i = t.(i)
+
+let equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2 Value.equal a b
+
+let encode_into schema buf t =
+  let cols = Schema.columns schema in
+  Array.iteri
+    (fun i (v : Value.t) ->
+      match v, cols.(i).Schema.col_type with
+      | Value.Int x, Schema.T_int -> Binio.write_i64 buf x
+      | Value.Str s, Schema.T_str -> Binio.write_string buf s
+      | _ -> invalid_arg "Tuple.encode: value does not match schema")
+    t
+
+let encode schema t =
+  let buf = Buffer.create (Schema.arity schema * 8) in
+  encode_into schema buf t;
+  Buffer.contents buf
+
+let decode schema s pos =
+  let cols = Schema.columns schema in
+  Array.map
+    (fun (c : Schema.column) ->
+      match c.Schema.col_type with
+      | Schema.T_int -> Value.Int (Binio.read_i64 s pos)
+      | Schema.T_str -> Value.Str (Binio.read_string s pos))
+    cols
+
+let encoded_size schema t =
+  let cols = Schema.columns schema in
+  let acc = ref 0 in
+  Array.iteri
+    (fun i (v : Value.t) ->
+      match v, cols.(i).Schema.col_type with
+      | Value.Int _, Schema.T_int -> acc := !acc + 8
+      | Value.Str s, Schema.T_str ->
+          let n = String.length s in
+          let rec varint_len v = if v < 0x80 then 1 else 1 + varint_len (v lsr 7) in
+          acc := !acc + varint_len n + n
+      | _ -> invalid_arg "Tuple.encoded_size: value does not match schema")
+    t;
+  !acc
+
+let conflicting_fields a b =
+  let n = min (Array.length a) (Array.length b) in
+  let rec loop i acc =
+    if i < 0 then acc
+    else if Value.equal a.(i) b.(i) then loop (i - 1) acc
+    else loop (i - 1) (i :: acc)
+  in
+  loop (n - 1) []
+
+let merge_fields ~base ~ours ~theirs =
+  match base with
+  | None ->
+      (* Both branches inserted the key with no common ancestor copy:
+         identical tuples merge trivially, otherwise every differing
+         field conflicts. *)
+      let diffs = conflicting_fields ours theirs in
+      if diffs = [] then Ok ours else Error diffs
+  | Some base ->
+      let n = Array.length base in
+      let merged = Array.copy base in
+      let conflicts = ref [] in
+      for i = n - 1 downto 0 do
+        let ours_changed = not (Value.equal ours.(i) base.(i)) in
+        let theirs_changed = not (Value.equal theirs.(i) base.(i)) in
+        match ours_changed, theirs_changed with
+        | false, false -> ()
+        | true, false -> merged.(i) <- ours.(i)
+        | false, true -> merged.(i) <- theirs.(i)
+        | true, true ->
+            if Value.equal ours.(i) theirs.(i) then merged.(i) <- ours.(i)
+            else conflicts := i :: !conflicts
+      done;
+      if !conflicts = [] then Ok merged else Error !conflicts
+
+let pp fmt t =
+  Format.fprintf fmt "(";
+  Array.iteri
+    (fun i v ->
+      if i > 0 then Format.fprintf fmt ", ";
+      Value.pp fmt v)
+    t;
+  Format.fprintf fmt ")"
+
+let to_string t = Format.asprintf "%a" pp t

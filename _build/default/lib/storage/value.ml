@@ -1,0 +1,48 @@
+open Decibel_util
+
+type t =
+  | Int of int64
+  | Str of string
+
+let compare a b =
+  match a, b with
+  | Int x, Int y -> Int64.compare x y
+  | Str x, Str y -> String.compare x y
+  | Int _, Str _ -> -1
+  | Str _, Int _ -> 1
+
+let equal a b = compare a b = 0
+
+let hash = function
+  | Int x -> Int64.to_int x land max_int
+  | Str s -> Hashtbl.hash s
+
+let int n = Int (Int64.of_int n)
+
+let to_int_exn = function
+  | Int x -> x
+  | Str _ -> invalid_arg "Value.to_int_exn: string value"
+
+let type_name = function Int _ -> "int" | Str _ -> "str"
+
+(* Tag byte distinguishes the constructors so heterogeneous decode is
+   self-describing; schemas still enforce homogeneity per column. *)
+let encode buf = function
+  | Int x ->
+      Binio.write_u8 buf 0;
+      Binio.write_i64 buf x
+  | Str s ->
+      Binio.write_u8 buf 1;
+      Binio.write_string buf s
+
+let decode s pos =
+  match Binio.read_u8 s pos with
+  | 0 -> Int (Binio.read_i64 s pos)
+  | 1 -> Str (Binio.read_string s pos)
+  | t -> raise (Binio.Corrupt (Printf.sprintf "Value.decode: bad tag %d" t))
+
+let pp fmt = function
+  | Int x -> Format.fprintf fmt "%Ld" x
+  | Str s -> Format.fprintf fmt "%S" s
+
+let to_string v = Format.asprintf "%a" pp v

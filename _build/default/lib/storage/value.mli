@@ -1,0 +1,29 @@
+(** Field values.
+
+    Decibel's benchmark uses integer columns with an integer primary key
+    (paper §4.2); examples also use strings, so both are supported.
+    Values are compared structurally — only values of the same type are
+    comparable; mixing types in one column is a schema violation caught
+    at insert time. *)
+
+type t =
+  | Int of int64
+  | Str of string
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val int : int -> t
+(** Convenience: [Int (Int64.of_int n)]. *)
+
+val to_int_exn : t -> int64
+(** Raises [Invalid_argument] on a [Str]. *)
+
+val type_name : t -> string
+
+val encode : Buffer.t -> t -> unit
+val decode : string -> int ref -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

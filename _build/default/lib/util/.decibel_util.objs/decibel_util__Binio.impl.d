@@ -1,0 +1,1 @@
+lib/util/binio.ml: Buffer Char Fun Int32 List Printf String Sys

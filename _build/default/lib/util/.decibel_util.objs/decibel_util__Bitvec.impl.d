@@ -1,0 +1,1 @@
+lib/util/bitvec.ml: Buffer Bytes Format Int32 Int64 List String

@@ -1,0 +1,1 @@
+lib/util/delta.ml: Binio Buffer Char Hashtbl List Printf String

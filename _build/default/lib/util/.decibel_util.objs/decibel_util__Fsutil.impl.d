@@ -1,0 +1,1 @@
+lib/util/fsutil.ml: Array Filename Printf Sys Unix

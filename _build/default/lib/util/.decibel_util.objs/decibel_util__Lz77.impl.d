@@ -1,0 +1,1 @@
+lib/util/lz77.ml: Array Binio Buffer Char Printf String

@@ -1,0 +1,1 @@
+lib/util/rle.ml: Binio Bitvec Buffer List String

@@ -1,0 +1,79 @@
+(** Growable bit vectors.
+
+    The central indexing structure of Decibel's tuple-first and hybrid
+    storage schemes is a bitmap relating tuples to the branches they are
+    live in (paper §3.1).  This module provides the underlying dense bit
+    vector: a growable sequence of bits with word-at-a-time bulk
+    operations (and / or / xor), population count, and fast iteration
+    over set bits.
+
+    Indices are 0-based.  Reading past [length] returns [false]; writing
+    past [length] grows the vector (intervening bits are zero).  All
+    operations are single-threaded; callers synchronize externally. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Fresh empty vector. [capacity] (bits) preallocates backing storage. *)
+
+val length : t -> int
+(** Number of bits logically present (highest written index + 1). *)
+
+val get : t -> int -> bool
+(** [get t i] is bit [i]; [false] beyond [length t]. Raises
+    [Invalid_argument] on negative [i]. *)
+
+val set : t -> int -> unit
+(** [set t i] sets bit [i] to one, growing the vector if needed. *)
+
+val clear : t -> int -> unit
+(** [clear t i] sets bit [i] to zero, growing the vector if needed. *)
+
+val assign : t -> int -> bool -> unit
+(** [assign t i b] writes [b] at index [i]. *)
+
+val copy : t -> t
+
+val equal : t -> t -> bool
+(** Logical equality: trailing zeros are insignificant. *)
+
+val is_empty : t -> bool
+(** [true] iff no bit is set. *)
+
+val pop_count : t -> int
+(** Number of set bits. *)
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val xor : t -> t -> t
+(** Bulk logical operations; the result length is the max of the two
+    argument lengths ([inter]: the min suffices logically, but we keep
+    the max for uniformity). Arguments are unchanged. *)
+
+val diff : t -> t -> t
+(** [diff a b] is [a AND NOT b]. *)
+
+val union_in_place : t -> t -> unit
+(** [union_in_place dst src] ORs [src] into [dst]. *)
+
+val iter_set : (int -> unit) -> t -> unit
+(** Calls the function on each set index, ascending. Skips zero words. *)
+
+val fold_set : ('a -> int -> 'a) -> 'a -> t -> 'a
+
+val to_list : t -> int list
+(** Indices of set bits, ascending. *)
+
+val of_list : int list -> t
+
+val next_set : t -> int -> int option
+(** [next_set t i] is the smallest set index [>= i], if any. *)
+
+val serialize : Buffer.t -> t -> unit
+(** Appends a self-delimiting encoding (length + raw words). *)
+
+val deserialize : string -> int ref -> t
+(** Reads an encoding produced by {!serialize}, advancing the cursor. *)
+
+val pp : Format.formatter -> t -> unit
+(** Debug printer: ["{1, 5, 9}"]. *)

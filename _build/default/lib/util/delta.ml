@@ -1,0 +1,127 @@
+(* Encoding: varint base_len, varint target_len, then instructions:
+   0x00 = insert (varint len, bytes); 0x01 = copy (varint off, varint len).
+   The match finder hashes fixed-size base blocks and greedily extends
+   candidate matches in both directions within the current target span. *)
+
+let block = 16
+
+let hash_block s i =
+  let h = ref 0 in
+  for k = i to i + block - 1 do
+    h := (!h * 131) + Char.code s.[k]
+  done;
+  !h land max_int
+
+let make ~base ~target =
+  let nb = String.length base and nt = String.length target in
+  let buf = Buffer.create (nt / 4 + 16) in
+  Binio.write_varint buf nb;
+  Binio.write_varint buf nt;
+  let table : (int, int list) Hashtbl.t = Hashtbl.create 1024 in
+  let i = ref 0 in
+  while !i + block <= nb do
+    let h = hash_block base !i in
+    let l = try Hashtbl.find table h with Not_found -> [] in
+    (* cap bucket size so adversarial bases stay linear *)
+    if List.length l < 8 then Hashtbl.replace table h (!i :: l);
+    i := !i + block
+  done;
+  let insert_start = ref 0 in
+  let flush_insert upto =
+    if upto > !insert_start then begin
+      Binio.write_u8 buf 0x00;
+      Binio.write_varint buf (upto - !insert_start);
+      Buffer.add_substring buf target !insert_start (upto - !insert_start)
+    end
+  in
+  let extend_forward bi ti =
+    let rec loop k =
+      if bi + k < nb && ti + k < nt && base.[bi + k] = target.[ti + k] then
+        loop (k + 1)
+      else k
+    in
+    loop 0
+  in
+  (* rolling hash over the sliding 16-byte window so a miss advances in
+     O(1) instead of rehashing the whole block *)
+  let hbase = 131 in
+  let hbase_pow =
+    let rec pow acc n =
+      if n = 0 then acc else pow (acc * hbase land max_int) (n - 1)
+    in
+    pow 1 (block - 1)
+  in
+  let rolling = ref 0 in
+  let rolling_at = ref (-1) in
+  let roll_to t_pos =
+    if t_pos = !rolling_at then ()
+    else if !rolling_at >= 0 && t_pos = !rolling_at + 1 && t_pos + block <= nt
+    then begin
+      let out = Char.code target.[t_pos - 1] in
+      let inc = Char.code target.[t_pos + block - 1] in
+      rolling :=
+        (((!rolling - (out * hbase_pow)) * hbase) + inc) land max_int;
+      rolling_at := t_pos
+    end
+    else begin
+      rolling := hash_block target t_pos;
+      rolling_at := t_pos
+    end
+  in
+  let t = ref 0 in
+  while !t + block <= nt do
+    roll_to !t;
+    let h = !rolling in
+    let candidates = try Hashtbl.find table h with Not_found -> [] in
+    let best = ref None in
+    List.iter
+      (fun bi ->
+        if String.sub base bi block = String.sub target !t block then begin
+          let len = extend_forward bi !t in
+          match !best with
+          | Some (_, l) when l >= len -> ()
+          | _ -> best := Some (bi, len)
+        end)
+      candidates;
+    match !best with
+    | Some (bi, len) when len >= block ->
+        flush_insert !t;
+        Binio.write_u8 buf 0x01;
+        Binio.write_varint buf bi;
+        Binio.write_varint buf len;
+        t := !t + len;
+        insert_start := !t
+    | _ -> incr t
+  done;
+  flush_insert nt;
+  Buffer.contents buf
+
+let apply ~base delta =
+  let pos = ref 0 in
+  let nb = Binio.read_varint delta pos in
+  let nt = Binio.read_varint delta pos in
+  if nb <> String.length base then
+    raise (Binio.Corrupt "Delta.apply: base length mismatch");
+  let out = Buffer.create nt in
+  while Buffer.length out < nt do
+    match Binio.read_u8 delta pos with
+    | 0x00 ->
+        let len = Binio.read_varint delta pos in
+        if !pos + len > String.length delta then
+          raise (Binio.Corrupt "Delta.apply: truncated insert");
+        Buffer.add_substring out delta !pos len;
+        pos := !pos + len
+    | 0x01 ->
+        let off = Binio.read_varint delta pos in
+        let len = Binio.read_varint delta pos in
+        if off + len > nb then
+          raise (Binio.Corrupt "Delta.apply: copy out of range");
+        Buffer.add_substring out base off len
+    | tok ->
+        raise (Binio.Corrupt (Printf.sprintf "Delta.apply: bad op %d" tok))
+  done;
+  if Buffer.length out <> nt then
+    raise (Binio.Corrupt "Delta.apply: target length mismatch");
+  Buffer.contents out
+
+let size d = String.length d

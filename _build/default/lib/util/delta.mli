@@ -1,0 +1,19 @@
+(** Binary deltas between byte strings.
+
+    git packfiles store most objects as a delta against another object:
+    a sequence of [Copy] instructions (ranges of the base) interleaved
+    with [Insert] instructions (fresh bytes).  The git-like baseline's
+    repack step ({!Decibel_gitlike.Packfile}) uses this module; the
+    paper's §5.7 attributes much of git's repack cost to the exhaustive
+    search for good delta encodings, which {!make} reproduces with a
+    block-hash match finder. *)
+
+val make : base:string -> target:string -> string
+(** A delta such that [apply ~base (make ~base ~target) = target]. *)
+
+val apply : base:string -> string -> string
+(** Reconstructs the target.  Raises [Binio.Corrupt] if the delta is
+    malformed or does not match the base's length. *)
+
+val size : string -> int
+(** Length in bytes of an encoded delta (for pack accounting). *)

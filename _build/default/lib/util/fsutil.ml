@@ -1,0 +1,46 @@
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  | { st_kind = S_DIR; _ } ->
+      Array.iter
+        (fun name -> rm_rf (Filename.concat path name))
+        (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Sys.remove path
+
+let rec dir_bytes path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> 0
+  | { st_kind = S_DIR; _ } ->
+      Array.fold_left
+        (fun acc name -> acc + dir_bytes (Filename.concat path name))
+        0 (Sys.readdir path)
+  | { st_kind = S_REG; st_size; _ } -> st_size
+  | _ -> 0
+
+let counter = ref 0
+
+let fresh_dir ?base prefix =
+  let base =
+    match base with Some b -> b | None -> Filename.get_temp_dir_name ()
+  in
+  let rec try_next () =
+    incr counter;
+    let candidate =
+      Filename.concat base
+        (Printf.sprintf "%s.%d.%d" prefix (Unix.getpid ()) !counter)
+    in
+    if Sys.file_exists candidate then try_next ()
+    else begin
+      mkdir_p candidate;
+      candidate
+    end
+  in
+  try_next ()

@@ -1,0 +1,14 @@
+(** Filesystem helpers shared by engines, benchmarks and tests. *)
+
+val mkdir_p : string -> unit
+(** Create a directory and any missing ancestors. *)
+
+val rm_rf : string -> unit
+(** Recursively delete a file or directory tree; silent if absent. *)
+
+val dir_bytes : string -> int
+(** Total size of all regular files under a directory. *)
+
+val fresh_dir : ?base:string -> string -> string
+(** [fresh_dir prefix] creates and returns a new empty directory
+    [base/prefix.<n>] ([base] defaults to [Filename.get_temp_dir_name ()]). *)

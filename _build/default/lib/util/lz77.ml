@@ -1,0 +1,113 @@
+(* Token stream: 0x00 = literal run (varint len, bytes);
+   0x01 = match (varint distance >= 1, varint length >= min_match).
+   A hash table over 4-byte prefixes supplies match candidates; chains
+   are bounded so worst-case inputs stay linear-ish. *)
+
+let min_match = 4
+let max_chain = 16
+let window = 1 lsl 16
+
+(* stop probing the chain once a match this long is found, and never
+   extend matches further than this: repetitive inputs otherwise make
+   the search quadratic *)
+let good_enough = 512
+
+let hash4 s i =
+  let b k = Char.code (String.unsafe_get s (i + k)) in
+  (b 0 + (b 1 lsl 6) + (b 2 lsl 12) + (b 3 lsl 18)) * 2654435761 land 0xFFFFF
+
+let match_len s i j limit =
+  let rec loop k =
+    if k < limit && s.[i + k] = s.[j + k] then loop (k + 1) else k
+  in
+  loop 0
+
+let compress s =
+  let n = String.length s in
+  let buf = Buffer.create (n / 2 + 16) in
+  Binio.write_varint buf n;
+  let heads = Array.make 0x100000 (-1) in
+  let prev = Array.make (max n 1) (-1) in
+  let lit_start = ref 0 in
+  let flush_literals upto =
+    if upto > !lit_start then begin
+      Binio.write_u8 buf 0x00;
+      Binio.write_varint buf (upto - !lit_start);
+      Buffer.add_substring buf s !lit_start (upto - !lit_start)
+    end
+  in
+  let insert i =
+    if i + min_match <= n then begin
+      let h = hash4 s i in
+      prev.(i) <- heads.(h);
+      heads.(h) <- i
+    end
+  in
+  let i = ref 0 in
+  while !i + min_match <= n do
+    let h = hash4 s !i in
+    let best_len = ref 0 and best_pos = ref (-1) in
+    let cand = ref heads.(h) and steps = ref 0 in
+    while !cand >= 0 && !steps < max_chain && !best_len < good_enough do
+      if !i - !cand < window then begin
+        let len = match_len s !cand !i (min good_enough (n - !i)) in
+        if len > !best_len then begin
+          best_len := len;
+          best_pos := !cand
+        end
+      end;
+      cand := prev.(!cand);
+      incr steps
+    done;
+    (* a good match may extend beyond the probe cap *)
+    if !best_len >= good_enough then
+      best_len := match_len s !best_pos !i (n - !i);
+    if !best_len >= min_match then begin
+      flush_literals !i;
+      Binio.write_u8 buf 0x01;
+      Binio.write_varint buf (!i - !best_pos);
+      Binio.write_varint buf !best_len;
+      (* index a prefix of the covered positions so later matches can
+         refer here; indexing every position of a very long match costs
+         more than the marginally better matches it enables *)
+      for k = 0 to min (!best_len - 1) 31 do
+        insert (!i + k)
+      done;
+      i := !i + !best_len;
+      lit_start := !i
+    end
+    else begin
+      insert !i;
+      incr i
+    end
+  done;
+  flush_literals n;
+  Buffer.contents buf
+
+let decompress c =
+  let pos = ref 0 in
+  let n = Binio.read_varint c pos in
+  let out = Buffer.create n in
+  while Buffer.length out < n do
+    match Binio.read_u8 c pos with
+    | 0x00 ->
+        let len = Binio.read_varint c pos in
+        if !pos + len > String.length c then
+          raise (Binio.Corrupt "Lz77: truncated literal run");
+        Buffer.add_substring out c !pos len;
+        pos := !pos + len
+    | 0x01 ->
+        let dist = Binio.read_varint c pos in
+        let len = Binio.read_varint c pos in
+        let start = Buffer.length out - dist in
+        if dist = 0 || start < 0 then
+          raise (Binio.Corrupt "Lz77: bad match distance");
+        (* overlapping copies are legal and must be byte-sequential *)
+        for k = 0 to len - 1 do
+          Buffer.add_char out (Buffer.nth out (start + k))
+        done
+    | tok -> raise (Binio.Corrupt (Printf.sprintf "Lz77: bad token %d" tok))
+  done;
+  if Buffer.length out <> n then
+    raise (Binio.Corrupt "Lz77: length mismatch");
+  Buffer.contents out

@@ -1,0 +1,13 @@
+(** A small LZ77 byte compressor.
+
+    Used by the git-like baseline ({!Decibel_gitlike}) to stand in for
+    zlib when storing loose objects: real git deflates every object on
+    commit, and that per-byte compression cost is one of the behaviours
+    the paper's §5.7 comparison exercises.  The format is a stream of
+    tokens — literal runs and back-references found with a hash-chain
+    match finder — framed by the uncompressed length. *)
+
+val compress : string -> string
+val decompress : string -> string
+(** [decompress (compress s) = s].  Raises [Binio.Corrupt] on malformed
+    input. *)

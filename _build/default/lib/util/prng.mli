@@ -1,0 +1,35 @@
+(** Deterministic pseudo-random numbers (SplitMix64).
+
+    The benchmark loads every storage scheme with the *same* operation
+    stream (paper §5.6: “we deterministically seed the random number
+    generator to ensure each scheme performs the same set of operations
+    in the same order”).  A self-contained generator with explicit state
+    and cheap splitting guarantees that across engines and across runs,
+    independent of the OCaml stdlib's generator evolution. *)
+
+type t
+
+val create : int64 -> t
+(** Generator seeded with the given value. *)
+
+val split : t -> t
+(** An independent generator derived from (and advancing) [t]. *)
+
+val next_int64 : t -> int64
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be > 0. *)
+
+val float : t -> float -> float
+(** Uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val chance : t -> float -> bool
+(** [chance t p] is true with probability [p]. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates. *)

@@ -1,0 +1,53 @@
+(* Runs alternate starting with zeros: [z0; o0; z1; o1; ...].  The total
+   of all runs equals the logical length, so decode reproduces trailing
+   zeros and hence exact lengths. *)
+
+let runs_of v =
+  let len = Bitvec.length v in
+  let runs = ref [] in
+  let run_start = ref 0 in
+  let run_val = ref false in
+  let flush upto =
+    runs := (upto - !run_start) :: !runs;
+    run_start := upto
+  in
+  for i = 0 to len - 1 do
+    let b = Bitvec.get v i in
+    if b <> !run_val then begin
+      flush i;
+      run_val := b
+    end
+  done;
+  flush len;
+  List.rev !runs
+
+let encode v =
+  let buf = Buffer.create 64 in
+  let runs = runs_of v in
+  Binio.write_varint buf (Bitvec.length v);
+  Binio.write_varint buf (List.length runs);
+  List.iter (Binio.write_varint buf) runs;
+  Buffer.contents buf
+
+let encoded_size v = String.length (encode v)
+
+let decode s pos =
+  let len = Binio.read_varint s pos in
+  let nruns = Binio.read_varint s pos in
+  let v = Bitvec.create ~capacity:(max 64 len) () in
+  let cursor = ref 0 in
+  let bit = ref false in
+  for _ = 1 to nruns do
+    let run = Binio.read_varint s pos in
+    if !bit then
+      for i = !cursor to !cursor + run - 1 do
+        Bitvec.set v i
+      done;
+    cursor := !cursor + run;
+    bit := not !bit
+  done;
+  if !cursor <> len then
+    raise (Binio.Corrupt "Rle.decode: run total does not match length");
+  (* materialize trailing zeros so the logical length round-trips *)
+  if len > 0 && Bitvec.length v < len then Bitvec.assign v (len - 1) false;
+  v

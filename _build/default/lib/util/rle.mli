@@ -1,0 +1,18 @@
+(** Run-length encoding of bit vectors.
+
+    Decibel compresses commit-history bitmap deltas with run-length
+    encoding (paper §3.2 “Commit”): an XOR between two successive commit
+    snapshots is overwhelmingly zero with sparse runs of ones, which RLE
+    captures compactly.  The encoding is a varint run-count followed by
+    varint run lengths, alternating zero-run / one-run and starting with
+    a zero-run (possibly of length 0). *)
+
+val encode : Bitvec.t -> string
+(** Self-delimiting compressed form of the vector. *)
+
+val decode : string -> int ref -> Bitvec.t
+(** Inverse of {!encode}; advances the cursor. Raises [Binio.Corrupt] on
+    malformed input. *)
+
+val encoded_size : Bitvec.t -> int
+(** [String.length (encode v)] (used for storage accounting). *)

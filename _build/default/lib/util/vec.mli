@@ -1,0 +1,18 @@
+(** Growable arrays (amortized O(1) push). *)
+
+type 'a t
+
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+(** [dummy] fills unused capacity; it is never observable. *)
+
+val length : 'a t -> int
+val push : 'a t -> 'a -> int
+(** Appends and returns the element's index. *)
+
+val get : 'a t -> int -> 'a
+(** Raises [Invalid_argument] out of range. *)
+
+val set : 'a t -> int -> 'a -> unit
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val to_list : 'a t -> 'a list

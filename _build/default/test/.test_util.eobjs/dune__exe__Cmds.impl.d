@@ -1,0 +1,1 @@
+test/cmds.ml: Database Decibel Decibel_graph Decibel_storage List Printf QCheck2 Schema String Types Value

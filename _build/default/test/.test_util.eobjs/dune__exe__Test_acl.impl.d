@@ -1,0 +1,1 @@
+test/test_acl.ml: Acl Alcotest Database Decibel Decibel_graph Decibel_storage Decibel_util Fun List Schema Types Value

@@ -1,0 +1,1 @@
+test/test_bench.ml: Alcotest Array Config Database Decibel Decibel_bench Decibel_graph Decibel_util Driver Hashtbl List Printf Strategy Workload

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Database Decibel Decibel_graph Decibel_storage Decibel_util Fun Hashtbl List Option Printf Schema Tuple Types Value

@@ -1,0 +1,1 @@
+test/test_gitlike.ml: Alcotest Array Decibel_gitlike Decibel_graph Decibel_storage Decibel_util Fsutil Fun Git_engine List Object_store Printf QCheck2 QCheck_alcotest Schema String Value

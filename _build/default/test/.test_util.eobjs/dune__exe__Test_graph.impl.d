@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Decibel_graph Format List Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_persistence.ml: Alcotest Array Cmds Database Decibel Decibel_graph Decibel_storage Decibel_util Fun List Printf QCheck2 QCheck_alcotest Schema Types Value

@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Array Cmds Database Decibel Decibel_graph Decibel_storage Decibel_util Fun Hashtbl List Option Printf QCheck2 QCheck_alcotest String Tuple Types Value

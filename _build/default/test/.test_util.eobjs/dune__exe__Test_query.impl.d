@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Database Decibel Decibel_graph Decibel_storage Decibel_util Fun Hashtbl List Merge_driver Printf Query Schema Types Value

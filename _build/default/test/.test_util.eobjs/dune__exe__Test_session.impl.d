@@ -1,0 +1,1 @@
+test/test_session.ml: Alcotest Database Decibel Decibel_graph Decibel_storage Decibel_util Fun List Lock_manager Schema Types Value

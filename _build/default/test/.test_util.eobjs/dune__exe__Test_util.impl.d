@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Binio Bitvec Buffer Decibel_util Delta Fun Int Int64 List Lz77 Printf Prng QCheck2 QCheck_alcotest Rle Set String Vec

@@ -1,0 +1,1 @@
+test/test_vquel.ml: Alcotest Array Database Decibel Decibel_graph Decibel_storage Decibel_util Fun Int64 List Printf Query Schema Value Vquel

@@ -1,0 +1,1 @@
+test/test_wal.ml: Alcotest Array Bytes Char Database Decibel Decibel_graph Decibel_storage Decibel_util Filename Fun List Schema String Sys Types Unix Value Wal

@@ -1,0 +1,104 @@
+(* Shared random-operation-sequence machinery for property tests: a
+   generator of abstract versioning commands and a deterministic
+   interpreter over any Database.  Validity decisions (key existence,
+   branch choice) are resolved against the driven database itself, so
+   engines that agree semantically resolve them identically. *)
+
+open Decibel
+open Decibel_storage
+module Vg = Decibel_graph.Version_graph
+
+let schema = Schema.ints ~name:"r" ~width:3
+
+type cmd =
+  | CInsert of int * int
+  | CUpdate of int * int
+  | CDelete of int
+  | CCommit of int
+  | CBranch of int
+  | CMerge of int * int * int
+
+let cmd_gen =
+  QCheck2.Gen.(
+    frequency
+      [
+        (6, map2 (fun k v -> CInsert (k, v)) (int_bound 40) (int_bound 1000));
+        (4, map2 (fun k v -> CUpdate (k, v)) (int_bound 40) (int_bound 1000));
+        (2, map (fun k -> CDelete k) (int_bound 40));
+        (3, map (fun b -> CCommit b) (int_bound 1000));
+        (2, map (fun v -> CBranch v) (int_bound 1000));
+        ( 2,
+          map3
+            (fun a b p -> CMerge (a, b, p))
+            (int_bound 1000) (int_bound 1000) (int_bound 3) );
+      ])
+
+let cmds_gen = QCheck2.Gen.(list_size (int_range 1 60) cmd_gen)
+
+let print_cmd = function
+  | CInsert (k, v) -> Printf.sprintf "Insert(%d,%d)" k v
+  | CUpdate (k, v) -> Printf.sprintf "Update(%d,%d)" k v
+  | CDelete k -> Printf.sprintf "Delete(%d)" k
+  | CCommit b -> Printf.sprintf "Commit(%d)" b
+  | CBranch v -> Printf.sprintf "Branch(%d)" v
+  | CMerge (a, b, p) -> Printf.sprintf "Merge(%d,%d,%d)" a b p
+
+let print_cmds cmds = String.concat "; " (List.map print_cmd cmds)
+
+let tuple k v = [| Value.int k; Value.int v; Value.int (k + v) |]
+
+(* [branch_offset] seeds the fresh-branch-name counter, so a sequence
+   split across a close/reopen still generates unique names. *)
+let apply_cmds ?(branch_offset = 0) db cmds =
+  let branch_counter = ref branch_offset in
+  List.iteri
+    (fun _i cmd ->
+      let g = Database.graph db in
+      let nbranches = Vg.branch_count g in
+      match cmd with
+      | CInsert (k, v) ->
+          let b = (k + v) mod nbranches in
+          if Database.lookup db b (Value.int k) = None then
+            Database.insert db b (tuple k v)
+          else Database.update db b (tuple k v)
+      | CUpdate (k, v) ->
+          let b = (k + v + 1) mod nbranches in
+          if Database.lookup db b (Value.int k) = None then
+            Database.insert db b (tuple k v)
+          else Database.update db b (tuple k v)
+      | CDelete k ->
+          let b = k mod nbranches in
+          if Database.lookup db b (Value.int k) <> None then
+            Database.delete db b (Value.int k)
+      | CCommit h ->
+          let b = h mod nbranches in
+          let _ = Database.commit db b ~message:"commit" in
+          ()
+      | CBranch h ->
+          let from = h mod Vg.version_count g in
+          incr branch_counter;
+          let _ =
+            Database.create_branch db
+              ~name:(Printf.sprintf "b%d" !branch_counter)
+              ~from
+          in
+          ()
+      | CMerge (a, b, p) ->
+          if nbranches >= 2 then begin
+            let into = a mod nbranches in
+            let from = b mod nbranches in
+            if into <> from then begin
+              let policy =
+                match p mod 3 with
+                | 0 -> Types.Ours
+                | 1 -> Types.Theirs
+                | _ -> Types.Three_way
+              in
+              let _ =
+                Database.merge db ~into ~from ~policy
+                  ~message:"merge"
+              in
+              ()
+            end
+          end)
+    cmds

@@ -1,0 +1,170 @@
+(* Tests for branch-level access control (the per-branch privileges the
+   paper envisions, §2.2.2): grant resolution, persistence, and the
+   guarded facade's enforcement. *)
+
+open Decibel
+open Decibel_storage
+module Vg = Decibel_graph.Version_graph
+
+let schema = Schema.ints ~name:"r" ~width:3
+
+let row k a = [| Value.int k; Value.int a; Value.int 0 |]
+
+(* ------------------------------------------------------------------ *)
+(* grant table semantics *)
+
+let test_rights_ordering () =
+  let t = Acl.create () in
+  Acl.grant t ~user:"u" ~branch:"b" Acl.Write;
+  Alcotest.(check bool) "write implies read" true
+    (Acl.allows t ~user:"u" ~branch:"b" Acl.Read);
+  Alcotest.(check bool) "write is write" true
+    (Acl.allows t ~user:"u" ~branch:"b" Acl.Write);
+  Alcotest.(check bool) "write is not admin" false
+    (Acl.allows t ~user:"u" ~branch:"b" Acl.Admin);
+  Alcotest.(check bool) "other branch denied" false
+    (Acl.allows t ~user:"u" ~branch:"other" Acl.Read);
+  Alcotest.(check bool) "other user denied" false
+    (Acl.allows t ~user:"v" ~branch:"b" Acl.Read)
+
+let test_wildcard_and_default () =
+  let t = Acl.create ~default:Acl.Read () in
+  Alcotest.(check bool) "default read" true
+    (Acl.allows t ~user:"anyone" ~branch:"x" Acl.Read);
+  Alcotest.(check bool) "default not write" false
+    (Acl.allows t ~user:"anyone" ~branch:"x" Acl.Write);
+  Acl.grant t ~user:"ops" ~branch:"*" Acl.Admin;
+  Alcotest.(check bool) "wildcard admin" true
+    (Acl.allows t ~user:"ops" ~branch:"whatever" Acl.Admin);
+  (* strongest right wins when several apply *)
+  Acl.grant t ~user:"ops" ~branch:"narrow" Acl.Read;
+  Alcotest.(check bool) "wildcard still dominates" true
+    (Acl.allows t ~user:"ops" ~branch:"narrow" Acl.Admin)
+
+let test_revoke_and_listing () =
+  let t = Acl.create () in
+  Acl.grant t ~user:"u" ~branch:"a" Acl.Read;
+  Acl.grant t ~user:"u" ~branch:"b" Acl.Admin;
+  Alcotest.(check int) "two grants" 2 (List.length (Acl.grants_for t ~user:"u"));
+  Acl.revoke t ~user:"u" ~branch:"a";
+  Alcotest.(check bool) "revoked" false (Acl.allows t ~user:"u" ~branch:"a" Acl.Read);
+  Alcotest.(check int) "one grant" 1 (List.length (Acl.grants_for t ~user:"u"))
+
+let test_persistence () =
+  let dir = Decibel_util.Fsutil.fresh_dir "decibel-acl" in
+  Fun.protect
+    ~finally:(fun () -> Decibel_util.Fsutil.rm_rf dir)
+    (fun () ->
+      let t = Acl.create ~default:Acl.Read () in
+      Acl.grant t ~user:"alice" ~branch:"master" Acl.Admin;
+      Acl.grant t ~user:"bob" ~branch:"dev" Acl.Write;
+      Acl.save t ~dir;
+      let t2 = Acl.load ~dir in
+      Alcotest.(check bool) "alice admin" true
+        (Acl.allows t2 ~user:"alice" ~branch:"master" Acl.Admin);
+      Alcotest.(check bool) "bob write" true
+        (Acl.allows t2 ~user:"bob" ~branch:"dev" Acl.Write);
+      Alcotest.(check bool) "default read" true
+        (Acl.allows t2 ~user:"carol" ~branch:"dev" Acl.Read);
+      (* empty dir loads an empty table *)
+      let dir2 = Decibel_util.Fsutil.fresh_dir "decibel-acl2" in
+      let t3 = Acl.load ~dir:dir2 in
+      Alcotest.(check bool) "empty denies" false
+        (Acl.allows t3 ~user:"x" ~branch:"y" Acl.Read);
+      Decibel_util.Fsutil.rm_rf dir2)
+
+(* ------------------------------------------------------------------ *)
+(* guarded facade *)
+
+let with_guarded f =
+  let dir = Decibel_util.Fsutil.fresh_dir "decibel-guarded" in
+  let db = Database.open_ ~scheme:Database.Hybrid ~dir ~schema () in
+  let acl = Acl.create () in
+  Acl.grant acl ~user:"alice" ~branch:"master" Acl.Admin;
+  Acl.grant acl ~user:"bob" ~branch:"master" Acl.Read;
+  let g = Acl.Guarded.make ~db ~acl ~dir in
+  Fun.protect
+    ~finally:(fun () ->
+      Database.close db;
+      Decibel_util.Fsutil.rm_rf dir)
+    (fun () -> f g db acl)
+
+let expect_denied f =
+  match f () with
+  | exception Acl.Denied _ -> ()
+  | _ -> Alcotest.fail "expected Acl.Denied"
+
+let test_guarded_writes () =
+  with_guarded (fun g _db _acl ->
+      Acl.Guarded.insert g ~user:"alice" Vg.master (row 1 1);
+      expect_denied (fun () ->
+          Acl.Guarded.insert g ~user:"bob" Vg.master (row 2 2));
+      expect_denied (fun () ->
+          Acl.Guarded.insert g ~user:"mallory" Vg.master (row 3 3));
+      (* bob can read what alice wrote *)
+      let n = ref 0 in
+      Acl.Guarded.scan g ~user:"bob" Vg.master (fun _ -> incr n);
+      Alcotest.(check int) "bob reads" 1 !n;
+      expect_denied (fun () ->
+          Acl.Guarded.scan g ~user:"mallory" Vg.master (fun _ -> ())))
+
+let test_guarded_branching_grants_ownership () =
+  with_guarded (fun g _db acl ->
+      Acl.Guarded.insert g ~user:"alice" Vg.master (row 1 1);
+      let v = Acl.Guarded.commit g ~user:"alice" Vg.master ~message:"c" in
+      (* bob has only read on master: cannot branch from it *)
+      expect_denied (fun () ->
+          ignore (Acl.Guarded.create_branch g ~user:"bob" ~name:"nope" ~from:v));
+      (* alice branches and becomes admin of the new branch *)
+      let dev =
+        Acl.Guarded.create_branch g ~user:"alice" ~name:"dev" ~from:v
+      in
+      Alcotest.(check bool) "creator owns" true
+        (Acl.allows acl ~user:"alice" ~branch:"dev" Acl.Admin);
+      (* alice delegates write on dev to bob; bob can then work there *)
+      Acl.Guarded.grant g ~admin:"alice" ~user:"bob" ~branch:"dev" Acl.Write;
+      Acl.Guarded.insert g ~user:"bob" dev (row 9 9);
+      let _ = Acl.Guarded.commit g ~user:"bob" dev ~message:"bobwork" in
+      (* but bob still cannot merge into master (write needed there) *)
+      expect_denied (fun () ->
+          ignore
+            (Acl.Guarded.merge g ~user:"bob" ~into:Vg.master ~from:dev
+               ~policy:Types.Three_way ~message:"m"));
+      (* alice can: she has admin ≥ write on master and read via... her
+         own grant is only on master; give her read on dev first *)
+      Acl.Guarded.grant g ~admin:"alice" ~user:"alice" ~branch:"dev" Acl.Read;
+      let r =
+        Acl.Guarded.merge g ~user:"alice" ~into:Vg.master ~from:dev
+          ~policy:Types.Three_way ~message:"m"
+      in
+      Alcotest.(check int) "merged" 0 (List.length r.Types.conflicts))
+
+let test_guarded_grant_requires_admin () =
+  with_guarded (fun g _db _acl ->
+      expect_denied (fun () ->
+          Acl.Guarded.grant g ~admin:"bob" ~user:"bob" ~branch:"master"
+            Acl.Admin);
+      expect_denied (fun () ->
+          Acl.Guarded.revoke g ~admin:"mallory" ~user:"alice" ~branch:"master"))
+
+let () =
+  Alcotest.run "acl"
+    [
+      ( "grant-table",
+        [
+          Alcotest.test_case "rights ordering" `Quick test_rights_ordering;
+          Alcotest.test_case "wildcard and default" `Quick
+            test_wildcard_and_default;
+          Alcotest.test_case "revoke and listing" `Quick
+            test_revoke_and_listing;
+          Alcotest.test_case "persistence" `Quick test_persistence;
+        ] );
+      ( "guarded-facade",
+        [
+          Alcotest.test_case "writes enforced" `Quick test_guarded_writes;
+          Alcotest.test_case "branching grants ownership" `Quick
+            test_guarded_branching_grants_ownership;
+          Alcotest.test_case "grant requires admin" `Quick
+            test_guarded_grant_requires_admin;
+        ] );
+    ]

@@ -1,0 +1,236 @@
+(* Tests for the benchmark machinery: the four branching strategies
+   (paper §4.1) generate well-formed, deterministic workloads; the
+   clustered load mode is an order-preserving regrouping; and loading
+   the same workload into different engines yields identical logical
+   datasets. *)
+
+open Decibel
+open Decibel_bench
+
+let small_cfg =
+  {
+    Config.default with
+    Config.branches = 6;
+    records_per_branch = 80;
+    commit_every = 25;
+    science_lifetime = 120;
+    curation_dev_lifetime = 100;
+    curation_feature_lifetime = 40;
+  }
+
+let all_kinds = Strategy.all
+
+(* ------------------------------------------------------------------ *)
+(* structural validity: replay a workload against a simple checker *)
+
+let validate (wl : Workload.t) =
+  let branches = Hashtbl.create 16 in
+  (* branch -> (live keys, commits seen) *)
+  Hashtbl.replace branches "master" (Hashtbl.create 64, ref 0);
+  let keys_of b =
+    match Hashtbl.find_opt branches b with
+    | Some (k, _) -> k
+    | None -> Alcotest.fail (Printf.sprintf "op targets unknown branch %s" b)
+  in
+  let commits_of b =
+    match Hashtbl.find_opt branches b with
+    | Some (_, c) -> c
+    | None -> Alcotest.fail (Printf.sprintf "unknown branch %s" b)
+  in
+  let seen_keys = Hashtbl.create 1024 in
+  List.iter
+    (fun (op : Workload.op) ->
+      match op with
+      | Workload.Insert { branch; key } ->
+          let keys = keys_of branch in
+          if Hashtbl.mem keys key then
+            Alcotest.fail
+              (Printf.sprintf "insert of existing key %d in %s" key branch);
+          if Hashtbl.mem seen_keys key then
+            Alcotest.fail (Printf.sprintf "key %d inserted twice globally" key);
+          Hashtbl.replace seen_keys key ();
+          Hashtbl.replace keys key ()
+      | Workload.Update { branch; key } ->
+          if not (Hashtbl.mem (keys_of branch) key) then
+            Alcotest.fail
+              (Printf.sprintf "update of absent key %d in %s" key branch)
+      | Workload.Commit branch -> incr (commits_of branch)
+      | Workload.Create_branch { name; from_branch; commits_back } ->
+          if Hashtbl.mem branches name then
+            Alcotest.fail (Printf.sprintf "branch %s created twice" name);
+          let parent_commits = !(commits_of from_branch) in
+          if commits_back >= parent_commits then
+            Alcotest.fail
+              (Printf.sprintf "%s branches %d back but %s has %d commits"
+                 name commits_back from_branch parent_commits);
+          (* the checker does not model historical key sets precisely;
+             inherit the parent's current keys (superset) *)
+          let keys = Hashtbl.copy (keys_of from_branch) in
+          Hashtbl.replace branches name (keys, ref 0)
+      | Workload.Merge { into; from; _ } ->
+          let ki = keys_of into and kf = keys_of from in
+          Hashtbl.iter (fun k () -> Hashtbl.replace ki k ()) kf;
+          incr (commits_of into)
+      | Workload.Retire branch -> ignore (keys_of branch))
+    wl.Workload.ops
+
+let test_strategy_validity kind () =
+  let wl = Strategy.generate kind small_cfg in
+  validate wl;
+  let ins, upd, com, br, mrg = Workload.op_counts wl in
+  Alcotest.(check bool) "has inserts" true (ins > 0);
+  Alcotest.(check bool) "has updates" true (upd > 0);
+  Alcotest.(check bool) "has commits" true (com > 0);
+  Alcotest.(check bool) "creates branches" true
+    (br = small_cfg.Config.branches - 1);
+  (match kind with
+  | Strategy.Curation ->
+      Alcotest.(check bool) "curation merges" true (mrg > 0)
+  | Strategy.Deep | Strategy.Flat | Strategy.Science ->
+      Alcotest.(check int) "no merges" 0 mrg);
+  (* update fraction roughly matches the configured mix *)
+  let frac = float_of_int upd /. float_of_int (ins + upd) in
+  Alcotest.(check bool)
+    (Printf.sprintf "update fraction %.2f in [0.1, 0.3]" frac)
+    true
+    (frac > 0.1 && frac < 0.3)
+
+let test_determinism kind () =
+  let wl1 = Strategy.generate kind small_cfg in
+  let wl2 = Strategy.generate kind small_cfg in
+  Alcotest.(check bool) "identical ops" true (wl1.Workload.ops = wl2.Workload.ops);
+  Alcotest.(check bool) "identical roles" true
+    (wl1.Workload.roles = wl2.Workload.roles);
+  let wl3 =
+    Strategy.generate kind { small_cfg with Config.seed = 123L }
+  in
+  Alcotest.(check bool) "different seed differs" true
+    (wl3.Workload.ops <> wl1.Workload.ops)
+
+let test_roles kind () =
+  let wl = Strategy.generate kind small_cfg in
+  let required =
+    match kind with
+    | Strategy.Deep -> [ "tail"; "tail-parent"; "head" ]
+    | Strategy.Flat -> [ "parent"; "child"; "children" ]
+    | Strategy.Science -> [ "mainline"; "oldest-active"; "youngest-active" ]
+    | Strategy.Curation -> [ "mainline"; "dev"; "feature" ]
+  in
+  List.iter
+    (fun r ->
+      match Workload.role wl r with
+      | Some _ -> ()
+      | None -> Alcotest.fail (Printf.sprintf "missing role %s" r))
+    required
+
+let test_cluster_preserves_ops () =
+  let wl = Strategy.generate Strategy.Flat small_cfg in
+  let cl = Workload.cluster wl in
+  (* same multiset of operations *)
+  let sort ops = List.sort compare ops in
+  Alcotest.(check bool) "same multiset" true
+    (sort wl.Workload.ops = sort cl.Workload.ops);
+  (* clustered runs are grouped: count adjacent branch switches among
+     data ops between barriers; clustering must not increase them *)
+  let switches ops =
+    let last = ref "" and n = ref 0 in
+    List.iter
+      (fun (op : Workload.op) ->
+        match op with
+        | Workload.Insert { branch; _ } | Workload.Update { branch; _ } ->
+            if branch <> !last then incr n;
+            last := branch
+        | _ -> last := "")
+      ops;
+    !n
+  in
+  Alcotest.(check bool) "fewer branch switches" true
+    (switches cl.Workload.ops <= switches wl.Workload.ops);
+  validate cl
+
+let test_deep_single_writer () =
+  let wl = Strategy.generate Strategy.Deep small_cfg in
+  (* deep: after a branch is created, its parent receives no more data
+     operations (§4.1: "once a branch is created, no further records
+     are inserted to the parent branch") *)
+  let retired = Hashtbl.create 8 in
+  List.iter
+    (fun (op : Workload.op) ->
+      match op with
+      | Workload.Create_branch { from_branch; _ } ->
+          Hashtbl.replace retired from_branch ()
+      | Workload.Insert { branch; _ } | Workload.Update { branch; _ } ->
+          if Hashtbl.mem retired branch then
+            Alcotest.fail (Printf.sprintf "data op on retired parent %s" branch)
+      | _ -> ())
+    wl.Workload.ops
+
+let test_science_retires () =
+  let wl =
+    Strategy.generate Strategy.Science
+      { small_cfg with Config.branches = 8; records_per_branch = 200 }
+  in
+  let _, _, _, _, _ = Workload.op_counts wl in
+  let retires =
+    List.length
+      (List.filter
+         (fun op -> match op with Workload.Retire _ -> true | _ -> false)
+         wl.Workload.ops)
+  in
+  Alcotest.(check bool) "some branches retire" true (retires > 0)
+
+(* ------------------------------------------------------------------ *)
+(* cross-engine load equivalence on each strategy *)
+
+let test_load_equivalence kind () =
+  let cfg = { small_cfg with Config.branches = 4; records_per_branch = 60 } in
+  let wl = Strategy.generate kind cfg in
+  let datasets =
+    List.map
+      (fun scheme ->
+        let dir = Decibel_util.Fsutil.fresh_dir "decibel-benchload" in
+        let l = Driver.load ~scheme ~dir cfg wl in
+        let g = Database.graph l.Driver.db in
+        let per_branch =
+          List.init
+            (Decibel_graph.Version_graph.branch_count g)
+            (fun b ->
+              List.sort compare
+                (List.map Array.to_list (Database.scan_list l.Driver.db b)))
+        in
+        Driver.close l;
+        per_branch)
+      [ Database.Tuple_first; Database.Version_first; Database.Hybrid ]
+  in
+  match datasets with
+  | [ tf; vf; hy ] ->
+      Alcotest.(check bool) "tf = vf" true (tf = vf);
+      Alcotest.(check bool) "tf = hy" true (tf = hy)
+  | _ -> assert false
+
+let kind_cases name f =
+  List.map
+    (fun kind ->
+      Alcotest.test_case
+        (Printf.sprintf "%s (%s)" name (Strategy.kind_name kind))
+        `Quick (f kind))
+    all_kinds
+
+let () =
+  Alcotest.run "bench"
+    [
+      ("validity", kind_cases "well-formed ops" test_strategy_validity);
+      ("determinism", kind_cases "deterministic" test_determinism);
+      ("roles", kind_cases "roles present" test_roles);
+      ( "clustering",
+        [
+          Alcotest.test_case "cluster preserves ops" `Quick
+            test_cluster_preserves_ops;
+          Alcotest.test_case "deep single-writer" `Quick
+            test_deep_single_writer;
+          Alcotest.test_case "science retires branches" `Quick
+            test_science_retires;
+        ] );
+      ( "load-equivalence",
+        kind_cases "same dataset across engines" test_load_equivalence );
+    ]

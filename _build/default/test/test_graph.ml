@@ -1,0 +1,197 @@
+(* Tests for the version graph: DAG construction, heads, ancestry, LCA
+   and persistence. *)
+
+module Vg = Decibel_graph.Version_graph
+
+let qtest t = QCheck_alcotest.to_alcotest t
+
+let test_initial_state () =
+  let g = Vg.create () in
+  Alcotest.(check int) "one version" 1 (Vg.version_count g);
+  Alcotest.(check int) "one branch" 1 (Vg.branch_count g);
+  Alcotest.(check int) "master head is root" Vg.root_version
+    (Vg.head g Vg.master);
+  Alcotest.(check bool) "root is head" true (Vg.is_head g Vg.root_version)
+
+let test_commit_advances_head () =
+  let g = Vg.create () in
+  let v1 = Vg.commit g Vg.master ~message:"one" in
+  let v2 = Vg.commit g Vg.master ~message:"two" in
+  Alcotest.(check int) "head" v2 (Vg.head g Vg.master);
+  Alcotest.(check (list int)) "parents" [ v1 ] (Vg.version g v2).Vg.parents;
+  Alcotest.(check bool) "old not head" false (Vg.is_head g v1)
+
+let test_branching () =
+  let g = Vg.create () in
+  let v1 = Vg.commit g Vg.master ~message:"one" in
+  let b = Vg.create_branch g ~name:"dev" ~from:v1 in
+  Alcotest.(check int) "branch head is base" v1 (Vg.head g b);
+  Alcotest.(check bool) "named lookup" true
+    (match Vg.branch_by_name g "dev" with
+    | Some br -> br.Vg.bid = b
+    | None -> false);
+  Alcotest.check_raises "duplicate name"
+    (Invalid_argument "Version_graph.create_branch: name taken: dev")
+    (fun () -> ignore (Vg.create_branch g ~name:"dev" ~from:v1))
+
+let test_merge_commit_parents () =
+  let g = Vg.create () in
+  let v1 = Vg.commit g Vg.master ~message:"m1" in
+  let b = Vg.create_branch g ~name:"dev" ~from:v1 in
+  let v2 = Vg.commit g b ~message:"d1" in
+  let v3 = Vg.commit g Vg.master ~message:"m2" in
+  let m = Vg.merge_commit g ~into:Vg.master ~theirs:v2 ~message:"merge" in
+  Alcotest.(check (list int)) "merge parents" [ v3; v2 ]
+    (Vg.version g m).Vg.parents;
+  Alcotest.(check int) "merge is head" m (Vg.head g Vg.master)
+
+let test_lca_linear () =
+  let g = Vg.create () in
+  let v1 = Vg.commit g Vg.master ~message:"1" in
+  let v2 = Vg.commit g Vg.master ~message:"2" in
+  Alcotest.(check int) "lca(v1,v2) = v1" v1 (Vg.lca g v1 v2);
+  Alcotest.(check int) "lca(v,v) = v" v2 (Vg.lca g v2 v2);
+  Alcotest.(check int) "lca with root" Vg.root_version
+    (Vg.lca g Vg.root_version v2)
+
+let test_lca_fork () =
+  let g = Vg.create () in
+  let base = Vg.commit g Vg.master ~message:"base" in
+  let b = Vg.create_branch g ~name:"dev" ~from:base in
+  let vb = Vg.commit g b ~message:"dev" in
+  let vm = Vg.commit g Vg.master ~message:"master" in
+  Alcotest.(check int) "fork lca" base (Vg.lca g vb vm)
+
+let test_lca_after_merge () =
+  let g = Vg.create () in
+  let base = Vg.commit g Vg.master ~message:"base" in
+  let b = Vg.create_branch g ~name:"dev" ~from:base in
+  let vb = Vg.commit g b ~message:"dev1" in
+  let m = Vg.merge_commit g ~into:Vg.master ~theirs:vb ~message:"merge" in
+  (* after merging dev into master, dev's tip is an ancestor of master,
+     so the next merge's base is dev's commit itself *)
+  let vb2 = Vg.commit g b ~message:"dev2" in
+  Alcotest.(check int) "lca after merge" vb (Vg.lca g m vb2)
+
+let test_ancestry () =
+  let g = Vg.create () in
+  let v1 = Vg.commit g Vg.master ~message:"1" in
+  let b = Vg.create_branch g ~name:"dev" ~from:v1 in
+  let v2 = Vg.commit g b ~message:"2" in
+  Alcotest.(check bool) "root ancestor of all" true
+    (Vg.is_ancestor g ~ancestor:Vg.root_version v2);
+  Alcotest.(check bool) "reflexive" true (Vg.is_ancestor g ~ancestor:v2 v2);
+  Alcotest.(check bool) "not descendant" false
+    (Vg.is_ancestor g ~ancestor:v2 v1);
+  Alcotest.(check (list int)) "ancestors descend" [ v2; v1; 0 ]
+    (Vg.ancestors g v2)
+
+let test_lineage_precedence () =
+  let g = Vg.create () in
+  let v1 = Vg.commit g Vg.master ~message:"1" in
+  let b = Vg.create_branch g ~name:"dev" ~from:v1 in
+  let vb = Vg.commit g b ~message:"dev" in
+  let vm = Vg.commit g Vg.master ~message:"m2" in
+  let m = Vg.merge_commit g ~into:Vg.master ~theirs:vb ~message:"merge" in
+  (* first parent (ours, vm) explored before second (vb) *)
+  Alcotest.(check (list int)) "lineage order" [ m; vm; v1; 0; vb ]
+    (Vg.lineage g m)
+
+let test_retire () =
+  let g = Vg.create () in
+  let v1 = Vg.commit g Vg.master ~message:"1" in
+  let b = Vg.create_branch g ~name:"dev" ~from:v1 in
+  Vg.retire g b;
+  Alcotest.(check bool) "inactive" false (Vg.branch g b).Vg.active;
+  Alcotest.(check bool) "master active" true
+    (Vg.branch g Vg.master).Vg.active
+
+let test_serialize_roundtrip () =
+  let g = Vg.create () in
+  let v1 = Vg.commit g Vg.master ~message:"first" in
+  let b = Vg.create_branch g ~name:"dev" ~from:v1 in
+  let vb = Vg.commit g b ~message:"dev work" in
+  let _ = Vg.merge_commit g ~into:Vg.master ~theirs:vb ~message:"merge" in
+  Vg.retire g b;
+  let g' = Vg.deserialize (Vg.serialize g) in
+  Alcotest.(check string) "identical dump"
+    (Format.asprintf "%a" Vg.pp g)
+    (Format.asprintf "%a" Vg.pp g');
+  Alcotest.(check string) "stable serialization" (Vg.serialize g)
+    (Vg.serialize g')
+
+(* Random DAG property: the LCA is a common ancestor, and no common
+   ancestor has a greater id. *)
+let ops_gen =
+  QCheck2.Gen.(list_size (int_range 1 40) (pair (int_bound 3) (int_bound 1000)))
+
+let build_random_graph ops =
+  let g = Vg.create () in
+  List.iteri
+    (fun i (kind, x) ->
+      let nb = Vg.branch_count g in
+      match kind with
+      | 0 | 1 -> ignore (Vg.commit g (x mod nb) ~message:(string_of_int i))
+      | 2 ->
+          ignore
+            (Vg.create_branch g
+               ~name:(Printf.sprintf "r%d" i)
+               ~from:(x mod Vg.version_count g))
+      | _ ->
+          if nb >= 2 then begin
+            let into = x mod nb and from = (x + 1) mod nb in
+            if into <> from then
+              ignore
+                (Vg.merge_commit g ~into ~theirs:(Vg.head g from)
+                   ~message:(string_of_int i))
+          end)
+    ops;
+  g
+
+let prop_lca_sound =
+  QCheck2.Test.make ~name:"lca is a maximal common ancestor" ~count:200
+    QCheck2.Gen.(triple ops_gen (int_bound 1000) (int_bound 1000))
+    (fun (ops, ha, hb) ->
+      let g = build_random_graph ops in
+      let n = Vg.version_count g in
+      let a = ha mod n and b = hb mod n in
+      let l = Vg.lca g a b in
+      let common v = Vg.is_ancestor g ~ancestor:v a && Vg.is_ancestor g ~ancestor:v b in
+      if not (common l) then
+        QCheck2.Test.fail_reportf "lca %d not common ancestor of %d,%d" l a b;
+      (* no common ancestor with a greater id *)
+      let ok = ref true in
+      for v = l + 1 to n - 1 do
+        if common v then ok := false
+      done;
+      !ok)
+
+let prop_serialize_random =
+  QCheck2.Test.make ~name:"serialize roundtrips random graphs" ~count:200
+    ops_gen (fun ops ->
+      let g = build_random_graph ops in
+      Vg.serialize (Vg.deserialize (Vg.serialize g)) = Vg.serialize g)
+
+let () =
+  Alcotest.run "graph"
+    [
+      ( "version-graph",
+        [
+          Alcotest.test_case "initial state" `Quick test_initial_state;
+          Alcotest.test_case "commit advances head" `Quick
+            test_commit_advances_head;
+          Alcotest.test_case "branching" `Quick test_branching;
+          Alcotest.test_case "merge parents" `Quick test_merge_commit_parents;
+          Alcotest.test_case "lca linear" `Quick test_lca_linear;
+          Alcotest.test_case "lca fork" `Quick test_lca_fork;
+          Alcotest.test_case "lca after merge" `Quick test_lca_after_merge;
+          Alcotest.test_case "ancestry" `Quick test_ancestry;
+          Alcotest.test_case "lineage precedence" `Quick
+            test_lineage_precedence;
+          Alcotest.test_case "retire" `Quick test_retire;
+          Alcotest.test_case "serialize roundtrip" `Quick
+            test_serialize_roundtrip;
+          qtest prop_lca_sound;
+          qtest prop_serialize_random;
+        ] );
+    ]

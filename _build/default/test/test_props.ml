@@ -1,0 +1,166 @@
+(* Property-based equivalence testing: random operation sequences are
+   applied identically to the in-memory model oracle and to each
+   physical storage engine; afterwards every branch's working contents,
+   every committed version's contents, and pairwise branch diffs must
+   agree.  This is the strongest evidence the three schemes implement
+   the same versioning semantics (paper §2.2.3) on arbitrary histories,
+   including merge-heavy ones. *)
+
+open Decibel
+open Decibel_storage
+module Vg = Decibel_graph.Version_graph
+open Cmds
+
+let contents db b =
+  List.sort compare (List.map Array.to_list (Database.scan_list db b))
+
+let version_contents db v =
+  List.sort compare (List.map Array.to_list (Database.scan_version_list db v))
+
+let diff_pair db a b =
+  let pos = ref [] and neg = ref [] in
+  Database.diff db a b
+    ~pos:(fun t -> pos := Array.to_list t :: !pos)
+    ~neg:(fun t -> neg := Array.to_list t :: !neg);
+  (List.sort compare !pos, List.sort compare !neg)
+
+let multi_per_branch db branches =
+  let tbl = Hashtbl.create 16 in
+  Database.multi_scan db branches (fun (a : Types.annotated) ->
+      List.iter
+        (fun b ->
+          let prev = Option.value ~default:[] (Hashtbl.find_opt tbl b) in
+          Hashtbl.replace tbl b (Array.to_list a.Types.tuple :: prev))
+        a.Types.in_branches);
+  List.map
+    (fun b ->
+      ( b,
+        List.sort compare
+          (Option.value ~default:[] (Hashtbl.find_opt tbl b)) ))
+    branches
+
+let value_list_pp l =
+  "[" ^ String.concat "," (List.map Value.to_string l) ^ "]"
+
+let fail_mismatch what scheme b expected got =
+  QCheck2.Test.fail_reportf
+    "%s mismatch on %s (object %d):\nmodel: %s\nengine: %s" what scheme b
+    (String.concat " | " (List.map value_list_pp expected))
+    (String.concat " | " (List.map value_list_pp got))
+
+let equivalence_property scheme cmds =
+  let dir_model = Decibel_util.Fsutil.fresh_dir "decibel-prop-model" in
+  let dir_engine = Decibel_util.Fsutil.fresh_dir "decibel-prop-engine" in
+  let model =
+    Database.open_ ~scheme:Database.Model ~dir:dir_model ~schema ()
+  in
+  let engine = Database.open_ ~scheme ~dir:dir_engine ~schema () in
+  Fun.protect
+    ~finally:(fun () ->
+      Database.close model;
+      Database.close engine;
+      Decibel_util.Fsutil.rm_rf dir_model;
+      Decibel_util.Fsutil.rm_rf dir_engine)
+    (fun () ->
+      apply_cmds model cmds;
+      apply_cmds engine cmds;
+      let g = Database.graph model in
+      let scheme_n = Database.scheme_of engine in
+      if Vg.serialize g <> Vg.serialize (Database.graph engine) then
+        QCheck2.Test.fail_reportf "version graph mismatch on %s" scheme_n;
+      for b = 0 to Vg.branch_count g - 1 do
+        let expected = contents model b and got = contents engine b in
+        if expected <> got then
+          fail_mismatch "branch contents" scheme_n b expected got
+      done;
+      for v = 0 to Vg.version_count g - 1 do
+        let expected = version_contents model v
+        and got = version_contents engine v in
+        if expected <> got then
+          fail_mismatch "version contents" scheme_n v expected got
+      done;
+      let nb = min 4 (Vg.branch_count g) in
+      for a = 0 to nb - 1 do
+        for b = 0 to nb - 1 do
+          if a <> b then begin
+            let pm, nm = diff_pair model a b in
+            let pe, ne = diff_pair engine a b in
+            if pm <> pe then fail_mismatch "diff pos" scheme_n a pm pe;
+            if nm <> ne then fail_mismatch "diff neg" scheme_n a nm ne
+          end
+        done
+      done;
+      let branches = List.init (Vg.branch_count g) Fun.id in
+      let mm = multi_per_branch model branches in
+      let me = multi_per_branch engine branches in
+      List.iter2
+        (fun (b, expected) (_, got) ->
+          if expected <> got then
+            fail_mismatch "multi-scan" scheme_n b expected got)
+        mm me;
+      true)
+
+let equivalence_test scheme =
+  QCheck2.Test.make
+    ~name:
+      (Printf.sprintf "random ops: %s == model" (Database.scheme_name scheme))
+    ~count:120 ~print:print_cmds cmds_gen
+    (equivalence_property scheme)
+
+(* lookup after random ops agrees with a scan-derived map *)
+let lookup_consistency scheme cmds =
+  let dir = Decibel_util.Fsutil.fresh_dir "decibel-prop-lookup" in
+  let db = Database.open_ ~scheme ~dir ~schema () in
+  Fun.protect
+    ~finally:(fun () ->
+      Database.close db;
+      Decibel_util.Fsutil.rm_rf dir)
+    (fun () ->
+      apply_cmds db cmds;
+      let g = Database.graph db in
+      for b = 0 to Vg.branch_count g - 1 do
+        let from_scan = Hashtbl.create 64 in
+        Database.scan db b (fun t ->
+            Hashtbl.replace from_scan (Tuple.pk schema t) t);
+        Hashtbl.iter
+          (fun k t ->
+            match Database.lookup db b k with
+            | Some t' when Tuple.equal t t' -> ()
+            | _ ->
+                QCheck2.Test.fail_reportf
+                  "lookup of %s missing/differs in branch %d"
+                  (Value.to_string k) b)
+          from_scan;
+        for k = 0 to 41 do
+          let key = Value.int k in
+          match (Database.lookup db b key, Hashtbl.find_opt from_scan key) with
+          | Some _, None ->
+              QCheck2.Test.fail_reportf
+                "lookup finds ghost key %d in branch %d" k b
+          | None, Some _ ->
+              QCheck2.Test.fail_reportf "lookup misses key %d in branch %d" k b
+          | _ -> ()
+        done
+      done;
+      true)
+
+let lookup_test scheme =
+  QCheck2.Test.make
+    ~name:
+      (Printf.sprintf "lookup == scan-derived map: %s"
+         (Database.scheme_name scheme))
+    ~count:60 ~print:print_cmds cmds_gen
+    (lookup_consistency scheme)
+
+let () =
+  let engines = Database.all_schemes in
+  Alcotest.run "properties"
+    [
+      ( "engine-equivalence",
+        List.map
+          (fun s -> QCheck_alcotest.to_alcotest (equivalence_test s))
+          engines );
+      ( "lookup-consistency",
+        List.map (fun s -> QCheck_alcotest.to_alcotest (lookup_test s)) engines
+      );
+    ]

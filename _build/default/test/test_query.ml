@@ -1,0 +1,228 @@
+(* Tests for the typed query operators (Q1-Q4, paper Table 1 / §4.3)
+   and the merge decision driver. *)
+
+open Decibel
+open Decibel_storage
+module Vg = Decibel_graph.Version_graph
+
+let schema = Schema.ints ~name:"r" ~width:3
+
+let row id a = [| Value.int id; Value.int a; Value.int (id + a) |]
+
+let with_db f =
+  let dir = Decibel_util.Fsutil.fresh_dir "decibel-query" in
+  let db = Database.open_ ~scheme:Database.Hybrid ~dir ~schema () in
+  Fun.protect
+    ~finally:(fun () ->
+      Database.close db;
+      Decibel_util.Fsutil.rm_rf dir)
+    (fun () -> f db)
+
+(* a small fixture: master has ids 1..20, dev branches at v1 and adds
+   21..25, updates id 3, deletes id 4 *)
+let fixture db =
+  for i = 1 to 20 do
+    Database.insert db Vg.master (row i (i mod 5))
+  done;
+  let v1 = Database.commit db Vg.master ~message:"v1" in
+  let dev = Database.create_branch db ~name:"dev" ~from:v1 in
+  for i = 21 to 25 do
+    Database.insert db dev (row i (i mod 5))
+  done;
+  Database.update db dev (row 3 77);
+  Database.delete db dev (Value.int 4);
+  let _ = Database.commit db dev ~message:"dev" in
+  (v1, dev)
+
+let test_q1 () =
+  with_db (fun db ->
+      let _, dev = fixture db in
+      Alcotest.(check int) "master" 20 (Query.q1_scan db Vg.master);
+      Alcotest.(check int) "dev" 24 (Query.q1_scan db dev);
+      let pred = Query.column_pred schema ~column:"c1" Query.Eq (Value.int 0) in
+      (* ids with i mod 5 = 0 in master: 5,10,15,20 *)
+      Alcotest.(check int) "predicate" 4 (Query.q1_scan ~pred db Vg.master))
+
+let test_q1_version () =
+  with_db (fun db ->
+      let v1, dev = fixture db in
+      ignore dev;
+      Alcotest.(check int) "historical" 20 (Query.q1_scan_version db v1);
+      Alcotest.(check int) "root" 0
+        (Query.q1_scan_version db Vg.root_version))
+
+let test_q2 () =
+  with_db (fun db ->
+      let _, dev = fixture db in
+      (* dev-side novelties: 21..25 inserts + updated 3 = 6 *)
+      Alcotest.(check int) "dev minus master" 6 (Query.q2_pos_diff db dev Vg.master);
+      (* master-side: old copy of 3, deleted 4 = 2 *)
+      Alcotest.(check int) "master minus dev" 2
+        (Query.q2_pos_diff db Vg.master dev);
+      Alcotest.(check int) "self diff empty" 0
+        (Query.q2_pos_diff db Vg.master Vg.master))
+
+let test_q3 () =
+  with_db (fun db ->
+      let _, dev = fixture db in
+      (* join on pk: common keys = 1..20 minus deleted 4 = 19 *)
+      Alcotest.(check int) "join all" 19 (Query.q3_join db Vg.master dev);
+      let pred = Query.column_pred schema ~column:"c0" Query.Le (Value.int 5) in
+      (* keys 1..5 minus 4 *)
+      Alcotest.(check int) "join with predicate" 4
+        (Query.q3_join ~pred db Vg.master dev))
+
+let test_q4 () =
+  with_db (fun db ->
+      let _, dev = fixture db in
+      ignore dev;
+      (* distinct physical records across both heads: 20 master + 6 dev
+         copies (21..25 and new copy of 3) = 26 *)
+      Alcotest.(check int) "all heads" 26 (Query.q4_heads db);
+      Alcotest.(check int) "restricted to master" 20
+        (Query.q4_heads ~branches:[ Vg.master ] db);
+      (* retired branches are excluded from the default set *)
+      Vg.retire (Database.graph db) dev;
+      Alcotest.(check int) "after retiring dev" 20 (Query.q4_heads db))
+
+let test_column_pred_ops () =
+  let t = row 10 3 in
+  let check name op v expected =
+    let p = Query.column_pred schema ~column:"c1" op (Value.int v) in
+    Alcotest.(check bool) name expected (p t)
+  in
+  check "eq true" Query.Eq 3 true;
+  check "eq false" Query.Eq 4 false;
+  check "ne" Query.Ne 4 true;
+  check "lt" Query.Lt 4 true;
+  check "le" Query.Le 3 true;
+  check "gt" Query.Gt 2 true;
+  check "ge" Query.Ge 4 false;
+  Alcotest.check_raises "unknown column" Not_found (fun () ->
+      let p = Query.column_pred schema ~column:"nope" Query.Eq (Value.int 0) in
+      ignore (p t))
+
+(* ------------------------------------------------------------------ *)
+(* merge driver unit tests *)
+
+open Decibel_storage
+
+let sc state base = { Merge_driver.state; base }
+
+let tbl kvs =
+  let t = Hashtbl.create 8 in
+  List.iter (fun (k, v) -> Hashtbl.replace t (Value.int k) v) kvs;
+  t
+
+let decide policy ours theirs =
+  Merge_driver.decide ~policy ~ours:(tbl ours) ~theirs:(tbl theirs)
+
+let final_of decisions k =
+  let d =
+    List.find (fun d -> Value.equal d.Merge_driver.d_key (Value.int k)) decisions
+  in
+  d.Merge_driver.final
+
+let test_driver_disjoint_sides () =
+  let a = row 1 10 and b = row 2 20 in
+  let ds, stats =
+    decide Types.Three_way
+      [ (1, sc (Some a) None) ]
+      [ (2, sc (Some b) None) ]
+  in
+  Alcotest.(check int) "ours count" 1 stats.Merge_driver.n_ours;
+  Alcotest.(check int) "theirs count" 1 stats.Merge_driver.n_theirs;
+  Alcotest.(check int) "both count" 0 stats.Merge_driver.n_both;
+  Alcotest.(check bool) "key1 keeps ours" true (final_of ds 1 = Some a);
+  Alcotest.(check bool) "key2 takes theirs" true (final_of ds 2 = Some b)
+
+let test_driver_same_change_not_conflict () =
+  let a = row 1 10 in
+  let ds, _ =
+    decide Types.Three_way
+      [ (1, sc (Some a) None) ]
+      [ (1, sc (Some a) None) ]
+  in
+  Alcotest.(check int) "no conflicts" 0
+    (List.length (Merge_driver.conflicts_of ds))
+
+let test_driver_field_merge () =
+  let base = [| Value.int 1; Value.int 10; Value.int 20 |] in
+  let ours = [| Value.int 1; Value.int 99; Value.int 20 |] in
+  let theirs = [| Value.int 1; Value.int 10; Value.int 77 |] in
+  let ds, _ =
+    decide Types.Three_way
+      [ (1, sc (Some ours) (Some base)) ]
+      [ (1, sc (Some theirs) (Some base)) ]
+  in
+  Alcotest.(check int) "no conflicts" 0
+    (List.length (Merge_driver.conflicts_of ds));
+  Alcotest.(check bool) "merged fields" true
+    (final_of ds 1 = Some [| Value.int 1; Value.int 99; Value.int 77 |])
+
+let test_driver_conflict_resolution () =
+  let base = [| Value.int 1; Value.int 10; Value.int 20 |] in
+  let ours = [| Value.int 1; Value.int 11; Value.int 21 |] in
+  let theirs = [| Value.int 1; Value.int 12; Value.int 20 |] in
+  let ds, _ =
+    decide Types.Three_way
+      [ (1, sc (Some ours) (Some base)) ]
+      [ (1, sc (Some theirs) (Some base)) ]
+  in
+  (match Merge_driver.conflicts_of ds with
+  | [ c ] ->
+      Alcotest.(check (list int)) "field 1 conflicts" [ 1 ] c.Types.fields;
+      (* conflicting field from ours, theirs-only change... in this case
+         field 2 changed only in ours so it is kept too *)
+      Alcotest.(check bool) "resolution" true
+        (c.Types.resolved = Some [| Value.int 1; Value.int 11; Value.int 21 |])
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 conflict, got %d" (List.length l)))
+
+let test_driver_two_way_policies () =
+  let a = row 1 10 and b = row 1 20 in
+  let ours = [ (1, sc (Some a) None) ] in
+  let theirs = [ (1, sc (Some b) None) ] in
+  let ds_ours, _ = decide Types.Ours ours theirs in
+  Alcotest.(check bool) "ours wins" true (final_of ds_ours 1 = Some a);
+  Alcotest.(check int) "counted as conflict" 1
+    (List.length (Merge_driver.conflicts_of ds_ours));
+  let ds_theirs, _ = decide Types.Theirs ours theirs in
+  Alcotest.(check bool) "theirs wins" true (final_of ds_theirs 1 = Some b)
+
+let test_driver_delete_vs_modify () =
+  let base = row 1 10 and modified = row 1 99 in
+  let ds, _ =
+    decide Types.Three_way
+      [ (1, sc None (Some base)) ]
+      [ (1, sc (Some modified) (Some base)) ]
+  in
+  Alcotest.(check int) "conflict" 1
+    (List.length (Merge_driver.conflicts_of ds));
+  Alcotest.(check bool) "ours (delete) wins" true (final_of ds 1 = None)
+
+let () =
+  Alcotest.run "query"
+    [
+      ( "operators",
+        [
+          Alcotest.test_case "q1" `Quick test_q1;
+          Alcotest.test_case "q1 versions" `Quick test_q1_version;
+          Alcotest.test_case "q2" `Quick test_q2;
+          Alcotest.test_case "q3" `Quick test_q3;
+          Alcotest.test_case "q4" `Quick test_q4;
+          Alcotest.test_case "column predicates" `Quick test_column_pred_ops;
+        ] );
+      ( "merge-driver",
+        [
+          Alcotest.test_case "disjoint sides" `Quick test_driver_disjoint_sides;
+          Alcotest.test_case "same change not a conflict" `Quick
+            test_driver_same_change_not_conflict;
+          Alcotest.test_case "field merge" `Quick test_driver_field_merge;
+          Alcotest.test_case "conflict resolution" `Quick
+            test_driver_conflict_resolution;
+          Alcotest.test_case "two-way policies" `Quick
+            test_driver_two_way_policies;
+          Alcotest.test_case "delete vs modify" `Quick
+            test_driver_delete_vs_modify;
+        ] );
+    ]

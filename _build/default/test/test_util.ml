@@ -1,0 +1,315 @@
+(* Unit and property tests for the util substrate: bit vectors, binary
+   codecs, RLE, LZ77, binary deltas, the PRNG and the dynamic array. *)
+
+open Decibel_util
+
+let qtest t = QCheck_alcotest.to_alcotest t
+
+(* ------------------------------------------------------------------ *)
+(* Bitvec *)
+
+let test_bitvec_basics () =
+  let v = Bitvec.create () in
+  Alcotest.(check int) "empty length" 0 (Bitvec.length v);
+  Alcotest.(check bool) "unset" false (Bitvec.get v 5);
+  Bitvec.set v 5;
+  Alcotest.(check bool) "set" true (Bitvec.get v 5);
+  Alcotest.(check int) "length grows" 6 (Bitvec.length v);
+  Bitvec.clear v 5;
+  Alcotest.(check bool) "cleared" false (Bitvec.get v 5);
+  Alcotest.(check bool) "empty" true (Bitvec.is_empty v)
+
+let test_bitvec_growth () =
+  let v = Bitvec.create ~capacity:1 () in
+  Bitvec.set v 1000;
+  Alcotest.(check bool) "far bit" true (Bitvec.get v 1000);
+  Alcotest.(check bool) "below" false (Bitvec.get v 999);
+  Alcotest.(check int) "popcount" 1 (Bitvec.pop_count v)
+
+let test_bitvec_word_boundaries () =
+  let v = Bitvec.create () in
+  List.iter (fun i -> Bitvec.set v i) [ 0; 63; 64; 127; 128 ];
+  Alcotest.(check (list int)) "to_list" [ 0; 63; 64; 127; 128 ]
+    (Bitvec.to_list v);
+  Alcotest.(check int) "popcount" 5 (Bitvec.pop_count v)
+
+let test_bitvec_next_set () =
+  let v = Bitvec.of_list [ 3; 64; 200 ] in
+  Alcotest.(check (option int)) "from 0" (Some 3) (Bitvec.next_set v 0);
+  Alcotest.(check (option int)) "from 4" (Some 64) (Bitvec.next_set v 4);
+  Alcotest.(check (option int)) "from 64" (Some 64) (Bitvec.next_set v 64);
+  Alcotest.(check (option int)) "from 65" (Some 200) (Bitvec.next_set v 65);
+  Alcotest.(check (option int)) "past end" None (Bitvec.next_set v 201)
+
+let test_bitvec_equal_trailing_zeros () =
+  let a = Bitvec.of_list [ 1; 2 ] in
+  let b = Bitvec.of_list [ 1; 2 ] in
+  Bitvec.clear b 500;
+  Alcotest.(check bool) "equal modulo trailing zeros" true (Bitvec.equal a b)
+
+let bits_gen = QCheck2.Gen.(list_size (int_range 0 200) (int_bound 500))
+
+let prop_ops_match_reference =
+  QCheck2.Test.make ~name:"bitvec ops match set reference" ~count:300
+    QCheck2.Gen.(pair bits_gen bits_gen)
+    (fun (la, lb) ->
+      let module S = Set.Make (Int) in
+      let sa = S.of_list la and sb = S.of_list lb in
+      let a = Bitvec.of_list la and b = Bitvec.of_list lb in
+      let check op vec set =
+        let got = Bitvec.to_list vec in
+        let want = S.elements set in
+        if got <> want then
+          QCheck2.Test.fail_reportf "%s: got %s want %s" op
+            (String.concat "," (List.map string_of_int got))
+            (String.concat "," (List.map string_of_int want));
+        true
+      in
+      check "union" (Bitvec.union a b) (S.union sa sb)
+      && check "inter" (Bitvec.inter a b) (S.inter sa sb)
+      && check "diff" (Bitvec.diff a b) (S.diff sa sb)
+      && check "xor"
+           (Bitvec.xor a b)
+           (S.union (S.diff sa sb) (S.diff sb sa))
+      && Bitvec.pop_count a = S.cardinal sa)
+
+let prop_serialize_roundtrip =
+  QCheck2.Test.make ~name:"bitvec serialize roundtrip" ~count:300 bits_gen
+    (fun l ->
+      let v = Bitvec.of_list l in
+      let buf = Buffer.create 64 in
+      Bitvec.serialize buf v;
+      let pos = ref 0 in
+      let v' = Bitvec.deserialize (Buffer.contents buf) pos in
+      Bitvec.equal v v' && !pos = Buffer.length buf)
+
+let prop_union_in_place =
+  QCheck2.Test.make ~name:"union_in_place == union" ~count:200
+    QCheck2.Gen.(pair bits_gen bits_gen)
+    (fun (la, lb) ->
+      let a = Bitvec.of_list la and b = Bitvec.of_list lb in
+      let expect = Bitvec.union a b in
+      Bitvec.union_in_place a b;
+      Bitvec.equal a expect)
+
+(* ------------------------------------------------------------------ *)
+(* Binio *)
+
+let test_varint_edges () =
+  List.iter
+    (fun v ->
+      let buf = Buffer.create 8 in
+      Binio.write_varint buf v;
+      let pos = ref 0 in
+      Alcotest.(check int)
+        (Printf.sprintf "varint %d" v)
+        v
+        (Binio.read_varint (Buffer.contents buf) pos))
+    [ 0; 1; 127; 128; 16383; 16384; 1 lsl 30; 1 lsl 55 ]
+
+let test_varint_negative () =
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Binio.write_varint: negative") (fun () ->
+      Binio.write_varint (Buffer.create 4) (-1))
+
+let test_truncated_input () =
+  Alcotest.check_raises "truncated u32"
+    (Binio.Corrupt "truncated input: need 4 bytes at 0 (len 2)") (fun () ->
+      ignore (Binio.read_u32 "ab" (ref 0)))
+
+let prop_binio_roundtrip =
+  QCheck2.Test.make ~name:"binio composite roundtrip" ~count:200
+    QCheck2.Gen.(
+      triple (string_size (int_bound 50)) (list (int_bound 100000))
+        (int_bound 255))
+    (fun (s, ints, byte) ->
+      let buf = Buffer.create 64 in
+      Binio.write_string buf s;
+      Binio.write_list Binio.write_varint buf ints;
+      Binio.write_u8 buf byte;
+      Binio.write_i64 buf (Int64.of_int (List.length ints));
+      let data = Buffer.contents buf in
+      let pos = ref 0 in
+      let s' = Binio.read_string data pos in
+      let ints' = Binio.read_list Binio.read_varint data pos in
+      let byte' = Binio.read_u8 data pos in
+      let n = Binio.read_i64 data pos in
+      s = s' && ints = ints' && byte = byte'
+      && n = Int64.of_int (List.length ints)
+      && !pos = String.length data)
+
+(* ------------------------------------------------------------------ *)
+(* Rle *)
+
+let prop_rle_roundtrip =
+  QCheck2.Test.make ~name:"rle roundtrip preserves bits and length"
+    ~count:300 bits_gen (fun l ->
+      let v = Bitvec.of_list l in
+      let enc = Rle.encode v in
+      let pos = ref 0 in
+      let v' = Rle.decode enc pos in
+      Bitvec.equal v v'
+      && Bitvec.length v = Bitvec.length v'
+      && !pos = String.length enc)
+
+let test_rle_compresses_runs () =
+  let v = Bitvec.create () in
+  for i = 1000 to 2000 do
+    Bitvec.set v i
+  done;
+  let enc = Rle.encode v in
+  Alcotest.(check bool) "long runs compress well" true
+    (String.length enc < 16)
+
+(* ------------------------------------------------------------------ *)
+(* Lz77 and Delta *)
+
+let payload_gen =
+  (* biased toward repetitive content so matches actually occur *)
+  QCheck2.Gen.(
+    let word = string_size ~gen:(char_range 'a' 'f') (int_range 1 8) in
+    map (String.concat "") (list_size (int_range 0 60) word))
+
+let prop_lz77_roundtrip =
+  QCheck2.Test.make ~name:"lz77 roundtrip" ~count:300 payload_gen (fun s ->
+      Lz77.decompress (Lz77.compress s) = s)
+
+let test_lz77_compresses_repetition () =
+  let s = String.concat "" (List.init 200 (fun _ -> "abcdefgh")) in
+  let c = Lz77.compress s in
+  Alcotest.(check bool) "ratio" true
+    (String.length c * 10 < String.length s)
+
+let test_lz77_overlapping_match () =
+  (* run-length style overlap: match distance smaller than length *)
+  let s = String.make 1000 'x' in
+  Alcotest.(check string) "roundtrip" s (Lz77.decompress (Lz77.compress s))
+
+let prop_delta_roundtrip =
+  QCheck2.Test.make ~name:"delta apply(make) = target" ~count:300
+    QCheck2.Gen.(pair payload_gen payload_gen)
+    (fun (base, target) ->
+      Delta.apply ~base (Delta.make ~base ~target) = target)
+
+let test_delta_similar_inputs_small () =
+  let base =
+    String.concat "" (List.init 300 (fun i -> Printf.sprintf "row-%d;" i))
+  in
+  let target = base ^ "row-300;" in
+  let d = Delta.make ~base ~target in
+  Alcotest.(check bool) "delta much smaller than target" true
+    (Delta.size d < String.length target / 10);
+  Alcotest.(check string) "applies" target (Delta.apply ~base d)
+
+let test_delta_wrong_base_rejected () =
+  let d = Delta.make ~base:"aaaa" ~target:"aaaabbbb" in
+  Alcotest.check_raises "length mismatch"
+    (Binio.Corrupt "Delta.apply: base length mismatch") (fun () ->
+      ignore (Delta.apply ~base:"aaa" d))
+
+(* ------------------------------------------------------------------ *)
+(* Prng *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 42L and b = Prng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a)
+      (Prng.next_int64 b)
+  done
+
+let test_prng_bounds () =
+  let g = Prng.create 7L in
+  for _ = 1 to 1000 do
+    let v = Prng.int g 10 in
+    if v < 0 || v >= 10 then Alcotest.fail "out of bounds";
+    let f = Prng.float g 2.5 in
+    if f < 0.0 || f >= 2.5 then Alcotest.fail "float out of bounds"
+  done
+
+let test_prng_split_independent () =
+  let g = Prng.create 1L in
+  let a = Prng.split g and b = Prng.split g in
+  Alcotest.(check bool) "substreams differ" true
+    (Prng.next_int64 a <> Prng.next_int64 b)
+
+let test_prng_shuffle_permutes () =
+  let g = Prng.create 5L in
+  let a = Array.init 50 Fun.id in
+  Prng.shuffle g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+(* ------------------------------------------------------------------ *)
+(* Vec *)
+
+let test_vec () =
+  let v = Vec.create ~dummy:(-1) () in
+  for i = 0 to 99 do
+    let idx = Vec.push v (i * 2) in
+    Alcotest.(check int) "index" i idx
+  done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  Alcotest.(check int) "get" 84 (Vec.get v 42);
+  Vec.set v 42 7;
+  Alcotest.(check int) "set" 7 (Vec.get v 42);
+  Alcotest.check_raises "oob"
+    (Invalid_argument "Vec: index 100 out of [0,100)") (fun () ->
+      ignore (Vec.get v 100))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "bitvec",
+        [
+          Alcotest.test_case "basics" `Quick test_bitvec_basics;
+          Alcotest.test_case "growth" `Quick test_bitvec_growth;
+          Alcotest.test_case "word boundaries" `Quick
+            test_bitvec_word_boundaries;
+          Alcotest.test_case "next_set" `Quick test_bitvec_next_set;
+          Alcotest.test_case "equal ignores trailing zeros" `Quick
+            test_bitvec_equal_trailing_zeros;
+          qtest prop_ops_match_reference;
+          qtest prop_serialize_roundtrip;
+          qtest prop_union_in_place;
+        ] );
+      ( "binio",
+        [
+          Alcotest.test_case "varint edges" `Quick test_varint_edges;
+          Alcotest.test_case "varint negative" `Quick test_varint_negative;
+          Alcotest.test_case "truncated input" `Quick test_truncated_input;
+          qtest prop_binio_roundtrip;
+        ] );
+      ( "rle",
+        [
+          qtest prop_rle_roundtrip;
+          Alcotest.test_case "compresses runs" `Quick test_rle_compresses_runs;
+        ] );
+      ( "lz77",
+        [
+          qtest prop_lz77_roundtrip;
+          Alcotest.test_case "compresses repetition" `Quick
+            test_lz77_compresses_repetition;
+          Alcotest.test_case "overlapping match" `Quick
+            test_lz77_overlapping_match;
+        ] );
+      ( "delta",
+        [
+          qtest prop_delta_roundtrip;
+          Alcotest.test_case "similar inputs give small deltas" `Quick
+            test_delta_similar_inputs_small;
+          Alcotest.test_case "wrong base rejected" `Quick
+            test_delta_wrong_base_rejected;
+        ] );
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_prng_bounds;
+          Alcotest.test_case "split" `Quick test_prng_split_independent;
+          Alcotest.test_case "shuffle permutes" `Quick
+            test_prng_shuffle_permutes;
+        ] );
+      ("vec", [ Alcotest.test_case "push/get/set" `Quick test_vec ]);
+    ]

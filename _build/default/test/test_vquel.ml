@@ -1,0 +1,325 @@
+(* Tests for the VQuel query language (paper §2.3, Table 1): the
+   lexer/parser, the planner's recognition of the four versioned query
+   shapes, rejection of unsupported constructs, and end-to-end results
+   against the typed operators. *)
+
+open Decibel
+open Decibel_storage
+module Vg = Decibel_graph.Version_graph
+
+let schema = Schema.ints ~name:"r" ~width:3
+
+let row id a = [| Value.int id; Value.int a; Value.int (id + a) |]
+
+let with_db f =
+  let dir = Decibel_util.Fsutil.fresh_dir "decibel-vquel" in
+  let db = Database.open_ ~scheme:Database.Tuple_first ~dir ~schema () in
+  Fun.protect
+    ~finally:(fun () ->
+      Database.close db;
+      Decibel_util.Fsutil.rm_rf dir)
+    (fun () -> f db)
+
+let fixture db =
+  for i = 1 to 30 do
+    Database.insert db Vg.master (row i (i mod 7))
+  done;
+  let v1 = Database.commit db Vg.master ~message:"v1" in
+  let dev = Database.create_branch db ~name:"dev" ~from:v1 in
+  for i = 31 to 35 do
+    Database.insert db dev (row i (i mod 7))
+  done;
+  Database.update db dev (row 5 50);
+  let _ = Database.commit db dev ~message:"dev" in
+  (v1, dev)
+
+let count db q = List.length (Vquel.query db q)
+
+(* ------------------------------------------------------------------ *)
+(* planner shape recognition *)
+
+let plan q = (Vquel.plan_of_select (Vquel.parse q)).Vquel.base
+
+let test_plan_shapes () =
+  (match plan "SELECT * FROM r WHERE r.Version = 'master'" with
+  | Vquel.Scan { target = Vquel.Branch_head "master"; preds = [] } -> ()
+  | _ -> Alcotest.fail "expected Scan");
+  (match plan "SELECT * FROM r WHERE r.Version = '#3' AND c1 > 5" with
+  | Vquel.Scan { target = Vquel.Committed 3; preds = [ p ] } ->
+      Alcotest.(check string) "pred column" "c1" p.Vquel.p_column
+  | _ -> Alcotest.fail "expected Scan with predicate");
+  (match
+     plan
+       "SELECT * FROM r WHERE r.Version = 'a' AND r.id NOT IN (SELECT id \
+        FROM r WHERE r.Version = 'b')"
+   with
+  | Vquel.Pos_diff
+      { target = Vquel.Branch_head "a"; other = Vquel.Branch_head "b"; _ } ->
+      ()
+  | _ -> Alcotest.fail "expected Pos_diff");
+  (match
+     plan
+       "SELECT * FROM r AS r1, r AS r2 WHERE r1.Version = 'a' AND r1.c1 = 3 \
+        AND r1.id = r2.id AND r2.Version = 'b'"
+   with
+  | Vquel.Join
+      {
+        left = Vquel.Branch_head "a";
+        right = Vquel.Branch_head "b";
+        left_preds = [ _ ];
+        right_preds = [];
+      } ->
+      ()
+  | _ -> Alcotest.fail "expected Join");
+  match plan "SELECT * FROM r WHERE HEAD(r.Version) = true" with
+  | Vquel.Head_scan { preds = [] } -> ()
+  | _ -> Alcotest.fail "expected Head_scan"
+
+let expect_parse_error q =
+  match plan q with
+  | exception Vquel.Parse_error _ -> ()
+  | _ -> Alcotest.fail (Printf.sprintf "expected parse error for %S" q)
+
+let test_rejections () =
+  List.iter expect_parse_error
+    [
+      (* missing version constraint *)
+      "SELECT * FROM r";
+      "SELECT * FROM r WHERE c1 = 3";
+      (* GROUP BY without aggregates *)
+      "SELECT c1 FROM r WHERE r.Version = 'a' GROUP BY c1";
+      (* bare column mixed with aggregates without GROUP BY *)
+      "SELECT c1, COUNT(*) FROM r WHERE r.Version = 'a'";
+      (* grouped column must appear in GROUP BY *)
+      "SELECT c2, COUNT(*) FROM r WHERE r.Version = 'a' GROUP BY c1";
+      (* aggregates over joins unsupported *)
+      "SELECT COUNT(*) FROM r AS a, r AS b WHERE a.Version = 'x' AND \
+       b.Version = 'y' AND a.id = b.id";
+      (* two version constraints on one table *)
+      "SELECT * FROM r WHERE r.Version = 'a' AND r.Version = 'b'";
+      (* head mixed with version *)
+      "SELECT * FROM r WHERE HEAD(r.Version) = true AND r.Version = 'a'";
+      (* HEAD must compare to true *)
+      "SELECT * FROM r WHERE HEAD(r.Version) = false";
+      (* join without join condition *)
+      "SELECT * FROM r AS a, r AS b WHERE a.Version = 'x' AND b.Version = 'y'";
+      (* join on non-pk *)
+      "SELECT * FROM r AS a, r AS b WHERE a.Version = 'x' AND b.Version = \
+       'y' AND a.c1 = b.c1";
+      (* different tables *)
+      "SELECT * FROM r, s WHERE r.Version = 'a' AND r.id = s.id AND \
+       s.Version = 'b'";
+      (* trailing garbage *)
+      "SELECT * FROM r WHERE r.Version = 'a' banana";
+      (* unterminated string *)
+      "SELECT * FROM r WHERE r.Version = 'a";
+      (* NOT IN on non-id *)
+      "SELECT * FROM r WHERE r.Version = 'a' AND r.c1 NOT IN (SELECT id \
+       FROM r WHERE r.Version = 'b')";
+    ]
+
+let test_lexer_details () =
+  (* keywords are case-insensitive; idents keep their case *)
+  match plan "select * from r where R.version = 'Master'" with
+  | Vquel.Scan { target = Vquel.Branch_head "Master"; _ } -> ()
+  | _ -> Alcotest.fail "case-insensitive keywords"
+
+(* ------------------------------------------------------------------ *)
+(* end-to-end agreement with typed operators *)
+
+let test_q1_agreement () =
+  with_db (fun db ->
+      let _ = fixture db in
+      Alcotest.(check int) "q1" (Query.q1_scan db Vg.master)
+        (count db "SELECT * FROM r WHERE r.Version = 'master'");
+      let pred = Query.column_pred schema ~column:"c1" Query.Ge (Value.int 4) in
+      Alcotest.(check int) "q1 pred"
+        (Query.q1_scan ~pred db Vg.master)
+        (count db "SELECT * FROM r WHERE r.Version = 'master' AND c1 >= 4"))
+
+let test_q1_version_literal () =
+  with_db (fun db ->
+      let v1, dev = fixture db in
+      ignore dev;
+      Alcotest.(check int) "committed version" 30
+        (count db (Printf.sprintf "SELECT * FROM r WHERE r.Version = '#%d'" v1));
+      (* bad version id *)
+      match Vquel.query db "SELECT * FROM r WHERE r.Version = '#999'" with
+      | exception _ -> ()
+      | _ -> Alcotest.fail "expected failure for unknown version")
+
+let test_q2_key_semantics () =
+  with_db (fun db ->
+      let _, dev = fixture db in
+      ignore dev;
+      (* NOT IN is key-based (paper's SQL): the updated key 5 exists in
+         both branches and is excluded; only the 5 fresh inserts remain *)
+      Alcotest.(check int) "dev not in master" 5
+        (count db
+           "SELECT * FROM r WHERE r.Version = 'dev' AND r.id NOT IN (SELECT \
+            id FROM r WHERE r.Version = 'master')"))
+
+let test_q3_agreement () =
+  with_db (fun db ->
+      let _, dev = fixture db in
+      ignore dev;
+      let pred = Query.column_pred schema ~column:"c1" Query.Eq (Value.int 3) in
+      Alcotest.(check int) "join"
+        (Query.q3_join ~pred db Vg.master dev)
+        (count db
+           "SELECT * FROM r AS r1, r AS r2 WHERE r1.Version = 'master' AND \
+            r1.c1 = 3 AND r1.id = r2.id AND r2.Version = 'dev'");
+      (* join rows concatenate both sides *)
+      match
+        Vquel.query db
+          "SELECT * FROM r AS r1, r AS r2 WHERE r1.Version = 'master' AND \
+           r1.c0 = 5 AND r1.id = r2.id AND r2.Version = 'dev'"
+      with
+      | [ r ] ->
+          Alcotest.(check int) "width doubles" 6
+            (Array.length r.Vquel.values);
+          (* master side has the old value, dev side the updated one *)
+          Alcotest.(check bool) "sides differ" false
+            (Value.equal r.Vquel.values.(1) r.Vquel.values.(4))
+      | l -> Alcotest.fail (Printf.sprintf "expected 1 row, got %d" (List.length l)))
+
+let test_q4_annotations () =
+  with_db (fun db ->
+      let _, dev = fixture db in
+      ignore dev;
+      Alcotest.(check int) "q4 count" (Query.q4_heads db)
+        (count db "SELECT * FROM r WHERE HEAD(r.Version) = true");
+      let rows = Vquel.query db "SELECT * FROM r WHERE HEAD(r.Version) = true AND c0 = 1" in
+      match rows with
+      | [ r ] ->
+          Alcotest.(check (list string)) "branch annotations"
+            [ "master"; "dev" ]
+            r.Vquel.row_branches
+      | _ -> Alcotest.fail "expected exactly one row for key 1")
+
+let test_comparison_operators () =
+  with_db (fun db ->
+      let _ = fixture db in
+      let q op = Printf.sprintf "SELECT * FROM r WHERE r.Version = 'master' AND c0 %s 15" op in
+      Alcotest.(check int) "eq" 1 (count db (q "="));
+      Alcotest.(check int) "ne" 29 (count db (q "<>"));
+      Alcotest.(check int) "lt" 14 (count db (q "<"));
+      Alcotest.(check int) "le" 15 (count db (q "<="));
+      Alcotest.(check int) "gt" 15 (count db (q ">"));
+      Alcotest.(check int) "ge" 16 (count db (q ">=")))
+
+(* ------------------------------------------------------------------ *)
+(* projections and aggregates *)
+
+let one_value db q =
+  match Vquel.query db q with
+  | [ r ] when Array.length r.Vquel.values = 1 -> r.Vquel.values.(0)
+  | _ -> Alcotest.fail (Printf.sprintf "expected single cell for %S" q)
+
+let test_projection () =
+  with_db (fun db ->
+      let _ = fixture db in
+      let rows =
+        Vquel.query db "SELECT c0, c1 FROM r WHERE r.Version = 'master'"
+      in
+      Alcotest.(check int) "row count" 30 (List.length rows);
+      List.iter
+        (fun (r : Vquel.row) ->
+          Alcotest.(check int) "two columns" 2 (Array.length r.Vquel.values))
+        rows)
+
+let test_aggregates () =
+  with_db (fun db ->
+      let _ = fixture db in
+      (* master: ids 1..30, c1 = id mod 7 *)
+      Alcotest.(check bool) "count" true
+        (Value.equal (Value.int 30)
+           (one_value db "SELECT COUNT(*) FROM r WHERE r.Version = 'master'"));
+      Alcotest.(check bool) "sum of ids" true
+        (Value.equal (Value.int 465)
+           (one_value db "SELECT SUM(c0) FROM r WHERE r.Version = 'master'"));
+      Alcotest.(check bool) "avg (integer division)" true
+        (Value.equal (Value.int 15)
+           (one_value db "SELECT AVG(c0) FROM r WHERE r.Version = 'master'"));
+      Alcotest.(check bool) "min" true
+        (Value.equal (Value.int 1)
+           (one_value db "SELECT MIN(c0) FROM r WHERE r.Version = 'master'"));
+      Alcotest.(check bool) "max" true
+        (Value.equal (Value.int 30)
+           (one_value db "SELECT MAX(c0) FROM r WHERE r.Version = 'master'"));
+      (* aggregates respect predicates *)
+      Alcotest.(check bool) "filtered count" true
+        (Value.equal (Value.int 15)
+           (one_value db
+              "SELECT COUNT(*) FROM r WHERE r.Version = 'master' AND c0 <= 15"));
+      (* empty input still yields one row *)
+      Alcotest.(check bool) "empty count" true
+        (Value.equal (Value.int 0)
+           (one_value db
+              "SELECT COUNT(*) FROM r WHERE r.Version = 'master' AND c0 > 999")))
+
+let test_group_by () =
+  with_db (fun db ->
+      let _ = fixture db in
+      let rows =
+        Vquel.query db
+          "SELECT c1, COUNT(*), SUM(c0) FROM r WHERE r.Version = 'master' \
+           GROUP BY c1"
+      in
+      (* c1 = id mod 7 over ids 1..30: seven groups *)
+      Alcotest.(check int) "groups" 7 (List.length rows);
+      let total =
+        List.fold_left
+          (fun acc (r : Vquel.row) ->
+            acc + Int64.to_int (Value.to_int_exn r.Vquel.values.(1)))
+          0 rows
+      in
+      Alcotest.(check int) "counts partition rows" 30 total;
+      (* check one group exactly: c1 = 3 -> ids 3,10,17,24 *)
+      let g3 =
+        List.find
+          (fun (r : Vquel.row) -> Value.equal r.Vquel.values.(0) (Value.int 3))
+          rows
+      in
+      Alcotest.(check bool) "group count" true
+        (Value.equal g3.Vquel.values.(1) (Value.int 4));
+      Alcotest.(check bool) "group sum" true
+        (Value.equal g3.Vquel.values.(2) (Value.int 54)))
+
+let test_aggregate_over_heads () =
+  with_db (fun db ->
+      let _ = fixture db in
+      (* Q4 + COUNT: number of distinct physical records across heads *)
+      Alcotest.(check bool) "count over heads" true
+        (Value.equal
+           (Value.int (Query.q4_heads db))
+           (one_value db "SELECT COUNT(*) FROM r WHERE HEAD(r.Version) = true")))
+
+let () =
+  Alcotest.run "vquel"
+    [
+      ( "parser-planner",
+        [
+          Alcotest.test_case "four shapes" `Quick test_plan_shapes;
+          Alcotest.test_case "rejections" `Quick test_rejections;
+          Alcotest.test_case "lexer details" `Quick test_lexer_details;
+        ] );
+      ( "execution",
+        [
+          Alcotest.test_case "q1 agreement" `Quick test_q1_agreement;
+          Alcotest.test_case "version literals" `Quick test_q1_version_literal;
+          Alcotest.test_case "q2 key semantics" `Quick test_q2_key_semantics;
+          Alcotest.test_case "q3 agreement" `Quick test_q3_agreement;
+          Alcotest.test_case "q4 annotations" `Quick test_q4_annotations;
+          Alcotest.test_case "comparison operators" `Quick
+            test_comparison_operators;
+        ] );
+      ( "projection-aggregation",
+        [
+          Alcotest.test_case "projection" `Quick test_projection;
+          Alcotest.test_case "aggregates" `Quick test_aggregates;
+          Alcotest.test_case "group by" `Quick test_group_by;
+          Alcotest.test_case "aggregate over heads" `Quick
+            test_aggregate_over_heads;
+        ] );
+    ]

@@ -1,0 +1,201 @@
+(* Write-ahead-log tests: entry framing, torn-tail tolerance, and full
+   crash recovery — a durable database abandoned without close must
+   come back with every logged operation intact, on every physical
+   scheme. *)
+
+open Decibel
+open Decibel_storage
+module Vg = Decibel_graph.Version_graph
+
+let schema = Schema.ints ~name:"r" ~width:3
+
+let row k a = [| Value.int k; Value.int a; Value.int 0 |]
+
+let schemes =
+  [
+    Database.Tuple_first;
+    Database.Tuple_first_tuple_oriented;
+    Database.Version_first;
+    Database.Hybrid;
+  ]
+
+let contents db b =
+  List.sort compare (List.map Array.to_list (Database.scan_list db b))
+
+(* ------------------------------------------------------------------ *)
+(* Wal module unit tests *)
+
+let with_log f =
+  let dir = Decibel_util.Fsutil.fresh_dir "decibel-wal" in
+  let path = Filename.concat dir "w.log" in
+  Fun.protect
+    ~finally:(fun () -> Decibel_util.Fsutil.rm_rf dir)
+    (fun () -> f path)
+
+let all_entries =
+  [
+    Wal.W_insert (0, row 1 10);
+    Wal.W_update (1, row 1 20);
+    Wal.W_delete (0, Value.int 1);
+    Wal.W_commit (2, "a message");
+    Wal.W_branch ("dev", 7);
+    Wal.W_merge (0, 3, Types.Three_way, "merge msg");
+    Wal.W_merge (1, 2, Types.Ours, "");
+    Wal.W_merge (1, 2, Types.Theirs, "x");
+    Wal.W_retire 4;
+  ]
+
+let test_wal_roundtrip () =
+  with_log (fun path ->
+      let w = Wal.open_log ~path in
+      List.iter (Wal.append w schema) all_entries;
+      Alcotest.(check int) "pending" (List.length all_entries) (Wal.pending w);
+      Wal.close w;
+      let back = Wal.read_entries ~path schema in
+      Alcotest.(check bool) "entries roundtrip" true (back = all_entries))
+
+let test_wal_torn_tail () =
+  with_log (fun path ->
+      let w = Wal.open_log ~path in
+      List.iter (Wal.append w schema) all_entries;
+      Wal.close w;
+      (* chop bytes off the end: replay must still yield a prefix *)
+      let data = Decibel_util.Binio.read_file path in
+      for cut = 1 to 25 do
+        let truncated = String.sub data 0 (String.length data - cut) in
+        Decibel_util.Binio.write_file path truncated;
+        let back = Wal.read_entries ~path schema in
+        let n = List.length back in
+        if n > List.length all_entries then Alcotest.fail "too many entries";
+        if back <> List.filteri (fun i _ -> i < n) all_entries then
+          Alcotest.fail "torn tail produced a non-prefix"
+      done)
+
+let test_wal_corrupt_middle () =
+  with_log (fun path ->
+      let w = Wal.open_log ~path in
+      List.iter (Wal.append w schema) all_entries;
+      Wal.close w;
+      let data = Bytes.of_string (Decibel_util.Binio.read_file path) in
+      (* flip a byte in the middle: replay stops before it *)
+      let mid = Bytes.length data / 2 in
+      Bytes.set data mid
+        (Char.chr (Char.code (Bytes.get data mid) lxor 0xFF));
+      Decibel_util.Binio.write_file path (Bytes.to_string data);
+      let back = Wal.read_entries ~path schema in
+      Alcotest.(check bool) "prefix only" true
+        (List.length back < List.length all_entries);
+      Alcotest.(check bool) "is a prefix" true
+        (back = List.filteri (fun i _ -> i < List.length back) all_entries))
+
+let test_wal_reset () =
+  with_log (fun path ->
+      let w = Wal.open_log ~path in
+      List.iter (Wal.append w schema) all_entries;
+      Wal.reset w;
+      Alcotest.(check int) "pending resets" 0 (Wal.pending w);
+      Wal.append w schema (Wal.W_commit (0, "post"));
+      Wal.close w;
+      Alcotest.(check bool) "only post-reset entries" true
+        (Wal.read_entries ~path schema = [ Wal.W_commit (0, "post") ]))
+
+(* ------------------------------------------------------------------ *)
+(* crash recovery through the Database layer *)
+
+let test_crash_recovery scheme () =
+  let dir = Decibel_util.Fsutil.fresh_dir "decibel-crash" in
+  Fun.protect
+    ~finally:(fun () -> Decibel_util.Fsutil.rm_rf dir)
+    (fun () ->
+      let db = Database.open_ ~durable:true ~scheme ~dir ~schema () in
+      Database.insert db Vg.master (row 1 10);
+      Database.insert db Vg.master (row 2 20);
+      let v1 = Database.commit db Vg.master ~message:"v1" in
+      let dev = Database.create_branch db ~name:"dev" ~from:v1 in
+      Database.update db dev (row 1 99);
+      Database.insert db dev (row 3 30);
+      let _ = Database.commit db dev ~message:"dev" in
+      let _ =
+        Database.merge db ~into:Vg.master ~from:dev ~policy:Types.Three_way
+          ~message:"m"
+      in
+      Database.delete db Vg.master (Value.int 2);
+      let master_state = contents db Vg.master in
+      let dev_state = contents db dev in
+      let nversions = Vg.version_count (Database.graph db) in
+      (* crash: no close, no flush — the engine manifest still holds
+         only the initial empty checkpoint *)
+      let db2 = Database.reopen ~dir () in
+      Alcotest.(check bool) "master recovered" true
+        (contents db2 Vg.master = master_state);
+      Alcotest.(check bool) "dev recovered" true
+        (contents db2 dev = dev_state);
+      Alcotest.(check int) "versions recovered" nversions
+        (Vg.version_count (Database.graph db2));
+      (* the recovered database keeps journaling: work, crash again *)
+      Database.insert db2 Vg.master (row 50 5);
+      let db3 = Database.reopen ~dir () in
+      Alcotest.(check bool) "second crash recovered" true
+        (Database.lookup db3 Vg.master (Value.int 50) <> None);
+      Database.close db3)
+
+let test_checkpoint_trims_log scheme () =
+  let dir = Decibel_util.Fsutil.fresh_dir "decibel-ckpt" in
+  Fun.protect
+    ~finally:(fun () -> Decibel_util.Fsutil.rm_rf dir)
+    (fun () ->
+      let db = Database.open_ ~durable:true ~scheme ~dir ~schema () in
+      for i = 1 to 20 do
+        Database.insert db Vg.master (row i i)
+      done;
+      Database.flush db;
+      let wal_size = (Unix.stat (Filename.concat dir "wal.log")).Unix.st_size in
+      Alcotest.(check int) "log truncated at checkpoint" 0 wal_size;
+      (* post-checkpoint ops land in the fresh log and still recover *)
+      Database.insert db Vg.master (row 100 1);
+      let db2 = Database.reopen ~dir () in
+      Alcotest.(check int) "all rows" 21
+        (let n = ref 0 in
+         Database.scan db2 Vg.master (fun _ -> incr n);
+         !n);
+      Database.close db2)
+
+let test_non_durable_has_no_log () =
+  let dir = Decibel_util.Fsutil.fresh_dir "decibel-nolog" in
+  Fun.protect
+    ~finally:(fun () -> Decibel_util.Fsutil.rm_rf dir)
+    (fun () ->
+      let db =
+        Database.open_ ~scheme:Database.Hybrid ~dir ~schema ()
+      in
+      Database.insert db Vg.master (row 1 1);
+      Alcotest.(check bool) "no wal file" false
+        (Sys.file_exists (Filename.concat dir "wal.log"));
+      Database.close db)
+
+let () =
+  Alcotest.run "wal"
+    [
+      ( "log",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_wal_roundtrip;
+          Alcotest.test_case "torn tail" `Quick test_wal_torn_tail;
+          Alcotest.test_case "corrupt middle" `Quick test_wal_corrupt_middle;
+          Alcotest.test_case "reset" `Quick test_wal_reset;
+        ] );
+      ( "crash-recovery",
+        List.concat_map
+          (fun scheme ->
+            let n = Database.scheme_name scheme in
+            [
+              Alcotest.test_case (n ^ " crash recovery") `Quick
+                (test_crash_recovery scheme);
+              Alcotest.test_case (n ^ " checkpoint trims log") `Quick
+                (test_checkpoint_trims_log scheme);
+            ])
+          schemes
+        @ [
+            Alcotest.test_case "non-durable has no log" `Quick
+              test_non_durable_has_no_log;
+          ] );
+    ]
