@@ -1,0 +1,28 @@
+# Convenience targets; `make ci` is what .github/workflows/ci.yml runs.
+
+.PHONY: all build test fmt ci bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Formatting check is best-effort: skipped when ocamlformat is not
+# installed (the pinned dev environment does not ship it).
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+		dune build @fmt; \
+	else \
+		echo "ocamlformat not installed; skipping format check"; \
+	fi
+
+ci: build fmt test
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

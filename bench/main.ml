@@ -29,7 +29,7 @@ let load_counter = ref 0
 let load_log : (string * string * int * float) list ref = ref []
 (* (strategy, engine, branches, seconds) *)
 
-let load ?(clustered = false) ~scheme_name ~scheme kind cfg =
+let load ?(clustered = false) ?(durable = false) ~scheme_name ~scheme kind cfg =
   incr load_counter;
   let wl = Strategy.generate kind cfg in
   let dir =
@@ -37,7 +37,7 @@ let load ?(clustered = false) ~scheme_name ~scheme kind cfg =
       (Printf.sprintf "%s-%s-%d" (Strategy.kind_name kind) scheme_name
          !load_counter)
   in
-  let l = Driver.load ~clustered ~scheme ~dir cfg wl in
+  let l = Driver.load ~clustered ~durable ~scheme ~dir cfg wl in
   load_log :=
     (Strategy.kind_name kind, scheme_name, cfg.Config.branches,
      l.Driver.load_seconds)
@@ -813,6 +813,110 @@ let micro () =
   Report.table ~headers:[ "primitive"; "time" ] ~rows
 
 (* ------------------------------------------------------------------ *)
+(* Observability report: per scheme x query latency distributions plus
+   internal counter deltas, written to BENCH_<timestamp>.json.  Loads
+   run durable so wal.* counters are exercised too. *)
+
+module Obs = Decibel_obs.Obs
+
+let obs_report () =
+  Report.section "Observability: latency distributions + counter deltas";
+  let cfg = Config.default in
+  let repeat = 5 in
+  let scheme_entries =
+    List.map
+      (fun (ename, scheme) ->
+        let before_load = Obs.snapshot () in
+        let l =
+          load ~durable:true ~scheme_name:ename ~scheme Strategy.Flat cfg
+        in
+        let load_counters =
+          List.filter_map
+            (fun (k, v) -> if v <> 0 then Some (k, Report.J_int v) else None)
+            (Obs.counters_diff before_load (Obs.snapshot ()))
+        in
+        let run_query qname f =
+          let before = Obs.snapshot () in
+          let samples = f () in
+          let after = Obs.snapshot () in
+          let counters =
+            List.filter_map
+              (fun (k, v) -> if v <> 0 then Some (k, Report.J_int v) else None)
+              (Obs.counters_diff before after)
+          in
+          (* the four headline counters must always be present, zero or
+             not, so downstream tooling can rely on the keys *)
+          let counters =
+            List.fold_left
+              (fun acc k ->
+                if List.mem_assoc k acc then acc else (k, Report.J_int 0) :: acc)
+              counters
+              [
+                "buffer_pool.misses"; "wal.bytes"; "engine.scan.pages";
+                "commit_history.delta_bytes";
+              ]
+          in
+          Report.note "%s %s: p50 %s  p95 %s" ename qname
+            (Report.fmt_ms [ Report.percentile samples 0.50 ])
+            (Report.fmt_ms [ Report.percentile samples 0.95 ]);
+          ( qname,
+            Report.J_obj
+              [
+                ("p50_ms", Report.J_float (Report.percentile samples 0.50 *. 1e3));
+                ("p95_ms", Report.J_float (Report.percentile samples 0.95 *. 1e3));
+                ("p99_ms", Report.J_float (Report.percentile samples 0.99 *. 1e3));
+                ( "samples_ms",
+                  Report.J_list
+                    (List.map (fun s -> Report.J_float (s *. 1e3)) samples) );
+                ("counters", Report.J_obj counters);
+              ] )
+        in
+        let role r = Workload.role_exn l.Driver.workload r in
+        let b1, b2 = pair_roles Strategy.Flat in
+        (* bind in sequence: list literals evaluate right-to-left *)
+        let q1 = run_query "q1" (fun () -> Driver.q1 ~repeat l ~branch:(role "child")) in
+        let q2 = run_query "q2" (fun () -> Driver.q2 ~repeat l ~b1:(role b1) ~b2:(role b2)) in
+        let q3 = run_query "q3" (fun () -> Driver.q3 ~repeat l ~b1:(role b1) ~b2:(role b2)) in
+        let q4 = run_query "q4" (fun () -> Driver.q4 ~repeat l) in
+        let queries = [ q1; q2; q3; q4 ] in
+        let entry =
+          Report.J_obj
+            [
+              ("load_seconds", Report.J_float l.Driver.load_seconds);
+              ("dataset_bytes", Report.J_int (Driver.dataset_bytes l));
+              ("load_counters", Report.J_obj load_counters);
+              ("queries", Report.J_obj queries);
+            ]
+        in
+        Driver.close l;
+        (ename, entry))
+      engines
+  in
+  let stamp =
+    let tm = Unix.localtime (Unix.time ()) in
+    Printf.sprintf "%04d%02d%02d_%02d%02d%02d" (tm.Unix.tm_year + 1900)
+      (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+      tm.Unix.tm_sec
+  in
+  let doc =
+    Report.J_obj
+      [
+        ("schema", Report.J_str "decibel-bench-v1");
+        ("timestamp", Report.J_str stamp);
+        ("scale", Report.J_int Config.scale);
+        ("config", Report.J_str (Format.asprintf "%a" Config.pp cfg));
+        ("repeat", Report.J_int repeat);
+        ("schemes", Report.J_obj scheme_entries);
+      ]
+  in
+  let path = Printf.sprintf "BENCH_%s.json" stamp in
+  let oc = open_out path in
+  output_string oc (Report.json_to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Report.note "wrote %s" path
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -825,6 +929,7 @@ let experiments =
     ("tab7", tab7);
     ("ablations", ablations);
     ("micro", micro);
+    ("obs", obs_report);
     ("tab5", tab5); (* printed last: aggregates all loads this run *)
   ]
 

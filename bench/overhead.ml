@@ -1,0 +1,65 @@
+(* Instrumentation overhead check: scan throughput with the metrics
+   registry enabled vs disabled (Obs.set_enabled).  The acceptance bar
+   for the observability layer is <5% on the hot scan path; run with
+   `dune exec bench/overhead.exe`. *)
+
+open Decibel
+open Decibel_storage
+module Obs = Decibel_obs.Obs
+
+let schema = Schema.ints ~name:"r" ~width:8
+
+let tuple_of_key k =
+  Array.init 8 (fun j ->
+      if j = 0 then Value.int k else Value.int ((k * 31) + j))
+
+let () =
+  let dir = Decibel_util.Fsutil.fresh_dir "decibel-overhead" in
+  let db = Database.open_ ~scheme:Database.Hybrid ~dir ~schema () in
+  Fun.protect
+    ~finally:(fun () ->
+      Database.close db;
+      Decibel_util.Fsutil.rm_rf dir)
+    (fun () ->
+      let master = Database.branch_named db "master" in
+      let n = 50_000 in
+      for k = 1 to n do
+        Database.insert db master (tuple_of_key k)
+      done;
+      let _ = Database.commit db master ~message:"seed" in
+      Database.flush db;
+      let rounds = 30 in
+      let bench enabled =
+        Obs.set_enabled enabled;
+        (* warm the cache so the measurement isolates CPU cost *)
+        Database.scan db master (fun _ -> ());
+        Gc.full_major ();
+        let t0 = Unix.gettimeofday () in
+        let seen = ref 0 in
+        for _ = 1 to rounds do
+          Database.scan db master (fun _ -> incr seen)
+        done;
+        let dt = Unix.gettimeofday () -. t0 in
+        assert (!seen = rounds * n);
+        dt
+      in
+      (* interleave to cancel drift, alternating which goes first *)
+      let on = ref 0.0 and off = ref 0.0 in
+      for i = 1 to 6 do
+        if i mod 2 = 0 then begin
+          on := !on +. bench true;
+          off := !off +. bench false
+        end
+        else begin
+          off := !off +. bench false;
+          on := !on +. bench true
+        end
+      done;
+      Obs.set_enabled true;
+      let tuples = float_of_int (6 * rounds * n) in
+      Printf.printf "scan throughput, %d tuples x %d rounds x 6 reps\n" n
+        rounds;
+      Printf.printf "  enabled : %8.1f ktuples/s\n" (tuples /. !on /. 1e3);
+      Printf.printf "  disabled: %8.1f ktuples/s\n" (tuples /. !off /. 1e3);
+      Printf.printf "  overhead: %+.2f%%\n"
+        ((!on -. !off) /. !off *. 100.0))

@@ -381,20 +381,46 @@ let sql_cmd =
     Term.(const run $ dir_arg $ query)
 
 let stats_cmd =
-  let run dir =
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit statistics as one JSON object, including the internal \
+             metrics registry (counters, gauges, latency histograms).")
+  in
+  let run dir json =
     wrap (fun () ->
         with_repo dir (fun db ->
             let g = Database.graph db in
-            Printf.printf "scheme:        %s\n" (Database.scheme_of db);
-            Printf.printf "schema:        %s\n"
-              (Format.asprintf "%a" Schema.pp (Database.schema db));
-            Printf.printf "branches:      %d\n" (Vg.branch_count g);
-            Printf.printf "versions:      %d\n" (Vg.version_count g);
-            Printf.printf "data bytes:    %d\n" (Database.dataset_bytes db);
-            Printf.printf "commit bytes:  %d\n" (Database.commit_meta_bytes db)))
+            if json then
+              Printf.printf
+                "{\"scheme\":\"%s\",\"branches\":%d,\"versions\":%d,\
+                 \"dataset_bytes\":%d,\"commit_meta_bytes\":%d,\
+                 \"metrics\":%s}\n"
+                (Decibel_obs.Obs.json_escape (Database.scheme_of db))
+                (Vg.branch_count g) (Vg.version_count g)
+                (Database.dataset_bytes db)
+                (Database.commit_meta_bytes db)
+                (Database.metrics_json db)
+            else begin
+              Printf.printf "scheme:        %s\n" (Database.scheme_of db);
+              Printf.printf "schema:        %s\n"
+                (Format.asprintf "%a" Schema.pp (Database.schema db));
+              Printf.printf "branches:      %d\n" (Vg.branch_count g);
+              Printf.printf "versions:      %d\n" (Vg.version_count g);
+              Printf.printf "data bytes:    %d\n" (Database.dataset_bytes db);
+              Printf.printf "commit bytes:  %d\n"
+                (Database.commit_meta_bytes db);
+              let snap = Database.metrics db in
+              List.iter
+                (fun (name, v) ->
+                  if v > 0 then Printf.printf "%-32s %d\n" name v)
+                snap.Decibel_obs.Obs.counters
+            end))
   in
   Cmd.v (Cmd.info "stats" ~doc:"Repository statistics.")
-    Term.(const run $ dir_arg)
+    Term.(const run $ dir_arg $ json_flag)
 
 let () =
   let info =

@@ -68,10 +68,12 @@ let diff_bytes db a b =
     ~neg:(fun t -> bytes := !bytes + Tuple.encoded_size schema t);
   !bytes
 
-let load ?(clustered = false) ~scheme ~dir cfg workload =
+let load ?(clustered = false) ?(durable = false) ~scheme ~dir cfg workload =
   let workload = if clustered then Workload.cluster workload else workload in
   Fsutil.mkdir_p dir;
-  let db = Database.open_ ~scheme ~dir ~schema:(Config.schema cfg) () in
+  let db =
+    Database.open_ ~durable ~scheme ~dir ~schema:(Config.schema cfg) ()
+  in
   let commits : (string, Vg.version_id list) Hashtbl.t = Hashtbl.create 64 in
   let record_commit name vid =
     let prev = Option.value ~default:[] (Hashtbl.find_opt commits name) in

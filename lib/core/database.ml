@@ -10,6 +10,7 @@
 open Decibel_storage
 open Types
 module Vg = Decibel_graph.Version_graph
+module Obs = Decibel_obs.Obs
 
 (** Storage scheme selector (paper §3, plus the testing oracle). *)
 type scheme =
@@ -211,6 +212,13 @@ let pool (Db { pool; _ }) = pool
 let drop_caches (Db { pool; _ } as t) =
   flush t;
   Buffer_pool.drop_all pool
+
+(* The registry is process-wide; the [t] parameter keeps the API shaped
+   like the rest of the facade and leaves room for per-database
+   registries later. *)
+let metrics (Db _) = Obs.snapshot ()
+let metrics_json (Db _) = Obs.to_json (Obs.snapshot ())
+let dump_trace (Db _) ~path = Obs.write_trace ~path
 
 let scan_list t b =
   let acc = ref [] in

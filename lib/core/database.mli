@@ -111,6 +111,18 @@ val pool : t -> Buffer_pool.t
 val drop_caches : t -> unit
 (** Flush, then empty the buffer pool (cold-cache benchmarking). *)
 
+val metrics : t -> Decibel_obs.Obs.snapshot
+(** Snapshot of the process-wide metrics registry ({!Decibel_obs.Obs}).
+    Counters are monotonic over the process lifetime, so diff two
+    snapshots to attribute work to an interval. *)
+
+val metrics_json : t -> string
+(** [metrics t] rendered as one JSON object. *)
+
+val dump_trace : t -> path:string -> unit
+(** Write recorded tracing spans to [path] in Chrome trace format
+    (one JSON event per line; load via chrome://tracing or Perfetto). *)
+
 val flush : t -> unit
 (** Checkpoint: persist engine manifests and truncate the WAL. *)
 

@@ -21,6 +21,26 @@ open Decibel_storage
 open Decibel_index
 open Types
 module Vg = Decibel_graph.Version_graph
+module Obs = Decibel_obs.Obs
+
+(* same engine.* names as the other schemes: Obs interns by name, so
+   all engines feed the shared counters *)
+let c_scan_tuples = Obs.counter "engine.scan.tuples"
+let c_scan_pages = Obs.counter "engine.scan.pages"
+let c_scan_segments = Obs.counter "engine.scan.segments"
+let c_scan_bitmap_words = Obs.counter "engine.scan.bitmap_words"
+let c_multi_scan_tuples = Obs.counter "engine.multi_scan.tuples"
+let c_diff_tuples = Obs.counter "engine.diff.tuples"
+let c_commits = Obs.counter "engine.commits"
+let c_merges = Obs.counter "engine.merges"
+let sp_scan = "hybrid.scan"
+let sp_scan_version = "hybrid.scan_version"
+let sp_multi_scan = "hybrid.multi_scan"
+let sp_diff = "hybrid.diff"
+let sp_merge = "hybrid.merge"
+let sp_commit = "hybrid.commit"
+
+let bitmap_words col = (Bitvec.length col + 63) / 64
 
 type seg = {
   seg_id : int;
@@ -202,7 +222,7 @@ let clear_live t b sid row =
     Branch_bitmap.clear t.seg_index ~branch:b ~row:sid
   end
 
-let commit t b ~message =
+let commit_impl t b ~message =
   (* snapshot every segment the branch has ever had a history for plus
      any it now touches, so deletions round-trip through checkout *)
   let touched : (int, unit) Hashtbl.t = Hashtbl.create 16 in
@@ -222,6 +242,13 @@ let commit t b ~message =
   Hashtbl.replace t.commit_loc vid (b, snaps);
   set_dirty t b false;
   vid
+
+let commit t b ~message =
+  if not (Obs.enabled ()) then commit_impl t b ~message
+  else
+    Obs.with_span sp_commit (fun () ->
+        Obs.incr c_commits;
+        commit_impl t b ~message)
 
 let commit_cols t vid =
   match Hashtbl.find_opt t.commit_loc vid with
@@ -340,17 +367,44 @@ let scan_segment_col t sid col f =
       if Bitvec.get col !row then f (decode_tuple t payload);
       incr row)
 
+(* One segment's worth of accounting, charged per segment (not per
+   tuple) so instrumentation stays amortized: Heap_file.iter walks the
+   whole segment extent page by page, and the live-tuple count is the
+   bitmap's population count, so the scan itself runs uninstrumented. *)
+let account_segment t sid col =
+  Obs.incr c_scan_segments;
+  Obs.add c_scan_pages (Heap_file.page_count (segment t sid).file);
+  Obs.add c_scan_bitmap_words (bitmap_words col);
+  Obs.add c_scan_tuples (Bitvec.pop_count col)
+
 (* Single-branch scan: only segments flagged in the branch–segment
    bitmap are read, in any order (§3.4 “Single-branch Scan”). *)
 let scan t b f =
-  List.iter (fun sid -> scan_segment_col t sid (local_col t b sid) f)
-    (segs_of_branch t b)
+  if not (Obs.enabled ()) then
+    List.iter (fun sid -> scan_segment_col t sid (local_col t b sid) f)
+      (segs_of_branch t b)
+  else
+    Obs.with_span sp_scan (fun () ->
+        List.iter
+          (fun sid ->
+            let col = local_col t b sid in
+            account_segment t sid col;
+            scan_segment_col t sid col f)
+          (segs_of_branch t b))
 
 let scan_version t vid f =
-  List.iter (fun (sid, col) -> scan_segment_col t sid col f)
-    (commit_cols t vid)
+  if not (Obs.enabled ()) then
+    List.iter (fun (sid, col) -> scan_segment_col t sid col f)
+      (commit_cols t vid)
+  else
+    Obs.with_span sp_scan_version (fun () ->
+        List.iter
+          (fun (sid, col) ->
+            account_segment t sid col;
+            scan_segment_col t sid col f)
+          (commit_cols t vid))
 
-let multi_scan t branches f =
+let multi_scan_impl t branches f =
   let seg_set : (int, unit) Hashtbl.t = Hashtbl.create 16 in
   List.iter
     (fun b -> List.iter (fun s -> Hashtbl.replace seg_set s ()) (segs_of_branch t b))
@@ -372,7 +426,17 @@ let multi_scan t branches f =
           incr row))
     segs
 
-let diff t a b ~pos ~neg =
+let multi_scan t branches f =
+  if not (Obs.enabled ()) then multi_scan_impl t branches f
+  else
+    Obs.with_span sp_multi_scan (fun () ->
+        let n = ref 0 in
+        multi_scan_impl t branches (fun mt ->
+            n := !n + 1;
+            f mt);
+        Obs.add c_multi_scan_tuples !n)
+
+let diff_impl t a b ~pos ~neg =
   let seg_set : (int, unit) Hashtbl.t = Hashtbl.create 16 in
   List.iter (fun s -> Hashtbl.replace seg_set s ()) (segs_of_branch t a);
   List.iter (fun s -> Hashtbl.replace seg_set s ()) (segs_of_branch t b);
@@ -397,6 +461,18 @@ let diff t a b ~pos ~neg =
           emit_side ~live_in:cb ~other:a neg sid row)
         (Bitvec.xor ca cb))
     seg_set
+
+let diff t a b ~pos ~neg =
+  if not (Obs.enabled ()) then diff_impl t a b ~pos ~neg
+  else
+    Obs.with_span sp_diff (fun () ->
+        let n = ref 0 in
+        let count out tuple =
+          n := !n + 1;
+          out tuple
+        in
+        diff_impl t a b ~pos:(count pos) ~neg:(count neg);
+        Obs.add c_diff_tuples !n)
 
 (* Change tables for merge: per segment, XOR the branch's current
    column against the LCA's restored column; set-minus directions give
@@ -448,7 +524,7 @@ let changes_since t b lca_cols =
     tbl;
   tbl
 
-let merge t ~into ~from ~policy ~message =
+let merge_impl t ~into ~from ~policy ~message =
   let v_ours = Vg.head t.graph into and v_theirs = Vg.head t.graph from in
   let lca = Vg.lca t.graph v_ours v_theirs in
   let lca_cols = commit_cols t lca in
@@ -514,6 +590,13 @@ let merge t ~into ~from ~policy ~message =
     keys_theirs = stats.Merge_driver.n_theirs;
     keys_both = stats.Merge_driver.n_both;
   }
+
+let merge t ~into ~from ~policy ~message =
+  if not (Obs.enabled ()) then merge_impl t ~into ~from ~policy ~message
+  else
+    Obs.with_span sp_merge (fun () ->
+        Obs.incr c_merges;
+        merge_impl t ~into ~from ~policy ~message)
 
 let dataset_bytes t =
   let acc = ref 0 in

@@ -13,6 +13,13 @@
 
 open Decibel_storage
 open Types
+module Obs = Decibel_obs.Obs
+
+(* merge.* registry counters, shared by all engines (the decision
+   logic is engine-independent, so the metrics are too) *)
+let c_keys_joined = Obs.counter "merge.keys_joined"
+let c_conflicts = Obs.counter "merge.conflicts_detected"
+let c_resolved = Obs.counter "merge.conflicts_resolved"
 
 (** What one branch did to a key since the LCA. *)
 type side_change = {
@@ -138,7 +145,14 @@ let decide ~policy ~(ours : (Value.t, side_change) Hashtbl.t)
             :: !decisions
       | Some t ->
           incr n_both;
-          decisions := decide_key policy key o t :: !decisions)
+          Obs.incr c_keys_joined;
+          let d = decide_key policy key o t in
+          (match d.d_conflict with
+          | None -> ()
+          | Some c ->
+              Obs.incr c_conflicts;
+              if c.resolved <> None then Obs.incr c_resolved);
+          decisions := d :: !decisions)
     ours;
   Hashtbl.iter
     (fun key (t : side_change) ->

@@ -17,6 +17,19 @@ open Decibel_storage
 open Decibel_index
 open Types
 module Vg = Decibel_graph.Version_graph
+module Obs = Decibel_obs.Obs
+
+(* engine.* counters are shared across all three schemes (Obs.counter
+   interns by name), so benchmark reports can diff them uniformly *)
+let c_scan_tuples = Obs.counter "engine.scan.tuples"
+let c_scan_pages = Obs.counter "engine.scan.pages"
+let c_scan_bitmap_words = Obs.counter "engine.scan.bitmap_words"
+let c_multi_scan_tuples = Obs.counter "engine.multi_scan.tuples"
+let c_diff_tuples = Obs.counter "engine.diff.tuples"
+let c_commits = Obs.counter "engine.commits"
+let c_merges = Obs.counter "engine.merges"
+
+let bitmap_words col = (Bitvec.length col + 63) / 64
 
 module Make (B : Bitmap_intf.S) = struct
   type t = {
@@ -36,6 +49,15 @@ module Make (B : Bitmap_intf.S) = struct
   }
 
   let scheme = "tuple-first (" ^ B.layout ^ ")"
+
+  (* span names precomputed once per functor instantiation so the
+     instrumented paths allocate nothing per call *)
+  let sp_scan = "tuple_first.scan"
+  let sp_scan_version = "tuple_first.scan_version"
+  let sp_multi_scan = "tuple_first.multi_scan"
+  let sp_diff = "tuple_first.diff"
+  let sp_merge = "tuple_first.merge"
+  let sp_commit = "tuple_first.commit"
 
   let history t b =
     match Hashtbl.find_opt t.histories b with
@@ -117,13 +139,20 @@ module Make (B : Bitmap_intf.S) = struct
     | Some (b, idx) -> Commit_history.checkout (history t b) idx
     | None -> errorf "tuple-first: version %d has no snapshot" vid
 
-  let commit t b ~message =
+  let commit_impl t b ~message =
     let col = B.snapshot t.bitmap ~branch:b in
     let idx = Commit_history.commit (history t b) col in
     let vid = Vg.commit t.graph b ~message in
     Hashtbl.replace t.commit_loc vid (b, idx);
     set_dirty t b false;
     vid
+
+  let commit t b ~message =
+    if not (Obs.enabled ()) then commit_impl t b ~message
+    else
+      Obs.with_span sp_commit (fun () ->
+          Obs.incr c_commits;
+          commit_impl t b ~message)
 
   let create_branch t ~name ~from =
     let v = Vg.version t.graph from in
@@ -213,11 +242,31 @@ module Make (B : Bitmap_intf.S) = struct
   let scan_col t col f =
     Bitvec.iter_set (fun row -> f (tuple_at t row)) col
 
-  let scan t b f = scan_col t (B.column_view t.bitmap ~branch:b) f
+  (* Scanning a branch touches the whole shared heap extent: with
+     interleaved loads a branch's live rows are scattered across every
+     page (§5.2), so the page figure reported is the heap's page count
+     rather than a per-row count, keeping accounting amortized and
+     allocation-free. *)
+  let instrumented_scan_col span t col f =
+    Obs.with_span span (fun () ->
+        Obs.add c_scan_pages (Heap_file.page_count t.heap);
+        Obs.add c_scan_bitmap_words (bitmap_words col);
+        (* emitted tuples == set bits in the branch column, so the
+           count is amortized and the scan runs uninstrumented *)
+        Obs.add c_scan_tuples (Bitvec.pop_count col);
+        scan_col t col f)
 
-  let scan_version t vid f = scan_col t (bitmap_at_version t vid) f
+  let scan t b f =
+    let col = B.column_view t.bitmap ~branch:b in
+    if not (Obs.enabled ()) then scan_col t col f
+    else instrumented_scan_col sp_scan t col f
 
-  let multi_scan t branches f =
+  let scan_version t vid f =
+    let col = bitmap_at_version t vid in
+    if not (Obs.enabled ()) then scan_col t col f
+    else instrumented_scan_col sp_scan_version t col f
+
+  let multi_scan_impl t branches f =
     let row = ref 0 in
     Heap_file.iter t.heap (fun _off payload ->
         let live =
@@ -227,10 +276,21 @@ module Make (B : Bitmap_intf.S) = struct
           f { tuple = decode_tuple t payload; in_branches = live };
         incr row)
 
+  let multi_scan t branches f =
+    if not (Obs.enabled ()) then multi_scan_impl t branches f
+    else
+      Obs.with_span sp_multi_scan (fun () ->
+          Obs.add c_scan_pages (Heap_file.page_count t.heap);
+          let n = ref 0 in
+          multi_scan_impl t branches (fun mt ->
+              n := !n + 1;
+              f mt);
+          Obs.add c_multi_scan_tuples !n)
+
   (* Bitmap XOR yields candidate rows; a key-level content check drops
      rows whose key has an identical live copy on the other side, so
      diff is by content, consistently across engines. *)
-  let diff t a b ~pos ~neg =
+  let diff_impl t a b ~pos ~neg =
     let ca = B.column_view t.bitmap ~branch:a in
     let cb = B.column_view t.bitmap ~branch:b in
     let emit_side ~live_in ~other out row =
@@ -250,6 +310,18 @@ module Make (B : Bitmap_intf.S) = struct
         emit_side ~live_in:ca ~other:b pos row;
         emit_side ~live_in:cb ~other:a neg row)
       (Bitvec.xor ca cb)
+
+  let diff t a b ~pos ~neg =
+    if not (Obs.enabled ()) then diff_impl t a b ~pos ~neg
+    else
+      Obs.with_span sp_diff (fun () ->
+          let n = ref 0 in
+          let count out tuple =
+            n := !n + 1;
+            out tuple
+          in
+          diff_impl t a b ~pos:(count pos) ~neg:(count neg);
+          Obs.add c_diff_tuples !n)
 
   (* Change table for one branch relative to the LCA snapshot: rows set
      now but not at the LCA are new live copies; rows live at the LCA
@@ -285,7 +357,7 @@ module Make (B : Bitmap_intf.S) = struct
       tbl;
     tbl
 
-  let merge t ~into ~from ~policy ~message =
+  let merge_impl t ~into ~from ~policy ~message =
     let v_ours = Vg.head t.graph into and v_theirs = Vg.head t.graph from in
     let lca = Vg.lca t.graph v_ours v_theirs in
     let col_lca = bitmap_at_version t lca in
@@ -339,6 +411,13 @@ module Make (B : Bitmap_intf.S) = struct
       keys_theirs = stats.Merge_driver.n_theirs;
       keys_both = stats.Merge_driver.n_both;
     }
+
+  let merge t ~into ~from ~policy ~message =
+    if not (Obs.enabled ()) then merge_impl t ~into ~from ~policy ~message
+    else
+      Obs.with_span sp_merge (fun () ->
+          Obs.incr c_merges;
+          merge_impl t ~into ~from ~policy ~message)
 
   let dataset_bytes t = Heap_file.size t.heap
 

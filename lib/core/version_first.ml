@@ -24,6 +24,23 @@ open Decibel_storage
 open Decibel_index
 open Types
 module Vg = Decibel_graph.Version_graph
+module Obs = Decibel_obs.Obs
+
+(* same engine.* names as the other schemes: Obs interns by name, so
+   all engines feed the shared counters *)
+let c_scan_tuples = Obs.counter "engine.scan.tuples"
+let c_scan_pages = Obs.counter "engine.scan.pages"
+let c_scan_segments = Obs.counter "engine.scan.segments"
+let c_multi_scan_tuples = Obs.counter "engine.multi_scan.tuples"
+let c_diff_tuples = Obs.counter "engine.diff.tuples"
+let c_commits = Obs.counter "engine.commits"
+let c_merges = Obs.counter "engine.merges"
+let sp_scan = "version_first.scan"
+let sp_scan_version = "version_first.scan_version"
+let sp_multi_scan = "version_first.multi_scan"
+let sp_diff = "version_first.diff"
+let sp_merge = "version_first.merge"
+let sp_commit = "version_first.commit"
 
 type segment = {
   seg_id : int;
@@ -230,13 +247,20 @@ let commit_loc t vid =
   | Some loc -> loc
   | None -> errorf "version-first: version %d has no commit record" vid
 
-let commit t b ~message =
+let commit_impl t b ~message =
   let sid, upto = head_loc t b in
   Heap_file.flush (segment t sid).file;
   let vid = Vg.commit t.graph b ~message in
   Hashtbl.replace t.commits vid (sid, upto);
   set_dirty t b false;
   vid
+
+let commit t b ~message =
+  if not (Obs.enabled ()) then commit_impl t b ~message
+  else
+    Obs.with_span sp_commit (fun () ->
+        Obs.incr c_commits;
+        commit_impl t b ~message)
 
 let create_branch t ~name ~from =
   let v = Vg.version t.graph from in
@@ -308,19 +332,38 @@ let fetch t (sid, off) =
 let lookup t b key =
   Option.map (fetch t) (Pk_index.find t.pk ~branch:b key)
 
+(* Pages a lineage scan reads: for each planned (segment, upto) pair,
+   the extent up to the branch point, in buffer-pool pages. *)
+let account_plan t sid upto =
+  let psz = Buffer_pool.page_size t.pool in
+  let p = plan t sid upto in
+  List.iter (fun (_, u) -> Obs.add c_scan_pages ((u + psz - 1) / psz)) p;
+  Obs.add c_scan_segments (List.length p)
+
+let instrumented_scan span t sid upto f =
+  Obs.with_span span (fun () ->
+      account_plan t sid upto;
+      let n = ref 0 in
+      scan_live t sid upto (fun _ _ tuple ->
+          n := !n + 1;
+          f tuple);
+      Obs.add c_scan_tuples !n)
+
 let scan t b f =
   let sid, upto = head_loc t b in
-  scan_live t sid upto (fun _ _ tuple -> f tuple)
+  if not (Obs.enabled ()) then scan_live t sid upto (fun _ _ tuple -> f tuple)
+  else instrumented_scan sp_scan t sid upto f
 
 let scan_version t vid f =
   let sid, upto = commit_loc t vid in
-  scan_live t sid upto (fun _ _ tuple -> f tuple)
+  if not (Obs.enabled ()) then scan_live t sid upto (fun _ _ tuple -> f tuple)
+  else instrumented_scan sp_scan_version t sid upto f
 
 (* Multi-branch scan, per the paper's two-pass scheme (§3.3): pass one
    records each branch's live (segment, offset) pairs in hash tables;
    pass two walks the union of segments in storage order emitting each
    live record once with its branch annotations. *)
-let multi_scan t branches f =
+let multi_scan_impl t branches f =
   let ann : (int * int, branch_id list) Hashtbl.t = Hashtbl.create 4096 in
   let segs : (int, unit) Hashtbl.t = Hashtbl.create 16 in
   List.iter
@@ -346,10 +389,20 @@ let multi_scan t branches f =
                   errorf "version-first: annotated tombstone")))
     (List.sort compare seg_ids)
 
+let multi_scan t branches f =
+  if not (Obs.enabled ()) then multi_scan_impl t branches f
+  else
+    Obs.with_span sp_multi_scan (fun () ->
+        let n = ref 0 in
+        multi_scan_impl t branches (fun mt ->
+            n := !n + 1;
+            f mt);
+        Obs.add c_multi_scan_tuples !n)
+
 (* Content diff needs the active records of both branches, which
    version-first can only obtain with full lineage scans — the
    multiple-pass cost the paper reports for Q2 (§5.2). *)
-let diff t a b ~pos ~neg =
+let diff_impl t a b ~pos ~neg =
   let in_a : (Value.t, Tuple.t) Hashtbl.t = Hashtbl.create 4096 in
   scan t a (fun tuple -> Hashtbl.replace in_a (Tuple.pk t.schema tuple) tuple);
   scan t b (fun tuple ->
@@ -362,6 +415,18 @@ let diff t a b ~pos ~neg =
           Hashtbl.remove in_a key
       | None -> neg tuple);
   Hashtbl.iter (fun _ tuple -> pos tuple) in_a
+
+let diff t a b ~pos ~neg =
+  if not (Obs.enabled ()) then diff_impl t a b ~pos ~neg
+  else
+    Obs.with_span sp_diff (fun () ->
+        let n = ref 0 in
+        let count out tuple =
+          n := !n + 1;
+          out tuple
+        in
+        diff_impl t a b ~pos:(count pos) ~neg:(count neg);
+        Obs.add c_diff_tuples !n)
 
 (* Keys a branch touched since the LCA: scan only the segment ranges of
    the branch's lineage that lie beyond the LCA's coverage (the records
@@ -408,7 +473,7 @@ let changes_since t b lca_loc ~lca_state =
     keys;
   tbl
 
-let merge t ~into ~from ~policy ~message =
+let merge_impl t ~into ~from ~policy ~message =
   let v_ours = Vg.head t.graph into and v_theirs = Vg.head t.graph from in
   let lca = Vg.lca t.graph v_ours v_theirs in
   let lca_loc = commit_loc t lca in
@@ -468,6 +533,13 @@ let merge t ~into ~from ~policy ~message =
     keys_theirs = stats.Merge_driver.n_theirs;
     keys_both = stats.Merge_driver.n_both;
   }
+
+let merge t ~into ~from ~policy ~message =
+  if not (Obs.enabled ()) then merge_impl t ~into ~from ~policy ~message
+  else
+    Obs.with_span sp_merge (fun () ->
+        Obs.incr c_merges;
+        merge_impl t ~into ~from ~policy ~message)
 
 let dataset_bytes t =
   let acc = ref 0 in

@@ -18,6 +18,13 @@
 open Decibel_util
 open Decibel_storage
 open Types
+module Obs = Decibel_obs.Obs
+
+(* wal.* registry counters: log volume and durability cost *)
+let c_records = Obs.counter "wal.records"
+let c_bytes = Obs.counter "wal.bytes"
+let c_fsyncs = Obs.counter "wal.fsyncs"
+let c_resets = Obs.counter "wal.resets"
 
 type entry =
   | W_insert of branch_id * Tuple.t
@@ -127,7 +134,10 @@ let append t schema entry =
   Buffer.add_string buf payload;
   output_string t.oc (Buffer.contents buf);
   flush t.oc;
-  t.entries <- t.entries + 1
+  t.entries <- t.entries + 1;
+  Obs.incr c_records;
+  Obs.add c_bytes (String.length payload + 8);
+  Obs.incr c_fsyncs
 
 (* Read every intact entry; a truncated or corrupt tail ends replay
    silently (that is the crash case being recovered from). *)
@@ -156,6 +166,7 @@ let read_entries ~path schema =
 (* Checkpoint: everything up to now is reflected in the engine's
    durable state, so the log restarts empty. *)
 let reset t =
+  Obs.incr c_resets;
   close_out_noerr t.oc;
   let oc = open_out_gen [ Open_wronly; Open_trunc; Open_creat; Open_binary ] 0o644 t.path in
   t.oc <- oc;

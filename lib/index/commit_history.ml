@@ -1,4 +1,23 @@
 open Decibel_util
+module Obs = Decibel_obs.Obs
+
+(* commit_history.* registry counters: how much compressed delta data
+   commits write and how much checkout replays read back (Table 2's
+   "pack file size" column, but live) *)
+let c_commits = Obs.counter "commit_history.commits"
+let c_checkouts = Obs.counter "commit_history.checkouts"
+let c_delta_bytes = Obs.counter "commit_history.delta_bytes"
+let c_rle_runs = Obs.counter "commit_history.rle_runs"
+let c_deltas_replayed = Obs.counter "commit_history.deltas_replayed"
+
+(* the RLE wire format is [varint bit-length][varint run-count][runs] *)
+let rle_run_count compressed =
+  if compressed = "" then 0
+  else begin
+    let pos = ref 0 in
+    let _bits = Binio.read_varint compressed pos in
+    Binio.read_varint compressed pos
+  end
 
 let layer_stride = 16
 
@@ -62,13 +81,18 @@ let commit t bitmap =
   t.nunits <- t.nunits + 1;
   t.disk <- t.disk + write_record t.oc 0 compressed;
   t.last <- Bitvec.copy bitmap;
+  Obs.incr c_commits;
+  Obs.add c_delta_bytes (String.length compressed);
+  Obs.add c_rle_runs (rle_run_count compressed);
   if (idx + 1) mod layer_stride = 0 then begin
     let comp = Bitvec.xor t.anchor bitmap in
     let comp_c = Rle.encode comp in
     t.composites <- push_entry t.composites t.ncomposites { compressed = comp_c };
     t.ncomposites <- t.ncomposites + 1;
     t.disk <- t.disk + write_record t.oc 1 comp_c;
-    t.anchor <- Bitvec.copy bitmap
+    t.anchor <- Bitvec.copy bitmap;
+    Obs.add c_delta_bytes (String.length comp_c);
+    Obs.add c_rle_runs (rle_run_count comp_c)
   end;
   flush t.oc;
   idx
@@ -87,6 +111,8 @@ let checkout t idx =
   if idx < 0 || idx >= t.nunits then
     invalid_arg (Printf.sprintf "Commit_history.checkout: index %d/%d" idx t.nunits);
   let ncomp, (ufrom, uto) = plan t idx in
+  Obs.incr c_checkouts;
+  Obs.add c_deltas_replayed (ncomp + (uto - ufrom + 1));
   let acc = ref (Bitvec.create ()) in
   for j = 0 to ncomp - 1 do
     acc := Bitvec.xor !acc (decode_entry t.composites.(j))

@@ -1,0 +1,326 @@
+(* Process-wide metrics registry and tracing spans.  See obs.mli. *)
+
+let on =
+  ref
+    (match Sys.getenv_opt "DECIBEL_OBS" with
+    | Some ("0" | "false" | "off") -> false
+    | _ -> true)
+
+let set_enabled b = on := b
+let enabled () = !on
+
+let t0 = Unix.gettimeofday ()
+let now () = Unix.gettimeofday ()
+
+(* ------------------------------------------------------------------ *)
+(* counters *)
+
+type counter = { c_name : string; mutable c_value : int }
+
+let counters_tbl : (string, counter) Hashtbl.t = Hashtbl.create 64
+
+let counter name =
+  match Hashtbl.find_opt counters_tbl name with
+  | Some c -> c
+  | None ->
+      let c = { c_name = name; c_value = 0 } in
+      Hashtbl.replace counters_tbl name c;
+      c
+
+let incr c = if !on then c.c_value <- c.c_value + 1
+let add c n = if !on then c.c_value <- c.c_value + n
+let counter_value c = c.c_value
+
+let value_of name =
+  match Hashtbl.find_opt counters_tbl name with
+  | Some c -> c.c_value
+  | None -> 0
+
+(* ------------------------------------------------------------------ *)
+(* gauges *)
+
+type gauge = { g_name : string; mutable g_value : float }
+
+let gauges_tbl : (string, gauge) Hashtbl.t = Hashtbl.create 16
+
+let gauge name =
+  match Hashtbl.find_opt gauges_tbl name with
+  | Some g -> g
+  | None ->
+      let g = { g_name = name; g_value = 0.0 } in
+      Hashtbl.replace gauges_tbl name g;
+      g
+
+let set_gauge g v = if !on then g.g_value <- v
+let gauge_value g = g.g_value
+
+(* ------------------------------------------------------------------ *)
+(* histograms *)
+
+(* exponential latency buckets: 1 µs, 2 µs, ... ~32 s *)
+let default_buckets = Array.init 26 (fun i -> 1e-6 *. (2.0 ** float_of_int i))
+
+type histogram = {
+  h_name : string;
+  h_buckets : float array; (* ascending upper bounds *)
+  h_counts : int array; (* length = buckets + 1 (overflow) *)
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+let histograms_tbl : (string, histogram) Hashtbl.t = Hashtbl.create 32
+
+let histogram ?(buckets = default_buckets) name =
+  match Hashtbl.find_opt histograms_tbl name with
+  | Some h -> h
+  | None ->
+      let h =
+        {
+          h_name = name;
+          h_buckets = buckets;
+          h_counts = Array.make (Array.length buckets + 1) 0;
+          h_count = 0;
+          h_sum = 0.0;
+          h_min = infinity;
+          h_max = neg_infinity;
+        }
+      in
+      Hashtbl.replace histograms_tbl name h;
+      h
+
+(* first bucket whose upper bound holds the value (linear scan: the
+   bucket count is small and observations are per-operation, not
+   per-tuple) *)
+let bucket_index h v =
+  let n = Array.length h.h_buckets in
+  let rec go i = if i >= n || v <= h.h_buckets.(i) then i else go (i + 1) in
+  go 0
+
+let observe h v =
+  if !on then begin
+    let i = bucket_index h v in
+    h.h_counts.(i) <- h.h_counts.(i) + 1;
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum +. v;
+    if v < h.h_min then h.h_min <- v;
+    if v > h.h_max then h.h_max <- v
+  end
+
+let quantile h q =
+  if h.h_count = 0 then 0.0
+  else begin
+    let rank = int_of_float (ceil (q *. float_of_int h.h_count)) in
+    let rank = max 1 (min h.h_count rank) in
+    let nb = Array.length h.h_buckets in
+    let acc = ref 0 and result = ref h.h_max in
+    (try
+       for i = 0 to nb do
+         acc := !acc + h.h_counts.(i);
+         if !acc >= rank then begin
+           result := (if i < nb then h.h_buckets.(i) else h.h_max);
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    (* a bucket bound can overshoot the true extremes; clamp *)
+    min h.h_max (max h.h_min !result)
+  end
+
+type hist_summary = {
+  hs_count : int;
+  hs_sum : float;
+  hs_min : float;
+  hs_max : float;
+  hs_p50 : float;
+  hs_p95 : float;
+  hs_p99 : float;
+}
+
+let summarize h =
+  if h.h_count = 0 then
+    {
+      hs_count = 0;
+      hs_sum = 0.0;
+      hs_min = 0.0;
+      hs_max = 0.0;
+      hs_p50 = 0.0;
+      hs_p95 = 0.0;
+      hs_p99 = 0.0;
+    }
+  else
+    {
+      hs_count = h.h_count;
+      hs_sum = h.h_sum;
+      hs_min = h.h_min;
+      hs_max = h.h_max;
+      hs_p50 = quantile h 0.50;
+      hs_p95 = quantile h 0.95;
+      hs_p99 = quantile h 0.99;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* spans *)
+
+type span = {
+  sp_name : string;
+  sp_start : float;
+  sp_dur : float;
+  sp_attrs : (string * string) list;
+}
+
+let max_spans = 200_000
+let span_buf : span option array ref = ref (Array.make 256 None)
+let nspans = ref 0
+let c_dropped = counter "obs.spans_dropped"
+
+let record_span s =
+  if !nspans >= max_spans then incr c_dropped
+  else begin
+    if !nspans = Array.length !span_buf then begin
+      let a = Array.make (2 * !nspans) None in
+      Array.blit !span_buf 0 a 0 !nspans;
+      span_buf := a
+    end;
+    !span_buf.(!nspans) <- Some s;
+    Stdlib.incr nspans
+  end
+
+let with_span ?(attrs = []) name f =
+  if not !on then f ()
+  else begin
+    let start = now () in
+    Fun.protect
+      ~finally:(fun () ->
+        let dur = now () -. start in
+        record_span
+          { sp_name = name; sp_start = start -. t0; sp_dur = dur;
+            sp_attrs = attrs };
+        observe (histogram name) dur)
+      f
+  end
+
+let spans () =
+  List.init !nspans (fun i ->
+      match !span_buf.(i) with Some s -> s | None -> assert false)
+
+let span_count () = !nspans
+
+(* ------------------------------------------------------------------ *)
+(* JSON *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float v =
+  if Float.is_finite v then Printf.sprintf "%.9g" v else "0"
+
+let dump_trace () =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":%.1f,\"dur\":%.1f"
+           (json_escape s.sp_name)
+           (s.sp_start *. 1e6) (s.sp_dur *. 1e6));
+      if s.sp_attrs <> [] then begin
+        Buffer.add_string buf ",\"args\":{";
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            Buffer.add_string buf
+              (Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)))
+          s.sp_attrs;
+        Buffer.add_char buf '}'
+      end;
+      Buffer.add_string buf "}\n")
+    (spans ());
+  Buffer.contents buf
+
+let write_trace ~path =
+  let oc = open_out path in
+  output_string oc (dump_trace ());
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* snapshots *)
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * hist_summary) list;
+}
+
+let sorted_bindings tbl value =
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, value v) :: acc) tbl [])
+
+let snapshot () =
+  {
+    counters = sorted_bindings counters_tbl (fun c -> c.c_value);
+    gauges = sorted_bindings gauges_tbl (fun g -> g.g_value);
+    histograms = sorted_bindings histograms_tbl summarize;
+  }
+
+let counters_diff before after =
+  let base = Hashtbl.create 64 in
+  List.iter (fun (k, v) -> Hashtbl.replace base k v) before.counters;
+  List.map
+    (fun (k, v) -> (k, v - Option.value ~default:0 (Hashtbl.find_opt base k)))
+    after.counters
+
+let to_json snap =
+  let buf = Buffer.create 1024 in
+  let obj fields body =
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char buf ',';
+        body x)
+      fields;
+    Buffer.add_char buf '}'
+  in
+  Buffer.add_string buf "{\"counters\":";
+  obj snap.counters (fun (k, v) ->
+      Buffer.add_string buf (Printf.sprintf "\"%s\":%d" (json_escape k) v));
+  Buffer.add_string buf ",\"gauges\":";
+  obj snap.gauges (fun (k, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "\"%s\":%s" (json_escape k) (json_float v)));
+  Buffer.add_string buf ",\"histograms\":";
+  obj snap.histograms (fun (k, h) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\"%s\":{\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s,\"p50\":%s,\"p95\":%s,\"p99\":%s}"
+           (json_escape k) h.hs_count (json_float h.hs_sum)
+           (json_float h.hs_min) (json_float h.hs_max) (json_float h.hs_p50)
+           (json_float h.hs_p95) (json_float h.hs_p99)));
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.c_value <- 0) counters_tbl;
+  Hashtbl.iter (fun _ g -> g.g_value <- 0.0) gauges_tbl;
+  Hashtbl.iter
+    (fun _ h ->
+      Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
+      h.h_count <- 0;
+      h.h_sum <- 0.0;
+      h.h_min <- infinity;
+      h.h_max <- neg_infinity)
+    histograms_tbl;
+  nspans := 0

@@ -1,0 +1,146 @@
+(** Process-wide observability: metrics registry and tracing spans.
+
+    The paper's evaluation (§5) explains *why* a storage scheme wins
+    through internal effects — pages touched, bitmap words scanned,
+    delta bytes written — not just end-to-end latency.  This module is
+    the registry those effects are recorded in: named monotonic
+    counters, gauges, fixed-bucket latency histograms with quantile
+    estimation, and lightweight nested tracing spans dumpable in Chrome
+    trace format.
+
+    Metric names follow the [layer.operation.unit] convention
+    (e.g. ["buffer_pool.misses"], ["engine.scan.pages"],
+    ["wal.bytes"]).  Handles are interned: [counter name] returns the
+    same handle for the same name process-wide, so an instrumented
+    module and a reader share a counter by agreeing on its name.
+
+    Instrumentation is allocation-light — a counter increment is a
+    branch and an integer store — and can be switched off at runtime
+    with {!set_enabled} (also via the [DECIBEL_OBS=0] environment
+    variable), leaving only the branch on the hot path.
+
+    The registry is process-wide and single-threaded, like the engines
+    it instruments; callers synchronize externally. *)
+
+(** {1 Runtime switch} *)
+
+val set_enabled : bool -> unit
+(** Turn all recording on or off.  Defaults to on, unless the
+    [DECIBEL_OBS] environment variable is ["0"] or ["false"].  While
+    off, increments, observations and spans are skipped (handles can
+    still be created and read). *)
+
+val enabled : unit -> bool
+
+(** {1 Counters}
+
+    Named monotonic integer counters. *)
+
+type counter
+
+val counter : string -> counter
+(** Find-or-create the counter with this name. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+
+val counter_value : counter -> int
+
+val value_of : string -> int
+(** Current value of a named counter; [0] if it was never created. *)
+
+(** {1 Gauges}
+
+    Named instantaneous values (set, not accumulated). *)
+
+type gauge
+
+val gauge : string -> gauge
+val set_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+(** {1 Histograms}
+
+    Fixed-bucket histograms; the default buckets are exponential
+    latency buckets from 1 µs to ~32 s, so observations are expected
+    in seconds.  Quantiles are estimated as the upper bound of the
+    bucket where the cumulative count crosses the rank, clamped to the
+    observed min/max. *)
+
+type histogram
+
+val histogram : ?buckets:float array -> string -> histogram
+(** Find-or-create.  [buckets] (ascending upper bounds) is honoured
+    only on creation. *)
+
+val observe : histogram -> float -> unit
+
+type hist_summary = {
+  hs_count : int;
+  hs_sum : float;
+  hs_min : float;
+  hs_max : float;
+  hs_p50 : float;
+  hs_p95 : float;
+  hs_p99 : float;
+}
+
+val summarize : histogram -> hist_summary
+val quantile : histogram -> float -> float
+
+(** {1 Tracing spans}
+
+    [with_span name f] times [f] and records a completed span; spans
+    nest naturally (caller's span is still open while the callee's
+    runs).  Each span also feeds the histogram named [name], so span
+    timings appear in snapshots with quantiles.  The trace buffer is
+    bounded; overflow is counted in ["obs.spans_dropped"]. *)
+
+type span = {
+  sp_name : string;
+  sp_start : float;  (** seconds since process start *)
+  sp_dur : float;  (** seconds *)
+  sp_attrs : (string * string) list;
+}
+
+val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+
+val spans : unit -> span list
+(** Completed spans, in completion order. *)
+
+val span_count : unit -> int
+
+val dump_trace : unit -> string
+(** The recorded spans as Chrome-trace-format JSON lines (one complete
+    ["ph":"X"] event per line; load with [chrome://tracing] or
+    Perfetto after wrapping in a JSON array). *)
+
+val write_trace : path:string -> unit
+(** {!dump_trace} to a file. *)
+
+(** {1 Snapshots} *)
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * hist_summary) list;
+}
+(** All lists are sorted by name for deterministic output. *)
+
+val snapshot : unit -> snapshot
+
+val counters_diff : snapshot -> snapshot -> (string * int) list
+(** [counters_diff before after]: per-counter deltas (counters absent
+    in [before] count from 0); includes zero deltas so a consumer sees
+    every registered counter. *)
+
+val to_json : snapshot -> string
+(** The snapshot as one JSON object:
+    [{"counters": {...}, "gauges": {...}, "histograms": {...}}]. *)
+
+val json_escape : string -> string
+(** JSON string-body escaping (exposed for other JSON emitters). *)
+
+val reset : unit -> unit
+(** Zero every counter, gauge and histogram and clear the trace
+    buffer.  Handles remain valid. *)

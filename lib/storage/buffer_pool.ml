@@ -1,8 +1,10 @@
+module Obs = Decibel_obs.Obs
+
 type key = int * int
 
 type entry = { data : bytes; mutable referenced : bool }
 
-type stats = { hits : int; misses : int; evictions : int }
+type stats = { hits : int; misses : int; evictions : int; write_backs : int }
 
 type t = {
   page_size : int;
@@ -15,7 +17,18 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  mutable write_backs : int;
 }
+
+(* Process-wide registry mirrors of the per-pool statistics: every pool
+   feeds the same named counters (metric naming: layer.operation.unit),
+   so benchmark reports see I/O totals without holding pool handles. *)
+let c_hits = Obs.counter "buffer_pool.hits"
+let c_misses = Obs.counter "buffer_pool.misses"
+let c_evictions = Obs.counter "buffer_pool.evictions"
+let c_reads = Obs.counter "buffer_pool.reads"
+let c_writes = Obs.counter "buffer_pool.writes"
+let c_write_backs = Obs.counter "buffer_pool.write_backs"
 
 let no_key = (-1, -1)
 
@@ -33,6 +46,7 @@ let create ?(page_size = 65536) ?(capacity_pages = 1024) () =
     hits = 0;
     misses = 0;
     evictions = 0;
+    write_backs = 0;
   }
 
 let page_size t = t.page_size
@@ -43,13 +57,16 @@ let next_file_id t =
   id
 
 let find t ~file ~page =
+  Obs.incr c_reads;
   match Hashtbl.find_opt t.table (file, page) with
   | Some e ->
       e.referenced <- true;
       t.hits <- t.hits + 1;
+      Obs.incr c_hits;
       Some e.data
   | None ->
       t.misses <- t.misses + 1;
+      Obs.incr c_misses;
       None
 
 (* Advance the clock hand until a victim with referenced=false is found,
@@ -79,6 +96,7 @@ let evict_one t =
               t.ring.(t.hand) <- no_key;
               t.resident <- t.resident - 1;
               t.evictions <- t.evictions + 1;
+              Obs.incr c_evictions;
               t.hand <- (t.hand + 1) mod t.capacity
             end
     end
@@ -87,6 +105,7 @@ let evict_one t =
 
 let add t ~file ~page data =
   let k = (file, page) in
+  Obs.incr c_writes;
   (match Hashtbl.find_opt t.table k with
   | Some e ->
       (* refresh in place (a partial page grew) *)
@@ -106,6 +125,10 @@ let add t ~file ~page data =
       t.resident <- t.resident + 1
     end
   end
+
+let note_write_back t =
+  t.write_backs <- t.write_backs + 1;
+  Obs.incr c_write_backs
 
 let invalidate_page t ~file ~page =
   let k = (file, page) in
@@ -133,9 +156,18 @@ let drop_all t =
   t.resident <- 0;
   t.hand <- 0
 
-let stats t = { hits = t.hits; misses = t.misses; evictions = t.evictions }
+let stats t =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    write_backs = t.write_backs;
+  }
 
+(* Resets this pool's instance statistics only: the registry counters
+   are process-wide and monotonic (use Obs.reset to clear those). *)
 let reset_stats t =
   t.hits <- 0;
   t.misses <- 0;
-  t.evictions <- 0
+  t.evictions <- 0;
+  t.write_backs <- 0

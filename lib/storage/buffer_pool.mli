@@ -37,7 +37,21 @@ val invalidate_page : t -> file:int -> page:int -> unit
 val drop_all : t -> unit
 (** Empty the cache; statistics are retained. *)
 
-type stats = { hits : int; misses : int; evictions : int }
+val note_write_back : t -> unit
+(** Record that a file flushed buffered data to disk (called by
+    {!Heap_file.flush}); counted in {!stats} and on the
+    ["buffer_pool.write_backs"] registry counter. *)
+
+type stats = { hits : int; misses : int; evictions : int; write_backs : int }
 
 val stats : t -> stats
+(** This pool's instance statistics.  Every pool also mirrors its
+    counts onto the process-wide {!Decibel_obs.Obs} registry under
+    ["buffer_pool.hits"], ["buffer_pool.misses"],
+    ["buffer_pool.evictions"], ["buffer_pool.reads"],
+    ["buffer_pool.writes"] and ["buffer_pool.write_backs"]. *)
+
 val reset_stats : t -> unit
+(** Zero this pool's instance statistics.  The registry counters are
+    monotonic and shared across pools; clear them with
+    {!Decibel_obs.Obs.reset}. *)

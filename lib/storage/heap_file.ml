@@ -1,4 +1,13 @@
 open Decibel_util
+module Obs = Decibel_obs.Obs
+
+(* heap.* registry counters: shared by every heap/segment file, so
+   engine scans can attribute page traffic without plumbing handles *)
+let c_pages_read = Obs.counter "heap.pages_read"
+let c_pages_allocated = Obs.counter "heap.pages_allocated"
+let c_records_written = Obs.counter "heap.records_written"
+let c_bytes_written = Obs.counter "heap.bytes_written"
+let c_flushes = Obs.counter "heap.flushes"
 
 type t = {
   path : string;
@@ -37,6 +46,10 @@ let open_existing ~pool path =
 let path t = t.path
 let size t = t.size
 
+let page_count t =
+  let psz = Buffer_pool.page_size t.pool in
+  (t.size + psz - 1) / psz
+
 let check_open t = if t.closed then invalid_arg "Heap_file: closed"
 
 let flush t =
@@ -50,8 +63,12 @@ let flush t =
     (* the old tail page may be cached with its old, shorter contents *)
     let psz = Buffer_pool.page_size t.pool in
     Buffer_pool.invalidate_page t.pool ~file:t.file_id ~page:(t.flushed / psz);
+    Obs.add c_pages_allocated
+      (((t.flushed + len + psz - 1) / psz) - ((t.flushed + psz - 1) / psz));
     t.flushed <- t.flushed + len;
-    Buffer.clear t.pending
+    Buffer.clear t.pending;
+    Obs.incr c_flushes;
+    Buffer_pool.note_write_back t.pool
   end
 
 let truncate_to t size =
@@ -71,6 +88,8 @@ let append t payload =
   Binio.write_varint t.pending (String.length payload);
   Buffer.add_string t.pending payload;
   t.size <- t.flushed + Buffer.length t.pending;
+  Obs.incr c_records_written;
+  Obs.add c_bytes_written (t.size - off);
   if Buffer.length t.pending >= flush_threshold then flush t;
   off
 
@@ -80,6 +99,7 @@ let append t payload =
 let read_disk t off len out out_pos =
   let psz = Buffer_pool.page_size t.pool in
   let pread file_off buf buf_pos n =
+    Obs.incr c_pages_read;
     let _ = Unix.lseek t.fd file_off SEEK_SET in
     let rec loop pos remaining =
       if remaining > 0 then begin

@@ -27,6 +27,12 @@ val size : t -> int
     offset the next append will return, i.e. the "end of segment" that
     branch points record (paper §3.3). *)
 
+val page_count : t -> int
+(** Number of buffer-pool pages the file's logical size spans — the
+    page footprint a full sequential scan touches.  Heap files also
+    feed the process-wide ["heap.*"] registry counters (pages read
+    from disk, pages allocated, records/bytes written, flushes). *)
+
 val append : t -> string -> int
 (** Append one record; returns its offset. *)
 
