@@ -1,6 +1,6 @@
 # Convenience targets; `make ci` is what .github/workflows/ci.yml runs.
 
-.PHONY: all build test fmt ci bench clean
+.PHONY: all build test fmt ci bench bench-smoke clean
 
 all: build
 
@@ -23,6 +23,12 @@ ci: build fmt test
 
 bench:
 	dune exec bench/main.exe
+
+# Tiny observability bench (seconds, not minutes): emits a
+# BENCH_<stamp>.json report and a BENCH_<stamp>.trace.json Chrome
+# trace in the working directory; CI uploads both as artifacts.
+bench-smoke:
+	DECIBEL_BENCH_SCALE=1 dune exec bench/main.exe -- --only obs
 
 clean:
 	dune clean

@@ -879,6 +879,9 @@ let obs_report () =
         let q3 = run_query "q3" (fun () -> Driver.q3 ~repeat l ~b1:(role b1) ~b2:(role b2)) in
         let q4 = run_query "q4" (fun () -> Driver.q4 ~repeat l) in
         let queries = [ q1; q2; q3; q4 ] in
+        let storage =
+          Decibel_obs.Report.to_json (Database.storage_report l.Driver.db)
+        in
         let entry =
           Report.J_obj
             [
@@ -886,6 +889,7 @@ let obs_report () =
               ("dataset_bytes", Report.J_int (Driver.dataset_bytes l));
               ("load_counters", Report.J_obj load_counters);
               ("queries", Report.J_obj queries);
+              ("storage_report", Report.J_raw storage);
             ]
         in
         Driver.close l;
@@ -914,7 +918,12 @@ let obs_report () =
   output_string oc (Report.json_to_string doc);
   output_char oc '\n';
   close_out oc;
-  Report.note "wrote %s" path
+  Report.note "wrote %s" path;
+  (* the spans recorded during the run, as a Chrome-trace artifact *)
+  let trace_path = Printf.sprintf "BENCH_%s.trace.json" stamp in
+  Obs.write_trace ~path:trace_path;
+  Report.note "wrote %s (%d spans, %d events)" trace_path (Obs.span_count ())
+    (Obs.events_emitted ())
 
 (* ------------------------------------------------------------------ *)
 

@@ -389,38 +389,146 @@ let stats_cmd =
             "Emit statistics as one JSON object, including the internal \
              metrics registry (counters, gauges, latency histograms).")
   in
+  let watch_opt =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "watch" ] ~docv:"SECS"
+          ~doc:
+            "Re-render statistics in place every $(docv) seconds, showing \
+             per-counter deltas since the previous refresh; stop with \
+             ctrl-c.")
+  in
+  let count_opt =
+    Arg.(
+      value & opt int 0
+      & info [ "count" ] ~docv:"N"
+          ~doc:"With $(b,--watch), stop after $(docv) refreshes (0 = forever).")
+  in
+  let print_stats db json =
+    let g = Database.graph db in
+    if json then
+      Printf.printf
+        "{\"scheme\":\"%s\",\"branches\":%d,\"versions\":%d,\
+         \"dataset_bytes\":%d,\"commit_meta_bytes\":%d,\
+         \"metrics\":%s}\n"
+        (Decibel_obs.Obs.json_escape (Database.scheme_of db))
+        (Vg.branch_count g) (Vg.version_count g)
+        (Database.dataset_bytes db)
+        (Database.commit_meta_bytes db)
+        (Database.metrics_json db)
+    else begin
+      Printf.printf "scheme:        %s\n" (Database.scheme_of db);
+      Printf.printf "schema:        %s\n"
+        (Format.asprintf "%a" Schema.pp (Database.schema db));
+      Printf.printf "branches:      %d\n" (Vg.branch_count g);
+      Printf.printf "versions:      %d\n" (Vg.version_count g);
+      Printf.printf "data bytes:    %d\n" (Database.dataset_bytes db);
+      Printf.printf "commit bytes:  %d\n" (Database.commit_meta_bytes db);
+      let snap = Database.metrics db in
+      List.iter
+        (fun (name, v) -> if v > 0 then Printf.printf "%-32s %d\n" name v)
+        snap.Decibel_obs.Obs.counters
+    end
+  in
+  let run dir json watch count =
+    wrap (fun () ->
+        match watch with
+        | None -> with_repo dir (fun db -> print_stats db json)
+        | Some secs ->
+            (* each refresh reopens the repository, so an external
+               writer's committed state shows up between ticks *)
+            let prev = ref (Decibel_obs.Obs.snapshot ()) in
+            let tick n =
+              print_string "\027[H\027[2J";
+              with_repo dir (fun db -> print_stats db json);
+              let snap = Decibel_obs.Obs.snapshot () in
+              let deltas =
+                List.filter
+                  (fun (_, d) -> d <> 0)
+                  (Decibel_obs.Obs.counters_diff !prev snap)
+              in
+              prev := snap;
+              if deltas <> [] then begin
+                Printf.printf "-- counter deltas since last refresh --\n";
+                List.iter
+                  (fun (k, d) -> Printf.printf "%-32s +%d\n" k d)
+                  deltas
+              end;
+              Printf.printf "[refresh %d, every %gs; ctrl-c to stop]\n%!" n
+                secs
+            in
+            let n = ref 0 in
+            let more () = count <= 0 || !n < count in
+            while more () do
+              Stdlib.incr n;
+              tick !n;
+              if more () then Unix.sleepf (Float.max 0.01 secs)
+            done)
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Repository statistics.")
+    Term.(const run $ dir_arg $ json_flag $ watch_opt $ count_opt)
+
+let inspect_cmd =
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the storage report as one JSON object.")
+  in
   let run dir json =
     wrap (fun () ->
         with_repo dir (fun db ->
-            let g = Database.graph db in
+            let r = Database.storage_report db in
             if json then
-              Printf.printf
-                "{\"scheme\":\"%s\",\"branches\":%d,\"versions\":%d,\
-                 \"dataset_bytes\":%d,\"commit_meta_bytes\":%d,\
-                 \"metrics\":%s}\n"
-                (Decibel_obs.Obs.json_escape (Database.scheme_of db))
-                (Vg.branch_count g) (Vg.version_count g)
-                (Database.dataset_bytes db)
-                (Database.commit_meta_bytes db)
-                (Database.metrics_json db)
-            else begin
-              Printf.printf "scheme:        %s\n" (Database.scheme_of db);
-              Printf.printf "schema:        %s\n"
-                (Format.asprintf "%a" Schema.pp (Database.schema db));
-              Printf.printf "branches:      %d\n" (Vg.branch_count g);
-              Printf.printf "versions:      %d\n" (Vg.version_count g);
-              Printf.printf "data bytes:    %d\n" (Database.dataset_bytes db);
-              Printf.printf "commit bytes:  %d\n"
-                (Database.commit_meta_bytes db);
-              let snap = Database.metrics db in
-              List.iter
-                (fun (name, v) ->
-                  if v > 0 then Printf.printf "%-32s %d\n" name v)
-                snap.Decibel_obs.Obs.counters
-            end))
+              print_endline (Decibel_obs.Report.to_json r)
+            else print_string (Decibel_obs.Report.to_text r)))
   in
-  Cmd.v (Cmd.info "stats" ~doc:"Repository statistics.")
+  Cmd.v
+    (Cmd.info "inspect"
+       ~doc:
+         "ANALYZE-style storage introspection: per-branch live/dead tuple \
+          counts, bitmap density, commit-delta chains, per-segment \
+          fragmentation, version-graph shape and buffer-pool residency.")
     Term.(const run $ dir_arg $ json_flag)
+
+let serve_metrics_cmd =
+  let port_opt =
+    Arg.(
+      value & opt int 9464
+      & info [ "port"; "p" ] ~docv:"PORT"
+          ~doc:"TCP port to listen on (0 picks an ephemeral port).")
+  in
+  let host_opt =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"HOST" ~doc:"Address to bind.")
+  in
+  let max_requests_opt =
+    Arg.(
+      value & opt int 0
+      & info [ "max-requests" ] ~docv:"N"
+          ~doc:"Exit after serving $(docv) requests (0 = serve forever).")
+  in
+  let run dir port host max_requests =
+    wrap (fun () ->
+        with_repo dir (fun db ->
+            Monitor.serve ~host ~max_requests ~port db
+              ~on_listen:(fun port ->
+                Printf.printf
+                  "serving metrics on http://%s:%d (routes: /metrics /events \
+                   /report)\n\
+                   %!"
+                  host port)))
+  in
+  Cmd.v
+    (Cmd.info "serve-metrics"
+       ~doc:
+         "Serve a Prometheus-format pull endpoint for the metrics registry \
+          plus storage-report gauges ($(b,/metrics)), the structured event \
+          log ($(b,/events)) and the full storage report ($(b,/report)) \
+          over HTTP.")
+    Term.(const run $ dir_arg $ port_opt $ host_opt $ max_requests_opt)
 
 let () =
   let info =
@@ -435,5 +543,5 @@ let () =
           [
             init_cmd; insert_cmd; update_cmd; delete_cmd; commit_cmd;
             branch_cmd; scan_cmd; diff_cmd; merge_cmd; log_cmd; branches_cmd;
-            sql_cmd; stats_cmd;
+            sql_cmd; stats_cmd; inspect_cmd; serve_metrics_cmd;
           ]))

@@ -59,9 +59,11 @@ type json =
   | J_str of string
   | J_list of json list
   | J_obj of (string * json) list
+  | J_raw of string (* pre-rendered JSON, e.g. a storage report *)
 
 let rec json_to_buf buf = function
   | J_int n -> Buffer.add_string buf (string_of_int n)
+  | J_raw s -> Buffer.add_string buf s
   | J_float f ->
       Buffer.add_string buf
         (if Float.is_finite f then Printf.sprintf "%.6g" f else "0")

@@ -220,6 +220,42 @@ let metrics (Db _) = Obs.snapshot ()
 let metrics_json (Db _) = Obs.to_json (Obs.snapshot ())
 let dump_trace (Db _) ~path = Obs.write_trace ~path
 
+let storage_report (Db { engine = (module E); state; pool; _ }) =
+  Obs.with_span "db.storage_report" (fun () ->
+      let part = E.storage_report state in
+      let g = E.graph state in
+      let ps = Buffer_pool.stats pool in
+      let module R = Decibel_obs.Report in
+      {
+        R.r_scheme = E.scheme;
+        r_dataset_bytes = E.dataset_bytes state;
+        r_commit_meta_bytes = E.commit_meta_bytes state;
+        r_branches = part.R.e_branches;
+        r_segments = part.R.e_segments;
+        r_history = part.R.e_history;
+        r_graph =
+          {
+            R.g_versions = Vg.version_count g;
+            g_branches = Vg.branch_count g;
+            g_active_branches =
+              List.length
+                (List.filter (fun (b : Vg.branch) -> b.Vg.active)
+                   (Vg.branches g));
+            g_depth = Vg.depth g;
+            g_max_fanout = Vg.max_fanout g;
+          };
+        r_pool =
+          {
+            R.p_page_size = Buffer_pool.page_size pool;
+            p_capacity_pages = Buffer_pool.capacity_pages pool;
+            p_resident_pages = Buffer_pool.resident_pages pool;
+            p_hits = ps.Buffer_pool.hits;
+            p_misses = ps.Buffer_pool.misses;
+            p_evictions = ps.Buffer_pool.evictions;
+            p_write_backs = ps.Buffer_pool.write_backs;
+          };
+      })
+
 let scan_list t b =
   let acc = ref [] in
   scan t b (fun tuple -> acc := tuple :: !acc);

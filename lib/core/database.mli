@@ -119,6 +119,13 @@ val metrics : t -> Decibel_obs.Obs.snapshot
 val metrics_json : t -> string
 (** [metrics t] rendered as one JSON object. *)
 
+val storage_report : t -> Decibel_obs.Report.t
+(** [ANALYZE]-style storage introspection: the engine's per-branch /
+    per-segment statistics (live vs. dead tuples, bitmap density,
+    delta-chain depth and bytes) composed with version-graph shape and
+    buffer-pool residency.  Read-only, and independent of the
+    {!Decibel_obs.Obs} recording switch. *)
+
 val dump_trace : t -> path:string -> unit
 (** Write recorded tracing spans to [path] in Chrome trace format
     (one JSON event per line; load via chrome://tracing or Perfetto). *)

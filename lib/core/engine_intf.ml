@@ -113,6 +113,15 @@ module type S = sig
   (** Bytes of commit metadata (compressed bitmap histories or commit
       maps) — the paper's “pack file size” column in Table 2. *)
 
+  val storage_report : t -> Decibel_obs.Report.engine_part
+  (** The storage-scheme-specific slice of the introspection report:
+      per-branch live/dead tuple counts, bitmap density and delta-chain
+      stats, per-segment occupancy/fragmentation, and commit-history
+      totals.  Walks in-memory structures (and, for segment schemes,
+      record headers); never mutates the store.  [Database] composes
+      this with graph and buffer-pool facts into a full
+      {!Decibel_obs.Report.t}. *)
+
   val flush : t -> unit
   val close : t -> unit
 end

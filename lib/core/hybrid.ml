@@ -613,6 +613,103 @@ let commit_meta_bytes t =
       else acc)
     0 (Sys.readdir t.dir)
 
+let storage_report t =
+  let module R = Decibel_obs.Report in
+  let branches =
+    List.map
+      (fun (br : Vg.branch) ->
+        let b = br.Vg.bid in
+        let segs = segs_of_branch t b in
+        (* liveness bits allocated for the branch span its segments'
+           local rows; live bits are the set ones among them *)
+        let live, bits =
+          List.fold_left
+            (fun (live, bits) sid ->
+              ( live + Bitvec.pop_count (local_col t b sid),
+                bits + Vec.length (segment t sid).offsets ))
+            (0, 0) segs
+        in
+        let chain, dbytes =
+          match Hashtbl.find_opt t.commit_loc br.Vg.head with
+          | Some (hb, snaps) ->
+              List.fold_left
+                (fun (chain, dbytes) (sid, idx) ->
+                  let h = history t hb sid in
+                  ( max chain (Commit_history.replay_length h idx),
+                    dbytes + Commit_history.disk_bytes h ))
+                (0, 0) snaps
+          | None -> (0, 0)
+        in
+        {
+          R.br_name = br.Vg.name;
+          br_id = b;
+          br_head = br.Vg.head;
+          br_active = br.Vg.active;
+          br_live_tuples = live;
+          br_dead_tuples = bits - live;
+          br_bitmap_bits = bits;
+          br_density = R.density ~live ~bits;
+          br_segments = List.length segs;
+          br_delta_chain = chain;
+          br_delta_bytes = dbytes;
+        })
+      (Vg.branches t.graph)
+  in
+  let active = List.filter (fun (br : Vg.branch) -> br.Vg.active)
+      (Vg.branches t.graph)
+  in
+  let segments =
+    List.init (Vec.length t.segments) (fun sid ->
+        let s = segment t sid in
+        let records = Vec.length s.offsets in
+        let any_live = Bitvec.create ~capacity:(max 1 records) () in
+        List.iter
+          (fun (br : Vg.branch) ->
+            Bitvec.union_in_place any_live (local_col t br.Vg.bid sid))
+          active;
+        let live = Bitvec.pop_count any_live in
+        {
+          R.sg_id = sid;
+          sg_file = Filename.basename (Heap_file.path s.file);
+          sg_bytes = Heap_file.size s.file;
+          sg_pages = Heap_file.page_count s.file;
+          sg_records = records;
+          sg_live_records = live;
+          sg_fragmentation = R.fragmentation ~live ~records;
+        })
+  in
+  let chains =
+    Hashtbl.fold
+      (fun _ (b, snaps) acc ->
+        List.fold_left
+          (fun chain (sid, idx) ->
+            max chain (Commit_history.replay_length (history t b sid) idx))
+          0 snaps
+        :: acc)
+      t.commit_loc []
+  in
+  let max_chain, mean_chain = R.chain_stats chains in
+  let h_files, h_bytes =
+    Array.fold_left
+      (fun (n, bytes) name ->
+        if String.length name > 5 && String.sub name 0 5 = "hist_" then
+          (n + 1, bytes + (Unix.stat (Filename.concat t.dir name)).Unix.st_size)
+        else (n, bytes))
+      (0, 0) (Sys.readdir t.dir)
+  in
+  {
+    R.e_branches = branches;
+    e_segments = segments;
+    e_history =
+      {
+        R.h_files;
+        h_bytes;
+        h_commits = Hashtbl.length t.commit_loc;
+        h_max_chain = max_chain;
+        h_mean_chain = mean_chain;
+      };
+  }
+
 (* The manifest persists the graph, every segment's local bitmap and
    row-offset table, branch head segments, the branch–segment bitmap,
    history bookkeeping, the commit locator and dirtiness; the key index

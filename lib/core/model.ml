@@ -196,5 +196,34 @@ let merge t ~into ~from ~policy ~message =
 
 let dataset_bytes _ = 0
 let commit_meta_bytes _ = 0
+
+(* The oracle stores full states, so nothing is ever dead and there are
+   no segments or delta chains to report. *)
+let storage_report t =
+  let module R = Decibel_obs.Report in
+  let branches =
+    List.map
+      (fun (br : Vg.branch) ->
+        {
+          R.br_name = br.Vg.name;
+          br_id = br.Vg.bid;
+          br_head = br.Vg.head;
+          br_active = br.Vg.active;
+          br_live_tuples = Vmap.cardinal (head_state t br.Vg.bid);
+          br_dead_tuples = 0;
+          br_bitmap_bits = 0;
+          br_density = 0.0;
+          br_segments = 0;
+          br_delta_chain = 0;
+          br_delta_bytes = 0;
+        })
+      (Vg.branches t.graph)
+  in
+  {
+    R.e_branches = branches;
+    e_segments = [];
+    e_history =
+      { R.empty_history with h_commits = Hashtbl.length t.snapshots };
+  }
 let flush _ = ()
 let close _ = ()

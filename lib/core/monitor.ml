@@ -1,0 +1,49 @@
+(* The monitoring endpoint behind `decibel serve-metrics`.  Lives in
+   the core library so the CLI and the loopback-socket tests exercise
+   the same handler. *)
+
+module Obs = Decibel_obs.Obs
+module Report = Decibel_obs.Report
+module Prometheus = Decibel_obs.Prometheus
+module Http = Decibel_obs.Http
+
+let handler db ~meth ~path =
+  if meth <> "GET" then Http.text ~status:405 "method not allowed\n"
+  else
+    match path with
+    | "/" ->
+        Http.text
+          "decibel metrics endpoint\nroutes: /metrics /events /report\n"
+    | "/metrics" ->
+        let report = Database.storage_report db in
+        {
+          Http.status = 200;
+          content_type = Prometheus.content_type;
+          body =
+            Prometheus.render ~extra:(Report.prometheus_samples report) ();
+        }
+    | "/events" ->
+        {
+          Http.status = 200;
+          content_type = "application/x-ndjson";
+          body = Obs.events_json ();
+        }
+    | "/report" ->
+        {
+          Http.status = 200;
+          content_type = "application/json";
+          body = Report.to_json (Database.storage_report db) ^ "\n";
+        }
+    | _ -> Http.not_found
+
+let serve ?(host = "127.0.0.1") ?(max_requests = 0) ?on_listen ~port db =
+  let s = Http.listen ~host ~port () in
+  Fun.protect
+    ~finally:(fun () -> Http.close s)
+    (fun () ->
+      (match on_listen with Some f -> f (Http.port s) | None -> ());
+      if max_requests <= 0 then Http.serve_forever s (handler db)
+      else
+        for _ = 1 to max_requests do
+          Http.handle_one s (handler db)
+        done)

@@ -1,0 +1,25 @@
+(** Pull-based monitoring endpoint ([decibel serve-metrics]).
+
+    Routes, all GET:
+    - [/] — plain-text route listing;
+    - [/metrics] — Prometheus text exposition of the {!Decibel_obs.Obs}
+      registry plus storage-report gauges;
+    - [/report] — the full {!Database.storage_report} as JSON;
+    - [/events] — the structured event ring as JSONL.
+
+    Anything else is a 404; non-GET methods are a 405. *)
+
+val handler : Database.t -> Decibel_obs.Http.handler
+(** The route table bound to one open database. *)
+
+val serve :
+  ?host:string ->
+  ?max_requests:int ->
+  ?on_listen:(int -> unit) ->
+  port:int ->
+  Database.t ->
+  unit
+(** Listen ([port = 0] for ephemeral) and serve {!handler} on a
+    single-threaded accept loop.  [on_listen] receives the bound port.
+    [max_requests > 0] returns after that many requests (tests);
+    otherwise loops forever.  The socket is closed on the way out. *)

@@ -431,6 +431,84 @@ module Make (B : Bitmap_intf.S) = struct
         else acc)
       0 (Sys.readdir t.dir)
 
+  let storage_report t =
+    let module R = Decibel_obs.Report in
+    let rows = B.row_count t.bitmap in
+    let branches =
+      List.map
+        (fun (br : Vg.branch) ->
+          let live = B.live_count t.bitmap ~branch:br.Vg.bid in
+          let chain, dbytes =
+            match Hashtbl.find_opt t.commit_loc br.Vg.head with
+            | Some (hb, idx) ->
+                let h = history t hb in
+                (Commit_history.replay_length h idx, Commit_history.disk_bytes h)
+            | None -> (0, 0)
+          in
+          {
+            R.br_name = br.Vg.name;
+            br_id = br.Vg.bid;
+            br_head = br.Vg.head;
+            br_active = br.Vg.active;
+            br_live_tuples = live;
+            br_dead_tuples = rows - live;
+            br_bitmap_bits = rows;
+            br_density = B.density t.bitmap ~branch:br.Vg.bid;
+            br_segments = 1;
+            br_delta_chain = chain;
+            br_delta_bytes = dbytes;
+          })
+        (Vg.branches t.graph)
+    in
+    (* a record is live when at least one active branch sees it *)
+    let any_live = Bitvec.create ~capacity:(max 1 rows) () in
+    List.iter
+      (fun (br : Vg.branch) ->
+        if br.Vg.active then
+          Bitvec.union_in_place any_live
+            (B.column_view t.bitmap ~branch:br.Vg.bid))
+      (Vg.branches t.graph);
+    let records = Vec.length t.offsets in
+    let live_records = Bitvec.pop_count any_live in
+    let segment =
+      {
+        R.sg_id = 0;
+        sg_file = Filename.basename (Heap_file.path t.heap);
+        sg_bytes = Heap_file.size t.heap;
+        sg_pages = Heap_file.page_count t.heap;
+        sg_records = records;
+        sg_live_records = live_records;
+        sg_fragmentation = R.fragmentation ~live:live_records ~records;
+      }
+    in
+    let chains =
+      Hashtbl.fold
+        (fun _ (b, idx) acc ->
+          Commit_history.replay_length (history t b) idx :: acc)
+        t.commit_loc []
+    in
+    let max_chain, mean_chain = R.chain_stats chains in
+    let h_files, h_bytes =
+      Array.fold_left
+        (fun (n, bytes) name ->
+          if String.length name > 5 && String.sub name 0 5 = "hist_" then
+            (n + 1, bytes + (Unix.stat (Filename.concat t.dir name)).Unix.st_size)
+          else (n, bytes))
+        (0, 0) (Sys.readdir t.dir)
+    in
+    {
+      R.e_branches = branches;
+      e_segments = [ segment ];
+      e_history =
+        {
+          R.h_files;
+          h_bytes;
+          h_commits = Hashtbl.length t.commit_loc;
+          h_max_chain = max_chain;
+          h_mean_chain = mean_chain;
+        };
+    }
+
   (* The manifest persists everything the heap file and commit
      histories do not: the version graph, the live bitmap, the
      row-offset table, the commit locator and per-branch dirtiness.

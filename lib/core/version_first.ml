@@ -550,6 +550,103 @@ let dataset_bytes t =
    version -> (segment, offset) map. *)
 let commit_meta_bytes t = Hashtbl.length t.commits * 12
 
+let storage_report t =
+  let module R = Decibel_obs.Report in
+  let nsegs = Vec.length t.segments in
+  (* one pass per segment collects record offsets (ascending, since
+     segments are append-only); branch extents and occupancy are then
+     answered by counting, not re-scanning *)
+  let seg_offsets =
+    Array.init nsegs (fun sid ->
+        let acc = ref [] in
+        Heap_file.iter (segment t sid).file (fun off _ -> acc := off :: !acc);
+        Array.of_list (List.rev !acc))
+  in
+  let count_below offs upto =
+    (* offsets are sorted ascending: binary search the partition point *)
+    let lo = ref 0 and hi = ref (Array.length offs) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if offs.(mid) < upto then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  in
+  (* live physical records: the distinct (segment, offset) targets of
+     every active branch's key index *)
+  let live_locs : (int * int, unit) Hashtbl.t = Hashtbl.create 1024 in
+  List.iter
+    (fun (br : Vg.branch) ->
+      if br.Vg.active then
+        Pk_index.iter t.pk ~branch:br.Vg.bid (fun _ loc ->
+            Hashtbl.replace live_locs loc ()))
+    (Vg.branches t.graph);
+  let live_per_seg = Array.make nsegs 0 in
+  Hashtbl.iter
+    (fun (sid, _) () -> live_per_seg.(sid) <- live_per_seg.(sid) + 1)
+    live_locs;
+  let branches =
+    List.map
+      (fun (br : Vg.branch) ->
+        let b = br.Vg.bid in
+        (* head extent, including uncommitted appends *)
+        let sid, upto = head_loc t b in
+        let lineage = plan t sid upto in
+        let extent =
+          List.fold_left
+            (fun acc (s, u) -> acc + count_below seg_offsets.(s) u)
+            0 lineage
+        in
+        let live = Pk_index.cardinal t.pk ~branch:b in
+        {
+          R.br_name = br.Vg.name;
+          br_id = b;
+          br_head = br.Vg.head;
+          br_active = br.Vg.active;
+          br_live_tuples = live;
+          br_dead_tuples = max 0 (extent - live);
+          (* no liveness bitmaps in this scheme *)
+          br_bitmap_bits = 0;
+          br_density = 0.0;
+          br_segments = List.length lineage;
+          br_delta_chain = List.length lineage;
+          br_delta_bytes = 0;
+        })
+      (Vg.branches t.graph)
+  in
+  let segments =
+    List.init nsegs (fun sid ->
+        let s = segment t sid in
+        let records = Array.length seg_offsets.(sid) in
+        {
+          R.sg_id = sid;
+          sg_file = Filename.basename (Heap_file.path s.file);
+          sg_bytes = Heap_file.size s.file;
+          sg_pages = Heap_file.page_count s.file;
+          sg_records = records;
+          sg_live_records = live_per_seg.(sid);
+          sg_fragmentation =
+            R.fragmentation ~live:live_per_seg.(sid) ~records;
+        })
+  in
+  let chains =
+    Hashtbl.fold
+      (fun _ (sid, upto) acc -> List.length (plan t sid upto) :: acc)
+      t.commits []
+  in
+  let max_chain, mean_chain = R.chain_stats chains in
+  {
+    R.e_branches = branches;
+    e_segments = segments;
+    e_history =
+      {
+        R.h_files = 0;
+        h_bytes = 0;
+        h_commits = Hashtbl.length t.commits;
+        h_max_chain = max_chain;
+        h_mean_chain = mean_chain;
+      };
+  }
+
 (* The manifest persists the version graph, the segment DAG (parent
    pointers with branch-point offsets), branch head segments, the
    commit locator and dirtiness; segment contents live in their own

@@ -120,6 +120,30 @@ let is_head t vid = List.exists (fun (_, h) -> h = vid) (heads t)
 let version_count t = t.nvers
 let branch_count t = t.nbrs
 
+(* Ids are topologically ordered (parents precede children), so one
+   forward pass computes longest path and fan-out. *)
+let depth t =
+  let d = Array.make t.nvers 0 in
+  let deepest = ref 0 in
+  for i = 1 to t.nvers - 1 do
+    List.iter (fun p -> if d.(p) + 1 > d.(i) then d.(i) <- d.(p) + 1)
+      t.vers.(i).parents;
+    if d.(i) > !deepest then deepest := d.(i)
+  done;
+  !deepest
+
+let max_fanout t =
+  let kids = Array.make t.nvers 0 in
+  let widest = ref 0 in
+  for i = 1 to t.nvers - 1 do
+    List.iter
+      (fun p ->
+        kids.(p) <- kids.(p) + 1;
+        if kids.(p) > !widest then widest := kids.(p))
+      t.vers.(i).parents
+  done;
+  !widest
+
 (* Ancestor traversal exploits id monotonicity: walk a max-priority
    worklist of pending ids; parents are always smaller, so visiting in
    descending id order touches each ancestor once. *)

@@ -76,6 +76,14 @@ val is_head : t -> version_id -> bool
 val version_count : t -> int
 val branch_count : t -> int
 
+val depth : t -> int
+(** Longest parent chain from any version back to the root, in edges
+    ([0] for a graph holding only the root). *)
+
+val max_fanout : t -> int
+(** Maximum number of children of any single version — how bushy the
+    DAG is ([0] when only the root exists). *)
+
 val is_ancestor : t -> ancestor:version_id -> version_id -> bool
 (** Reflexive: a version is its own ancestor. *)
 

@@ -51,6 +51,16 @@ module type S = sig
       run of bits; branch-oriented probes every column — the layout
       trade-off for multi-branch scans (§3.1). *)
 
+  val live_count : t -> branch:int -> int
+  (** Population count of a branch's liveness column — how many rows
+      the branch sees as live. *)
+
+  val density : t -> branch:int -> float
+  (** [live_count / row_count]: the fraction of allocated bitmap bits
+      set for the branch ([0.] when there are no rows).  A low density
+      on a long-lived index is wasted bitmap space — the quantity the
+      introspection report surfaces per branch. *)
+
   val memory_bytes : t -> int
   (** Approximate resident size, for reports. *)
 

@@ -78,6 +78,14 @@ let row_membership t ~row =
   done;
   !acc
 
+let live_count t ~branch =
+  check_branch t branch;
+  Bitvec.pop_count t.columns.(branch)
+
+let density t ~branch =
+  if t.rows = 0 then 0.0
+  else float_of_int (live_count t ~branch) /. float_of_int t.rows
+
 let memory_bytes t =
   let acc = ref 0 in
   for b = 0 to t.nbranches - 1 do

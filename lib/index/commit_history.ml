@@ -128,6 +128,15 @@ let replay_length t idx =
 
 let count t = t.nunits
 let disk_bytes t = t.disk
+let path t = t.path
+
+let max_replay_length t =
+  let mx = ref 0 in
+  for idx = 0 to t.nunits - 1 do
+    let r = replay_length t idx in
+    if r > !mx then mx := r
+  done;
+  !mx
 
 let close t = close_out_noerr t.oc
 

@@ -36,8 +36,16 @@ val count : t -> int
 val disk_bytes : t -> int
 (** Size of the persisted history file. *)
 
+val path : t -> string
+(** The backing file, for introspection reports. *)
+
 val replay_length : t -> int -> int
 (** Number of delta applications a checkout of the given index needs
     (for the layering ablation). *)
+
+val max_replay_length : t -> int
+(** Worst-case {!replay_length} over every commit in this history
+    ([0] when empty) — the chain-depth bound the two-layer scheme is
+    meant to keep at [n / stride + stride]. *)
 
 val close : t -> unit

@@ -112,6 +112,19 @@ let row_membership t ~row =
   done;
   !acc
 
+(* counts bits in place — no column materialization *)
+let live_count t ~branch =
+  check_branch t branch;
+  let acc = ref 0 in
+  for row = 0 to t.rows - 1 do
+    if Bitvec.get t.bits (bit_index t ~branch ~row) then Stdlib.incr acc
+  done;
+  !acc
+
+let density t ~branch =
+  if t.rows = 0 then 0.0
+  else float_of_int (live_count t ~branch) /. float_of_int t.rows
+
 let memory_bytes t = (Bitvec.length t.bits + 7) / 8
 
 let serialize buf t =

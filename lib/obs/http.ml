@@ -1,0 +1,115 @@
+(* Minimal single-threaded HTTP/1.1 server over Unix sockets, just
+   enough for a metrics pull endpoint.  See http.mli. *)
+
+type response = { status : int; content_type : string; body : string }
+type handler = meth:string -> path:string -> response
+
+type server = { fd : Unix.file_descr; port : int }
+
+let text ?(status = 200) body =
+  { status; content_type = "text/plain; charset=utf-8"; body }
+
+let not_found = text ~status:404 "not found\n"
+
+let listen ?(host = "127.0.0.1") ?(backlog = 16) ~port () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+     Unix.listen fd backlog
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  let port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  { fd; port }
+
+let port s = s.port
+let close s = try Unix.close s.fd with Unix.Unix_error _ -> ()
+
+let status_text = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 500 -> "Internal Server Error"
+  | _ -> "Status"
+
+(* Read until the end of the request head (CRLFCRLF) or EOF; the body,
+   if any, is ignored — every route here is a GET. *)
+let max_head = 16 * 1024
+
+let read_head fd =
+  let buf = Buffer.create 512 in
+  let chunk = Bytes.create 512 in
+  let rec go () =
+    if Buffer.length buf > max_head then Buffer.contents buf
+    else
+      let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+      if n = 0 then Buffer.contents buf
+      else begin
+        Buffer.add_subbytes buf chunk 0 n;
+        let s = Buffer.contents buf in
+        let rec has_terminator i =
+          i >= 0
+          && (String.sub s i 4 = "\r\n\r\n" || has_terminator (i - 1))
+        in
+        if has_terminator (String.length s - 4) then s else go ()
+      end
+  in
+  try go () with Unix.Unix_error _ -> Buffer.contents buf
+
+(* "GET /metrics HTTP/1.1" -> (meth, path); the query string is
+   stripped from the path *)
+let parse_request_line head =
+  match String.index_opt head '\n' with
+  | None -> None
+  | Some i -> (
+      let line = String.trim (String.sub head 0 i) in
+      match String.split_on_char ' ' line with
+      | meth :: target :: _ ->
+          let path =
+            match String.index_opt target '?' with
+            | Some q -> String.sub target 0 q
+            | None -> target
+          in
+          if meth = "" || path = "" then None else Some (meth, path)
+      | _ -> None)
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let len = Bytes.length b in
+  let pos = ref 0 in
+  while !pos < len do
+    pos := !pos + Unix.write fd b !pos (len - !pos)
+  done
+
+let write_response fd r =
+  let head =
+    Printf.sprintf
+      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n"
+      r.status (status_text r.status) r.content_type (String.length r.body)
+  in
+  write_all fd (head ^ r.body)
+
+let handle_one s (handler : handler) =
+  let client, _ = Unix.accept s.fd in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close client with Unix.Unix_error _ -> ())
+    (fun () ->
+      let response =
+        match parse_request_line (read_head client) with
+        | None -> text ~status:400 "malformed request\n"
+        | Some (meth, path) -> (
+            try handler ~meth ~path
+            with e -> text ~status:500 (Printexc.to_string e ^ "\n"))
+      in
+      try write_response client response with Unix.Unix_error _ -> ())
+
+let serve_forever s handler =
+  while true do
+    handle_one s handler
+  done

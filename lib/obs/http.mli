@@ -1,0 +1,36 @@
+(** Minimal HTTP/1.1 server over Unix sockets — stdlib only, one
+    request per connection, single-threaded accept loop.  Just enough
+    to serve a metrics pull endpoint; not a general web server (no
+    keep-alive, no request bodies, no TLS).
+
+    The single-threaded loop matches the engines it fronts: a scrape
+    briefly interleaves with nothing, so responses are consistent
+    snapshots. *)
+
+type response = { status : int; content_type : string; body : string }
+
+type handler = meth:string -> path:string -> response
+(** [path] has the query string stripped.  Exceptions escaping the
+    handler become a 500 response. *)
+
+type server
+
+val listen : ?host:string -> ?backlog:int -> port:int -> unit -> server
+(** Bind and listen on [host] (default ["127.0.0.1"]).  [port = 0]
+    binds an ephemeral port — read it back with {!port}. *)
+
+val port : server -> int
+
+val handle_one : server -> handler -> unit
+(** Accept one connection, serve one request, close it.  Blocks until
+    a client connects. *)
+
+val serve_forever : server -> handler -> unit
+(** {!handle_one} in a loop; never returns normally. *)
+
+val close : server -> unit
+
+val text : ?status:int -> string -> response
+(** A [text/plain] response (default status 200). *)
+
+val not_found : response

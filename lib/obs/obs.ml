@@ -72,10 +72,21 @@ type histogram = {
 
 let histograms_tbl : (string, histogram) Hashtbl.t = Hashtbl.create 32
 
-let histogram ?(buckets = default_buckets) name =
+let histogram ?buckets name =
   match Hashtbl.find_opt histograms_tbl name with
-  | Some h -> h
+  | Some h ->
+      (match buckets with
+      | Some b when b <> h.h_buckets ->
+          invalid_arg
+            (Printf.sprintf
+               "Obs.histogram: %S already interned with %d bucket(s), \
+                requested %d (bucket layouts must match)"
+               name
+               (Array.length h.h_buckets)
+               (Array.length b))
+      | _ -> h)
   | None ->
+      let buckets = Option.value buckets ~default:default_buckets in
       let h =
         {
           h_name = name;
@@ -160,6 +171,196 @@ let summarize h =
       hs_p99 = quantile h 0.99;
     }
 
+(* raw accessors for exporters (Prometheus needs per-bucket counts,
+   not just the quantile summary) *)
+let hist_name h = h.h_name
+let hist_buckets h = Array.copy h.h_buckets
+let hist_bucket_counts h = Array.copy h.h_counts
+let hist_count h = h.h_count
+let hist_sum h = h.h_sum
+
+let sorted_values tbl =
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let all_counters () = List.map snd (sorted_values counters_tbl)
+let all_gauges () = List.map snd (sorted_values gauges_tbl)
+let all_histograms () = List.map snd (sorted_values histograms_tbl)
+let counter_name c = c.c_name
+let gauge_name g = g.g_name
+
+(* ------------------------------------------------------------------ *)
+(* JSON helpers (shared by events, traces and snapshots) *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float v =
+  if Float.is_finite v then Printf.sprintf "%.9g" v else "0"
+
+(* ------------------------------------------------------------------ *)
+(* structured event log *)
+
+type level = Debug | Info | Warn | Error
+
+let level_name = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_rank = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+type event = {
+  ev_seq : int;
+  ev_time : float; (* unix epoch seconds *)
+  ev_level : level;
+  ev_comp : string;
+  ev_msg : string;
+  ev_attrs : (string * string) list;
+}
+
+(* bounded ring: when full the oldest event is overwritten and
+   "obs.events_dropped" counts the loss *)
+let ev_capacity = ref 4096
+let ev_ring : event option array ref = ref (Array.make !ev_capacity None)
+let ev_next = ref 0 (* next write slot *)
+let ev_count = ref 0 (* events currently held, <= capacity *)
+let ev_seq = ref 0 (* monotonic emission count *)
+let ev_min_level = ref Debug
+let ev_sink : out_channel option ref = ref None
+let c_events = counter "obs.events"
+let c_events_dropped = counter "obs.events_dropped"
+
+let set_event_capacity n =
+  if n < 1 then invalid_arg "Obs.set_event_capacity: capacity must be >= 1";
+  ev_capacity := n;
+  ev_ring := Array.make n None;
+  ev_next := 0;
+  ev_count := 0
+
+let set_min_event_level l = ev_min_level := l
+
+let set_event_sink path =
+  (match !ev_sink with
+  | Some oc -> ( try close_out oc with Sys_error _ -> ())
+  | None -> ());
+  ev_sink :=
+    match path with
+    | None -> None
+    | Some p -> Some (open_out_gen [ Open_append; Open_creat ] 0o644 p)
+
+let event_json e =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"seq\":%d,\"time\":%.6f,\"level\":\"%s\",\"comp\":\"%s\",\"msg\":\"%s\""
+       e.ev_seq e.ev_time (level_name e.ev_level) (json_escape e.ev_comp)
+       (json_escape e.ev_msg));
+  if e.ev_attrs <> [] then begin
+    Buffer.add_string buf ",\"attrs\":{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf
+          (Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)))
+      e.ev_attrs;
+    Buffer.add_char buf '}'
+  end;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let event ?(attrs = []) ?(level = Info) ~comp msg =
+  if !on && level_rank level >= level_rank !ev_min_level then begin
+    let e =
+      {
+        ev_seq = !ev_seq;
+        ev_time = now ();
+        ev_level = level;
+        ev_comp = comp;
+        ev_msg = msg;
+        ev_attrs = attrs;
+      }
+    in
+    Stdlib.incr ev_seq;
+    incr c_events;
+    let cap = Array.length !ev_ring in
+    if !ev_count = cap then incr c_events_dropped
+    else Stdlib.incr ev_count;
+    !ev_ring.(!ev_next) <- Some e;
+    ev_next := (!ev_next + 1) mod cap;
+    match !ev_sink with
+    | Some oc ->
+        output_string oc (event_json e);
+        output_char oc '\n';
+        flush oc
+    | None -> ()
+  end
+
+let events () =
+  let cap = Array.length !ev_ring in
+  let first = (!ev_next - !ev_count + cap) mod cap in
+  List.init !ev_count (fun i ->
+      match !ev_ring.((first + i) mod cap) with
+      | Some e -> e
+      | None -> assert false)
+
+let events_emitted () = !ev_seq
+
+let events_json () =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (event_json e);
+      Buffer.add_char buf '\n')
+    (events ());
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* slow-operation log *)
+
+let slow_tbl : (string, float) Hashtbl.t = Hashtbl.create 16
+
+let slow_default =
+  ref
+    (match Sys.getenv_opt "DECIBEL_SLOW_MS" with
+    | Some s -> ( try Some (float_of_string s /. 1e3) with Failure _ -> None)
+    | None -> None)
+
+let set_slow_threshold name secs = Hashtbl.replace slow_tbl name secs
+let clear_slow_threshold name = Hashtbl.remove slow_tbl name
+let set_slow_default secs = slow_default := secs
+
+let slow_threshold name =
+  match Hashtbl.find_opt slow_tbl name with
+  | Some _ as t -> t
+  | None -> !slow_default
+
+let c_slow = counter "obs.slow_ops"
+
+let note_slow name dur attrs =
+  match slow_threshold name with
+  | Some th when dur >= th ->
+      incr c_slow;
+      event ~level:Warn ~comp:"slow_op"
+        ~attrs:
+          (("duration_ms", Printf.sprintf "%.3f" (dur *. 1e3))
+          :: ("threshold_ms", Printf.sprintf "%.3f" (th *. 1e3))
+          :: attrs)
+        name
+  | _ -> ()
+
 (* ------------------------------------------------------------------ *)
 (* spans *)
 
@@ -170,13 +371,18 @@ type span = {
   sp_attrs : (string * string) list;
 }
 
-let max_spans = 200_000
+let max_spans = ref 200_000
+
+let set_max_spans n =
+  if n < 0 then invalid_arg "Obs.set_max_spans: limit must be >= 0";
+  max_spans := n
+
 let span_buf : span option array ref = ref (Array.make 256 None)
 let nspans = ref 0
 let c_dropped = counter "obs.spans_dropped"
 
 let record_span s =
-  if !nspans >= max_spans then incr c_dropped
+  if !nspans >= !max_spans then incr c_dropped
   else begin
     if !nspans = Array.length !span_buf then begin
       let a = Array.make (2 * !nspans) None in
@@ -197,7 +403,8 @@ let with_span ?(attrs = []) name f =
         record_span
           { sp_name = name; sp_start = start -. t0; sp_dur = dur;
             sp_attrs = attrs };
-        observe (histogram name) dur)
+        observe (histogram name) dur;
+        note_slow name dur attrs)
       f
   end
 
@@ -209,25 +416,6 @@ let span_count () = !nspans
 
 (* ------------------------------------------------------------------ *)
 (* JSON *)
-
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
-let json_float v =
-  if Float.is_finite v then Printf.sprintf "%.9g" v else "0"
 
 let dump_trace () =
   let buf = Buffer.create 4096 in
@@ -323,4 +511,8 @@ let reset () =
       h.h_min <- infinity;
       h.h_max <- neg_infinity)
     histograms_tbl;
-  nspans := 0
+  nspans := 0;
+  Array.fill !ev_ring 0 (Array.length !ev_ring) None;
+  ev_next := 0;
+  ev_count := 0;
+  ev_seq := 0

@@ -70,8 +70,11 @@ val gauge_value : gauge -> float
 type histogram
 
 val histogram : ?buckets:float array -> string -> histogram
-(** Find-or-create.  [buckets] (ascending upper bounds) is honoured
-    only on creation. *)
+(** Find-or-create.  [buckets] (ascending upper bounds) is honoured on
+    creation.  Looking up an interned name with an explicit [buckets]
+    that differs from the interned layout raises [Invalid_argument]
+    rather than silently returning the old histogram; omitting
+    [buckets] always succeeds. *)
 
 val observe : histogram -> float -> unit
 
@@ -86,7 +89,107 @@ type hist_summary = {
 }
 
 val summarize : histogram -> hist_summary
+(** Total: an empty histogram summarizes to all-zero fields (no [nan]
+    or infinities), including immediately after {!reset}. *)
+
 val quantile : histogram -> float -> float
+(** [quantile h q] for [q] in [0,1]; [0.] when the histogram is
+    empty. *)
+
+(** {2 Raw accessors}
+
+    Exporters (e.g. the Prometheus text endpoint) need per-bucket
+    counts, not just the quantile summary. *)
+
+val hist_name : histogram -> string
+
+val hist_buckets : histogram -> float array
+(** Ascending upper bounds (a copy). *)
+
+val hist_bucket_counts : histogram -> int array
+(** Per-bucket observation counts, length [buckets + 1] — the last
+    slot is the overflow bucket (a copy; not cumulative). *)
+
+val hist_count : histogram -> int
+val hist_sum : histogram -> float
+val counter_name : counter -> string
+val gauge_name : gauge -> string
+
+val all_counters : unit -> counter list
+(** Every registered counter, sorted by name. *)
+
+val all_gauges : unit -> gauge list
+val all_histograms : unit -> histogram list
+
+(** {1 Structured event log}
+
+    Leveled, component-tagged events with string attributes, held in a
+    bounded in-memory ring (oldest overwritten on overflow, counted in
+    ["obs.events_dropped"]) and optionally appended as JSONL to a file
+    sink.  Emission respects the {!set_enabled} switch. *)
+
+type level = Debug | Info | Warn | Error
+
+val level_name : level -> string
+(** ["debug"], ["info"], ["warn"], ["error"]. *)
+
+type event = {
+  ev_seq : int;  (** monotonic per-process emission index *)
+  ev_time : float;  (** unix epoch seconds *)
+  ev_level : level;
+  ev_comp : string;  (** component tag, e.g. ["engine"], ["slow_op"] *)
+  ev_msg : string;
+  ev_attrs : (string * string) list;
+}
+
+val event :
+  ?attrs:(string * string) list -> ?level:level -> comp:string -> string -> unit
+(** Emit an event (default level [Info]).  Dropped entirely while
+    recording is disabled or below the minimum level. *)
+
+val events : unit -> event list
+(** Ring contents, oldest first. *)
+
+val events_emitted : unit -> int
+(** Total events emitted since start (or {!reset}), including ones the
+    ring has since dropped. *)
+
+val event_json : event -> string
+(** One event as a single-line JSON object. *)
+
+val events_json : unit -> string
+(** The ring as JSONL (one {!event_json} line per event). *)
+
+val set_event_capacity : int -> unit
+(** Resize the ring (clears it).  Raises [Invalid_argument] on a
+    capacity < 1. *)
+
+val set_min_event_level : level -> unit
+(** Drop events below this level (default [Debug], i.e. keep all). *)
+
+val set_event_sink : string option -> unit
+(** [Some path] appends each subsequent event to [path] as JSONL
+    (flushed per line); [None] closes any open sink. *)
+
+(** {1 Slow-operation log}
+
+    When a {!with_span} duration reaches the threshold configured for
+    its name (or the default threshold), a [Warn] event with component
+    ["slow_op"] is emitted carrying the span's attrs plus
+    [duration_ms] / [threshold_ms], and ["obs.slow_ops"] is
+    incremented.  No threshold is set by default; [DECIBEL_SLOW_MS]
+    (milliseconds) seeds the default threshold at startup. *)
+
+val set_slow_threshold : string -> float -> unit
+(** Per-span-name threshold in seconds ([0.] fires on every span). *)
+
+val clear_slow_threshold : string -> unit
+
+val set_slow_default : float option -> unit
+(** Threshold for spans with no per-name entry; [None] disables. *)
+
+val slow_threshold : string -> float option
+(** Effective threshold for a span name. *)
 
 (** {1 Tracing spans}
 
@@ -94,7 +197,9 @@ val quantile : histogram -> float -> float
     nest naturally (caller's span is still open while the callee's
     runs).  Each span also feeds the histogram named [name], so span
     timings appear in snapshots with quantiles.  The trace buffer is
-    bounded; overflow is counted in ["obs.spans_dropped"]. *)
+    bounded; overflow is counted in ["obs.spans_dropped"].  A span
+    whose duration reaches its slow threshold also emits a slow-op
+    event (see above). *)
 
 type span = {
   sp_name : string;
@@ -109,6 +214,10 @@ val spans : unit -> span list
 (** Completed spans, in completion order. *)
 
 val span_count : unit -> int
+
+val set_max_spans : int -> unit
+(** Cap on buffered spans (default 200_000); beyond it spans are
+    dropped and counted.  Raises [Invalid_argument] when negative. *)
 
 val dump_trace : unit -> string
 (** The recorded spans as Chrome-trace-format JSON lines (one complete
@@ -141,6 +250,11 @@ val to_json : snapshot -> string
 val json_escape : string -> string
 (** JSON string-body escaping (exposed for other JSON emitters). *)
 
+val json_float : float -> string
+(** Finite floats as ["%.9g"]; non-finite values render as ["0"]
+    (exposed for other JSON emitters). *)
+
 val reset : unit -> unit
-(** Zero every counter, gauge and histogram and clear the trace
-    buffer.  Handles remain valid. *)
+(** Zero every counter, gauge and histogram and clear the trace buffer
+    and event ring.  Handles, slow thresholds and the event sink
+    remain valid. *)

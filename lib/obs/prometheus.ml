@@ -1,0 +1,111 @@
+(* Prometheus text exposition (format 0.0.4) for the Obs registry. *)
+
+let content_type = "text/plain; version=0.0.4; charset=utf-8"
+
+let sanitize name =
+  if name = "" then "_"
+  else begin
+    let buf = Buffer.create (String.length name) in
+    String.iteri
+      (fun i c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> Buffer.add_char buf c
+        | '0' .. '9' ->
+            if i = 0 then Buffer.add_char buf '_';
+            Buffer.add_char buf c
+        | _ -> Buffer.add_char buf '_')
+      name;
+    Buffer.contents buf
+  end
+
+(* label values: escape backslash, double-quote and newline *)
+let escape_label v =
+  let buf = Buffer.create (String.length v + 4) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let labels_string = function
+  | [] -> ""
+  | ls ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) ->
+               Printf.sprintf "%s=\"%s\"" (sanitize k) (escape_label v))
+             ls)
+      ^ "}"
+
+let float_string v =
+  if Float.is_nan v then "NaN"
+  else if v = infinity then "+Inf"
+  else if v = neg_infinity then "-Inf"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let add_sample buf name labels v =
+  Buffer.add_string buf name;
+  Buffer.add_string buf (labels_string labels);
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf (float_string v);
+  Buffer.add_char buf '\n'
+
+let add_type buf name kind =
+  Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+
+let render_histogram buf h =
+  let name = sanitize (Obs.hist_name h) in
+  add_type buf name "histogram";
+  let bounds = Obs.hist_buckets h in
+  let counts = Obs.hist_bucket_counts h in
+  let acc = ref 0 in
+  Array.iteri
+    (fun i bound ->
+      acc := !acc + counts.(i);
+      add_sample buf (name ^ "_bucket")
+        [ ("le", float_string bound) ]
+        (float_of_int !acc))
+    bounds;
+  add_sample buf (name ^ "_bucket")
+    [ ("le", "+Inf") ]
+    (float_of_int (Obs.hist_count h));
+  add_sample buf (name ^ "_sum") [] (Obs.hist_sum h);
+  add_sample buf (name ^ "_count") [] (float_of_int (Obs.hist_count h))
+
+let render ?(extra = []) () =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun c ->
+      let name = sanitize (Obs.counter_name c) ^ "_total" in
+      add_type buf name "counter";
+      add_sample buf name [] (float_of_int (Obs.counter_value c)))
+    (Obs.all_counters ());
+  List.iter
+    (fun g ->
+      let name = sanitize (Obs.gauge_name g) in
+      add_type buf name "gauge";
+      add_sample buf name [] (Obs.gauge_value g))
+    (Obs.all_gauges ());
+  List.iter (render_histogram buf) (Obs.all_histograms ());
+  (* extra labeled gauges (e.g. storage-report facts); group TYPE
+     headers by metric name, preserving first-seen order *)
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (name, labels, v) ->
+      let name = sanitize name in
+      if not (Hashtbl.mem seen name) then begin
+        Hashtbl.replace seen name ();
+        add_type buf name "gauge"
+      end;
+      add_sample buf name labels v)
+    (List.stable_sort
+       (fun (a, _, _) (b, _, _) -> compare (sanitize a) (sanitize b))
+       extra);
+  Buffer.contents buf

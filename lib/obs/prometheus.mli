@@ -1,0 +1,21 @@
+(** Prometheus text exposition (format 0.0.4) of the {!Obs} registry.
+
+    Counters render as [<name>_total] with a [# TYPE ... counter]
+    header, gauges as-is, histograms as cumulative
+    [<name>_bucket{le="..."}] series plus [_sum] and [_count] —
+    consistent with {!Obs.summarize} ([_count] = [hs_count], [_sum] =
+    [hs_sum]).  Metric and label names are sanitized to
+    [[a-zA-Z0-9_:]] (so ["buffer_pool.misses"] becomes
+    [buffer_pool_misses_total]). *)
+
+val content_type : string
+(** The HTTP [Content-Type] for this exposition format. *)
+
+val sanitize : string -> string
+(** Replace every character outside [[a-zA-Z0-9_:]] with ['_'] and
+    guard a leading digit with ['_']. *)
+
+val render : ?extra:(string * (string * string) list * float) list -> unit -> string
+(** The full registry as exposition text.  [extra] appends ad-hoc
+    labeled gauge samples ([(metric, labels, value)]), e.g.
+    {!Report.prometheus_samples}. *)

@@ -50,6 +50,8 @@ let create ?(page_size = 65536) ?(capacity_pages = 1024) () =
   }
 
 let page_size t = t.page_size
+let capacity_pages t = t.capacity
+let resident_pages t = t.resident
 
 let next_file_id t =
   let id = t.next_file in

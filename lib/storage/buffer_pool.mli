@@ -19,6 +19,12 @@ val create : ?page_size:int -> ?capacity_pages:int -> unit -> t
 
 val page_size : t -> int
 
+val capacity_pages : t -> int
+(** Residency bound this pool was created with. *)
+
+val resident_pages : t -> int
+(** Pages currently cached ([<= capacity_pages]). *)
+
 val next_file_id : t -> int
 (** Fresh identifier for a file joining the pool. *)
 

@@ -121,6 +121,240 @@ let test_snapshot_json () =
      names = List.sort compare names)
 
 (* ------------------------------------------------------------------ *)
+(* bucket layouts, empty histograms, diff edge cases, span limits *)
+
+let test_histogram_bucket_mismatch () =
+  Obs.set_enabled true;
+  let buckets = [| 0.1; 1.0; 10.0 |] in
+  let h = Obs.histogram ~buckets "test.hist.layout" in
+  (* re-interning with a structurally equal layout is fine *)
+  let h' = Obs.histogram ~buckets:[| 0.1; 1.0; 10.0 |] "test.hist.layout" in
+  Alcotest.(check bool) "equal layout returns same handle" true (h == h');
+  (* omitting [?buckets] is a bare lookup and never conflicts *)
+  let h'' = Obs.histogram "test.hist.layout" in
+  Alcotest.(check bool) "bare lookup returns same handle" true (h == h'');
+  (* a different layout for an interned name must raise *)
+  (match Obs.histogram ~buckets:[| 0.5 |] "test.hist.layout" with
+  | _ -> Alcotest.fail "mismatched bucket layout did not raise"
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool) "error names the histogram" true
+        (let needle = "test.hist.layout" in
+         let n = String.length needle and m = String.length msg in
+         let rec go i =
+           i + n <= m && (String.sub msg i n = needle || go (i + 1))
+         in
+         go 0));
+  (* the failed call must not have corrupted the interned layout *)
+  Alcotest.(check int) "layout unchanged after failed intern" 3
+    (Array.length (Obs.hist_buckets h))
+
+let finite f = Float.is_finite f
+
+let check_all_zero_summary label h =
+  let s = Obs.summarize h in
+  Alcotest.(check int) (label ^ ": count") 0 s.Obs.hs_count;
+  List.iter
+    (fun (n, v) ->
+      Alcotest.(check (float 0.)) (label ^ ": " ^ n) 0.0 v;
+      Alcotest.(check bool) (label ^ ": " ^ n ^ " finite") true (finite v))
+    [
+      ("sum", s.Obs.hs_sum);
+      ("min", s.Obs.hs_min);
+      ("max", s.Obs.hs_max);
+      ("p50", s.Obs.hs_p50);
+      ("p95", s.Obs.hs_p95);
+      ("p99", s.Obs.hs_p99);
+    ]
+
+let test_empty_histogram_quantiles () =
+  Obs.set_enabled true;
+  let h = Obs.histogram "test.hist.empty" in
+  List.iter
+    (fun q ->
+      let v = Obs.quantile h q in
+      Alcotest.(check (float 0.)) "empty quantile is 0" 0.0 v;
+      Alcotest.(check bool) "empty quantile finite" true (finite v))
+    [ 0.0; 0.5; 0.99; 1.0 ];
+  check_all_zero_summary "empty" h;
+  (* feed it, then reset: it must summarize all-zero again, nan-free *)
+  Obs.observe h 0.25;
+  Obs.observe h 0.5;
+  Alcotest.(check int) "fed count" 2 (Obs.summarize h).Obs.hs_count;
+  Obs.reset ();
+  check_all_zero_summary "after reset" h;
+  Alcotest.(check (float 0.)) "quantile 0 after reset" 0.0
+    (Obs.quantile h 0.5)
+
+let test_counters_diff_created_between () =
+  Obs.set_enabled true;
+  let anchor = Obs.counter "test.diff.anchor" in
+  Obs.add anchor 3;
+  let before = Obs.snapshot () in
+  (* this counter does not exist in [before] at all *)
+  let fresh = Obs.counter "test.diff.born_between_snapshots" in
+  Obs.add fresh 5;
+  Obs.add anchor 2;
+  let after = Obs.snapshot () in
+  let d = Obs.counters_diff before after in
+  Alcotest.(check int) "fresh counter deltas from zero" 5
+    (List.assoc "test.diff.born_between_snapshots" d);
+  Alcotest.(check int) "pre-existing counter deltas normally" 2
+    (List.assoc "test.diff.anchor" d)
+
+let test_span_overflow_counted () =
+  Obs.set_enabled true;
+  Obs.reset ();
+  Obs.set_max_spans 10;
+  Fun.protect
+    ~finally:(fun () -> Obs.set_max_spans 200_000)
+    (fun () ->
+      for i = 1 to 15 do
+        Obs.with_span "test.overflow" (fun () -> ignore i)
+      done;
+      Alcotest.(check int) "span buffer capped" 10 (Obs.span_count ());
+      Alcotest.(check int) "overflow drops counted" 5
+        (Obs.value_of "obs.spans_dropped");
+      (* dropped spans still fed the duration histogram *)
+      Alcotest.(check int) "histogram sees every span" 15
+        (Obs.summarize (Obs.histogram "test.overflow")).Obs.hs_count)
+
+(* ------------------------------------------------------------------ *)
+(* event log: ring semantics, sink, levels, slow-op emission *)
+
+let is_json_object line =
+  String.length line > 2
+  && line.[0] = '{'
+  && line.[String.length line - 1] = '}'
+
+let test_event_ring () =
+  Obs.set_enabled true;
+  Obs.reset ();
+  Obs.set_event_capacity 4;
+  Fun.protect
+    ~finally:(fun () -> Obs.set_event_capacity 4096)
+    (fun () ->
+      Obs.event ~comp:"test" "one";
+      Obs.event ~level:Obs.Warn ~attrs:[ ("k", "v") ] ~comp:"test" "two";
+      let evs = Obs.events () in
+      Alcotest.(check int) "two buffered" 2 (List.length evs);
+      let e2 = List.nth evs 1 in
+      Alcotest.(check string) "component kept" "test" e2.Obs.ev_comp;
+      Alcotest.(check string) "message kept" "two" e2.Obs.ev_msg;
+      Alcotest.(check bool) "level kept" true (e2.Obs.ev_level = Obs.Warn);
+      Alcotest.(check bool) "attrs kept" true
+        (e2.Obs.ev_attrs = [ ("k", "v") ]);
+      Alcotest.(check bool) "seq monotonic" true
+        ((List.hd evs).Obs.ev_seq < e2.Obs.ev_seq);
+      (* overflow the 4-slot ring: oldest events fall out, counted *)
+      for i = 3 to 7 do
+        Obs.event ~comp:"test" (string_of_int i)
+      done;
+      let evs = Obs.events () in
+      Alcotest.(check int) "ring capped at capacity" 4 (List.length evs);
+      Alcotest.(check string) "oldest surviving event" "4"
+        (List.hd evs).Obs.ev_msg;
+      Alcotest.(check string) "newest event" "7"
+        (List.nth evs 3).Obs.ev_msg;
+      Alcotest.(check int) "drops counted" 3
+        (Obs.value_of "obs.events_dropped");
+      Alcotest.(check int) "emission total unaffected by drops" 7
+        (Obs.events_emitted ());
+      (* JSONL render: one object per line, oldest first *)
+      let lines =
+        String.split_on_char '\n' (Obs.events_json ())
+        |> List.filter (fun l -> l <> "")
+      in
+      Alcotest.(check int) "jsonl line per event" 4 (List.length lines);
+      List.iter
+        (fun l ->
+          Alcotest.(check bool) "jsonl line is an object" true
+            (is_json_object l))
+        lines;
+      (* min-level filter: Debug below Info is not buffered *)
+      Obs.set_min_event_level Obs.Warn;
+      Obs.event ~comp:"test" "filtered-info";
+      Obs.set_min_event_level Obs.Debug;
+      Alcotest.(check int) "below-level event not emitted" 7
+        (Obs.events_emitted ());
+      (* disabled: nothing is emitted at all *)
+      Obs.set_enabled false;
+      Obs.event ~comp:"test" "invisible";
+      Obs.set_enabled true;
+      Alcotest.(check int) "disabled suppresses events" 7
+        (Obs.events_emitted ()))
+
+let test_event_sink () =
+  Obs.set_enabled true;
+  Obs.reset ();
+  let path = Filename.temp_file "decibel-events" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_event_sink None;
+      Sys.remove path)
+    (fun () ->
+      Obs.set_event_sink (Some path);
+      Obs.event ~comp:"sink" "alpha";
+      Obs.event ~level:Obs.Error ~comp:"sink" "beta";
+      Obs.set_event_sink None;
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      let lines = List.rev !lines in
+      Alcotest.(check int) "one jsonl line per event" 2 (List.length lines);
+      List.iter
+        (fun l ->
+          Alcotest.(check bool) "sink line is an object" true
+            (is_json_object l))
+        lines;
+      Alcotest.(check bool) "payload written through" true
+        (let l = List.nth lines 1 in
+         let needle = "\"beta\"" in
+         let n = String.length needle and m = String.length l in
+         let rec go i =
+           i + n <= m && (String.sub l i n = needle || go (i + 1))
+         in
+         go 0))
+
+let test_slow_op_log () =
+  Obs.set_enabled true;
+  Obs.reset ();
+  Obs.set_slow_threshold "test.slow" 0.0;
+  Fun.protect
+    ~finally:(fun () -> Obs.clear_slow_threshold "test.slow")
+    (fun () ->
+      Alcotest.(check bool) "threshold registered" true
+        (Obs.slow_threshold "test.slow" = Some 0.0);
+      Obs.with_span ~attrs:[ ("x", "1") ] "test.slow" (fun () -> ());
+      (* a span of any duration is >= 0, so the slow-op log must fire *)
+      let slow =
+        List.filter (fun e -> e.Obs.ev_comp = "slow_op") (Obs.events ())
+      in
+      Alcotest.(check int) "one slow-op event" 1 (List.length slow);
+      let e = List.hd slow in
+      Alcotest.(check string) "event msg is the span name" "test.slow"
+        e.Obs.ev_msg;
+      Alcotest.(check bool) "warn level" true (e.Obs.ev_level = Obs.Warn);
+      Alcotest.(check bool) "duration attr present" true
+        (List.mem_assoc "duration_ms" e.Obs.ev_attrs);
+      Alcotest.(check bool) "threshold attr present" true
+        (List.mem_assoc "threshold_ms" e.Obs.ev_attrs);
+      Alcotest.(check bool) "span attrs carried over" true
+        (List.assoc_opt "x" e.Obs.ev_attrs = Some "1");
+      Alcotest.(check int) "obs.slow_ops counted" 1
+        (Obs.value_of "obs.slow_ops");
+      (* uninstrumented names never fire *)
+      Obs.with_span "test.fast" (fun () -> ());
+      Alcotest.(check int) "no threshold, no event" 1
+        (List.length
+           (List.filter
+              (fun e -> e.Obs.ev_comp = "slow_op")
+              (Obs.events ()))))
+
+(* ------------------------------------------------------------------ *)
 (* instrumentation wired through the storage layers *)
 
 let schema = Schema.ints ~name:"r" ~width:4
@@ -238,6 +472,20 @@ let () =
           Alcotest.test_case "nested spans" `Quick test_nested_spans;
           Alcotest.test_case "enable/disable" `Quick test_enable_disable;
           Alcotest.test_case "snapshot json" `Quick test_snapshot_json;
+          Alcotest.test_case "histogram bucket mismatch" `Quick
+            test_histogram_bucket_mismatch;
+          Alcotest.test_case "empty histogram quantiles" `Quick
+            test_empty_histogram_quantiles;
+          Alcotest.test_case "counters_diff with fresh counter" `Quick
+            test_counters_diff_created_between;
+          Alcotest.test_case "span overflow counted" `Quick
+            test_span_overflow_counted;
+        ] );
+      ( "events",
+        [
+          Alcotest.test_case "event ring" `Quick test_event_ring;
+          Alcotest.test_case "event sink" `Quick test_event_sink;
+          Alcotest.test_case "slow-op log" `Quick test_slow_op_log;
         ] );
       ( "instrumentation",
         [
