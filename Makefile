@@ -1,6 +1,6 @@
 # Convenience targets; `make ci` is what .github/workflows/ci.yml runs.
 
-.PHONY: all build test fmt ci bench bench-smoke clean
+.PHONY: all build test fmt ci bench bench-smoke crash-smoke clean
 
 all: build
 
@@ -29,6 +29,13 @@ bench:
 # trace in the working directory; CI uploads both as artifacts.
 bench-smoke:
 	DECIBEL_BENCH_SCALE=1 dune exec bench/main.exe -- --only obs
+
+# Crash-torture smoke: kills a scripted workload at every failpoint
+# site per scheme, recovers, and checks against the WAL-marker oracle.
+# Fixed seed for reproducible fault schedules; emits FSCK_REPORT.json
+# (uploaded by CI) and exits non-zero on any recovery failure.
+crash-smoke:
+	DECIBEL_SEED=24301 dune exec bench/main.exe -- --only crash
 
 clean:
 	dune clean

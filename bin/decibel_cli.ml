@@ -53,9 +53,21 @@ let parse_tuple schema spec =
          | Schema.T_str -> Value.Str part)
        parts)
 
+(* An injected fault simulates the process dying at that instant, so
+   the clean close (which checkpoints and would heal the simulated
+   damage) must not run — drop the handle as a crash would. *)
 let with_repo dir f =
   let db = Database.reopen ~dir () in
-  Fun.protect ~finally:(fun () -> Database.close db) (fun () -> f db)
+  match f db with
+  | v ->
+      Database.close db;
+      v
+  | exception (Decibel_fault.Failpoint.Fault_injected _ as e) ->
+      Database.crash db;
+      raise e
+  | exception e ->
+      Database.close db;
+      raise e
 
 let branch_arg db name =
   match Vg.branch_by_name (Database.graph db) name with
@@ -71,6 +83,9 @@ let wrap f =
   with
   | Failure msg | Types.Engine_error msg ->
       Printf.eprintf "error: %s\n" msg;
+      1
+  | Decibel_fault.Failpoint.Fault_injected site ->
+      Printf.eprintf "fault injected at %s (simulated crash)\n" site;
       1
   | Vquel.Parse_error msg ->
       Printf.eprintf "parse error: %s\n" msg;
@@ -127,19 +142,30 @@ let init_cmd =
             "Storage scheme: $(b,tuple-first), $(b,version-first) or \
              $(b,hybrid) (default).")
   in
-  let run dir spec pk scheme =
+  let durable_arg =
+    Arg.(
+      value & flag
+      & info [ "durable" ]
+          ~doc:
+            "Arm write-ahead logging: operations are logged to \
+             $(b,wal.log) and replayed after a crash. Subsequent \
+             commands detect the log and stay durable.")
+  in
+  let run dir spec pk scheme durable =
     wrap (fun () ->
         if Sys.file_exists dir && Sys.readdir dir <> [||] then
           failwith (Printf.sprintf "%s already exists and is not empty" dir);
         let schema = parse_schema spec pk in
-        let db = Database.open_ ~scheme ~dir ~schema () in
+        let db = Database.open_ ~scheme ~dir ~schema ~durable () in
         Database.close db;
-        Printf.printf "initialized %s repository in %s\n"
-          (Database.scheme_name scheme) dir)
+        Printf.printf "initialized %s%s repository in %s\n"
+          (Database.scheme_name scheme)
+          (if durable then " (durable)" else "")
+          dir)
   in
   Cmd.v
     (Cmd.info "init" ~doc:"Create a new versioned repository.")
-    Term.(const run $ dir_arg $ schema_arg $ pk_arg $ scheme_arg)
+    Term.(const run $ dir_arg $ schema_arg $ pk_arg $ scheme_arg $ durable_arg)
 
 let values_opt =
   Arg.(
@@ -530,6 +556,41 @@ let serve_metrics_cmd =
           over HTTP.")
     Term.(const run $ dir_arg $ port_opt $ host_opt $ max_requests_opt)
 
+let fsck_cmd =
+  let repair_flag =
+    Arg.(
+      value & flag
+      & info [ "repair" ]
+          ~doc:
+            "Fix the mechanically safe problems: remove stale temp files \
+             from interrupted atomic renames and truncate a torn \
+             write-ahead-log tail to its intact prefix.  Checkpoint \
+             checksum failures are only ever reported.")
+  in
+  let json_flag =
+    Arg.(
+      value & flag & info [ "json" ] ~doc:"Emit the report as one JSON object.")
+  in
+  let run dir repair json =
+    let code = ref 0 in
+    let rc =
+      wrap (fun () ->
+          let r = Fsck.run ~repair ~dir () in
+          if json then print_endline (Fsck.to_json r)
+          else print_string (Fsck.to_text r);
+          if not (Fsck.clean r) then code := 1)
+    in
+    if rc <> 0 then rc else !code
+  in
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:
+         "Check repository integrity: manifest trailer checksum, per-record \
+          heap and segment checksums, commit-locator cross-references, \
+          stale temp files and torn write-ahead-log tails.  Exits non-zero \
+          if any problem is found (repaired or not).")
+    Term.(const run $ dir_arg $ repair_flag $ json_flag)
+
 let () =
   let info =
     Cmd.info "decibel" ~version:"1.0.0"
@@ -543,5 +604,5 @@ let () =
           [
             init_cmd; insert_cmd; update_cmd; delete_cmd; commit_cmd;
             branch_cmd; scan_cmd; diff_cmd; merge_cmd; log_cmd; branches_cmd;
-            sql_cmd; stats_cmd; inspect_cmd; serve_metrics_cmd;
+            sql_cmd; stats_cmd; inspect_cmd; serve_metrics_cmd; fsck_cmd;
           ]))

@@ -29,6 +29,11 @@ let scheme_name = function
 
 let all_schemes = [ Tuple_first; Tuple_first_tuple_oriented; Version_first; Hybrid ]
 
+(** Graceful degradation: detected corruption quarantines the affected
+    branch and flips the database to read-only, rather than crashing or
+    silently serving bad data. *)
+type health = Healthy | Degraded of string
+
 type t =
   | Db : {
       engine : (module Engine_intf.S with type t = 'e);
@@ -37,10 +42,15 @@ type t =
       locks : Lock_manager.t;
       mutable wal : Wal.t option;
       mutable next_session : int;
+      mutable health : health;
+      quarantined : (branch_id, string) Hashtbl.t;
     }
       -> t
 
 let wal_path dir = Filename.concat dir "wal.log"
+
+let c_corruption = Obs.counter "storage.corruption_detected"
+let c_replay_skipped = Obs.counter "wal.replay_skipped"
 
 let open_ ?pool ?(durable = false) ?(compress = false) ?lock_timeout_s
     ~scheme ~dir ~schema () =
@@ -55,12 +65,21 @@ let open_ ?pool ?(durable = false) ?(compress = false) ?lock_timeout_s
         (* checkpoint 0: the freshly-initialized state, so a crash
            before the first flush still has a base to replay onto *)
         E.flush state;
-        Some (Wal.open_log ~path:(wal_path dir))
+        Some (Wal.open_log ~path:(wal_path dir) ())
       end
       else None
     in
     Db
-      { engine = (module E); state; pool; locks; wal; next_session = 0 }
+      {
+        engine = (module E);
+        state;
+        pool;
+        locks;
+        wal;
+        next_session = 0;
+        health = Healthy;
+        quarantined = Hashtbl.create 4;
+      }
   in
   match scheme with
   | Tuple_first -> pack (module Tuple_first.Branch_oriented)
@@ -116,6 +135,8 @@ let reopen_checkpoint ?pool ?scheme ~dir () =
         locks = Lock_manager.create ();
         wal = None;
         next_session = 0;
+        health = Healthy;
+        quarantined = Hashtbl.create 4;
       }
   in
   match scheme with
@@ -136,14 +157,87 @@ let branch_named t name =
 
 let branch_name t bid = (Vg.branch (graph t) bid).Vg.name
 
+(* ------------------------------------------------------------------ *)
+(* Health and graceful degradation.
+
+   A checksum failure ([Binio.Corrupt] escaping an engine operation)
+   quarantines the branch it surfaced on and flips the database to
+   read-only: intact branches stay readable, every write is refused
+   until the operator runs fsck / restores, and nothing corrupt is
+   silently served or made durable. *)
+
+let health (Db { health; _ }) = health
+
+let quarantined (Db { quarantined; _ }) =
+  List.sort compare
+    (Hashtbl.fold (fun b reason acc -> (b, reason) :: acc) quarantined [])
+
+let degrade (Db d) reason =
+  match d.health with
+  | Degraded _ -> ()
+  | Healthy ->
+      d.health <- Degraded reason;
+      Obs.event ~level:Obs.Warn ~comp:"db"
+        ~attrs:[ ("reason", reason) ]
+        "database degraded to read-only"
+
+(* Record detected corruption and raise; never returns. *)
+let corruption (Db d as t) ?branch msg =
+  Obs.incr c_corruption;
+  (match branch with
+  | Some b when not (Hashtbl.mem d.quarantined b) ->
+      Hashtbl.replace d.quarantined b msg;
+      Obs.event ~level:Obs.Warn ~comp:"db"
+        ~attrs:[ ("branch", string_of_int b); ("reason", msg) ]
+        "corruption detected; branch quarantined"
+  | _ ->
+      Obs.event ~level:Obs.Warn ~comp:"db"
+        ~attrs:[ ("reason", msg) ]
+        "corruption detected");
+  degrade t msg;
+  errorf "corruption detected: %s" msg
+
+let check_writable (Db d) =
+  match d.health with
+  | Healthy -> ()
+  | Degraded reason -> errorf "database is read-only (degraded): %s" reason
+
+let check_branch_ok (Db d) b =
+  match Hashtbl.find_opt d.quarantined b with
+  | Some reason -> errorf "branch %d is quarantined: %s" b reason
+  | None -> ()
+
+(* Run an engine operation touching the given branches; corruption it
+   surfaces quarantines the first listed branch. *)
+let guarded t bs f =
+  List.iter (check_branch_ok t) bs;
+  try f ()
+  with Decibel_util.Binio.Corrupt msg ->
+    corruption t ?branch:(match bs with b :: _ -> Some b | [] -> None) msg
+
+(* ------------------------------------------------------------------ *)
+(* Logged operations.  The WAL entry is written (and synced) before the
+   engine applies the operation; once the engine has applied it, its
+   LSN becomes the state's wal-marker, which the next checkpoint
+   persists inside the manifest.  Recovery replays only entries beyond
+   the marker, so a crash anywhere between append and checkpoint can
+   never double-apply. *)
+
 let log (Db { engine = (module E); state; wal; _ }) entry =
   match wal with
-  | Some w -> Wal.append w (E.schema state) entry
+  | Some w -> Some (Wal.append w (E.schema state) entry)
+  | None -> None
+
+let mark (Db { engine = (module E); state; _ }) = function
+  | Some lsn -> E.set_wal_marker state lsn
   | None -> ()
 
 let create_branch (Db { engine = (module E); state; _ } as t) ~name ~from =
-  log t (Wal.W_branch (name, from));
-  E.create_branch state ~name ~from
+  check_writable t;
+  let lsn = log t (Wal.W_branch (name, from)) in
+  let bid = E.create_branch state ~name ~from in
+  mark t lsn;
+  bid
 
 let branch_from t ~name ~of_branch =
   (* branch off the current head commit of an existing branch; goes
@@ -152,38 +246,58 @@ let branch_from t ~name ~of_branch =
   create_branch t ~name ~from
 
 let commit (Db { engine = (module E); state; _ } as t) b ~message =
-  log t (Wal.W_commit (b, message));
-  E.commit state b ~message
+  check_writable t;
+  guarded t [ b ] (fun () ->
+      let lsn = log t (Wal.W_commit (b, message)) in
+      let vid = E.commit state b ~message in
+      mark t lsn;
+      vid)
 
 let insert (Db { engine = (module E); state; _ } as t) b tuple =
-  log t (Wal.W_insert (b, tuple));
-  E.insert state b tuple
+  check_writable t;
+  guarded t [ b ] (fun () ->
+      let lsn = log t (Wal.W_insert (b, tuple)) in
+      E.insert state b tuple;
+      mark t lsn)
 
 let update (Db { engine = (module E); state; _ } as t) b tuple =
-  log t (Wal.W_update (b, tuple));
-  E.update state b tuple
+  check_writable t;
+  guarded t [ b ] (fun () ->
+      let lsn = log t (Wal.W_update (b, tuple)) in
+      E.update state b tuple;
+      mark t lsn)
 
 let delete (Db { engine = (module E); state; _ } as t) b key =
-  log t (Wal.W_delete (b, key));
-  E.delete state b key
+  check_writable t;
+  guarded t [ b ] (fun () ->
+      let lsn = log t (Wal.W_delete (b, key)) in
+      E.delete state b key;
+      mark t lsn)
 
-let lookup (Db { engine = (module E); state; _ }) b key = E.lookup state b key
+let lookup (Db { engine = (module E); state; _ } as t) b key =
+  guarded t [ b ] (fun () -> E.lookup state b key)
 
-let scan (Db { engine = (module E); state; _ }) b f = E.scan state b f
+let scan (Db { engine = (module E); state; _ } as t) b f =
+  guarded t [ b ] (fun () -> E.scan state b f)
 
-let scan_version (Db { engine = (module E); state; _ }) v f =
-  E.scan_version state v f
+let scan_version (Db { engine = (module E); state; _ } as t) v f =
+  try E.scan_version state v f
+  with Decibel_util.Binio.Corrupt msg -> corruption t msg
 
-let multi_scan (Db { engine = (module E); state; _ }) bs f =
-  E.multi_scan state bs f
+let multi_scan (Db { engine = (module E); state; _ } as t) bs f =
+  guarded t bs (fun () -> E.multi_scan state bs f)
 
-let diff (Db { engine = (module E); state; _ }) a b ~pos ~neg =
-  E.diff state a b ~pos ~neg
+let diff (Db { engine = (module E); state; _ } as t) a b ~pos ~neg =
+  guarded t [ a; b ] (fun () -> E.diff state a b ~pos ~neg)
 
 let merge (Db { engine = (module E); state; _ } as t) ~into ~from ~policy
     ~message =
-  log t (Wal.W_merge (into, from, policy, message));
-  E.merge state ~into ~from ~policy ~message
+  check_writable t;
+  guarded t [ into; from ] (fun () ->
+      let lsn = log t (Wal.W_merge (into, from, policy, message)) in
+      let r = E.merge state ~into ~from ~policy ~message in
+      mark t lsn;
+      r)
 
 let dataset_bytes (Db { engine = (module E); state; _ }) =
   E.dataset_bytes state
@@ -205,6 +319,17 @@ let close (Db { engine = (module E); state; wal; _ }) =
       Wal.close w)
     wal
 
+(* Crash simulation for the torture harness: drop every in-memory
+   buffer and close descriptors without checkpointing, so disk holds
+   exactly what the WAL and the last flush made durable. *)
+let crash (Db { engine = (module E); state; wal; _ }) =
+  E.crash state;
+  Option.iter Wal.close wal
+
+let verify (Db { engine = (module E); state; _ }) = E.verify state
+
+let wal_marker (Db { engine = (module E); state; _ }) = E.wal_marker state
+
 let pool (Db { pool; _ }) = pool
 
 (* Simulate a cold cache between measurements, standing in for the
@@ -220,7 +345,7 @@ let metrics (Db _) = Obs.snapshot ()
 let metrics_json (Db _) = Obs.to_json (Obs.snapshot ())
 let dump_trace (Db _) ~path = Obs.write_trace ~path
 
-let storage_report (Db { engine = (module E); state; pool; _ }) =
+let storage_report (Db { engine = (module E); state; pool; _ } as t) =
   Obs.with_span "db.storage_report" (fun () ->
       let part = E.storage_report state in
       let g = E.graph state in
@@ -254,6 +379,14 @@ let storage_report (Db { engine = (module E); state; pool; _ }) =
             p_evictions = ps.Buffer_pool.evictions;
             p_write_backs = ps.Buffer_pool.write_backs;
           };
+        r_health =
+          (match health t with
+          | Healthy -> "healthy"
+          | Degraded msg -> "degraded: " ^ msg);
+        r_quarantined =
+          List.map
+            (fun (b, reason) -> (branch_name t b, reason))
+            (quarantined t);
       })
 
 let scan_list t b =
@@ -361,32 +494,53 @@ let end_transaction s =
    checkpointed.  [durable] re-arms logging for subsequent operations
    (default: on, if the repository ever had a log). *)
 
-let replay_entry t (e : Wal.entry) =
-  match e with
-  | Wal.W_insert (b, tuple) -> insert t b tuple
-  | Wal.W_update (b, tuple) -> update t b tuple
-  | Wal.W_delete (b, key) -> delete t b key
-  | Wal.W_commit (b, message) -> ignore (commit t b ~message)
-  | Wal.W_branch (name, from) -> ignore (create_branch t ~name ~from)
-  | Wal.W_merge (into, from, policy, message) ->
-      ignore (merge t ~into ~from ~policy ~message)
-  | Wal.W_retire b -> Vg.retire (graph t) b
+let replay_entry t lsn (e : Wal.entry) =
+  (try
+     match e with
+     | Wal.W_insert (b, tuple) -> insert t b tuple
+     | Wal.W_update (b, tuple) -> update t b tuple
+     | Wal.W_delete (b, key) -> delete t b key
+     | Wal.W_commit (b, message) -> ignore (commit t b ~message)
+     | Wal.W_branch (name, from) -> ignore (create_branch t ~name ~from)
+     | Wal.W_merge (into, from, policy, message) ->
+         ignore (merge t ~into ~from ~policy ~message)
+     | Wal.W_retire b -> Vg.retire (graph t) b
+   with Engine_error _ ->
+     (* the log records attempted operations; one that failed when
+        first executed fails identically here, and skipping it
+        reproduces the original outcome *)
+     Obs.incr c_replay_skipped);
+  let (Db { engine = (module E); state; _ }) = t in
+  E.set_wal_marker state lsn
 
 let reopen ?pool ?scheme ?durable ~dir () =
   let t = reopen_checkpoint ?pool ?scheme ~dir () in
   let had_log = Sys.file_exists (wal_path dir) in
   let durable = Option.value durable ~default:had_log in
   if had_log then begin
-    let entries = Wal.read_entries ~path:(wal_path dir) (schema t) in
-    List.iter (replay_entry t) entries;
+    (* replay the intact log tail past the checkpoint's marker: entries
+       at or below it are already reflected in the manifest state, and
+       replaying them would double-apply (the manifest write and the
+       log truncation cannot be one atomic step, so recovery may see a
+       fresh checkpoint together with a not-yet-truncated log) *)
+    let marker = wal_marker t in
+    let frames = Wal.read_frames ~path:(wal_path dir) (schema t) in
+    List.iter (fun (lsn, e) -> if lsn > marker then replay_entry t lsn e) frames;
     (* the replayed state becomes the new checkpoint *)
-    flush t;
-    let w = Wal.open_log ~path:(wal_path dir) in
+    flush t
+  end;
+  let truncate_consumed_log () =
+    let w = Wal.open_log ~path:(wal_path dir) () in
     Wal.reset w;
     Wal.close w
-  end;
+  in
   if durable then begin
     let (Db d) = t in
-    d.wal <- Some (Wal.open_log ~path:(wal_path dir))
-  end;
+    let w =
+      Wal.open_log ~start_lsn:(wal_marker t + 1) ~path:(wal_path dir) ()
+    in
+    Wal.reset w;
+    d.wal <- Some w
+  end
+  else if had_log then truncate_consumed_log ();
   t

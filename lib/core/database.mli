@@ -44,9 +44,17 @@ val reopen :
   ?pool:Buffer_pool.t -> ?scheme:scheme -> ?durable:bool -> dir:string ->
   unit -> t
 (** Reopen a persisted repository: reloads the last checkpoint and
-    replays any intact write-ahead-log tail (crash recovery).  The
-    scheme is auto-detected from the manifest unless given.  [durable]
-    defaults to whether the repository ever had a log. *)
+    replays the intact write-ahead-log tail beyond the checkpoint's
+    LSN marker (crash recovery; entries the checkpoint already
+    reflects are never double-applied).  The scheme is auto-detected
+    from the manifest unless given.  [durable] defaults to whether the
+    repository ever had a log. *)
+
+val reopen_checkpoint :
+  ?pool:Buffer_pool.t -> ?scheme:scheme -> dir:string -> unit -> t
+(** Reopen the last checkpoint only — no WAL replay, no checkpoint
+    rewrite, no log arming.  The read-only half of {!reopen}; fsck
+    uses it to inspect a repository without mutating it. *)
 
 val scheme_of : t -> string
 val schema : t -> Schema.t
@@ -134,6 +142,36 @@ val flush : t -> unit
 (** Checkpoint: persist engine manifests and truncate the WAL. *)
 
 val close : t -> unit
+
+(** {1 Fault tolerance}
+
+    Detected corruption (a checksum failure escaping an engine
+    operation) quarantines the branch it surfaced on and degrades the
+    database to read-only: intact branches stay readable, writes raise
+    {!Types.Engine_error} until the repository is repaired, and the
+    ["storage.corruption_detected"] counter plus a [Warn] event record
+    the transition. *)
+
+type health = Healthy | Degraded of string
+
+val health : t -> health
+
+val quarantined : t -> (branch_id * string) list
+(** Quarantined branches with the corruption that condemned them. *)
+
+val verify : t -> (string * string) list
+(** Engine-side fsck: manifest trailer checksum, per-record heap and
+    segment checksums, commit-locator cross-references.  Returns
+    [(artifact, reason)] pairs; empty means clean.  Read-only. *)
+
+val wal_marker : t -> int
+(** LSN of the last write-ahead-log entry the engine state reflects. *)
+
+val crash : t -> unit
+(** Crash simulation (torture harness): drop all in-memory buffers and
+    close descriptors {e without} checkpointing, leaving on disk only
+    what the WAL and the last flush made durable.  The handle is
+    unusable afterwards; recover with {!reopen}. *)
 
 (** {1 Sessions}
 

@@ -122,6 +122,30 @@ module type S = sig
       this with graph and buffer-pool facts into a full
       {!Decibel_obs.Report.t}. *)
 
+  (** {1 Fault tolerance} *)
+
+  val wal_marker : t -> int
+  (** Log-sequence number of the last write-ahead-log entry reflected
+      in this state (0 before any logged operation).  Persisted inside
+      the manifest by {!flush}, so the checkpoint and its log position
+      are linked atomically; recovery replays only entries beyond it. *)
+
+  val set_wal_marker : t -> int -> unit
+  (** Record the LSN of an operation just applied; durable at the next
+      {!flush}. *)
+
+  val verify : t -> (string * string) list
+  (** Validate on-disk artifacts: manifest trailer checksum, per-record
+      heap/segment checksums, and cross-references from commit locators
+      into the version graph.  Returns [(artifact, reason)] per
+      problem; empty means clean.  Read-only (fsck's engine half). *)
+
+  val crash : t -> unit
+  (** Crash simulation for the torture harness: release file
+      descriptors {e without} flushing buffered appends or writing the
+      manifest, leaving on disk exactly what previous flushes made
+      durable.  The state is unusable afterwards. *)
+
   val flush : t -> unit
   val close : t -> unit
 end

@@ -1,0 +1,164 @@
+(** Offline repository checker ([decibel fsck]).
+
+    Walks a persisted repository without mutating it and reports every
+    integrity problem it can find: a manifest whose trailer checksum
+    does not match, stale temp files left by a crash mid-rename, a
+    write-ahead log with a torn tail, per-record heap and segment
+    checksum failures, and dangling commit-locator cross-references
+    (the engine-side checks behind {!Database.verify}).
+
+    With [~repair:true] it additionally fixes the two problems that
+    have a mechanical, information-preserving remedy: stale [*.tmp]
+    files are removed (the rename never happened, so the manifest on
+    disk is the authoritative one) and a torn WAL tail is truncated to
+    its intact prefix (replay would stop there anyway; truncating makes
+    the log clean for future appends).  Checksum failures inside the
+    checkpoint itself are reported but never "repaired" — there is no
+    redundant copy to restore from, and deleting data silently would be
+    worse than refusing. *)
+
+module Obs = Decibel_obs.Obs
+
+let c_runs = Obs.counter "fsck.runs"
+let c_findings = Obs.counter "fsck.findings"
+
+type finding = {
+  artifact : string;  (** file or object the problem is in *)
+  problem : string;
+  repaired : bool;
+}
+
+type report = {
+  dir : string;
+  scheme : string option;  (** detected scheme, if a manifest was found *)
+  findings : finding list;
+}
+
+let clean r = r.findings = []
+
+let wal_path dir = Filename.concat dir "wal.log"
+
+(* Stale temp files: an atomic manifest write that crashed between
+   writing [*.tmp] and renaming it over the target.  The target is
+   still the last complete manifest, so the temp is garbage. *)
+let check_tmp_files ~repair dir =
+  Sys.readdir dir |> Array.to_list |> List.sort compare
+  |> List.filter_map (fun name ->
+         if Filename.check_suffix name ".tmp" then begin
+           let repaired =
+             repair
+             &&
+             (try
+                Sys.remove (Filename.concat dir name);
+                true
+              with Sys_error _ -> false)
+           in
+           Some
+             { artifact = name; problem = "stale temp file"; repaired }
+         end
+         else None)
+
+(* Torn WAL tail: bytes past the last intact frame. *)
+let check_wal ~repair dir =
+  let path = wal_path dir in
+  if not (Sys.file_exists path) then []
+  else begin
+    let data = Decibel_util.Binio.read_file path in
+    let intact = Wal.intact_bytes ~path in
+    let total = String.length data in
+    if intact >= total then []
+    else begin
+      let repaired =
+        repair
+        &&
+        (try
+           Decibel_util.Binio.write_file path (String.sub data 0 intact);
+           true
+         with Sys_error _ -> false)
+      in
+      [
+        {
+          artifact = "wal.log";
+          problem =
+            Printf.sprintf "torn tail: %d of %d bytes intact" intact total;
+          repaired;
+        };
+      ]
+    end
+  end
+
+(* Engine-side checks: open the last checkpoint read-only and run the
+   engine's own verify (manifest trailer, record checksums, locator
+   cross-references). *)
+let check_engine ?pool dir =
+  match Database.reopen_checkpoint ?pool ~dir () with
+  | exception Decibel_util.Binio.Corrupt msg ->
+      ( None,
+        [ { artifact = "manifest"; problem = msg; repaired = false } ] )
+  | exception Types.Engine_error msg ->
+      (None, [ { artifact = dir; problem = msg; repaired = false } ])
+  | db ->
+      let scheme = Database.scheme_of db in
+      let findings =
+        List.map
+          (fun (artifact, problem) -> { artifact; problem; repaired = false })
+          (Database.verify db)
+      in
+      Database.close db;
+      (Some scheme, findings)
+
+let run ?(repair = false) ?pool ~dir () =
+  Obs.incr c_runs;
+  if not (Sys.file_exists dir && Sys.is_directory dir) then
+    {
+      dir;
+      scheme = None;
+      findings =
+        [ { artifact = dir; problem = "no such directory"; repaired = false } ];
+    }
+  else begin
+    let tmp = check_tmp_files ~repair dir in
+    let wal = check_wal ~repair dir in
+    let scheme, engine = check_engine ?pool dir in
+    let findings = tmp @ wal @ engine in
+    Obs.add c_findings (List.length findings);
+    if findings <> [] then
+      Obs.event ~level:Obs.Warn ~comp:"fsck"
+        (Printf.sprintf "%s: %d finding(s)" dir (List.length findings));
+    { dir; scheme; findings }
+  end
+
+let to_text r =
+  let buf = Buffer.create 256 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "fsck %s (%s)\n" r.dir
+    (Option.value ~default:"scheme undetected" r.scheme);
+  if clean r then pf "  clean: no errors found\n"
+  else
+    List.iter
+      (fun f ->
+        pf "  %s: %s%s\n" f.artifact f.problem
+          (if f.repaired then "  [repaired]" else ""))
+      r.findings;
+  Buffer.contents buf
+
+let to_json r =
+  let esc = Obs.json_escape in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"dir\":\"%s\",\"scheme\":%s,\"clean\":%b,\"findings\":["
+       (esc r.dir)
+       (match r.scheme with
+       | Some s -> Printf.sprintf "\"%s\"" (esc s)
+       | None -> "null")
+       (clean r));
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"artifact\":\"%s\",\"problem\":\"%s\",\"repaired\":%b}"
+           (esc f.artifact) (esc f.problem) f.repaired))
+    r.findings;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf

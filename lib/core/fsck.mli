@@ -1,0 +1,36 @@
+(** Offline repository checker behind [decibel fsck].
+
+    Detects manifest-trailer checksum failures, stale temp files from
+    interrupted atomic renames, torn write-ahead-log tails, per-record
+    heap/segment checksum failures and dangling commit locators.  With
+    [~repair:true] the mechanically safe problems (stale temp files,
+    torn WAL tail) are fixed in place; checkpoint corruption is only
+    ever reported. *)
+
+type finding = {
+  artifact : string;  (** file or object the problem is in *)
+  problem : string;
+  repaired : bool;
+}
+
+type report = {
+  dir : string;
+  scheme : string option;  (** detected scheme, if a manifest was found *)
+  findings : finding list;
+}
+
+val run :
+  ?repair:bool ->
+  ?pool:Decibel_storage.Buffer_pool.t ->
+  dir:string ->
+  unit ->
+  report
+(** Check the repository at [dir].  Read-only unless [repair] (default
+    false).  Never raises on a corrupt repository — problems become
+    findings. *)
+
+val clean : report -> bool
+(** No findings at all (repaired ones still count as findings). *)
+
+val to_text : report -> string
+val to_json : report -> string

@@ -65,6 +65,7 @@ type t = {
   commit_loc : (version_id, branch_id * (int * int) list) Hashtbl.t;
       (* version -> (branch, [(segment, history index)]) *)
   dirty : (branch_id, bool) Hashtbl.t;
+  mutable wal_marker : int; (* last WAL LSN reflected here *)
   mutable closed : bool;
 }
 
@@ -148,6 +149,7 @@ let create ~compress ~dir ~pool ~schema =
       hist_segs = Hashtbl.create 16;
       commit_loc = Hashtbl.create 64;
       dirty = Hashtbl.create 16;
+      wal_marker = 0;
       closed = false;
     }
   in
@@ -755,7 +757,8 @@ let save_manifest t =
       Binio.write_varint buf b;
       Binio.write_u8 buf (if d then 1 else 0))
     t.dirty;
-  Binio.write_file (manifest_path t.dir) (Buffer.contents buf)
+  Binio.write_varint buf t.wal_marker;
+  Atomic_file.write (manifest_path t.dir) (Buffer.contents buf)
 
 let flush t =
   Vec.iter (fun s -> Heap_file.flush s.file) t.segments;
@@ -763,7 +766,7 @@ let flush t =
 
 let open_existing ~dir ~pool =
   let data =
-    try Binio.read_file (manifest_path dir)
+    try Atomic_file.read (manifest_path dir)
     with Sys_error _ -> errorf "hybrid: no repository in %s" dir
   in
   let pos = ref 0 in
@@ -794,6 +797,7 @@ let open_existing ~dir ~pool =
       hist_segs = Hashtbl.create 16;
       commit_loc = Hashtbl.create 64;
       dirty = Hashtbl.create 16;
+      wal_marker = 0;
       closed = false;
     }
   in
@@ -853,6 +857,7 @@ let open_existing ~dir ~pool =
     let b = Binio.read_varint data pos in
     Hashtbl.replace t.dirty b (Binio.read_u8 data pos = 1)
   done;
+  t.wal_marker <- Binio.read_varint data pos;
   (* rebuild the key index from the local bitmaps *)
   for b = 0 to Vec.length t.head_seg - 1 do
     let bid = Pk_index.add_branch t.pk ~from:None in
@@ -868,6 +873,48 @@ let open_existing ~dir ~pool =
       done)
     t.segments;
   t
+
+let wal_marker t = t.wal_marker
+let set_wal_marker t lsn = t.wal_marker <- lsn
+
+let verify t =
+  let errs = ref [] in
+  (match Atomic_file.verify (manifest_path t.dir) with
+  | Some reason -> errs := ("manifest.hy", reason) :: !errs
+  | None -> ());
+  Vec.iter
+    (fun s ->
+      let name = Printf.sprintf "seg_%d.dat" s.seg_id in
+      List.iter
+        (fun (_, reason) -> errs := (name, reason) :: !errs)
+        (Heap_file.verify s.file))
+    t.segments;
+  Hashtbl.iter
+    (fun vid (_, snaps) ->
+      if not (Vg.mem_version t.graph vid) then
+        errs :=
+          ( "manifest.hy",
+            Printf.sprintf "commit locator references unknown version %d" vid )
+          :: !errs
+      else
+        List.iter
+          (fun (sid, _) ->
+            if sid < 0 || sid >= Vec.length t.segments then
+              errs :=
+                ( "manifest.hy",
+                  Printf.sprintf "commit %d references unknown segment %d" vid
+                    sid )
+                :: !errs)
+          snaps)
+    t.commit_loc;
+  List.rev !errs
+
+let crash t =
+  if not t.closed then begin
+    Vec.iter (fun s -> Heap_file.abandon s.file) t.segments;
+    Hashtbl.iter (fun _ h -> Commit_history.close h) t.histories;
+    t.closed <- true
+  end
 
 let close t =
   if not t.closed then begin

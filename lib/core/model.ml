@@ -26,6 +26,7 @@ type t = {
   mutable heads : state array; (* per branch working state *)
   mutable nheads : int;
   snapshots : (version_id, state) Hashtbl.t;
+  mutable wal_marker : int;
 }
 
 let scheme = "model"
@@ -39,6 +40,7 @@ let create ~compress:_ ~dir:_ ~pool:_ ~schema =
     heads = Array.make 4 Vmap.empty;
     nheads = 1;
     snapshots;
+    wal_marker = 0;
   }
 
 let open_existing ~dir:_ ~pool:_ =
@@ -225,5 +227,11 @@ let storage_report t =
     e_history =
       { R.empty_history with h_commits = Hashtbl.length t.snapshots };
   }
+let wal_marker t = t.wal_marker
+let set_wal_marker t lsn = t.wal_marker <- lsn
+
+(* nothing on disk: always clean, and a crash loses everything *)
+let verify _ = []
+let crash _ = ()
 let flush _ = ()
 let close _ = ()

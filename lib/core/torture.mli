@@ -1,0 +1,59 @@
+(** Crash-torture harness: induce a crash at every failpoint site a
+    scripted workload crosses, recover, and check the result against a
+    model-engine oracle.  Shared by the crash tests and
+    [bench --only crash]. *)
+
+type op =
+  | Insert of string * int * int  (** branch, key, payload *)
+  | Update of string * int * int
+  | Delete of string * int
+  | Commit of string
+  | Branch of string * string  (** new name, from branch *)
+  | Merge of string * string  (** into, from *)
+  | Flush  (** checkpoint: manifest write + WAL truncation *)
+
+val default_workload : op list
+
+val schema : Decibel_storage.Schema.t
+(** The 3-int-column schema the scripted workloads use. *)
+
+val row : int -> int -> Decibel_storage.Tuple.t
+(** [row key payload] — a tuple of {!schema}. *)
+
+val apply : Database.t -> op -> unit
+
+val state_of : Database.t -> (string * Decibel_storage.Value.t list list) list
+(** Every active branch's sorted contents, sorted by branch name. *)
+
+type case = {
+  c_site : string;
+  c_occurrence : int;  (** which crossing of the site was armed *)
+  c_action : string;  (** ["raise"] or ["torn"] *)
+  c_fired : bool;  (** the armed failpoint actually fired *)
+  c_marker : int;  (** recovered WAL marker, [-1] if recovery failed *)
+  c_fsck_findings : int;  (** findings repaired before recovery *)
+  c_ok : bool;
+  c_detail : string;  (** failure explanation, [""] when ok *)
+}
+
+type summary = {
+  s_scheme : string;
+  s_cases : case list;
+  s_failures : int;
+  s_sites : (string * int) list;  (** failpoint census of the dry run *)
+}
+
+val torture : ?workload:op list -> root:string -> Database.scheme -> summary
+(** Torture one scheme under [root] (scratch space; per-case
+    subdirectories are removed as they finish).  Each case arms one
+    failpoint crossing, crashes, fsck-repairs, recovers, re-applies the
+    swallowed suffix of the workload, and verifies both the recovered
+    prefix state and the final state against the oracle. *)
+
+val transient_check :
+  ?workload:op list -> root:string -> Database.scheme -> (string * string) list
+(** One transient fault at each retryable site: returns
+    [(site, outcome)] where outcome [""] means the retry absorbed it
+    and the workload completed with the oracle's final state. *)
+
+val summary_json : summary -> string

@@ -45,6 +45,7 @@ module Make (B : Bitmap_intf.S) = struct
     commit_loc : (version_id, branch_id * int) Hashtbl.t;
         (* version -> (branch, index in that branch's history) *)
     dirty : (branch_id, bool) Hashtbl.t;
+    mutable wal_marker : int; (* last WAL LSN reflected here *)
     mutable closed : bool;
   }
 
@@ -112,6 +113,7 @@ module Make (B : Bitmap_intf.S) = struct
         histories = Hashtbl.create 16;
         commit_loc = Hashtbl.create 64;
         dirty = Hashtbl.create 16;
+        wal_marker = 0;
         closed = false;
       }
     in
@@ -538,14 +540,15 @@ module Make (B : Bitmap_intf.S) = struct
         Binio.write_varint buf b;
         Binio.write_u8 buf (if d then 1 else 0))
       t.dirty;
-    Binio.write_file (manifest_path t.dir) (Buffer.contents buf)
+    Binio.write_varint buf t.wal_marker;
+    Atomic_file.write (manifest_path t.dir) (Buffer.contents buf)
 
   let flush t =
     Heap_file.flush t.heap;
     save_manifest t
 
   let open_existing ~dir ~pool =
-    let s = Binio.read_file (manifest_path dir) in
+    let s = Atomic_file.read (manifest_path dir) in
     let pos = ref 0 in
     let layout = Binio.read_string s pos in
     if layout <> B.layout then
@@ -579,6 +582,7 @@ module Make (B : Bitmap_intf.S) = struct
       let b = Binio.read_varint s pos in
       Hashtbl.replace dirty b (Binio.read_u8 s pos = 1)
     done;
+    let wal_marker = Binio.read_varint s pos in
     let t =
       {
         dir;
@@ -592,6 +596,7 @@ module Make (B : Bitmap_intf.S) = struct
         histories = Hashtbl.create 16;
         commit_loc;
         dirty;
+        wal_marker;
         closed = false;
       }
     in
@@ -604,6 +609,35 @@ module Make (B : Bitmap_intf.S) = struct
         (B.column_view t.bitmap ~branch:b)
     done;
     t
+
+  let wal_marker t = t.wal_marker
+  let set_wal_marker t lsn = t.wal_marker <- lsn
+
+  let verify t =
+    let errs = ref [] in
+    (match Atomic_file.verify (manifest_path t.dir) with
+    | Some reason -> errs := ("manifest.tf", reason) :: !errs
+    | None -> ());
+    List.iter
+      (fun (_, reason) -> errs := ("heap.dat", reason) :: !errs)
+      (Heap_file.verify t.heap);
+    Hashtbl.iter
+      (fun vid _ ->
+        if not (Vg.mem_version t.graph vid) then
+          errs :=
+            ( "manifest.tf",
+              Printf.sprintf "commit locator references unknown version %d"
+                vid )
+            :: !errs)
+      t.commit_loc;
+    List.rev !errs
+
+  let crash t =
+    if not t.closed then begin
+      Heap_file.abandon t.heap;
+      Hashtbl.iter (fun _ h -> Commit_history.close h) t.histories;
+      t.closed <- true
+    end
 
   let close t =
     if not t.closed then begin

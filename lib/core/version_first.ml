@@ -59,6 +59,7 @@ type t = {
   pk : (int * int) Pk_index.t; (* branch -> key -> (segment, offset) *)
   commits : (version_id, int * int) Hashtbl.t; (* version -> (seg, upto) *)
   dirty : (branch_id, bool) Hashtbl.t;
+  mutable wal_marker : int; (* last WAL LSN reflected here *)
   mutable closed : bool;
 }
 
@@ -135,6 +136,7 @@ let create ~compress ~dir ~pool ~schema =
       pk = Pk_index.create ();
       commits = Hashtbl.create 64;
       dirty = Hashtbl.create 16;
+      wal_marker = 0;
       closed = false;
     }
   in
@@ -683,7 +685,8 @@ let save_manifest t =
       Binio.write_varint buf b;
       Binio.write_u8 buf (if d then 1 else 0))
     t.dirty;
-  Binio.write_file (manifest_path t.dir) (Buffer.contents buf)
+  Binio.write_varint buf t.wal_marker;
+  Atomic_file.write (manifest_path t.dir) (Buffer.contents buf)
 
 let flush t =
   Vec.iter (fun s -> Heap_file.flush s.file) t.segments;
@@ -691,7 +694,7 @@ let flush t =
 
 let open_existing ~dir ~pool =
   let data =
-    try Binio.read_file (manifest_path dir)
+    try Atomic_file.read (manifest_path dir)
     with Sys_error _ -> errorf "version-first: no repository in %s" dir
   in
   let pos = ref 0 in
@@ -714,6 +717,7 @@ let open_existing ~dir ~pool =
       pk = Pk_index.create ();
       commits = Hashtbl.create 64;
       dirty = Hashtbl.create 16;
+      wal_marker = 0;
       closed = false;
     }
   in
@@ -754,6 +758,7 @@ let open_existing ~dir ~pool =
     let b = Binio.read_varint data pos in
     Hashtbl.replace t.dirty b (Binio.read_u8 data pos = 1)
   done;
+  t.wal_marker <- Binio.read_varint data pos;
   (* rebuild the per-branch key index with one lineage scan each *)
   for b = 0 to Vec.length t.head_seg - 1 do
     let bid = Pk_index.add_branch t.pk ~from:None in
@@ -764,6 +769,49 @@ let open_existing ~dir ~pool =
         Pk_index.set t.pk ~branch:b (Tuple.pk t.schema tuple) (s, off))
   done;
   t
+
+let wal_marker t = t.wal_marker
+let set_wal_marker t lsn = t.wal_marker <- lsn
+
+let verify t =
+  let errs = ref [] in
+  (match Atomic_file.verify (manifest_path t.dir) with
+  | Some reason -> errs := ("manifest.vf", reason) :: !errs
+  | None -> ());
+  Vec.iter
+    (fun s ->
+      let name = Printf.sprintf "seg_%d.dat" s.seg_id in
+      List.iter
+        (fun (_, reason) -> errs := (name, reason) :: !errs)
+        (Heap_file.verify s.file);
+      List.iter
+        (fun (p, _) ->
+          if p < 0 || p >= Vec.length t.segments then
+            errs :=
+              (name, Printf.sprintf "parent pointer to unknown segment %d" p)
+              :: !errs)
+        s.parents)
+    t.segments;
+  Hashtbl.iter
+    (fun vid (sid, _) ->
+      if not (Vg.mem_version t.graph vid) then
+        errs :=
+          ( "manifest.vf",
+            Printf.sprintf "commit locator references unknown version %d" vid )
+          :: !errs
+      else if sid < 0 || sid >= Vec.length t.segments then
+        errs :=
+          ( "manifest.vf",
+            Printf.sprintf "commit %d references unknown segment %d" vid sid )
+          :: !errs)
+    t.commits;
+  List.rev !errs
+
+let crash t =
+  if not t.closed then begin
+    Vec.iter (fun s -> Heap_file.abandon s.file) t.segments;
+    t.closed <- true
+  end
 
 let close t =
   if not t.closed then begin

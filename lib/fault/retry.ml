@@ -1,0 +1,31 @@
+(* Bounded retry for flush/sync paths.
+
+   Real storage stacks see transient failures (EINTR, EAGAIN, NFS
+   hiccups); Decibel's policy is to retry those a bounded number of
+   times and only then let the error escape.  Injected
+   [Failpoint.Fault_transient] faults take the same path, which is how
+   the test suite proves the retry loop actually runs. *)
+
+module Obs = Decibel_obs.Obs
+
+let c_retries = Obs.counter "fault.retries"
+
+let is_transient = function
+  | Failpoint.Fault_transient _ -> true
+  | Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> true
+  | _ -> false
+
+let with_retries ?(attempts = 3) ?site f =
+  if attempts < 1 then invalid_arg "Retry.with_retries: attempts < 1";
+  let rec go n =
+    try f ()
+    with e when is_transient e && n < attempts ->
+      Obs.incr c_retries;
+      Obs.event ~level:Obs.Debug ~comp:"fault"
+        ~attrs:
+          (("attempt", string_of_int n)
+          :: (match site with Some s -> [ ("site", s) ] | None -> []))
+        "transient failure, retrying";
+      go (n + 1)
+  in
+  go 1

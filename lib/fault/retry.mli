@@ -1,0 +1,10 @@
+(** Bounded retry-on-transient-failure for flush/sync paths. *)
+
+val is_transient : exn -> bool
+(** [EINTR]/[EAGAIN] and injected {!Failpoint.Fault_transient}. *)
+
+val with_retries : ?attempts:int -> ?site:string -> (unit -> 'a) -> 'a
+(** Run [f], retrying up to [attempts] total tries (default 3) while
+    it raises a transient failure; the final failure escapes.  Each
+    retry increments ["fault.retries"].  [site] labels the debug
+    event. *)

@@ -50,6 +50,8 @@ let version t id =
     invalid_arg (Printf.sprintf "Version_graph.version: unknown id %d" id);
   t.vers.(id)
 
+let mem_version t id = id >= 0 && id < t.nvers
+
 let branch t bid =
   if bid < 0 || bid >= t.nbrs then
     invalid_arg (Printf.sprintf "Version_graph.branch: unknown branch %d" bid);

@@ -57,6 +57,11 @@ val create_branch : t -> name:string -> from:version_id -> branch_id
 val retire : t -> branch_id -> unit
 
 val version : t -> version_id -> version
+
+val mem_version : t -> version_id -> bool
+(** Whether the id names a version (no exception; used by fsck-style
+    cross-reference checks). *)
+
 val branch : t -> branch_id -> branch
 val branch_by_name : t -> string -> branch option
 val branches : t -> branch list

@@ -66,6 +66,8 @@ type t = {
   r_history : history;
   r_graph : graph;
   r_pool : pool;
+  r_health : string;
+  r_quarantined : (string * string) list;
 }
 
 let empty_history =
@@ -139,6 +141,16 @@ let to_json r =
        ",\"pool\":{\"page_size\":%d,\"capacity_pages\":%d,\"resident_pages\":%d,\"hits\":%d,\"misses\":%d,\"evictions\":%d,\"write_backs\":%d}"
        p.p_page_size p.p_capacity_pages p.p_resident_pages p.p_hits p.p_misses
        p.p_evictions p.p_write_backs);
+  Buffer.add_string buf
+    (Printf.sprintf ",\"health\":\"%s\",\"quarantined\":[" (esc r.r_health));
+  List.iteri
+    (fun i (b, reason) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "{\"branch\":\"%s\",\"reason\":\"%s\"}" (esc b)
+           (esc reason)))
+    r.r_quarantined;
+  Buffer.add_string buf "]";
   Buffer.add_char buf '}';
   Buffer.contents buf
 
@@ -149,6 +161,10 @@ let to_text r =
   let buf = Buffer.create 2048 in
   let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   pf "scheme            %s\n" r.r_scheme;
+  pf "health            %s\n" r.r_health;
+  List.iter
+    (fun (b, reason) -> pf "  quarantined     %s: %s\n" b reason)
+    r.r_quarantined;
   pf "dataset bytes     %d\n" r.r_dataset_bytes;
   pf "commit meta bytes %d\n" r.r_commit_meta_bytes;
   let g = r.r_graph in
@@ -203,6 +219,12 @@ let prometheus_samples r =
       ("storage_history_commits", [], float_of_int r.r_history.h_commits);
       ("storage_history_max_chain", [], float_of_int r.r_history.h_max_chain);
       ("storage_segments", [], float_of_int (List.length r.r_segments));
+      ( "storage_healthy",
+        [],
+        if r.r_health = "healthy" then 1.0 else 0.0 );
+      ( "storage_quarantined_branches",
+        [],
+        float_of_int (List.length r.r_quarantined) );
     ]
   in
   let per_branch =

@@ -79,6 +79,10 @@ type t = {
   r_history : history;
   r_graph : graph;
   r_pool : pool;
+  r_health : string;  (** ["healthy"], or ["degraded: <reason>"] once
+                          corruption flipped the store read-only *)
+  r_quarantined : (string * string) list;
+      (** [(branch name, corruption reason)] for quarantined branches *)
 }
 
 val empty_history : history

@@ -1,0 +1,30 @@
+(** Checksummed atomic replacement for small metadata files
+    (manifests).
+
+    Files carry their payload followed by an 8-byte trailer: the magic
+    ["DBC1"] and the CRC-32 of the payload.  The trailer is at the end
+    so code that sniffs a manifest's leading bytes keeps working.
+    {!write} goes through the fault-injection seam: the temp-file
+    write is the ["manifest.write_tmp"] failpoint (tearable), the
+    rename the ["manifest.rename"] control site. *)
+
+val write : string -> string -> unit
+(** [write path payload] writes [payload ^ trailer] to [path ^ ".tmp"]
+    and renames it over [path].  A crash at either failpoint leaves
+    the previous file contents intact. *)
+
+val read : string -> string
+(** Payload of a checksummed file.  Raises [Decibel_util.Binio.Corrupt]
+    on a missing/invalid trailer or checksum mismatch, [Sys_error] if
+    unreadable. *)
+
+val verify : string -> string option
+(** [None] if the file reads back clean, [Some reason] otherwise
+    (used by fsck). *)
+
+val frame : string -> string
+(** The on-disk bytes for a payload (exposed for tests/fsck). *)
+
+val check : string -> string
+(** Validate framed bytes and return the payload; raises
+    [Decibel_util.Binio.Corrupt] like {!read}. *)

@@ -140,6 +140,20 @@ let invalidate_page t ~file ~page =
     Array.iteri (fun i k' -> if k' = k then t.ring.(i) <- no_key) t.ring
   end
 
+let invalidate_from t ~file ~page =
+  let keys =
+    Hashtbl.fold
+      (fun ((f, p) as k) _ acc ->
+        if f = file && p >= page then k :: acc else acc)
+      t.table []
+  in
+  List.iter (Hashtbl.remove t.table) keys;
+  Array.iteri
+    (fun i ((f, p) as k) ->
+      if k <> no_key && f = file && p >= page then t.ring.(i) <- no_key)
+    t.ring;
+  t.resident <- Hashtbl.length t.table
+
 let invalidate_file t file =
   let keys =
     Hashtbl.fold

@@ -40,6 +40,11 @@ val invalidate_file : t -> int -> unit
 val invalidate_page : t -> file:int -> page:int -> unit
 (** Drop one cached page (its durable contents grew). *)
 
+val invalidate_from : t -> file:int -> page:int -> unit
+(** Drop every cached page of one file with page number [>= page]
+    (the file was truncated: the page containing the cut and all later
+    pages are stale, while earlier pages stay warm). *)
+
 val drop_all : t -> unit
 (** Empty the cache; statistics are retained. *)
 

@@ -1,5 +1,7 @@
 open Decibel_util
 module Obs = Decibel_obs.Obs
+module Failpoint = Decibel_fault.Failpoint
+module Retry = Decibel_fault.Retry
 
 (* heap.* registry counters: shared by every heap/segment file, so
    engine scans can attribute page traffic without plumbing handles *)
@@ -56,10 +58,17 @@ let flush t =
   check_open t;
   if Buffer.length t.pending > 0 then begin
     let data = Buffer.contents t.pending in
-    let _ = Unix.lseek t.fd t.flushed SEEK_SET in
     let len = String.length data in
-    let written = Unix.write_substring t.fd data 0 len in
-    if written <> len then failwith "Heap_file.flush: short write";
+    (* the guard may tear this write: a prefix lands on disk, the
+       exception propagates, and [flushed]/[pending] stay put — the
+       same state a crash mid-write leaves, cleaned up by the
+       truncate-to-manifest-size step on reopen *)
+    Retry.with_retries ~site:"heap.flush" (fun () ->
+        Failpoint.guard_write "heap.flush" data (fun data ->
+            let _ = Unix.lseek t.fd t.flushed SEEK_SET in
+            let n = String.length data in
+            let written = Unix.write_substring t.fd data 0 n in
+            if written <> n then failwith "Heap_file.flush: short write"));
     (* the old tail page may be cached with its old, shorter contents *)
     let psz = Buffer_pool.page_size t.pool in
     Buffer_pool.invalidate_page t.pool ~file:t.file_id ~page:(t.flushed / psz);
@@ -77,15 +86,22 @@ let truncate_to t size =
     invalid_arg "Heap_file.truncate_to: pending appends";
   if size < 0 || size > t.flushed then
     invalid_arg "Heap_file.truncate_to: size out of range";
+  Failpoint.hit "heap.truncate";
   Unix.ftruncate t.fd size;
-  Buffer_pool.invalidate_file t.pool t.file_id;
+  (* only pages at or past the cut are stale (the page containing the
+     cut may be cached with bytes beyond it); the retained prefix
+     stays warm *)
+  let psz = Buffer_pool.page_size t.pool in
+  Buffer_pool.invalidate_from t.pool ~file:t.file_id ~page:(size / psz);
   t.flushed <- size;
   t.size <- size
 
 let append t payload =
   check_open t;
+  Failpoint.hit "heap.append";
   let off = t.size in
   Binio.write_varint t.pending (String.length payload);
+  Binio.write_u32 t.pending (Crc32.string payload);
   Buffer.add_string t.pending payload;
   t.size <- t.flushed + Buffer.length t.pending;
   Obs.incr c_records_written;
@@ -155,26 +171,40 @@ let read_raw t off len =
   end;
   Bytes.unsafe_to_string out
 
+(* Header: varint payload length (<= 5 bytes) + u32 CRC-32 of the
+   payload.  Returns (len, crc, payload_off). *)
 let read_header t off =
-  let n = min 5 (t.size - off) in
+  let n = min 9 (t.size - off) in
   if n <= 0 then
     raise (Binio.Corrupt "Heap_file: record offset at or past end of file");
   let hdr = read_raw t off n in
   let pos = ref 0 in
   let len = Binio.read_varint hdr pos in
-  (len, off + !pos)
+  if !pos + 4 > n then
+    raise (Binio.Corrupt "Heap_file: record header truncated");
+  let crc = Binio.read_u32 hdr pos in
+  (len, crc, off + !pos)
+
+let checked t off crc payload =
+  if Crc32.string payload <> crc then
+    raise
+      (Binio.Corrupt
+         (Printf.sprintf "Heap_file: checksum mismatch at offset %d of %s" off
+            t.path));
+  payload
 
 let get t off =
-  let len, payload_off = read_header t off in
-  read_raw t payload_off len
+  Failpoint.hit "heap.get";
+  let len, crc, payload_off = read_header t off in
+  checked t off crc (read_raw t payload_off len)
 
 let iter ?(from = 0) ?upto t f =
   check_open t;
   let upto = Option.value upto ~default:t.size in
   let pos = ref from in
   while !pos < upto do
-    let len, payload_off = read_header t !pos in
-    f !pos (read_raw t payload_off len);
+    let len, crc, payload_off = read_header t !pos in
+    f !pos (checked t !pos crc (read_raw t payload_off len));
     pos := payload_off + len
   done
 
@@ -186,18 +216,54 @@ let iter_rev ?(from = 0) ?upto t f =
   let extents = ref [] in
   let pos = ref from in
   while !pos < upto do
-    let len, payload_off = read_header t !pos in
+    let len, _, payload_off = read_header t !pos in
     extents := (!pos, payload_off, len) :: !extents;
     pos := payload_off + len
   done;
   List.iter
-    (fun (off, payload_off, len) -> f off (read_raw t payload_off len))
+    (fun (off, payload_off, len) ->
+      let _, crc, _ = read_header t off in
+      f off (checked t off crc (read_raw t payload_off len)))
     !extents
+
+let verify t =
+  check_open t;
+  let errors = ref [] in
+  (try
+     let pos = ref 0 in
+     while !pos < t.size do
+       let len, crc, payload_off = read_header t !pos in
+       if payload_off + len > t.size then
+         raise
+           (Binio.Corrupt
+              (Printf.sprintf "record at offset %d overruns end of file" !pos));
+       let payload = read_raw t payload_off len in
+       if Crc32.string payload <> crc then
+         errors :=
+           (!pos, Printf.sprintf "checksum mismatch at offset %d" !pos)
+           :: !errors;
+       pos := payload_off + len
+     done
+   with Binio.Corrupt msg ->
+     (* framing is broken: nothing past this point can be trusted *)
+     errors := (-1, msg) :: !errors);
+  List.rev !errors
 
 let close t =
   if not t.closed then begin
     flush t;
     Unix.close t.fd;
+    Buffer_pool.invalidate_file t.pool t.file_id;
+    t.closed <- true
+  end
+
+let abandon t =
+  if not t.closed then begin
+    (* crash simulation: drop buffered appends on the floor and close
+       the descriptor without flushing — disk keeps only what earlier
+       flushes made durable *)
+    Buffer.clear t.pending;
+    (try Unix.close t.fd with Unix.Unix_error _ -> ());
     Buffer_pool.invalidate_file t.pool t.file_id;
     t.closed <- true
   end

@@ -10,7 +10,17 @@
     Appends are buffered in memory and flushed in large writes; reads go
     through the shared {!Buffer_pool} so sequential scans hit cached
     pages.  A single writer is assumed per file (Decibel serializes
-    branch modifications with branch-level locks). *)
+    branch modifications with branch-level locks).
+
+    Every record carries a CRC-32 of its payload in the header
+    ([varint length, u32 crc, payload]), verified on every read, so
+    media corruption and torn flushes surface as
+    [Decibel_util.Binio.Corrupt] instead of silently wrong tuples.
+    Appends, flushes, reads and truncations announce themselves to the
+    {!Decibel_fault.Failpoint} registry (sites ["heap.append"],
+    ["heap.flush"] — tearable — ["heap.get"], ["heap.truncate"]);
+    flushes retry on transient failures via
+    {!Decibel_fault.Retry.with_retries}. *)
 
 type t
 
@@ -39,7 +49,8 @@ val append : t -> string -> int
 val get : t -> int -> string
 (** Record starting at the given offset.  Raises [Invalid_argument] on
     an out-of-range offset and [Decibel_util.Binio.Corrupt] if the
-    offset does not address a record header. *)
+    offset does not address a record header or the payload fails its
+    checksum. *)
 
 val iter : ?from:int -> ?upto:int -> t -> (int -> string -> unit) -> unit
 (** Sequential scan of records whose offsets lie in [\[from, upto)];
@@ -56,8 +67,21 @@ val truncate_to : t -> int -> unit
 (** Discard everything past the given logical size (crash recovery:
     bytes written after the last checkpoint are replayed from the
     write-ahead log instead).  Requires no pending appends and a target
-    within the current size. *)
+    within the current size.  Only buffer-pool pages at or past the cut
+    are invalidated; the retained prefix stays cached. *)
+
+val verify : t -> (int * string) list
+(** Walk every record and check its checksum; returns [(offset,
+    reason)] for each failure (offset [-1] with the parse error when
+    the record framing itself is broken and the scan cannot continue).
+    Empty means the file is clean.  Used by fsck. *)
 
 val close : t -> unit
+
+val abandon : t -> unit
+(** Crash simulation: discard buffered appends and close the
+    descriptor {e without} flushing, leaving on disk exactly what
+    earlier flushes made durable.  The handle becomes unusable. *)
+
 val remove : t -> unit
 (** Close and delete the underlying file. *)

@@ -1,0 +1,19 @@
+(** CRC-32 (IEEE 802.3) checksums.
+
+    The reflected-polynomial CRC every zip/png/ethernet implementation
+    uses, so test vectors are plentiful ([string "123456789"] is
+    [0xCBF43926]).  Decibel stores it after each heap-file record and
+    as the trailer of atomically-written manifests; corruption shows up
+    as a mismatch on read instead of a decoder derailment. *)
+
+val string : string -> int
+(** Checksum of a whole string; in [\[0, 2^32)]. *)
+
+val sub : string -> int -> int -> int
+(** [sub s pos len]: checksum of the slice; raises [Invalid_argument]
+    on an out-of-range slice. *)
+
+val update : int -> string -> int -> int -> int
+(** [update crc s pos len] extends a running checksum, so a composite
+    record can be checksummed without concatenation ([string s] is
+    [update 0 s 0 (String.length s)]). *)

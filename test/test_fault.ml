@@ -1,0 +1,224 @@
+(* Unit tests for the fault-injection layer: failpoint triggers and
+   spec parsing, torn guarded writes, bounded retry, CRC32 vectors, and
+   atomic checksummed file writes. *)
+
+module Failpoint = Decibel_fault.Failpoint
+module Retry = Decibel_fault.Retry
+module Crc32 = Decibel_util.Crc32
+module Atomic_file = Decibel_storage.Atomic_file
+
+let reset () =
+  Failpoint.disarm_all ();
+  Failpoint.reset_census ();
+  Failpoint.set_seed 0x5EEDL
+
+let raises_injected f =
+  match f () with
+  | _ -> false
+  | exception Failpoint.Fault_injected _ -> true
+
+let test_after_hits () =
+  reset ();
+  Failpoint.arm "t.a" (Failpoint.After_hits 3);
+  Failpoint.hit "t.a";
+  Failpoint.hit "t.a";
+  Alcotest.(check bool)
+    "third hit fires" true
+    (raises_injected (fun () -> Failpoint.hit "t.a"));
+  (* the trigger is one-shot per crossing count, not sticky *)
+  Failpoint.hit "t.a";
+  Alcotest.(check int) "census counts every hit" 4 (Failpoint.hits "t.a")
+
+let test_always_and_disarm () =
+  reset ();
+  Failpoint.arm "t.b" Failpoint.Always;
+  Alcotest.(check bool)
+    "always fires" true
+    (raises_injected (fun () -> Failpoint.hit "t.b"));
+  Failpoint.disarm "t.b";
+  Failpoint.hit "t.b";
+  Alcotest.(check int) "disarmed site just counts" 2 (Failpoint.hits "t.b")
+
+let test_probability_deterministic () =
+  reset ();
+  Failpoint.arm "t.p" (Failpoint.Probability 0.5);
+  let fires1 =
+    List.init 64 (fun _ -> raises_injected (fun () -> Failpoint.hit "t.p"))
+  in
+  reset ();
+  Failpoint.arm "t.p" (Failpoint.Probability 0.5);
+  let fires2 =
+    List.init 64 (fun _ -> raises_injected (fun () -> Failpoint.hit "t.p"))
+  in
+  Alcotest.(check bool) "same seed, same fires" true (fires1 = fires2);
+  Alcotest.(check bool)
+    "p=0.5 fires sometimes but not always" true
+    (List.mem true fires1 && List.mem false fires1)
+
+let test_torn_guard () =
+  reset ();
+  Failpoint.arm ~action:(Failpoint.Torn 0.5) "t.w" (Failpoint.After_hits 1);
+  let written = Buffer.create 16 in
+  Alcotest.(check bool)
+    "torn write raises" true
+    (raises_injected (fun () ->
+         Failpoint.guard_write "t.w" "0123456789" (Buffer.add_string written)));
+  Alcotest.(check string) "strict prefix written" "01234" (Buffer.contents written);
+  (* unarmed: the write goes through whole *)
+  Buffer.clear written;
+  Failpoint.guard_write "t.w" "0123456789" (Buffer.add_string written);
+  Alcotest.(check string) "clean write intact" "0123456789"
+    (Buffer.contents written)
+
+let test_spec_parsing () =
+  reset ();
+  Failpoint.arm_from_spec "a.x=2,b.y=p0.25,c.z=always,d.w=t1";
+  List.iter
+    (fun site ->
+      Alcotest.(check bool) (site ^ " armed") true (Failpoint.armed site))
+    [ "a.x"; "b.y"; "c.z"; "d.w" ];
+  Failpoint.hit "a.x";
+  Alcotest.(check bool)
+    "a.x fires on 2nd" true
+    (raises_injected (fun () -> Failpoint.hit "a.x"));
+  Alcotest.(check bool)
+    "c.z always fires" true
+    (raises_injected (fun () -> Failpoint.hit "c.z"));
+  reset ()
+
+let test_retry_absorbs_transient () =
+  reset ();
+  let attempts = ref 0 in
+  let v =
+    Retry.with_retries ~attempts:3 (fun () ->
+        incr attempts;
+        if !attempts < 3 then raise (Failpoint.Fault_transient "t");
+        42)
+  in
+  Alcotest.(check int) "returned after retries" 42 v;
+  Alcotest.(check int) "ran three times" 3 !attempts
+
+let test_retry_gives_up () =
+  reset ();
+  let attempts = ref 0 in
+  Alcotest.(check bool)
+    "exhausted retries re-raise" true
+    (match
+       Retry.with_retries ~attempts:2 (fun () ->
+           incr attempts;
+           raise (Failpoint.Fault_transient "t"))
+     with
+    | _ -> false
+    | exception Failpoint.Fault_transient _ -> true);
+  Alcotest.(check int) "bounded attempts" 2 !attempts;
+  (* non-transient errors pass straight through *)
+  let once = ref 0 in
+  Alcotest.(check bool)
+    "hard faults not retried" true
+    (match
+       Retry.with_retries (fun () ->
+           incr once;
+           failwith "hard")
+     with
+    | _ -> false
+    | exception Failure _ -> true);
+  Alcotest.(check int) "single attempt" 1 !once
+
+let test_crc32_vectors () =
+  (* the IEEE 802.3 check value plus a couple of published vectors *)
+  List.iter
+    (fun (s, expect) ->
+      Alcotest.(check int) (Printf.sprintf "crc32(%S)" s) expect (Crc32.string s))
+    [
+      ("", 0x00000000);
+      ("123456789", 0xCBF43926);
+      ("a", 0xE8B7BE43);
+      ("abc", 0x352441C2);
+    ];
+  (* incremental update equals one-shot *)
+  let s = "the quick brown fox" in
+  let half = String.length s / 2 in
+  let inc =
+    Crc32.update (Crc32.update 0 s 0 half) s half (String.length s - half)
+  in
+  Alcotest.(check int) "incremental == one-shot" (Crc32.string s) inc
+
+let with_dir f =
+  let dir = Decibel_util.Fsutil.fresh_dir "decibel-atomic" in
+  Fun.protect ~finally:(fun () -> Decibel_util.Fsutil.rm_rf dir) (fun () -> f dir)
+
+let test_atomic_roundtrip () =
+  reset ();
+  with_dir (fun dir ->
+      let path = Filename.concat dir "m" in
+      Atomic_file.write path "payload-one";
+      Alcotest.(check string) "roundtrip" "payload-one" (Atomic_file.read path);
+      Atomic_file.write path "payload-two";
+      Alcotest.(check string) "overwrite" "payload-two" (Atomic_file.read path);
+      Alcotest.(check bool) "verify clean" true (Atomic_file.verify path = None);
+      Alcotest.(check bool)
+        "no temp left behind" false
+        (Sys.file_exists (path ^ ".tmp")))
+
+let test_atomic_detects_corruption () =
+  reset ();
+  with_dir (fun dir ->
+      let path = Filename.concat dir "m" in
+      Atomic_file.write path "precious";
+      let data = Bytes.of_string (Decibel_util.Binio.read_file path) in
+      Bytes.set data 2 'X';
+      Decibel_util.Binio.write_file path (Bytes.to_string data);
+      Alcotest.(check bool) "flagged" true (Atomic_file.verify path <> None);
+      Alcotest.(check bool)
+        "read raises" true
+        (match Atomic_file.read path with
+        | _ -> false
+        | exception Decibel_util.Binio.Corrupt _ -> true))
+
+let test_atomic_torn_write_preserves_old () =
+  reset ();
+  with_dir (fun dir ->
+      let path = Filename.concat dir "m" in
+      Atomic_file.write path "old-manifest";
+      Failpoint.arm ~action:(Failpoint.Torn 0.5) "manifest.write_tmp"
+        Failpoint.Always;
+      Alcotest.(check bool)
+        "torn write raises" true
+        (raises_injected (fun () -> Atomic_file.write path "new-manifest"));
+      Failpoint.disarm_all ();
+      (* the crash left a torn temp file; the real manifest is intact *)
+      Alcotest.(check string)
+        "old manifest survives" "old-manifest" (Atomic_file.read path);
+      Alcotest.(check bool)
+        "torn temp stranded" true
+        (Sys.file_exists (path ^ ".tmp")))
+
+let () =
+  Alcotest.run "fault"
+    [
+      ( "failpoint",
+        [
+          Alcotest.test_case "after-hits" `Quick test_after_hits;
+          Alcotest.test_case "always + disarm" `Quick test_always_and_disarm;
+          Alcotest.test_case "probability deterministic" `Quick
+            test_probability_deterministic;
+          Alcotest.test_case "torn guard" `Quick test_torn_guard;
+          Alcotest.test_case "spec parsing" `Quick test_spec_parsing;
+        ] );
+      ( "retry",
+        [
+          Alcotest.test_case "absorbs transient" `Quick
+            test_retry_absorbs_transient;
+          Alcotest.test_case "gives up / hard faults" `Quick
+            test_retry_gives_up;
+        ] );
+      ("crc32", [ Alcotest.test_case "vectors" `Quick test_crc32_vectors ]);
+      ( "atomic-file",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_atomic_roundtrip;
+          Alcotest.test_case "detects corruption" `Quick
+            test_atomic_detects_corruption;
+          Alcotest.test_case "torn write preserves old" `Quick
+            test_atomic_torn_write_preserves_old;
+        ] );
+    ]
