@@ -1,6 +1,6 @@
 # Convenience targets; `make ci` is what .github/workflows/ci.yml runs.
 
-.PHONY: all build test fmt ci bench bench-smoke crash-smoke clean
+.PHONY: all build test fmt ci bench bench-smoke crash-smoke scale-smoke clean
 
 all: build
 
@@ -36,6 +36,13 @@ bench-smoke:
 # (uploaded by CI) and exits non-zero on any recovery failure.
 crash-smoke:
 	DECIBEL_SEED=24301 dune exec bench/main.exe -- --only crash
+
+# Domain-pool scalability sweep: scan/multi-scan/diff per scheme at
+# 0/1/2/4/max domains, checking every parallel run's fingerprint
+# against the serial reference (exit non-zero on divergence). Emits
+# BENCH_<stamp>.scale.json; speedup curves are informational only.
+scale-smoke:
+	DECIBEL_BENCH_SCALE=1 dune exec bench/main.exe -- --only scale
 
 clean:
 	dune clean

@@ -926,6 +926,161 @@ let obs_report () =
     (Obs.events_emitted ())
 
 (* ------------------------------------------------------------------ *)
+(* Scalability: scan / multi-scan / diff throughput per scheme as the
+   domain pool grows — not a paper figure; the repo's first multicore
+   trajectory datapoint.  Emits BENCH_<stamp>.scale.json with speedup
+   curves, and fails the process if any parallel run's result
+   fingerprint diverges from the serial reference (the executor's
+   determinism guarantee, checked end-to-end). *)
+
+module Par = Decibel_par.Par
+
+let scale_bench () =
+  Report.section "Scalability — domain pool sweep (scan / multi-scan / diff)";
+  let saved_domains = Par.domain_count () in
+  let hw = Domain.recommended_domain_count () in
+  (* 0 = pool off (serial reference); speedups are reported vs 1 *)
+  let domain_counts = List.sort_uniq compare [ 0; 1; 2; 4; max 4 hw ] in
+  (* fewer, fatter branches than Config.default so the scans are
+     decode-bound (the part that parallelizes) rather than setup-bound *)
+  let cfg =
+    {
+      Config.default with
+      branches = 8;
+      records_per_branch = 3000 * Config.scale;
+      commit_every = 1500 * Config.scale;
+    }
+  in
+  let repeat = 3 in
+  let mismatches = ref 0 in
+  let scheme_entries =
+    List.map
+      (fun (ename, scheme) ->
+        let l =
+          load ~durable:true ~scheme_name:ename ~scheme Strategy.Flat cfg
+        in
+        let role r = Workload.role_exn l.Driver.workload r in
+        let child = role "child" and parent = role "parent" in
+        Par.set_domain_count 0;
+        let queries =
+          [
+            ( "scan",
+              fun () -> Driver.scan_fingerprint l ~branch:child );
+            ("multi_scan", fun () -> Driver.multi_scan_fingerprint l);
+            ( "diff",
+              fun () -> Driver.diff_fingerprint l ~b1:child ~b2:parent );
+          ]
+        in
+        (* serial reference fingerprints, computed with the pool off *)
+        let refs = List.map (fun (qname, run) -> (qname, run ())) queries in
+        let query_entries =
+          List.map
+            (fun (qname, run) ->
+              let ref_h, ref_n = List.assoc qname refs in
+              let sweep =
+                List.map
+                  (fun dc ->
+                    Par.set_domain_count dc;
+                    let result = ref (0L, 0) in
+                    let samples =
+                      Driver.measure ~repeat l (fun () -> result := run ())
+                    in
+                    let h, n = !result in
+                    let ok = h = ref_h && n = ref_n in
+                    if not ok then begin
+                      incr mismatches;
+                      Report.note
+                        "MISMATCH: %s %s with %d domain(s) diverges from serial"
+                        ename qname dc
+                    end;
+                    (dc, Report.percentile samples 0.50, n, ok))
+                  domain_counts
+              in
+              let t1 =
+                match List.find_opt (fun (dc, _, _, _) -> dc = 1) sweep with
+                | Some (_, m, _, _) -> m
+                | None -> nan
+              in
+              let t4 =
+                List.find_opt (fun (dc, _, _, _) -> dc = 4) sweep
+                |> Option.map (fun (_, m, _, _) -> m)
+              in
+              (match t4 with
+              | Some m ->
+                  Report.note "%s %s: 1 domain %s, 4 domains %s (%.2fx)" ename
+                    qname
+                    (Report.fmt_ms [ t1 ])
+                    (Report.fmt_ms [ m ])
+                    (t1 /. m)
+              | None -> ());
+              ( qname,
+                Report.J_obj
+                  [
+                    ( "serial_fingerprint",
+                      Report.J_str (Printf.sprintf "%016Lx" ref_h) );
+                    ("tuples", Report.J_int ref_n);
+                    ( "sweep",
+                      Report.J_list
+                        (List.map
+                           (fun (dc, med, n, ok) ->
+                             Report.J_obj
+                               [
+                                 ("domains", Report.J_int dc);
+                                 ("p50_ms", Report.J_float (med *. 1e3));
+                                 ( "tuples_per_sec",
+                                   Report.J_float (float_of_int n /. med) );
+                                 ("speedup_vs_1", Report.J_float (t1 /. med));
+                                 ( "identical_to_serial",
+                                   Report.J_raw (if ok then "true" else "false")
+                                 );
+                               ])
+                           sweep) );
+                  ] ))
+            queries
+        in
+        let entry =
+          Report.J_obj
+            [
+              ("dataset_bytes", Report.J_int (Driver.dataset_bytes l));
+              ("queries", Report.J_obj query_entries);
+            ]
+        in
+        Driver.close l;
+        (ename, entry))
+      engines
+  in
+  Par.set_domain_count saved_domains;
+  let stamp =
+    let tm = Unix.localtime (Unix.time ()) in
+    Printf.sprintf "%04d%02d%02d_%02d%02d%02d" (tm.Unix.tm_year + 1900)
+      (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+      tm.Unix.tm_sec
+  in
+  let doc =
+    Report.J_obj
+      [
+        ("schema", Report.J_str "decibel-scale-v1");
+        ("timestamp", Report.J_str stamp);
+        ("scale", Report.J_int Config.scale);
+        ("hardware_domains", Report.J_int hw);
+        ("config", Report.J_str (Format.asprintf "%a" Config.pp cfg));
+        ("repeat", Report.J_int repeat);
+        ("schemes", Report.J_obj scheme_entries);
+      ]
+  in
+  let path = Printf.sprintf "BENCH_%s.scale.json" stamp in
+  let oc = open_out path in
+  output_string oc (Report.json_to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Report.note "wrote %s" path;
+  if !mismatches > 0 then begin
+    Printf.eprintf "scale bench: %d parallel/serial mismatch(es)\n%!"
+      !mismatches;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Crash torture: not a paper artifact — the robustness walkthrough in
    EXPERIMENTS.md.  Kills a scripted branch/insert/commit/merge
    workload at every failpoint site it crosses, recovers, checks
@@ -1015,6 +1170,7 @@ let experiments =
     ("ablations", ablations);
     ("micro", micro);
     ("obs", obs_report);
+    ("scale", scale_bench);
     ("crash", crash);
     ("tab5", tab5); (* printed last: aggregates all loads this run *)
   ]

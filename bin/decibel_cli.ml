@@ -436,12 +436,13 @@ let stats_cmd =
     if json then
       Printf.printf
         "{\"scheme\":\"%s\",\"branches\":%d,\"versions\":%d,\
-         \"dataset_bytes\":%d,\"commit_meta_bytes\":%d,\
+         \"dataset_bytes\":%d,\"commit_meta_bytes\":%d,\"domains\":%d,\
          \"metrics\":%s}\n"
         (Decibel_obs.Obs.json_escape (Database.scheme_of db))
         (Vg.branch_count g) (Vg.version_count g)
         (Database.dataset_bytes db)
         (Database.commit_meta_bytes db)
+        (Decibel_par.Par.domain_count ())
         (Database.metrics_json db)
     else begin
       Printf.printf "scheme:        %s\n" (Database.scheme_of db);
@@ -451,6 +452,8 @@ let stats_cmd =
       Printf.printf "versions:      %d\n" (Vg.version_count g);
       Printf.printf "data bytes:    %d\n" (Database.dataset_bytes db);
       Printf.printf "commit bytes:  %d\n" (Database.commit_meta_bytes db);
+      Printf.printf "scan domains:  %d (DECIBEL_DOMAINS to change)\n"
+        (Decibel_par.Par.domain_count ());
       let snap = Database.metrics db in
       List.iter
         (fun (name, v) -> if v > 0 then Printf.printf "%-32s %d\n" name v)

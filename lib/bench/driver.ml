@@ -211,3 +211,49 @@ let commit_samples l ~branch ~count rng =
         Database.insert l.db b (tuple_of_key cfg (base + k))
       done;
       fst (time (fun () -> ignore (Database.commit l.db b ~message:"tick"))))
+
+(* ------------------------------------------------------------------ *)
+(* result fingerprints (scalability bench): order-sensitive FNV-1a-64
+   over the encoded result stream, so "parallel output is identical to
+   serial, in the same order" collapses to one integer comparison *)
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fnv_add h s =
+  let h = ref h in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) fnv_prime)
+    s;
+  !h
+
+let scan_fingerprint l ~branch =
+  let schema = Database.schema l.db in
+  let h = ref fnv_offset and n = ref 0 in
+  Database.scan l.db (branch_id l.db branch) (fun t ->
+      incr n;
+      h := fnv_add !h (Tuple.encode schema t));
+  (!h, !n)
+
+let multi_scan_fingerprint l =
+  let schema = Database.schema l.db in
+  let h = ref fnv_offset and n = ref 0 in
+  Database.multi_scan l.db (Database.heads l.db)
+    (fun (a : Types.annotated) ->
+      incr n;
+      h := fnv_add !h (Tuple.encode schema a.tuple);
+      List.iter (fun b -> h := fnv_add !h (string_of_int b)) a.in_branches);
+  (!h, !n)
+
+let diff_fingerprint l ~b1 ~b2 =
+  let schema = Database.schema l.db in
+  let h = ref fnv_offset and n = ref 0 in
+  Database.diff l.db (branch_id l.db b1) (branch_id l.db b2)
+    ~pos:(fun t ->
+      incr n;
+      h := fnv_add (fnv_add !h "+") (Tuple.encode schema t))
+    ~neg:(fun t ->
+      incr n;
+      h := fnv_add (fnv_add !h "-") (Tuple.encode schema t));
+  (!h, !n)

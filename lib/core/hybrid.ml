@@ -22,6 +22,13 @@ open Decibel_index
 open Types
 module Vg = Decibel_graph.Version_graph
 module Obs = Decibel_obs.Obs
+module Par = Decibel_par.Par
+
+(* Per-domain bitmap scratch: each parallel segment worker (and the
+   serial caller) reuses one vector across segments via the in-place
+   Bitvec kernels, so the hot loops allocate no fresh bitmaps. *)
+let scratch_key = Domain.DLS.new_key (fun () -> Bitvec.create ())
+let scratch () = Domain.DLS.get scratch_key
 
 (* same engine.* names as the other schemes: Obs interns by name, so
    all engines feed the shared counters *)
@@ -379,54 +386,84 @@ let account_segment t sid col =
   Obs.add c_scan_bitmap_words (bitmap_words col);
   Obs.add c_scan_tuples (Bitvec.pop_count col)
 
+(* Segment-parallel scan over (segment, column) pairs: pool workers
+   decode their segments into buffered tuple lists against the
+   read-only heap snapshot; buffers are consumed in list order, so the
+   tuple stream is byte-identical to the serial loop.  With the pool
+   off (or a single segment) this is the plain serial loop with no
+   buffering. *)
+let scan_cols t cols f =
+  match cols with
+  | [] -> ()
+  | _ when Par.available () && List.length cols > 1 ->
+      let cols = Array.of_list cols in
+      Par.parallel_iter_buffered ~n:(Array.length cols)
+        ~produce:(fun i ->
+          let sid, col = cols.(i) in
+          let acc = ref [] in
+          scan_segment_col t sid col (fun tu -> acc := tu :: !acc);
+          List.rev !acc)
+        ~consume:(fun tuples -> List.iter f tuples)
+  | _ -> List.iter (fun (sid, col) -> scan_segment_col t sid col f) cols
+
 (* Single-branch scan: only segments flagged in the branch–segment
    bitmap are read, in any order (§3.4 “Single-branch Scan”). *)
 let scan t b f =
-  if not (Obs.enabled ()) then
-    List.iter (fun sid -> scan_segment_col t sid (local_col t b sid) f)
-      (segs_of_branch t b)
+  let cols =
+    List.map (fun sid -> (sid, local_col t b sid)) (segs_of_branch t b)
+  in
+  if not (Obs.enabled ()) then scan_cols t cols f
   else
     Obs.with_span sp_scan (fun () ->
-        List.iter
-          (fun sid ->
-            let col = local_col t b sid in
-            account_segment t sid col;
-            scan_segment_col t sid col f)
-          (segs_of_branch t b))
+        List.iter (fun (sid, col) -> account_segment t sid col) cols;
+        scan_cols t cols f)
 
 let scan_version t vid f =
-  if not (Obs.enabled ()) then
-    List.iter (fun (sid, col) -> scan_segment_col t sid col f)
-      (commit_cols t vid)
+  let cols = commit_cols t vid in
+  if not (Obs.enabled ()) then scan_cols t cols f
   else
     Obs.with_span sp_scan_version (fun () ->
-        List.iter
-          (fun (sid, col) ->
-            account_segment t sid col;
-            scan_segment_col t sid col f)
-          (commit_cols t vid))
+        List.iter (fun (sid, col) -> account_segment t sid col) cols;
+        scan_cols t cols f)
 
 let multi_scan_impl t branches f =
   let seg_set : (int, unit) Hashtbl.t = Hashtbl.create 16 in
   List.iter
     (fun b -> List.iter (fun s -> Hashtbl.replace seg_set s ()) (segs_of_branch t b))
     branches;
-  let segs = List.sort compare (Hashtbl.fold (fun s () a -> s :: a) seg_set []) in
-  List.iter
-    (fun sid ->
-      let cols = List.map (fun b -> (b, local_col t b sid)) branches in
-      let s = segment t sid in
-      let row = ref 0 in
-      Heap_file.iter s.file (fun _off payload ->
-          let live =
-            List.filter_map
-              (fun (b, col) -> if Bitvec.get col !row then Some b else None)
-              cols
-          in
-          if live <> [] then
-            f { tuple = decode_tuple t payload; in_branches = live };
-          incr row))
-    segs
+  let segs =
+    Array.of_list
+      (List.sort compare (Hashtbl.fold (fun s () a -> s :: a) seg_set []))
+  in
+  (* Union the branch columns into the per-domain scratch (in place, no
+     allocation per segment per branch) and decode only live rows,
+     annotating each with its branches.  Rows ascend within a segment
+     and segments are consumed in sorted order, so output order matches
+     the serial record walk. *)
+  let annotated_of_segment sid =
+    match List.map (fun b -> (b, local_col t b sid)) branches with
+    | [] -> []
+    | ((_, c0) :: rest) as cols ->
+        let any = scratch () in
+        Bitvec.copy_into ~src:c0 ~dst:any;
+        List.iter (fun (_, c) -> Bitvec.union_in_place any c) rest;
+        let acc = ref [] in
+        Bitvec.iter_set
+          (fun row ->
+            let live =
+              List.filter_map
+                (fun (b, col) -> if Bitvec.get col row then Some b else None)
+                cols
+            in
+            acc := { tuple = tuple_at t sid row; in_branches = live } :: !acc)
+          any;
+        List.rev !acc
+  in
+  if Par.available () && Array.length segs > 1 then
+    Par.parallel_iter_buffered ~n:(Array.length segs)
+      ~produce:(fun i -> annotated_of_segment segs.(i))
+      ~consume:(fun l -> List.iter f l)
+  else Array.iter (fun sid -> List.iter f (annotated_of_segment sid)) segs
 
 let multi_scan t branches f =
   if not (Obs.enabled ()) then multi_scan_impl t branches f
@@ -442,27 +479,44 @@ let diff_impl t a b ~pos ~neg =
   let seg_set : (int, unit) Hashtbl.t = Hashtbl.create 16 in
   List.iter (fun s -> Hashtbl.replace seg_set s ()) (segs_of_branch t a);
   List.iter (fun s -> Hashtbl.replace seg_set s ()) (segs_of_branch t b);
-  let emit_side ~live_in ~other out sid row =
-    if Bitvec.get live_in row then begin
-      let tuple = tuple_at t sid row in
-      let key = Tuple.pk t.schema tuple in
-      let same =
-        match lookup t other key with
-        | Some other_t -> Tuple.equal tuple other_t
-        | None -> false
-      in
-      if not same then out tuple
-    end
+  (* sorted so output is deterministic and parallel == serial *)
+  let segs =
+    Array.of_list
+      (List.sort compare (Hashtbl.fold (fun s () acc -> s :: acc) seg_set []))
   in
-  Hashtbl.iter
-    (fun sid () ->
-      let ca = local_col t a sid and cb = local_col t b sid in
-      Bitvec.iter_set
-        (fun row ->
-          emit_side ~live_in:ca ~other:b pos sid row;
-          emit_side ~live_in:cb ~other:a neg sid row)
-        (Bitvec.xor ca cb))
-    seg_set
+  let collect sid =
+    let ca = local_col t a sid and cb = local_col t b sid in
+    let sym = scratch () in
+    Bitvec.copy_into ~src:ca ~dst:sym;
+    Bitvec.xor_in_place sym cb;
+    let acc = ref [] in
+    let emit_side ~live_in ~other side row =
+      if Bitvec.get live_in row then begin
+        let tuple = tuple_at t sid row in
+        let key = Tuple.pk t.schema tuple in
+        let same =
+          match lookup t other key with
+          | Some other_t -> Tuple.equal tuple other_t
+          | None -> false
+        in
+        if not same then acc := (side, tuple) :: !acc
+      end
+    in
+    Bitvec.iter_set
+      (fun row ->
+        emit_side ~live_in:ca ~other:b true row;
+        emit_side ~live_in:cb ~other:a false row)
+      sym;
+    List.rev !acc
+  in
+  let consume l =
+    List.iter (fun (side, tu) -> if side then pos tu else neg tu) l
+  in
+  if Par.available () && Array.length segs > 1 then
+    Par.parallel_iter_buffered ~n:(Array.length segs)
+      ~produce:(fun i -> collect segs.(i))
+      ~consume
+  else Array.iter (fun sid -> consume (collect sid)) segs
 
 let diff t a b ~pos ~neg =
   if not (Obs.enabled ()) then diff_impl t a b ~pos ~neg
@@ -488,25 +542,31 @@ let changes_since t b lca_cols =
   let seg_set : (int, unit) Hashtbl.t = Hashtbl.create 16 in
   List.iter (fun s -> Hashtbl.replace seg_set s ()) (segs_of_branch t b);
   List.iter (fun (sid, _) -> Hashtbl.replace seg_set sid ()) lca_cols;
+  let no_col = Bitvec.create () in
+  let d = scratch () in
   Hashtbl.iter
     (fun sid () ->
       let col = local_col t b sid in
       let col_lca =
-        Option.value ~default:(Bitvec.create ()) (Hashtbl.find_opt lca_map sid)
+        Option.value ~default:no_col (Hashtbl.find_opt lca_map sid)
       in
+      Bitvec.copy_into ~src:col ~dst:d;
+      Bitvec.diff_in_place d col_lca;
       Bitvec.iter_set
         (fun row ->
           let tuple = tuple_at t sid row in
           Hashtbl.replace tbl (Tuple.pk t.schema tuple)
             { Merge_driver.state = Some tuple; base = None })
-        (Bitvec.diff col col_lca))
+        d)
     seg_set;
   Hashtbl.iter
     (fun sid () ->
       let col = local_col t b sid in
       let col_lca =
-        Option.value ~default:(Bitvec.create ()) (Hashtbl.find_opt lca_map sid)
+        Option.value ~default:no_col (Hashtbl.find_opt lca_map sid)
       in
+      Bitvec.copy_into ~src:col_lca ~dst:d;
+      Bitvec.diff_in_place d col;
       Bitvec.iter_set
         (fun row ->
           let tuple = tuple_at t sid row in
@@ -516,7 +576,7 @@ let changes_since t b lca_cols =
           | None ->
               Hashtbl.replace tbl key
                 { Merge_driver.state = None; base = Some tuple })
-        (Bitvec.diff col_lca col))
+        d)
     seg_set;
   (* changes are by content: a key updated back to its LCA value via a
      fresh physical row is not a change *)

@@ -18,6 +18,11 @@ open Decibel_index
 open Types
 module Vg = Decibel_graph.Version_graph
 module Obs = Decibel_obs.Obs
+module Par = Decibel_par.Par
+
+(* Per-domain bitmap scratch for the in-place diff kernels. *)
+let scratch_key = Domain.DLS.new_key (fun () -> Bitvec.create ())
+let scratch () = Domain.DLS.get scratch_key
 
 (* engine.* counters are shared across all three schemes (Obs.counter
    interns by name), so benchmark reports can diff them uniformly *)
@@ -241,8 +246,27 @@ module Make (B : Bitmap_intf.S) = struct
      fetched for a few valid records — the tuple-first penalty of §5.2;
      with clustered loads the same rows share pages and the scan
      touches few of them (figure 7's clustered variant). *)
+  (* Row-range parallel form: the heap is append-only and rows map to
+     offsets through [t.offsets], so contiguous row ranges are
+     contiguous page ranges of the shared heap.  Workers decode their
+     range into a buffered list; ranges are consumed in ascending
+     order, so the tuple stream matches the serial bit walk. *)
   let scan_col t col f =
-    Bitvec.iter_set (fun row -> f (tuple_at t row)) col
+    let serial () = Bitvec.iter_set (fun row -> f (tuple_at t row)) col in
+    if not (Par.available ()) then serial ()
+    else
+      let ranges = Par.chunk_ranges (Bitvec.length col) in
+      if Array.length ranges <= 1 then serial ()
+      else
+        Par.parallel_iter_buffered ~n:(Array.length ranges)
+          ~produce:(fun i ->
+            let lo, hi = ranges.(i) in
+            let acc = ref [] in
+            Bitvec.iter_set_range
+              (fun row -> acc := tuple_at t row :: !acc)
+              col ~lo ~hi;
+            List.rev !acc)
+          ~consume:(fun tuples -> List.iter f tuples)
 
   (* Scanning a branch touches the whole shared heap extent: with
      interleaved loads a branch's live rows are scattered across every
@@ -269,14 +293,33 @@ module Make (B : Bitmap_intf.S) = struct
     else instrumented_scan_col sp_scan_version t col f
 
   let multi_scan_impl t branches f =
-    let row = ref 0 in
-    Heap_file.iter t.heap (fun _off payload ->
-        let live =
-          List.filter (fun b -> B.get t.bitmap ~branch:b ~row:!row) branches
-        in
-        if live <> [] then
-          f { tuple = decode_tuple t payload; in_branches = live };
-        incr row)
+    let nrows = Vec.length t.offsets in
+    let ranges = if Par.available () then Par.chunk_ranges nrows else [||] in
+    if Array.length ranges > 1 then
+      (* rows ascend within a range and ranges are consumed in order,
+         so the annotated stream matches the serial record walk below *)
+      Par.parallel_iter_buffered ~n:(Array.length ranges)
+        ~produce:(fun i ->
+          let lo, hi = ranges.(i) in
+          let acc = ref [] in
+          for row = lo to hi - 1 do
+            let live =
+              List.filter (fun b -> B.get t.bitmap ~branch:b ~row) branches
+            in
+            if live <> [] then
+              acc := { tuple = tuple_at t row; in_branches = live } :: !acc
+          done;
+          List.rev !acc)
+        ~consume:(fun l -> List.iter f l)
+    else
+      let row = ref 0 in
+      Heap_file.iter t.heap (fun _off payload ->
+          let live =
+            List.filter (fun b -> B.get t.bitmap ~branch:b ~row:!row) branches
+          in
+          if live <> [] then
+            f { tuple = decode_tuple t payload; in_branches = live };
+          incr row)
 
   let multi_scan t branches f =
     if not (Obs.enabled ()) then multi_scan_impl t branches f
@@ -295,6 +338,10 @@ module Make (B : Bitmap_intf.S) = struct
   let diff_impl t a b ~pos ~neg =
     let ca = B.column_view t.bitmap ~branch:a in
     let cb = B.column_view t.bitmap ~branch:b in
+    (* candidate rows into the per-domain scratch, in place *)
+    let sym = scratch () in
+    Bitvec.copy_into ~src:ca ~dst:sym;
+    Bitvec.xor_in_place sym cb;
     let emit_side ~live_in ~other out row =
       if Bitvec.get live_in row then begin
         let tuple = tuple_at t row in
@@ -307,11 +354,31 @@ module Make (B : Bitmap_intf.S) = struct
         if not same then out tuple
       end
     in
-    Bitvec.iter_set
-      (fun row ->
-        emit_side ~live_in:ca ~other:b pos row;
-        emit_side ~live_in:cb ~other:a neg row)
-      (Bitvec.xor ca cb)
+    let serial () =
+      Bitvec.iter_set
+        (fun row ->
+          emit_side ~live_in:ca ~other:b pos row;
+          emit_side ~live_in:cb ~other:a neg row)
+        sym
+    in
+    if not (Par.available ()) then serial ()
+    else
+      let ranges = Par.chunk_ranges (Bitvec.length sym) in
+      if Array.length ranges <= 1 then serial ()
+      else
+        Par.parallel_iter_buffered ~n:(Array.length ranges)
+          ~produce:(fun i ->
+            let lo, hi = ranges.(i) in
+            let acc = ref [] in
+            let buffer side tuple = acc := (side, tuple) :: !acc in
+            Bitvec.iter_set_range
+              (fun row ->
+                emit_side ~live_in:ca ~other:b (buffer true) row;
+                emit_side ~live_in:cb ~other:a (buffer false) row)
+              sym ~lo ~hi;
+            List.rev !acc)
+          ~consume:
+            (List.iter (fun (side, tu) -> if side then pos tu else neg tu))
 
   let diff t a b ~pos ~neg =
     if not (Obs.enabled ()) then diff_impl t a b ~pos ~neg
@@ -334,12 +401,17 @@ module Make (B : Bitmap_intf.S) = struct
     let tbl : (Value.t, Merge_driver.side_change) Hashtbl.t =
       Hashtbl.create 256
     in
+    let d = scratch () in
+    Bitvec.copy_into ~src:col ~dst:d;
+    Bitvec.diff_in_place d col_lca;
     Bitvec.iter_set
       (fun row ->
         let tuple = tuple_at t row in
         Hashtbl.replace tbl (Tuple.pk t.schema tuple)
           { Merge_driver.state = Some tuple; base = None })
-      (Bitvec.diff col col_lca);
+      d;
+    Bitvec.copy_into ~src:col_lca ~dst:d;
+    Bitvec.diff_in_place d col;
     Bitvec.iter_set
       (fun row ->
         let tuple = tuple_at t row in
@@ -349,7 +421,7 @@ module Make (B : Bitmap_intf.S) = struct
         | None ->
             Hashtbl.replace tbl key
               { Merge_driver.state = None; base = Some tuple })
-      (Bitvec.diff col_lca col);
+      d;
     (* drop keys whose content is back to the LCA state (e.g. updated
        to the same value through a fresh physical row): changes are by
        content, not by row identity *)

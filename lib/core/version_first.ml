@@ -25,6 +25,7 @@ open Decibel_index
 open Types
 module Vg = Decibel_graph.Version_graph
 module Obs = Decibel_obs.Obs
+module Par = Decibel_par.Par
 
 (* same engine.* names as the other schemes: Obs interns by name, so
    all engines feed the shared counters *)
@@ -222,17 +223,40 @@ let plan t seg0 upto0 =
    each winner (tombstone winners mean "deleted here"). *)
 let scan_winners t seg0 upto0 f =
   let seen : (Value.t, unit) Hashtbl.t = Hashtbl.create 1024 in
-  List.iter
-    (fun (sid, upto) ->
-      let s = segment t sid in
-      Heap_file.iter_rev ~upto s.file (fun off payload ->
-          let record = decode_record t payload in
-          let key = record_key t.schema record in
-          if not (Hashtbl.mem seen key) then begin
-            Hashtbl.replace seen key ();
-            f sid off record
-          end))
-    (plan t seg0 upto0)
+  let items = plan t seg0 upto0 in
+  if Par.available () && List.length items > 1 then
+    (* Branch fragments decode in parallel (the expensive part: record
+       walk + CRC + decode); the first-writer-wins [seen] filter runs
+       serially in plan order over the buffered fragments, so winners
+       are exactly the serial ones, in the same order. *)
+    let items = Array.of_list items in
+    Par.parallel_iter_buffered ~n:(Array.length items)
+      ~produce:(fun i ->
+        let sid, upto = items.(i) in
+        let s = segment t sid in
+        let acc = ref [] in
+        Heap_file.iter_rev ~upto s.file (fun off payload ->
+            let record = decode_record t payload in
+            acc := (sid, off, record, record_key t.schema record) :: !acc);
+        List.rev !acc)
+      ~consume:
+        (List.iter (fun (sid, off, record, key) ->
+             if not (Hashtbl.mem seen key) then begin
+               Hashtbl.replace seen key ();
+               f sid off record
+             end))
+  else
+    List.iter
+      (fun (sid, upto) ->
+        let s = segment t sid in
+        Heap_file.iter_rev ~upto s.file (fun off payload ->
+            let record = decode_record t payload in
+            let key = record_key t.schema record in
+            if not (Hashtbl.mem seen key) then begin
+              Hashtbl.replace seen key ();
+              f sid off record
+            end))
+      items
 
 let scan_live t seg0 upto0 f =
   scan_winners t seg0 upto0 (fun sid off record ->
@@ -376,20 +400,31 @@ let multi_scan_impl t branches f =
           let prev = Option.value ~default:[] (Hashtbl.find_opt ann (s, off)) in
           Hashtbl.replace ann (s, off) (b :: prev)))
     branches;
-  let seg_ids = Hashtbl.fold (fun s () acc -> s :: acc) segs [] in
-  List.iter
-    (fun sid ->
-      let s = segment t sid in
-      Heap_file.iter s.file (fun off payload ->
-          match Hashtbl.find_opt ann (sid, off) with
-          | None -> ()
-          | Some bs -> (
-              match decode_record t payload with
-              | `Tuple tuple ->
-                  f { tuple; in_branches = List.sort compare bs }
-              | `Tombstone _ ->
-                  errorf "version-first: annotated tombstone")))
-    (List.sort compare seg_ids)
+  let seg_ids =
+    List.sort compare (Hashtbl.fold (fun s () acc -> s :: acc) segs [])
+  in
+  (* pass 2: [ann] is read-only from here on, so segments decode in
+     parallel; buffered fragments are consumed in sorted segment order,
+     matching the serial walk *)
+  let annotated_of_segment sid =
+    let s = segment t sid in
+    let acc = ref [] in
+    Heap_file.iter s.file (fun off payload ->
+        match Hashtbl.find_opt ann (sid, off) with
+        | None -> ()
+        | Some bs -> (
+            match decode_record t payload with
+            | `Tuple tuple ->
+                acc := { tuple; in_branches = List.sort compare bs } :: !acc
+            | `Tombstone _ -> errorf "version-first: annotated tombstone"));
+    List.rev !acc
+  in
+  if Par.available () && List.length seg_ids > 1 then
+    let seg_ids = Array.of_list seg_ids in
+    Par.parallel_iter_buffered ~n:(Array.length seg_ids)
+      ~produce:(fun i -> annotated_of_segment seg_ids.(i))
+      ~consume:(fun l -> List.iter f l)
+  else List.iter (fun sid -> List.iter f (annotated_of_segment sid)) seg_ids
 
 let multi_scan t branches f =
   if not (Obs.enabled ()) then multi_scan_impl t branches f

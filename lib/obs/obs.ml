@@ -12,28 +12,40 @@ let enabled () = !on
 let t0 = Unix.gettimeofday ()
 let now () = Unix.gettimeofday ()
 
+(* Domain-safety: counters are atomic (hit from parallel scan
+   workers); everything slower-moving — interning tables, gauges,
+   histograms, the event ring, the span buffer — is guarded by one
+   registry mutex.  [locked] sections never call other [locked]
+   functions (the mutex is not reentrant). *)
+let reg_m = Mutex.create ()
+
+let locked f =
+  Mutex.lock reg_m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock reg_m) f
+
 (* ------------------------------------------------------------------ *)
 (* counters *)
 
-type counter = { c_name : string; mutable c_value : int }
+type counter = { c_name : string; c_value : int Atomic.t }
 
 let counters_tbl : (string, counter) Hashtbl.t = Hashtbl.create 64
 
 let counter name =
-  match Hashtbl.find_opt counters_tbl name with
-  | Some c -> c
-  | None ->
-      let c = { c_name = name; c_value = 0 } in
-      Hashtbl.replace counters_tbl name c;
-      c
+  locked (fun () ->
+      match Hashtbl.find_opt counters_tbl name with
+      | Some c -> c
+      | None ->
+          let c = { c_name = name; c_value = Atomic.make 0 } in
+          Hashtbl.replace counters_tbl name c;
+          c)
 
-let incr c = if !on then c.c_value <- c.c_value + 1
-let add c n = if !on then c.c_value <- c.c_value + n
-let counter_value c = c.c_value
+let incr c = if !on then Atomic.incr c.c_value
+let add c n = if !on then ignore (Atomic.fetch_and_add c.c_value n)
+let counter_value c = Atomic.get c.c_value
 
 let value_of name =
-  match Hashtbl.find_opt counters_tbl name with
-  | Some c -> c.c_value
+  match locked (fun () -> Hashtbl.find_opt counters_tbl name) with
+  | Some c -> Atomic.get c.c_value
   | None -> 0
 
 (* ------------------------------------------------------------------ *)
@@ -44,14 +56,15 @@ type gauge = { g_name : string; mutable g_value : float }
 let gauges_tbl : (string, gauge) Hashtbl.t = Hashtbl.create 16
 
 let gauge name =
-  match Hashtbl.find_opt gauges_tbl name with
-  | Some g -> g
-  | None ->
-      let g = { g_name = name; g_value = 0.0 } in
-      Hashtbl.replace gauges_tbl name g;
-      g
+  locked (fun () ->
+      match Hashtbl.find_opt gauges_tbl name with
+      | Some g -> g
+      | None ->
+          let g = { g_name = name; g_value = 0.0 } in
+          Hashtbl.replace gauges_tbl name g;
+          g)
 
-let set_gauge g v = if !on then g.g_value <- v
+let set_gauge g v = if !on then locked (fun () -> g.g_value <- v)
 let gauge_value g = g.g_value
 
 (* ------------------------------------------------------------------ *)
@@ -73,33 +86,34 @@ type histogram = {
 let histograms_tbl : (string, histogram) Hashtbl.t = Hashtbl.create 32
 
 let histogram ?buckets name =
-  match Hashtbl.find_opt histograms_tbl name with
-  | Some h ->
-      (match buckets with
-      | Some b when b <> h.h_buckets ->
-          invalid_arg
-            (Printf.sprintf
-               "Obs.histogram: %S already interned with %d bucket(s), \
-                requested %d (bucket layouts must match)"
-               name
-               (Array.length h.h_buckets)
-               (Array.length b))
-      | _ -> h)
-  | None ->
-      let buckets = Option.value buckets ~default:default_buckets in
-      let h =
-        {
-          h_name = name;
-          h_buckets = buckets;
-          h_counts = Array.make (Array.length buckets + 1) 0;
-          h_count = 0;
-          h_sum = 0.0;
-          h_min = infinity;
-          h_max = neg_infinity;
-        }
-      in
-      Hashtbl.replace histograms_tbl name h;
-      h
+  locked (fun () ->
+      match Hashtbl.find_opt histograms_tbl name with
+      | Some h ->
+          (match buckets with
+          | Some b when b <> h.h_buckets ->
+              invalid_arg
+                (Printf.sprintf
+                   "Obs.histogram: %S already interned with %d bucket(s), \
+                    requested %d (bucket layouts must match)"
+                   name
+                   (Array.length h.h_buckets)
+                   (Array.length b))
+          | _ -> h)
+      | None ->
+          let buckets = Option.value buckets ~default:default_buckets in
+          let h =
+            {
+              h_name = name;
+              h_buckets = buckets;
+              h_counts = Array.make (Array.length buckets + 1) 0;
+              h_count = 0;
+              h_sum = 0.0;
+              h_min = infinity;
+              h_max = neg_infinity;
+            }
+          in
+          Hashtbl.replace histograms_tbl name h;
+          h)
 
 (* first bucket whose upper bound holds the value (linear scan: the
    bucket count is small and observations are per-operation, not
@@ -110,14 +124,14 @@ let bucket_index h v =
   go 0
 
 let observe h v =
-  if !on then begin
-    let i = bucket_index h v in
-    h.h_counts.(i) <- h.h_counts.(i) + 1;
-    h.h_count <- h.h_count + 1;
-    h.h_sum <- h.h_sum +. v;
-    if v < h.h_min then h.h_min <- v;
-    if v > h.h_max then h.h_max <- v
-  end
+  if !on then
+    locked (fun () ->
+        let i = bucket_index h v in
+        h.h_counts.(i) <- h.h_counts.(i) + 1;
+        h.h_count <- h.h_count + 1;
+        h.h_sum <- h.h_sum +. v;
+        if v < h.h_min then h.h_min <- v;
+        if v > h.h_max then h.h_max <- v)
 
 let quantile h q =
   if h.h_count = 0 then 0.0
@@ -180,7 +194,8 @@ let hist_count h = h.h_count
 let hist_sum h = h.h_sum
 
 let sorted_values tbl =
-  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+  locked (fun () ->
+      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []))
 
 let all_counters () = List.map snd (sorted_values counters_tbl)
 let all_gauges () = List.map snd (sorted_values gauges_tbl)
@@ -283,38 +298,40 @@ let event_json e =
 
 let event ?(attrs = []) ?(level = Info) ~comp msg =
   if !on && level_rank level >= level_rank !ev_min_level then begin
-    let e =
-      {
-        ev_seq = !ev_seq;
-        ev_time = now ();
-        ev_level = level;
-        ev_comp = comp;
-        ev_msg = msg;
-        ev_attrs = attrs;
-      }
-    in
-    Stdlib.incr ev_seq;
-    incr c_events;
-    let cap = Array.length !ev_ring in
-    if !ev_count = cap then incr c_events_dropped
-    else Stdlib.incr ev_count;
-    !ev_ring.(!ev_next) <- Some e;
-    ev_next := (!ev_next + 1) mod cap;
-    match !ev_sink with
-    | Some oc ->
-        output_string oc (event_json e);
-        output_char oc '\n';
-        flush oc
-    | None -> ()
+    locked (fun () ->
+        let e =
+          {
+            ev_seq = !ev_seq;
+            ev_time = now ();
+            ev_level = level;
+            ev_comp = comp;
+            ev_msg = msg;
+            ev_attrs = attrs;
+          }
+        in
+        Stdlib.incr ev_seq;
+        let cap = Array.length !ev_ring in
+        if !ev_count = cap then incr c_events_dropped
+        else Stdlib.incr ev_count;
+        !ev_ring.(!ev_next) <- Some e;
+        ev_next := (!ev_next + 1) mod cap;
+        match !ev_sink with
+        | Some oc ->
+            output_string oc (event_json e);
+            output_char oc '\n';
+            flush oc
+        | None -> ());
+    incr c_events
   end
 
 let events () =
-  let cap = Array.length !ev_ring in
-  let first = (!ev_next - !ev_count + cap) mod cap in
-  List.init !ev_count (fun i ->
-      match !ev_ring.((first + i) mod cap) with
-      | Some e -> e
-      | None -> assert false)
+  locked (fun () ->
+      let cap = Array.length !ev_ring in
+      let first = (!ev_next - !ev_count + cap) mod cap in
+      List.init !ev_count (fun i ->
+          match !ev_ring.((first + i) mod cap) with
+          | Some e -> e
+          | None -> assert false))
 
 let events_emitted () = !ev_seq
 
@@ -383,15 +400,15 @@ let c_dropped = counter "obs.spans_dropped"
 
 let record_span s =
   if !nspans >= !max_spans then incr c_dropped
-  else begin
-    if !nspans = Array.length !span_buf then begin
-      let a = Array.make (2 * !nspans) None in
-      Array.blit !span_buf 0 a 0 !nspans;
-      span_buf := a
-    end;
-    !span_buf.(!nspans) <- Some s;
-    Stdlib.incr nspans
-  end
+  else
+    locked (fun () ->
+        if !nspans = Array.length !span_buf then begin
+          let a = Array.make (2 * !nspans) None in
+          Array.blit !span_buf 0 a 0 !nspans;
+          span_buf := a
+        end;
+        !span_buf.(!nspans) <- Some s;
+        Stdlib.incr nspans)
 
 let with_span ?(attrs = []) name f =
   if not !on then f ()
@@ -409,8 +426,9 @@ let with_span ?(attrs = []) name f =
   end
 
 let spans () =
-  List.init !nspans (fun i ->
-      match !span_buf.(i) with Some s -> s | None -> assert false)
+  locked (fun () ->
+      List.init !nspans (fun i ->
+          match !span_buf.(i) with Some s -> s | None -> assert false))
 
 let span_count () = !nspans
 
@@ -458,11 +476,12 @@ let sorted_bindings tbl value =
   List.sort compare (Hashtbl.fold (fun k v acc -> (k, value v) :: acc) tbl [])
 
 let snapshot () =
-  {
-    counters = sorted_bindings counters_tbl (fun c -> c.c_value);
-    gauges = sorted_bindings gauges_tbl (fun g -> g.g_value);
-    histograms = sorted_bindings histograms_tbl summarize;
-  }
+  locked (fun () ->
+      {
+        counters = sorted_bindings counters_tbl (fun c -> Atomic.get c.c_value);
+        gauges = sorted_bindings gauges_tbl (fun g -> g.g_value);
+        histograms = sorted_bindings histograms_tbl summarize;
+      })
 
 let counters_diff before after =
   let base = Hashtbl.create 64 in
@@ -501,18 +520,19 @@ let to_json snap =
   Buffer.contents buf
 
 let reset () =
-  Hashtbl.iter (fun _ c -> c.c_value <- 0) counters_tbl;
-  Hashtbl.iter (fun _ g -> g.g_value <- 0.0) gauges_tbl;
-  Hashtbl.iter
-    (fun _ h ->
-      Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
-      h.h_count <- 0;
-      h.h_sum <- 0.0;
-      h.h_min <- infinity;
-      h.h_max <- neg_infinity)
-    histograms_tbl;
-  nspans := 0;
-  Array.fill !ev_ring 0 (Array.length !ev_ring) None;
-  ev_next := 0;
-  ev_count := 0;
-  ev_seq := 0
+  locked (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c.c_value 0) counters_tbl;
+      Hashtbl.iter (fun _ g -> g.g_value <- 0.0) gauges_tbl;
+      Hashtbl.iter
+        (fun _ h ->
+          Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
+          h.h_count <- 0;
+          h.h_sum <- 0.0;
+          h.h_min <- infinity;
+          h.h_max <- neg_infinity)
+        histograms_tbl;
+      nspans := 0;
+      Array.fill !ev_ring 0 (Array.length !ev_ring) None;
+      ev_next := 0;
+      ev_count := 0;
+      ev_seq := 0)

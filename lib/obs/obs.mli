@@ -19,8 +19,13 @@
     with {!set_enabled} (also via the [DECIBEL_OBS=0] environment
     variable), leaving only the branch on the hot path.
 
-    The registry is process-wide and single-threaded, like the engines
-    it instruments; callers synchronize externally. *)
+    The registry is process-wide and domain-safe: counter increments
+    are atomic (they are hit from parallel scan workers), while
+    interning, gauges, histogram observations, the event ring and the
+    span buffer are serialized by a single registry mutex.  Mutators
+    may therefore be called from any domain; plain readers
+    ({!gauge_value}, {!hist_count}, ...) are unsynchronized and meant
+    for report/export time, when writers are quiescent. *)
 
 (** {1 Runtime switch} *)
 

@@ -9,13 +9,22 @@
 
     The pool counts hits/misses/evictions for benchmark reporting, and
     {!drop_all} simulates a cold cache between measurements (the paper
-    flushes disk caches before each operation, §5). *)
+    flushes disk caches before each operation, §5).
+
+    The pool is domain-safe: it is split into key-hashed shards, each
+    with its own mutex, hashtable and clock hand, so concurrent page
+    fetches from parallel scan workers contend only when they hash to
+    the same shard.  Eviction is clock within each shard; the shards
+    partition the page budget. *)
 
 type t
 
-val create : ?page_size:int -> ?capacity_pages:int -> unit -> t
+val create :
+  ?page_size:int -> ?capacity_pages:int -> ?shards:int -> unit -> t
 (** [page_size] in bytes (default 65536); [capacity_pages] bounds
-    residency (default 1024, i.e. 64 MiB at the default page size). *)
+    residency (default 1024, i.e. 64 MiB at the default page size);
+    [shards] is the lock-striping factor (default 8, clamped to
+    [capacity_pages] so every shard owns at least one page). *)
 
 val page_size : t -> int
 
@@ -24,6 +33,9 @@ val capacity_pages : t -> int
 
 val resident_pages : t -> int
 (** Pages currently cached ([<= capacity_pages]). *)
+
+val shard_count : t -> int
+(** Number of lock-striped shards this pool was created with. *)
 
 val next_file_id : t -> int
 (** Fresh identifier for a file joining the pool. *)

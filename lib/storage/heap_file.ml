@@ -14,6 +14,11 @@ let c_flushes = Obs.counter "heap.flushes"
 type t = {
   path : string;
   fd : Unix.file_descr;
+  io_m : Mutex.t;
+      (* OCaml's Unix has no pread: positioned reads are an
+         lseek+read pair on the shared fd, which parallel scan
+         workers would otherwise interleave. Writes (flush) take it
+         too, since they also move the file offset. *)
   pool : Buffer_pool.t;
   file_id : int;
   mutable size : int; (* logical end, including pending bytes *)
@@ -28,6 +33,7 @@ let make ~pool path fd initial_size =
   {
     path;
     fd;
+    io_m = Mutex.create ();
     pool;
     file_id = Buffer_pool.next_file_id pool;
     size = initial_size;
@@ -65,10 +71,14 @@ let flush t =
        truncate-to-manifest-size step on reopen *)
     Retry.with_retries ~site:"heap.flush" (fun () ->
         Failpoint.guard_write "heap.flush" data (fun data ->
-            let _ = Unix.lseek t.fd t.flushed SEEK_SET in
-            let n = String.length data in
-            let written = Unix.write_substring t.fd data 0 n in
-            if written <> n then failwith "Heap_file.flush: short write"));
+            Mutex.lock t.io_m;
+            Fun.protect
+              ~finally:(fun () -> Mutex.unlock t.io_m)
+              (fun () ->
+                let _ = Unix.lseek t.fd t.flushed SEEK_SET in
+                let n = String.length data in
+                let written = Unix.write_substring t.fd data 0 n in
+                if written <> n then failwith "Heap_file.flush: short write")));
     (* the old tail page may be cached with its old, shorter contents *)
     let psz = Buffer_pool.page_size t.pool in
     Buffer_pool.invalidate_page t.pool ~file:t.file_id ~page:(t.flushed / psz);
@@ -116,15 +126,19 @@ let read_disk t off len out out_pos =
   let psz = Buffer_pool.page_size t.pool in
   let pread file_off buf buf_pos n =
     Obs.incr c_pages_read;
-    let _ = Unix.lseek t.fd file_off SEEK_SET in
-    let rec loop pos remaining =
-      if remaining > 0 then begin
-        let r = Unix.read t.fd buf pos remaining in
-        if r = 0 then failwith "Heap_file: unexpected EOF";
-        loop (pos + r) (remaining - r)
-      end
-    in
-    loop buf_pos n
+    Mutex.lock t.io_m;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.io_m)
+      (fun () ->
+        let _ = Unix.lseek t.fd file_off SEEK_SET in
+        let rec loop pos remaining =
+          if remaining > 0 then begin
+            let r = Unix.read t.fd buf pos remaining in
+            if r = 0 then failwith "Heap_file: unexpected EOF";
+            loop (pos + r) (remaining - r)
+          end
+        in
+        loop buf_pos n)
   in
   let first_page = off / psz and last_page = (off + len - 1) / psz in
   for p = first_page to last_page do

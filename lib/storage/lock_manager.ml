@@ -9,6 +9,8 @@ type t = {
   changed : Condition.t;
   table : (string, entry) Hashtbl.t;
   timeout_s : float;
+  mutable waiters : int;
+  mutable watchdog : bool; (* a deadline-tick thread is running *)
 }
 
 let create ?(timeout_s = 5.0) () =
@@ -17,7 +19,22 @@ let create ?(timeout_s = 5.0) () =
     changed = Condition.create ();
     table = Hashtbl.create 64;
     timeout_s;
+    waiters = 0;
+    watchdog = false;
   }
+
+(* [Condition.wait] has no timeout, so a blocked [acquire] woken only
+   by [release_all] could overshoot its deadline forever if the holder
+   never releases.  While any waiter exists, a lazily spawned watchdog
+   thread broadcasts [changed] periodically so waiters re-check their
+   deadlines; it exits as soon as the last waiter is gone. *)
+let rec watchdog_loop t =
+  Thread.delay (min 0.05 (max 0.002 (t.timeout_s /. 10.)));
+  Mutex.lock t.mutex;
+  let keep_going = t.waiters > 0 in
+  if keep_going then Condition.broadcast t.changed else t.watchdog <- false;
+  Mutex.unlock t.mutex;
+  if keep_going then watchdog_loop t
 
 let entry_of t resource =
   match Hashtbl.find_opt t.table resource with
@@ -54,12 +71,15 @@ let acquire t ~owner ~resource mode =
         end
         else begin
           if Unix.gettimeofday () > deadline then raise (Deadlock resource);
-          (* Condition.wait has no timeout; poll with a short sleep while
-             releasing the mutex so holders can make progress. *)
-          Mutex.unlock t.mutex;
-          Thread.yield ();
-          Unix.sleepf 0.002;
-          Mutex.lock t.mutex;
+          t.waiters <- t.waiters + 1;
+          if not t.watchdog then begin
+            t.watchdog <- true;
+            ignore (Thread.create watchdog_loop t)
+          end;
+          (* woken promptly by release_all's broadcast, or by the
+             watchdog tick for the deadline re-check *)
+          Condition.wait t.changed t.mutex;
+          t.waiters <- t.waiters - 1;
           wait ()
         end
       in

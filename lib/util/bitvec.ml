@@ -117,27 +117,92 @@ let union_in_place dst src =
     set_word dst i (Int64.logor (get_word dst i) (get_word src i))
   done
 
+let inter_in_place dst src =
+  (* dst.len is unchanged: bits of dst beyond src's words are ANDed
+     with implicit zeros, so any dst words past src's used words must
+     be cleared explicitly. *)
+  let nd = used_words dst and ns = used_words src in
+  for i = 0 to min nd ns - 1 do
+    set_word dst i (Int64.logand (get_word dst i) (get_word src i))
+  done;
+  for i = ns to nd - 1 do
+    set_word dst i 0L
+  done
+
+let diff_in_place dst src =
+  (* bits of dst beyond src's words subtract implicit zeros: unchanged *)
+  let n = min (used_words dst) (used_words src) in
+  for i = 0 to n - 1 do
+    set_word dst i (Int64.logand (get_word dst i) (Int64.lognot (get_word src i)))
+  done
+
+let xor_in_place dst src =
+  if src.len > dst.len then ensure dst (src.len - 1);
+  let n = used_words src in
+  for i = 0 to n - 1 do
+    set_word dst i (Int64.logxor (get_word dst i) (get_word src i))
+  done
+
+let copy_into ~src ~dst =
+  let bytes = used_words src * 8 in
+  if bytes > Bytes.length dst.data then
+    dst.data <- Bytes.make (max bytes (2 * Bytes.length dst.data)) '\000'
+  else
+    (* clear the tail so stale dst words past src's extent vanish *)
+    Bytes.fill dst.data bytes (Bytes.length dst.data - bytes) '\000';
+  Bytes.blit src.data 0 dst.data 0 bytes;
+  dst.len <- src.len
+
+(* Branchless count-trailing-zeros of a 64-bit word with exactly one
+   set bit, via de Bruijn multiplication: an isolated bit [1 lsl k]
+   shifts the de Bruijn sequence so its top 6 bits index a lookup
+   table mapping back to [k]. *)
+let debruijn_mul = 0x03f79d71b4cb0a89L
+
+let debruijn_tbl =
+  [| 0; 1; 48; 2; 57; 49; 28; 3; 61; 58; 50; 42; 38; 29; 17; 4;
+     62; 55; 59; 36; 53; 51; 43; 22; 45; 39; 33; 30; 24; 18; 12; 5;
+     63; 47; 56; 27; 60; 41; 37; 16; 54; 35; 52; 21; 44; 32; 23; 11;
+     46; 26; 40; 15; 34; 20; 31; 10; 25; 14; 19; 9; 13; 8; 7; 6 |]
+
+let ctz_isolated low =
+  debruijn_tbl.(Int64.to_int
+                  (Int64.shift_right_logical (Int64.mul low debruijn_mul) 58)
+                land 63)
+
+(* Iterate the set bits of word [w] (word index [wi]), bounded by
+   [limit] (the bitvector length). *)
+let iter_word f wi limit w =
+  let w = ref w in
+  while !w <> 0L do
+    let low = Int64.logand !w (Int64.neg !w) in
+    let idx = (wi * 64) + ctz_isolated low in
+    if idx < limit then f idx;
+    (* strip lowest set bit *)
+    w := Int64.logand !w (Int64.sub !w 1L)
+  done
+
 let iter_set f t =
   let n = used_words t in
   for wi = 0 to n - 1 do
-    let w = ref (get_word t wi) in
-    while !w <> 0L do
-      (* isolate lowest set bit *)
-      let low = Int64.logand !w (Int64.neg !w) in
-      let bit =
-        (* log2 of a power of two: count via float is unsafe at 2^63;
-           use a de-Bruijn-free loop over the 8 bytes instead. *)
-        let rec find i v =
-          if Int64.logand v 1L = 1L then i
-          else find (i + 1) (Int64.shift_right_logical v 1)
-        in
-        find 0 low
-      in
-      let idx = (wi * 64) + bit in
-      if idx < t.len then f idx;
-      w := Int64.logand !w (Int64.sub !w 1L)
-    done
+    iter_word f wi t.len (get_word t wi)
   done
+
+let iter_set_range f t ~lo ~hi =
+  let lo = max 0 lo and hi = min hi t.len in
+  if lo < hi then begin
+    let wlo = lo / 64 and whi = (hi - 1) / 64 in
+    for wi = wlo to min whi (used_words t - 1) do
+      let w = ref (get_word t wi) in
+      if wi = wlo && lo mod 64 > 0 then
+        w := Int64.logand !w (Int64.shift_left Int64.minus_one (lo mod 64));
+      if wi = whi && hi mod 64 > 0 then
+        w :=
+          Int64.logand !w
+            (Int64.shift_right_logical Int64.minus_one (64 - (hi mod 64)));
+      iter_word f wi t.len !w
+    done
+  end
 
 let fold_set f init t =
   let acc = ref init in
@@ -160,11 +225,7 @@ let next_set t i =
       let w = Int64.logand (get_word t wi) mask in
       if w = 0L then scan (wi + 1) Int64.minus_one
       else
-        let rec find b v =
-          if Int64.logand v 1L = 1L then b
-          else find (b + 1) (Int64.shift_right_logical v 1)
-        in
-        let bit = find 0 (Int64.logand w (Int64.neg w)) in
+        let bit = ctz_isolated (Int64.logand w (Int64.neg w)) in
         let idx = (wi * 64) + bit in
         if idx < t.len then Some idx else None
   in

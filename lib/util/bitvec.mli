@@ -8,8 +8,9 @@
     over set bits.
 
     Indices are 0-based.  Reading past [length] returns [false]; writing
-    past [length] grows the vector (intervening bits are zero).  All
-    operations are single-threaded; callers synchronize externally. *)
+    past [length] grows the vector (intervening bits are zero).  A
+    vector may not be mutated while another domain reads or writes it;
+    concurrent read-only access to a quiescent vector is safe. *)
 
 type t
 
@@ -56,8 +57,31 @@ val diff : t -> t -> t
 val union_in_place : t -> t -> unit
 (** [union_in_place dst src] ORs [src] into [dst]. *)
 
+val inter_in_place : t -> t -> unit
+(** [inter_in_place dst src] ANDs [src] into [dst].  [length dst] is
+    unchanged; bits of [dst] beyond [length src] are cleared. *)
+
+val diff_in_place : t -> t -> unit
+(** [diff_in_place dst src] is [dst AND NOT src], in place. *)
+
+val xor_in_place : t -> t -> unit
+(** [xor_in_place dst src] XORs [src] into [dst], growing [dst] to at
+    least [length src]. *)
+
+val copy_into : src:t -> dst:t -> unit
+(** Make [dst] a logical copy of [src], reusing [dst]'s backing
+    storage when large enough.  The scratch-reuse primitive for hot
+    loops that would otherwise allocate a fresh vector per step. *)
+
 val iter_set : (int -> unit) -> t -> unit
-(** Calls the function on each set index, ascending. Skips zero words. *)
+(** Calls the function on each set index, ascending. Skips zero words;
+    the lowest set bit of a word is found with a branchless de Bruijn
+    multiply rather than a shift loop. *)
+
+val iter_set_range : (int -> unit) -> t -> lo:int -> hi:int -> unit
+(** [iter_set_range f t ~lo ~hi] calls [f] on each set index in
+    [\[lo, hi)], ascending — the chunked form of {!iter_set} used by
+    parallel range scans. *)
 
 val fold_set : ('a -> int -> 'a) -> 'a -> t -> 'a
 
