@@ -1,6 +1,7 @@
 # Convenience targets; `make ci` is what .github/workflows/ci.yml runs.
 
-.PHONY: all build test fmt ci bench bench-smoke crash-smoke scale-smoke clean
+.PHONY: all build test fmt ci bench bench-smoke crash-smoke scale-smoke \
+	shed-smoke clean
 
 all: build
 
@@ -43,6 +44,14 @@ crash-smoke:
 # BENCH_<stamp>.scale.json; speedup curves are informational only.
 scale-smoke:
 	DECIBEL_BENCH_SCALE=1 dune exec bench/main.exe -- --only scale
+
+# Load-shedding sweep: a fixed op mix from 1..16 client threads against
+# an under-provisioned admission controller. Reports p50/p99 latency and
+# shed rate per level to BENCH_<stamp>.shed.json, and exits non-zero if
+# any post-storm multi-scan fingerprint diverges from the serial
+# reference (shedding must be invisible to the data).
+shed-smoke:
+	DECIBEL_BENCH_SCALE=1 dune exec bench/main.exe -- --only shed
 
 clean:
 	dune clean

@@ -1081,6 +1081,169 @@ let scale_bench () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Load shedding: not a paper artifact — the resource-governor
+   walkthrough in EXPERIMENTS.md.  A fixed op mix (cheap branch scans
+   with an occasional heavy multi-scan, plus a slice of tightly
+   deadlined scans) hammers one governed database from a rising number
+   of client threads.  The governor is provisioned well below the peak
+   thread count, so higher levels must shed; the artifact is the
+   latency/shed-rate curve in BENCH_<stamp>.shed.json.  After every
+   level the full multi-scan fingerprint is compared against the
+   pre-storm serial reference — shedding and deadline aborts must be
+   invisible to the data — and any divergence fails the process. *)
+
+module Governor = Decibel_governor.Governor
+
+let shed_bench () =
+  Report.section
+    "Shed — governed op mix under rising concurrency (p99 + shed rate)";
+  let cfg =
+    {
+      Config.default with
+      Config.branches = 8;
+      records_per_branch = 1200 * Config.scale;
+      commit_every = 600 * Config.scale;
+    }
+  in
+  incr load_counter;
+  let dir = fresh_dir (Printf.sprintf "shed-%d" !load_counter) in
+  let wl = Strategy.generate Strategy.Flat cfg in
+  let l = Driver.load ~scheme:Database.Hybrid ~dir cfg wl in
+  (* deliberately under-provisioned: 4 weighted slots and a 2-deep
+     queue against up to 16 clients, so overload actually sheds *)
+  let gov =
+    Governor.Admission.create ~capacity:4 ~heavy_weight:4 ~max_queue:2 ()
+  in
+  Database.close l.Driver.db;
+  let l = { l with Driver.db = Database.reopen ~governor:gov ~dir () } in
+  let db = l.Driver.db in
+  let heads = Database.heads db in
+  let harr = Array.of_list heads in
+  let reference = Driver.multi_scan_fingerprint l in
+  let ops_per_thread = 40 in
+  let levels = [ 1; 2; 4; 8; 16 ] in
+  let mismatches = ref 0 in
+  let level_entries =
+    List.map
+      (fun conc ->
+        let lats = Array.make (conc * ops_per_thread) 0.0 in
+        let ok = Atomic.make 0
+        and shed = Atomic.make 0
+        and deadlined = Atomic.make 0 in
+        let worker tid =
+          let rng =
+            Prng.create (Int64.of_int (0x5EDD + (conc * 1000) + tid))
+          in
+          for k = 0 to ops_per_thread - 1 do
+            let t0 = Unix.gettimeofday () in
+            (try
+               (match Prng.int rng 10 with
+               | 0 ->
+                   (* heavy: all-branch scan, weight 4 of 4 slots *)
+                   Database.multi_scan db heads (fun _ -> ())
+               | 1 ->
+                   (* tightly deadlined cheap scan: exercises
+                      cancellation while the pool is contended *)
+                   let ctx = Governor.Ctx.create ~deadline_ms:1 () in
+                   Database.scan ~ctx db
+                     harr.(Prng.int rng (Array.length harr))
+                     (fun _ -> ())
+               | _ ->
+                   Database.scan db
+                     harr.(Prng.int rng (Array.length harr))
+                     (fun _ -> ()));
+               Atomic.incr ok
+             with
+            | Governor.Overloaded _ -> Atomic.incr shed
+            | Governor.Deadline_exceeded -> Atomic.incr deadlined);
+            lats.((tid * ops_per_thread) + k) <- Unix.gettimeofday () -. t0
+          done
+        in
+        let threads =
+          List.init conc (fun tid -> Thread.create worker tid)
+        in
+        List.iter Thread.join threads;
+        let samples = Array.to_list lats in
+        let total = conc * ops_per_thread in
+        let shed_rate =
+          float_of_int (Atomic.get shed) /. float_of_int total
+        in
+        let p50 = Report.percentile samples 0.50
+        and p99 = Report.percentile samples 0.99 in
+        (* a storm must never change what a later reader sees *)
+        let ok_after = Driver.multi_scan_fingerprint l = reference in
+        if not ok_after then begin
+          incr mismatches;
+          Report.note
+            "MISMATCH: fingerprint diverged after %d-thread level" conc
+        end;
+        Report.note
+          "%2d threads: p50 %s  p99 %s  ok %d  shed %d (%.0f%%)  deadline %d"
+          conc
+          (Report.fmt_ms [ p50 ])
+          (Report.fmt_ms [ p99 ])
+          (Atomic.get ok) (Atomic.get shed) (shed_rate *. 100.)
+          (Atomic.get deadlined);
+        Report.J_obj
+          [
+            ("threads", Report.J_int conc);
+            ("ops", Report.J_int total);
+            ("ok", Report.J_int (Atomic.get ok));
+            ("shed", Report.J_int (Atomic.get shed));
+            ("deadline_exceeded", Report.J_int (Atomic.get deadlined));
+            ("shed_rate", Report.J_float shed_rate);
+            ("p50_ms", Report.J_float (p50 *. 1e3));
+            ("p99_ms", Report.J_float (p99 *. 1e3));
+            ( "fingerprint_identical",
+              Report.J_raw (if ok_after then "true" else "false") );
+          ])
+      levels
+  in
+  let st = Governor.Admission.stats gov in
+  let stamp =
+    let tm = Unix.localtime (Unix.time ()) in
+    Printf.sprintf "%04d%02d%02d_%02d%02d%02d" (tm.Unix.tm_year + 1900)
+      (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+      tm.Unix.tm_sec
+  in
+  let ref_h, ref_n = reference in
+  let doc =
+    Report.J_obj
+      [
+        ("schema", Report.J_str "decibel-shed-v1");
+        ("timestamp", Report.J_str stamp);
+        ("scale", Report.J_int Config.scale);
+        ("config", Report.J_str (Format.asprintf "%a" Config.pp cfg));
+        ( "governor",
+          Report.J_obj
+            [
+              ("capacity", Report.J_int st.Governor.Admission.capacity);
+              ("heavy_weight", Report.J_int 4);
+              ("max_queue", Report.J_int 2);
+              ("admitted", Report.J_int st.Governor.Admission.admitted);
+              ("shed", Report.J_int st.Governor.Admission.shed);
+              ( "avg_hold_ms",
+                Report.J_float st.Governor.Admission.avg_hold_ms );
+            ] );
+        ( "reference_fingerprint",
+          Report.J_str (Printf.sprintf "%016Lx" ref_h) );
+        ("reference_tuples", Report.J_int ref_n);
+        ("levels", Report.J_list level_entries);
+      ]
+  in
+  let path = Printf.sprintf "BENCH_%s.shed.json" stamp in
+  let oc = open_out path in
+  output_string oc (Report.json_to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Report.note "wrote %s" path;
+  Driver.close l;
+  if !mismatches > 0 then begin
+    Printf.eprintf "shed bench: %d fingerprint divergence(s)\n%!" !mismatches;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Crash torture: not a paper artifact — the robustness walkthrough in
    EXPERIMENTS.md.  Kills a scripted branch/insert/commit/merge
    workload at every failpoint site it crosses, recovers, checks
@@ -1171,6 +1334,7 @@ let experiments =
     ("micro", micro);
     ("obs", obs_report);
     ("scale", scale_bench);
+    ("shed", shed_bench);
     ("crash", crash);
     ("tab5", tab5); (* printed last: aggregates all loads this run *)
   ]

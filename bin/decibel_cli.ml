@@ -19,6 +19,7 @@ open Decibel
 open Decibel_storage
 open Cmdliner
 module Vg = Decibel_graph.Version_graph
+module Governor = Decibel_governor.Governor
 
 (* ------------------------------------------------------------------ *)
 (* helpers *)
@@ -96,6 +97,23 @@ let wrap f =
   | Invalid_argument msg ->
       Printf.eprintf "error: %s\n" msg;
       1
+  | Governor.Cancelled ->
+      Printf.eprintf "error: operation cancelled\n";
+      3
+  | Governor.Deadline_exceeded ->
+      Printf.eprintf "error: deadline exceeded\n";
+      3
+  | Governor.Budget_exceeded { charged; budget } ->
+      Printf.eprintf "error: memory budget exceeded (%d of %d bytes)\n"
+        charged budget;
+      3
+  | Governor.Overloaded { retry_after_ms } ->
+      Printf.eprintf "error: server overloaded, retry after ~%d ms\n"
+        retry_after_ms;
+      4
+  | Governor.Breaker.Tripped resource ->
+      Printf.eprintf "error: circuit breaker open for %s\n" resource;
+      4
 
 (* ------------------------------------------------------------------ *)
 (* common arguments *)
@@ -111,6 +129,19 @@ let branch_opt =
     value & opt string "master"
     & info [ "branch"; "b" ] ~docv:"BRANCH"
         ~doc:"Branch to operate on (default master).")
+
+let deadline_opt =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Abandon the operation after $(docv) milliseconds (cooperative \
+           cancellation; exits 3 when the deadline fires).")
+
+let ctx_of_deadline = function
+  | None -> None
+  | Some ms -> Some (Governor.Ctx.create ~deadline_ms:ms ())
 
 (* ------------------------------------------------------------------ *)
 (* commands *)
@@ -274,31 +305,33 @@ let scan_cmd =
       & info [ "at" ] ~docv:"N"
           ~doc:"Scan committed version N (--at N) instead of a branch head.")
   in
-  let run dir branch version =
+  let run dir branch version deadline =
     wrap (fun () ->
         with_repo dir (fun db ->
+            let ctx = ctx_of_deadline deadline in
             match version with
-            | Some v -> Database.scan_version db v print_tuple
-            | None -> Database.scan db (branch_arg db branch) print_tuple))
+            | Some v -> Database.scan_version ?ctx db v print_tuple
+            | None -> Database.scan ?ctx db (branch_arg db branch) print_tuple))
   in
   Cmd.v
     (Cmd.info "scan" ~doc:"Print the live records of a branch or version.")
-    Term.(const run $ dir_arg $ branch_opt $ version)
+    Term.(const run $ dir_arg $ branch_opt $ version $ deadline_opt)
 
 let diff_cmd =
   let b1 = Arg.(required & pos 1 (some string) None & info [] ~docv:"A") in
   let b2 = Arg.(required & pos 2 (some string) None & info [] ~docv:"B") in
-  let run dir a b =
+  let run dir a b deadline =
     wrap (fun () ->
         with_repo dir (fun db ->
-            Database.diff db (branch_arg db a) (branch_arg db b)
+            let ctx = ctx_of_deadline deadline in
+            Database.diff ?ctx db (branch_arg db a) (branch_arg db b)
               ~pos:(fun t -> Printf.printf "< %s\n" (Tuple.to_string t))
               ~neg:(fun t -> Printf.printf "> %s\n" (Tuple.to_string t))))
   in
   Cmd.v
     (Cmd.info "diff"
        ~doc:"Differences between two branches ('<' only in A, '>' only in B).")
-    Term.(const run $ dir_arg $ b1 $ b2)
+    Term.(const run $ dir_arg $ b1 $ b2 $ deadline_opt)
 
 let merge_cmd =
   let into =
@@ -324,11 +357,12 @@ let merge_cmd =
              (default: field-level three-way with destination precedence).")
   in
   let msg = Arg.(value & opt string "merge" & info [ "message"; "m" ]) in
-  let run dir into from policy message =
+  let run dir into from policy message deadline =
     wrap (fun () ->
         with_repo dir (fun db ->
+            let ctx = ctx_of_deadline deadline in
             let r =
-              Database.merge db ~into:(branch_arg db into)
+              Database.merge ?ctx db ~into:(branch_arg db into)
                 ~from:(branch_arg db from) ~policy ~message
             in
             Printf.printf
@@ -346,7 +380,7 @@ let merge_cmd =
   in
   Cmd.v
     (Cmd.info "merge" ~doc:"Merge one branch into another.")
-    Term.(const run $ dir_arg $ into $ from $ policy $ msg)
+    Term.(const run $ dir_arg $ into $ from $ policy $ msg $ deadline_opt)
 
 let log_cmd =
   let run dir =
@@ -431,18 +465,30 @@ let stats_cmd =
       & info [ "count" ] ~docv:"N"
           ~doc:"With $(b,--watch), stop after $(docv) refreshes (0 = forever).")
   in
+  let governor_json db =
+    match Database.governor_stats db with
+    | None -> "null"
+    | Some s ->
+        Printf.sprintf
+          "{\"capacity\":%d,\"in_use\":%d,\"queue_depth\":%d,\
+           \"admitted\":%d,\"shed\":%d,\"avg_hold_ms\":%.3f}"
+          s.Governor.Admission.capacity s.Governor.Admission.in_use
+          s.Governor.Admission.queue_depth s.Governor.Admission.admitted
+          s.Governor.Admission.shed s.Governor.Admission.avg_hold_ms
+  in
   let print_stats db json =
     let g = Database.graph db in
     if json then
       Printf.printf
         "{\"scheme\":\"%s\",\"branches\":%d,\"versions\":%d,\
          \"dataset_bytes\":%d,\"commit_meta_bytes\":%d,\"domains\":%d,\
-         \"metrics\":%s}\n"
+         \"governor\":%s,\"metrics\":%s}\n"
         (Decibel_obs.Obs.json_escape (Database.scheme_of db))
         (Vg.branch_count g) (Vg.version_count g)
         (Database.dataset_bytes db)
         (Database.commit_meta_bytes db)
         (Decibel_par.Par.domain_count ())
+        (governor_json db)
         (Database.metrics_json db)
     else begin
       Printf.printf "scheme:        %s\n" (Database.scheme_of db);
@@ -454,6 +500,23 @@ let stats_cmd =
       Printf.printf "commit bytes:  %d\n" (Database.commit_meta_bytes db);
       Printf.printf "scan domains:  %d (DECIBEL_DOMAINS to change)\n"
         (Decibel_par.Par.domain_count ());
+      (match Database.governor_stats db with
+      | Some s ->
+          Printf.printf
+            "governor:      %d/%d slots in use, queue %d, admitted %d, \
+             shed %d, avg hold %.1f ms\n"
+            s.Governor.Admission.in_use s.Governor.Admission.capacity
+            s.Governor.Admission.queue_depth s.Governor.Admission.admitted
+            s.Governor.Admission.shed s.Governor.Admission.avg_hold_ms
+      | None ->
+          let c = Governor.counters () in
+          let get k = Option.value ~default:0 (List.assoc_opt k c) in
+          Printf.printf
+            "governor:      off (process counters: admitted %d, shed %d, \
+             cancelled %d, deadline %d)\n"
+            (get "governor.admitted") (get "governor.shed")
+            (get "governor.cancelled")
+            (get "governor.deadline_exceeded"));
       let snap = Database.metrics db in
       List.iter
         (fun (name, v) -> if v > 0 then Printf.printf "%-32s %d\n" name v)
@@ -542,11 +605,11 @@ let serve_metrics_cmd =
   let run dir port host max_requests =
     wrap (fun () ->
         with_repo dir (fun db ->
-            Monitor.serve ~host ~max_requests ~port db
+            Monitor.serve ~host ~max_requests ~port ~handle_signals:true db
               ~on_listen:(fun port ->
                 Printf.printf
                   "serving metrics on http://%s:%d (routes: /metrics /events \
-                   /report)\n\
+                   /report /governor; SIGINT/SIGTERM to stop)\n\
                    %!"
                   host port)))
   in

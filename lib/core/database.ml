@@ -11,6 +11,7 @@ open Decibel_storage
 open Types
 module Vg = Decibel_graph.Version_graph
 module Obs = Decibel_obs.Obs
+module Governor = Decibel_governor.Governor
 
 (** Storage scheme selector (paper §3, plus the testing oracle). *)
 type scheme =
@@ -44,6 +45,8 @@ type t =
       mutable next_session : int;
       mutable health : health;
       quarantined : (branch_id, string) Hashtbl.t;
+      governor : Governor.Admission.t option;
+      breakers : (branch_id, Governor.Breaker.t) Hashtbl.t;
     }
       -> t
 
@@ -53,7 +56,7 @@ let c_corruption = Obs.counter "storage.corruption_detected"
 let c_replay_skipped = Obs.counter "wal.replay_skipped"
 
 let open_ ?pool ?(durable = false) ?(compress = false) ?lock_timeout_s
-    ~scheme ~dir ~schema () =
+    ?governor ~scheme ~dir ~schema () =
   let pool =
     match pool with Some p -> p | None -> Buffer_pool.create ()
   in
@@ -79,6 +82,8 @@ let open_ ?pool ?(durable = false) ?(compress = false) ?lock_timeout_s
         next_session = 0;
         health = Healthy;
         quarantined = Hashtbl.create 4;
+        governor;
+        breakers = Hashtbl.create 4;
       }
   in
   match scheme with
@@ -122,7 +127,7 @@ let detect_scheme dir =
   | [] -> errorf "no Decibel repository found in %s" dir
   | _ :: _ :: _ -> errorf "ambiguous repository manifests in %s" dir
 
-let reopen_checkpoint ?pool ?scheme ~dir () =
+let reopen_checkpoint ?pool ?scheme ?governor ~dir () =
   let pool = match pool with Some p -> p | None -> Buffer_pool.create () in
   let scheme = match scheme with Some s -> s | None -> detect_scheme dir in
   let pack (type e) (module E : Engine_intf.S with type t = e) =
@@ -137,6 +142,8 @@ let reopen_checkpoint ?pool ?scheme ~dir () =
         next_session = 0;
         health = Healthy;
         quarantined = Hashtbl.create 4;
+        governor;
+        breakers = Hashtbl.create 4;
       }
   in
   match scheme with
@@ -216,6 +223,85 @@ let guarded t bs f =
     corruption t ?branch:(match bs with b :: _ -> Some b | [] -> None) msg
 
 (* ------------------------------------------------------------------ *)
+(* Resource governance.
+
+   When the database is opened with a [?governor], long-running
+   operations pass through the full gauntlet: per-branch circuit
+   breaker, weighted admission (cheap single-branch scans vs. heavy
+   multi-scans / diffs / merges), then the engine work with the
+   caller's context installed ambiently so the buffer pool and lock
+   manager see its deadline and budget.  Without a governor the
+   wrapper only honors an explicit [?ctx] — no slots, no breakers —
+   so an ungoverned database behaves exactly as before. *)
+
+let breaker_for (Db d as t) b =
+  match Hashtbl.find_opt d.breakers b with
+  | Some br -> br
+  | None ->
+      let br = Governor.Breaker.create ~name:(branch_name t b) () in
+      Hashtbl.replace d.breakers b br;
+      br
+
+(* Only infrastructure failures count against a branch's breaker: user
+   errors ([Engine_error]) and governor verdicts (deadline, shed) say
+   nothing about the branch's storage health. *)
+let counts_as_failure = function
+  | Decibel_util.Binio.Corrupt _ -> true
+  | Decibel_fault.Failpoint.Fault_injected _ -> true
+  | Unix.Unix_error _ -> true
+  | _ -> false
+
+let governed (Db d as t) ?ctx ~cls bs f =
+  let breakers =
+    match d.governor with
+    | None -> [] (* breakers are part of the opt-in governor machinery *)
+    | Some _ -> List.map (breaker_for t) bs
+  in
+  List.iter Governor.Breaker.check breakers;
+  let classify () =
+    match f () with
+    | r ->
+        List.iter Governor.Breaker.success breakers;
+        r
+    | exception e ->
+        Governor.note_outcome e;
+        if counts_as_failure e then
+          List.iter Governor.Breaker.failure breakers;
+        raise e
+  in
+  let with_ctx () =
+    match ctx with
+    | None -> classify ()
+    | Some c ->
+        (* [release] drops any pool pins / scratch charges the op still
+           holds, however it ended — the gauge must return to baseline *)
+        Fun.protect
+          ~finally:(fun () -> Governor.Ctx.release c)
+          (fun () ->
+            Governor.Ctx.check c;
+            Governor.Ctx.with_current ctx classify)
+  in
+  match d.governor with
+  | None -> with_ctx ()
+  | Some adm ->
+      let slot = Governor.Admission.admit ?ctx adm cls in
+      Fun.protect
+        ~finally:(fun () -> Governor.Admission.release slot)
+        with_ctx
+
+let governor_stats (Db { governor; _ }) =
+  Option.map Governor.Admission.stats governor
+
+let breaker (Db { governor; _ } as t) b =
+  match governor with None -> None | Some _ -> Some (breaker_for t b)
+
+let breaker_list (Db { breakers; _ }) =
+  List.sort compare
+    (Hashtbl.fold
+       (fun _ br acc -> (Governor.Breaker.name br, br) :: acc)
+       breakers [])
+
+(* ------------------------------------------------------------------ *)
 (* Logged operations.  The WAL entry is written (and synced) before the
    engine applies the operation; once the engine has applied it, its
    LSN becomes the state's wal-marker, which the next checkpoint
@@ -277,27 +363,46 @@ let delete (Db { engine = (module E); state; _ } as t) b key =
 let lookup (Db { engine = (module E); state; _ } as t) b key =
   guarded t [ b ] (fun () -> E.lookup state b key)
 
-let scan (Db { engine = (module E); state; _ } as t) b f =
-  guarded t [ b ] (fun () -> E.scan state b f)
+let scan ?ctx (Db { engine = (module E); state; _ } as t) b f =
+  guarded t [ b ] (fun () ->
+      governed t ?ctx ~cls:Governor.Cheap [ b ] (fun () ->
+          E.scan ?ctx state b f))
 
-let scan_version (Db { engine = (module E); state; _ } as t) v f =
-  try E.scan_version state v f
+let scan_version ?ctx (Db { engine = (module E); state; _ } as t) v f =
+  try
+    governed t ?ctx ~cls:Governor.Cheap [] (fun () ->
+        E.scan_version ?ctx state v f)
   with Decibel_util.Binio.Corrupt msg -> corruption t msg
 
-let multi_scan (Db { engine = (module E); state; _ } as t) bs f =
-  guarded t bs (fun () -> E.multi_scan state bs f)
+let multi_scan ?ctx (Db { engine = (module E); state; _ } as t) bs f =
+  guarded t bs (fun () ->
+      governed t ?ctx ~cls:Governor.Heavy bs (fun () ->
+          E.multi_scan ?ctx state bs f))
 
-let diff (Db { engine = (module E); state; _ } as t) a b ~pos ~neg =
-  guarded t [ a; b ] (fun () -> E.diff state a b ~pos ~neg)
+let diff ?ctx (Db { engine = (module E); state; _ } as t) a b ~pos ~neg =
+  guarded t [ a; b ] (fun () ->
+      governed t ?ctx ~cls:Governor.Heavy [ a; b ] (fun () ->
+          E.diff ?ctx state a b ~pos ~neg))
 
-let merge (Db { engine = (module E); state; _ } as t) ~into ~from ~policy
+let merge ?ctx (Db { engine = (module E); state; _ } as t) ~into ~from ~policy
     ~message =
   check_writable t;
   guarded t [ into; from ] (fun () ->
-      let lsn = log t (Wal.W_merge (into, from, policy, message)) in
-      let r = E.merge state ~into ~from ~policy ~message in
-      mark t lsn;
-      r)
+      governed t ?ctx ~cls:Governor.Heavy [ into; from ] (fun () ->
+          let lsn = log t (Wal.W_merge (into, from, policy, message)) in
+          match E.merge ?ctx state ~into ~from ~policy ~message with
+          | r ->
+              mark t lsn;
+              r
+          | exception
+              (( Governor.Cancelled | Governor.Deadline_exceeded
+               | Governor.Budget_exceeded _ ) as e) ->
+              (* Engines abort merges only in the read phase, so the
+                 logged entry had no effect on state.  Marking it
+                 consumed keeps recovery from replaying — and this time
+                 applying — an operation the caller saw fail. *)
+              mark t lsn;
+              raise e))
 
 let dataset_bytes (Db { engine = (module E); state; _ }) =
   E.dataset_bytes state
@@ -513,8 +618,8 @@ let replay_entry t lsn (e : Wal.entry) =
   let (Db { engine = (module E); state; _ }) = t in
   E.set_wal_marker state lsn
 
-let reopen ?pool ?scheme ?durable ~dir () =
-  let t = reopen_checkpoint ?pool ?scheme ~dir () in
+let reopen ?pool ?scheme ?durable ?governor ~dir () =
+  let t = reopen_checkpoint ?pool ?scheme ?governor ~dir () in
   let had_log = Sys.file_exists (wal_path dir) in
   let durable = Option.value durable ~default:had_log in
   if had_log then begin

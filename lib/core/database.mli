@@ -29,6 +29,7 @@ val open_ :
   ?durable:bool ->
   ?compress:bool ->
   ?lock_timeout_s:float ->
+  ?governor:Decibel_governor.Governor.Admission.t ->
   scheme:scheme ->
   dir:string ->
   schema:Schema.t ->
@@ -38,10 +39,13 @@ val open_ :
     logging of every operation (default off); [compress] stores record
     payloads LZ77-compressed (the paper's §5.5 space/materialization
     trade-off, default off); [lock_timeout_s] bounds session lock
-    waits. *)
+    waits; [governor] arms admission control, load shedding and
+    per-branch circuit breakers on the long-running operations (see
+    {e Resource governance} below). *)
 
 val reopen :
-  ?pool:Buffer_pool.t -> ?scheme:scheme -> ?durable:bool -> dir:string ->
+  ?pool:Buffer_pool.t -> ?scheme:scheme -> ?durable:bool ->
+  ?governor:Decibel_governor.Governor.Admission.t -> dir:string ->
   unit -> t
 (** Reopen a persisted repository: reloads the last checkpoint and
     replays the intact write-ahead-log tail beyond the checkpoint's
@@ -51,7 +55,8 @@ val reopen :
     repository ever had a log. *)
 
 val reopen_checkpoint :
-  ?pool:Buffer_pool.t -> ?scheme:scheme -> dir:string -> unit -> t
+  ?pool:Buffer_pool.t -> ?scheme:scheme ->
+  ?governor:Decibel_governor.Governor.Admission.t -> dir:string -> unit -> t
 (** Reopen the last checkpoint only — no WAL replay, no checkpoint
     rewrite, no log arming.  The read-only half of {!reopen}; fsck
     uses it to inspect a repository without mutating it. *)
@@ -75,12 +80,16 @@ val branch_from : t -> name:string -> of_branch:branch_id -> branch_id
 val commit : t -> branch_id -> message:string -> version_id
 
 val merge :
+  ?ctx:Decibel_governor.Governor.Ctx.t ->
   t ->
   into:branch_id ->
   from:branch_id ->
   policy:merge_policy ->
   message:string ->
   merge_result
+(** [ctx] is polled during the merge's read phase only (computing
+    change sets and decisions); once installation begins the merge
+    runs to completion, so a deadline or cancel never tears state. *)
 
 (** {1 Data modification (branch working heads)} *)
 
@@ -91,11 +100,20 @@ val lookup : t -> branch_id -> Value.t -> Tuple.t option
 
 (** {1 Scans and comparison} *)
 
-val scan : t -> branch_id -> (Tuple.t -> unit) -> unit
-val scan_version : t -> version_id -> (Tuple.t -> unit) -> unit
-val multi_scan : t -> branch_id list -> (annotated -> unit) -> unit
+val scan :
+  ?ctx:Decibel_governor.Governor.Ctx.t ->
+  t -> branch_id -> (Tuple.t -> unit) -> unit
+
+val scan_version :
+  ?ctx:Decibel_governor.Governor.Ctx.t ->
+  t -> version_id -> (Tuple.t -> unit) -> unit
+
+val multi_scan :
+  ?ctx:Decibel_governor.Governor.Ctx.t ->
+  t -> branch_id list -> (annotated -> unit) -> unit
 
 val diff :
+  ?ctx:Decibel_governor.Governor.Ctx.t ->
   t -> branch_id -> branch_id -> pos:(Tuple.t -> unit) ->
   neg:(Tuple.t -> unit) -> unit
 
@@ -197,3 +215,30 @@ val end_transaction : session -> unit
 
 val locks_of : t -> Lock_manager.t
 (** The lock manager (for tests and instrumentation). *)
+
+(** {1 Resource governance}
+
+    A database opened with [?governor] routes every long-running
+    operation (scan, scan_version, multi_scan, diff, merge) through a
+    per-branch circuit breaker and the admission controller: cheap
+    single-branch scans take one slot unit, heavy multi-branch work
+    takes several, and when the wait queue is full arrivals are shed
+    with {!Decibel_governor.Governor.Overloaded}.  An explicit [?ctx]
+    is honored with or without a governor: it is polled at chunk
+    boundaries inside the engines, installed ambiently so buffer-pool
+    page loads charge its byte budget and lock waits respect its
+    deadline, and fully released (pins, charges) however the operation
+    ends. *)
+
+val governor_stats :
+  t -> Decibel_governor.Governor.Admission.stats option
+(** Admission-controller snapshot; [None] on an ungoverned database. *)
+
+val breaker :
+  t -> branch_id -> Decibel_governor.Governor.Breaker.t option
+(** The branch's circuit breaker (created on first use); [None] on an
+    ungoverned database.  Exposed for tests and the monitor. *)
+
+val breaker_list :
+  t -> (string * Decibel_governor.Governor.Breaker.t) list
+(** Breakers that have been instantiated so far, by branch name. *)

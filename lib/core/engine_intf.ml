@@ -13,7 +13,17 @@
     - A version is immutable; [scan_version] of a commit returns the
       same records forever.
     - [diff] and [multi_scan] compare current branch heads (the working
-      copies); [scan_version] reads historical commits. *)
+      copies); [scan_version] reads historical commits.
+
+    Cancellation: the long-running operations (scans, diff, merge)
+    take an optional {!Decibel_governor.Governor.Ctx.t} and poll it
+    cooperatively — at chunk boundaries of their parallel fan-out and
+    on a stride inside serial decode loops — raising
+    [Governor.Cancelled] / [Deadline_exceeded] / [Budget_exceeded]
+    from a read path only.  [merge] polls during its read phase
+    (collecting both sides' changes) and never once it has begun
+    installing decisions, so an abandoned merge leaves the store
+    exactly as it was. *)
 
 open Decibel_storage
 open Types
@@ -55,6 +65,7 @@ module type S = sig
   (** Snapshot the branch's working state as a new version. *)
 
   val merge :
+    ?ctx:Decibel_governor.Governor.Ctx.t ->
     t ->
     into:branch_id ->
     from:branch_id ->
@@ -83,17 +94,33 @@ module type S = sig
 
   (** {1 Scans} *)
 
-  val scan : t -> branch_id -> (Tuple.t -> unit) -> unit
+  val scan :
+    ?ctx:Decibel_governor.Governor.Ctx.t ->
+    t ->
+    branch_id ->
+    (Tuple.t -> unit) ->
+    unit
   (** All live records of the branch's working head (Q1). *)
 
-  val scan_version : t -> version_id -> (Tuple.t -> unit) -> unit
+  val scan_version :
+    ?ctx:Decibel_governor.Governor.Ctx.t ->
+    t ->
+    version_id ->
+    (Tuple.t -> unit) ->
+    unit
   (** All records of a committed version (checkout + scan). *)
 
-  val multi_scan : t -> branch_id list -> (annotated -> unit) -> unit
+  val multi_scan :
+    ?ctx:Decibel_governor.Governor.Ctx.t ->
+    t ->
+    branch_id list ->
+    (annotated -> unit) ->
+    unit
   (** Records live in any of the given branch heads, each emitted once
       per physical record with its branch annotations (Q4). *)
 
   val diff :
+    ?ctx:Decibel_governor.Governor.Ctx.t ->
     t ->
     branch_id ->
     branch_id ->

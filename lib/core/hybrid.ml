@@ -23,6 +23,7 @@ open Types
 module Vg = Decibel_graph.Version_graph
 module Obs = Decibel_obs.Obs
 module Par = Decibel_par.Par
+module Gctx = Decibel_governor.Governor.Ctx
 
 (* Per-domain bitmap scratch: each parallel segment worker (and the
    serial caller) reuses one vector across segments via the in-place
@@ -392,41 +393,52 @@ let account_segment t sid col =
    tuple stream is byte-identical to the serial loop.  With the pool
    off (or a single segment) this is the plain serial loop with no
    buffering. *)
-let scan_cols t cols f =
+let scan_cols ?ctx t cols f =
   match cols with
   | [] -> ()
   | _ when Par.available () && List.length cols > 1 ->
       let cols = Array.of_list cols in
-      Par.parallel_iter_buffered ~n:(Array.length cols)
+      Par.parallel_iter_buffered ?ctx ~n:(Array.length cols)
         ~produce:(fun i ->
+          let poll = Gctx.poller ctx in
           let sid, col = cols.(i) in
           let acc = ref [] in
-          scan_segment_col t sid col (fun tu -> acc := tu :: !acc);
+          scan_segment_col t sid col (fun tu ->
+              poll ();
+              acc := tu :: !acc);
           List.rev !acc)
         ~consume:(fun tuples -> List.iter f tuples)
-  | _ -> List.iter (fun (sid, col) -> scan_segment_col t sid col f) cols
+        ()
+  | _ ->
+      let poll = Gctx.poller ctx in
+      List.iter
+        (fun (sid, col) ->
+          scan_segment_col t sid col (fun tu ->
+              poll ();
+              f tu))
+        cols
 
 (* Single-branch scan: only segments flagged in the branch–segment
    bitmap are read, in any order (§3.4 “Single-branch Scan”). *)
-let scan t b f =
+let scan ?ctx t b f =
   let cols =
     List.map (fun sid -> (sid, local_col t b sid)) (segs_of_branch t b)
   in
-  if not (Obs.enabled ()) then scan_cols t cols f
+  if not (Obs.enabled ()) then scan_cols ?ctx t cols f
   else
     Obs.with_span sp_scan (fun () ->
         List.iter (fun (sid, col) -> account_segment t sid col) cols;
-        scan_cols t cols f)
+        scan_cols ?ctx t cols f)
 
-let scan_version t vid f =
+let scan_version ?ctx t vid f =
   let cols = commit_cols t vid in
-  if not (Obs.enabled ()) then scan_cols t cols f
+  if not (Obs.enabled ()) then scan_cols ?ctx t cols f
   else
     Obs.with_span sp_scan_version (fun () ->
         List.iter (fun (sid, col) -> account_segment t sid col) cols;
-        scan_cols t cols f)
+        scan_cols ?ctx t cols f)
 
-let multi_scan_impl t branches f =
+let multi_scan_impl ?ctx t branches f =
   let seg_set : (int, unit) Hashtbl.t = Hashtbl.create 16 in
   List.iter
     (fun b -> List.iter (fun s -> Hashtbl.replace seg_set s ()) (segs_of_branch t b))
@@ -444,12 +456,17 @@ let multi_scan_impl t branches f =
     match List.map (fun b -> (b, local_col t b sid)) branches with
     | [] -> []
     | ((_, c0) :: rest) as cols ->
+        let poll = Gctx.poller ctx in
         let any = scratch () in
         Bitvec.copy_into ~src:c0 ~dst:any;
         List.iter (fun (_, c) -> Bitvec.union_in_place any c) rest;
+        (* bitmap scratch is a transient allocation; bill it to the
+           operation's byte budget *)
+        Gctx.charge_current ((Bitvec.length any + 7) lsr 3);
         let acc = ref [] in
         Bitvec.iter_set
           (fun row ->
+            poll ();
             let live =
               List.filter_map
                 (fun (b, col) -> if Bitvec.get col row then Some b else None)
@@ -460,22 +477,23 @@ let multi_scan_impl t branches f =
         List.rev !acc
   in
   if Par.available () && Array.length segs > 1 then
-    Par.parallel_iter_buffered ~n:(Array.length segs)
+    Par.parallel_iter_buffered ?ctx ~n:(Array.length segs)
       ~produce:(fun i -> annotated_of_segment segs.(i))
       ~consume:(fun l -> List.iter f l)
+      ()
   else Array.iter (fun sid -> List.iter f (annotated_of_segment sid)) segs
 
-let multi_scan t branches f =
-  if not (Obs.enabled ()) then multi_scan_impl t branches f
+let multi_scan ?ctx t branches f =
+  if not (Obs.enabled ()) then multi_scan_impl ?ctx t branches f
   else
     Obs.with_span sp_multi_scan (fun () ->
         let n = ref 0 in
-        multi_scan_impl t branches (fun mt ->
+        multi_scan_impl ?ctx t branches (fun mt ->
             n := !n + 1;
             f mt);
         Obs.add c_multi_scan_tuples !n)
 
-let diff_impl t a b ~pos ~neg =
+let diff_impl ?ctx t a b ~pos ~neg =
   let seg_set : (int, unit) Hashtbl.t = Hashtbl.create 16 in
   List.iter (fun s -> Hashtbl.replace seg_set s ()) (segs_of_branch t a);
   List.iter (fun s -> Hashtbl.replace seg_set s ()) (segs_of_branch t b);
@@ -485,12 +503,15 @@ let diff_impl t a b ~pos ~neg =
       (List.sort compare (Hashtbl.fold (fun s () acc -> s :: acc) seg_set []))
   in
   let collect sid =
+    let poll = Gctx.poller ctx in
     let ca = local_col t a sid and cb = local_col t b sid in
     let sym = scratch () in
     Bitvec.copy_into ~src:ca ~dst:sym;
     Bitvec.xor_in_place sym cb;
+    Gctx.charge_current ((Bitvec.length sym + 7) lsr 3);
     let acc = ref [] in
     let emit_side ~live_in ~other side row =
+      poll ();
       if Bitvec.get live_in row then begin
         let tuple = tuple_at t sid row in
         let key = Tuple.pk t.schema tuple in
@@ -513,13 +534,13 @@ let diff_impl t a b ~pos ~neg =
     List.iter (fun (side, tu) -> if side then pos tu else neg tu) l
   in
   if Par.available () && Array.length segs > 1 then
-    Par.parallel_iter_buffered ~n:(Array.length segs)
+    Par.parallel_iter_buffered ?ctx ~n:(Array.length segs)
       ~produce:(fun i -> collect segs.(i))
-      ~consume
+      ~consume ()
   else Array.iter (fun sid -> consume (collect sid)) segs
 
-let diff t a b ~pos ~neg =
-  if not (Obs.enabled ()) then diff_impl t a b ~pos ~neg
+let diff ?ctx t a b ~pos ~neg =
+  if not (Obs.enabled ()) then diff_impl ?ctx t a b ~pos ~neg
   else
     Obs.with_span sp_diff (fun () ->
         let n = ref 0 in
@@ -527,7 +548,7 @@ let diff t a b ~pos ~neg =
           n := !n + 1;
           out tuple
         in
-        diff_impl t a b ~pos:(count pos) ~neg:(count neg);
+        diff_impl ?ctx t a b ~pos:(count pos) ~neg:(count neg);
         Obs.add c_diff_tuples !n)
 
 (* Change tables for merge: per segment, XOR the branch's current
@@ -586,13 +607,21 @@ let changes_since t b lca_cols =
     tbl;
   tbl
 
-let merge_impl t ~into ~from ~policy ~message =
+let merge_impl ?ctx t ~into ~from ~policy ~message =
+  (* the read phase (change collection) polls the context; once
+     decisions start installing the merge runs to completion so a
+     deadline can never leave a half-applied merge behind *)
+  let check () = match ctx with Some c -> Gctx.check c | None -> () in
   let v_ours = Vg.head t.graph into and v_theirs = Vg.head t.graph from in
   let lca = Vg.lca t.graph v_ours v_theirs in
   let lca_cols = commit_cols t lca in
+  check ();
   let ours = changes_since t into lca_cols in
+  check ();
   let theirs = changes_since t from lca_cols in
+  check ();
   let decisions, stats = Merge_driver.decide ~policy ~ours ~theirs in
+  check ();
   List.iter
     (fun (d : Merge_driver.decision) ->
       let key = d.Merge_driver.d_key in
@@ -653,12 +682,12 @@ let merge_impl t ~into ~from ~policy ~message =
     keys_both = stats.Merge_driver.n_both;
   }
 
-let merge t ~into ~from ~policy ~message =
-  if not (Obs.enabled ()) then merge_impl t ~into ~from ~policy ~message
+let merge ?ctx t ~into ~from ~policy ~message =
+  if not (Obs.enabled ()) then merge_impl ?ctx t ~into ~from ~policy ~message
   else
     Obs.with_span sp_merge (fun () ->
         Obs.incr c_merges;
-        merge_impl t ~into ~from ~policy ~message)
+        merge_impl ?ctx t ~into ~from ~policy ~message)
 
 let dataset_bytes t =
   let acc = ref 0 in

@@ -111,11 +111,22 @@ let delete t b key =
 
 let lookup t b key = Vmap.find_opt key (head_state t b)
 
-let scan t b f = Vmap.iter (fun _ tuple -> f tuple) (head_state t b)
+(* The oracle's datasets are tiny; contexts are honored with one poll
+   per emitted record so deadline/cancel tests can still exercise it. *)
+let ctx_poll ctx =
+  let poll = Decibel_governor.Governor.Ctx.poller ~stride:1 ctx in
+  fun f x -> poll (); f x
 
-let scan_version t vid f = Vmap.iter (fun _ tuple -> f tuple) (snapshot t vid)
+let scan ?ctx t b f =
+  let f = ctx_poll ctx f in
+  Vmap.iter (fun _ tuple -> f tuple) (head_state t b)
 
-let multi_scan t branches f =
+let scan_version ?ctx t vid f =
+  let f = ctx_poll ctx f in
+  Vmap.iter (fun _ tuple -> f tuple) (snapshot t vid)
+
+let multi_scan ?ctx t branches f =
+  let f = ctx_poll ctx f in
   (* group by record content: each distinct live tuple once, annotated
      with the branches holding exactly that state for its key *)
   let tbl : (Value.t * Tuple.t, branch_id list) Hashtbl.t =
@@ -134,7 +145,8 @@ let multi_scan t branches f =
     (fun (_, tuple) bs -> f { tuple; in_branches = List.sort compare bs })
     tbl
 
-let diff t a b ~pos ~neg =
+let diff ?ctx t a b ~pos ~neg =
+  let pos = ctx_poll ctx pos and neg = ctx_poll ctx neg in
   let sa = head_state t a and sb = head_state t b in
   Vmap.iter
     (fun key tuple ->
@@ -168,12 +180,19 @@ let changes_since t b base =
     base;
   tbl
 
-let merge t ~into ~from ~policy ~message =
+let merge ?ctx t ~into ~from ~policy ~message =
+  let check () =
+    match ctx with
+    | Some c -> Decibel_governor.Governor.Ctx.check c
+    | None -> ()
+  in
   let v_ours = Vg.head t.graph into and v_theirs = Vg.head t.graph from in
   let lca = Vg.lca t.graph v_ours v_theirs in
   let base = snapshot t lca in
+  check ();
   let ours = changes_since t into base in
   let theirs = changes_since t from base in
+  check ();
   let decisions, stats = Merge_driver.decide ~policy ~ours ~theirs in
   let st = ref (head_state t into) in
   List.iter

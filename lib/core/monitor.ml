@@ -6,6 +6,43 @@ module Obs = Decibel_obs.Obs
 module Report = Decibel_obs.Report
 module Prometheus = Decibel_obs.Prometheus
 module Http = Decibel_obs.Http
+module Governor = Decibel_governor.Governor
+
+let governor_json db =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\"admission\":";
+  (match Database.governor_stats db with
+  | None -> Buffer.add_string buf "null"
+  | Some s ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"capacity\":%d,\"in_use\":%d,\"queue_depth\":%d,\"admitted\":%d,\
+            \"shed\":%d,\"avg_hold_ms\":%.3f}"
+           s.Governor.Admission.capacity s.Governor.Admission.in_use
+           s.Governor.Admission.queue_depth s.Governor.Admission.admitted
+           s.Governor.Admission.shed s.Governor.Admission.avg_hold_ms));
+  Buffer.add_string buf ",\"counters\":{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "\"%s\":%d" (Obs.json_escape k) v))
+    (Governor.counters ());
+  Buffer.add_string buf
+    (Printf.sprintf "},\"pinned_bytes\":%d,\"breakers\":["
+       (Governor.Ctx.pinned_bytes ()));
+  List.iteri
+    (fun i (name, br) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"branch\":\"%s\",\"state\":\"%s\",\"consecutive_failures\":%d}"
+           (Obs.json_escape name)
+           (Governor.Breaker.state_name (Governor.Breaker.state br))
+           (Governor.Breaker.consecutive_failures br)))
+    (Database.breaker_list db);
+  Buffer.add_string buf "]}\n";
+  Buffer.contents buf
 
 let handler db ~meth ~path =
   if meth <> "GET" then Http.text ~status:405 "method not allowed\n"
@@ -13,7 +50,8 @@ let handler db ~meth ~path =
     match path with
     | "/" ->
         Http.text
-          "decibel metrics endpoint\nroutes: /metrics /events /report\n"
+          "decibel metrics endpoint\n\
+           routes: /metrics /events /report /governor\n"
     | "/metrics" ->
         let report = Database.storage_report db in
         {
@@ -34,10 +72,31 @@ let handler db ~meth ~path =
           content_type = "application/json";
           body = Report.to_json (Database.storage_report db) ^ "\n";
         }
+    | "/governor" ->
+        {
+          Http.status = 200;
+          content_type = "application/json";
+          body = governor_json db;
+        }
     | _ -> Http.not_found
 
-let serve ?(host = "127.0.0.1") ?(max_requests = 0) ?on_listen ~port db =
+let serve ?(host = "127.0.0.1") ?(max_requests = 0) ?on_listen
+    ?(handle_signals = false) ~port db =
   let s = Http.listen ~host ~port () in
+  if handle_signals then begin
+    (* long-running `decibel serve-metrics` must die cleanly on ctrl-c
+       or a supervisor's TERM: close the listener so the port frees
+       immediately, then exit 0 so CI never records a leaked server *)
+    let quit _ =
+      (try Http.close s with _ -> ());
+      Stdlib.exit 0
+    in
+    List.iter
+      (fun signal ->
+        try Sys.set_signal signal (Sys.Signal_handle quit)
+        with Invalid_argument _ | Sys_error _ -> ())
+      [ Sys.sigint; Sys.sigterm ]
+  end;
   Fun.protect
     ~finally:(fun () -> Http.close s)
     (fun () ->

@@ -5,7 +5,10 @@
     - [/metrics] — Prometheus text exposition of the {!Decibel_obs.Obs}
       registry plus storage-report gauges;
     - [/report] — the full {!Database.storage_report} as JSON;
-    - [/events] — the structured event ring as JSONL.
+    - [/events] — the structured event ring as JSONL;
+    - [/governor] — resource-governor snapshot as JSON: admission
+      stats (null when ungoverned), governor counters, pinned bytes,
+      and per-branch circuit-breaker states.
 
     Anything else is a 404; non-GET methods are a 405. *)
 
@@ -16,10 +19,13 @@ val serve :
   ?host:string ->
   ?max_requests:int ->
   ?on_listen:(int -> unit) ->
+  ?handle_signals:bool ->
   port:int ->
   Database.t ->
   unit
 (** Listen ([port = 0] for ephemeral) and serve {!handler} on a
     single-threaded accept loop.  [on_listen] receives the bound port.
     [max_requests > 0] returns after that many requests (tests);
-    otherwise loops forever.  The socket is closed on the way out. *)
+    otherwise loops forever.  The socket is closed on the way out.
+    [handle_signals] installs SIGINT/SIGTERM handlers that close the
+    listening socket and exit 0 (for the CLI's foreground server). *)

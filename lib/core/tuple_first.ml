@@ -19,6 +19,7 @@ open Types
 module Vg = Decibel_graph.Version_graph
 module Obs = Decibel_obs.Obs
 module Par = Decibel_par.Par
+module Gctx = Decibel_governor.Governor.Ctx
 
 (* Per-domain bitmap scratch for the in-place diff kernels. *)
 let scratch_key = Domain.DLS.new_key (fun () -> Bitvec.create ())
@@ -251,58 +252,71 @@ module Make (B : Bitmap_intf.S) = struct
      contiguous page ranges of the shared heap.  Workers decode their
      range into a buffered list; ranges are consumed in ascending
      order, so the tuple stream matches the serial bit walk. *)
-  let scan_col t col f =
-    let serial () = Bitvec.iter_set (fun row -> f (tuple_at t row)) col in
+  let scan_col ?ctx t col f =
+    let serial () =
+      let poll = Gctx.poller ctx in
+      Bitvec.iter_set
+        (fun row ->
+          poll ();
+          f (tuple_at t row))
+        col
+    in
     if not (Par.available ()) then serial ()
     else
       let ranges = Par.chunk_ranges (Bitvec.length col) in
       if Array.length ranges <= 1 then serial ()
       else
-        Par.parallel_iter_buffered ~n:(Array.length ranges)
+        Par.parallel_iter_buffered ?ctx ~n:(Array.length ranges)
           ~produce:(fun i ->
+            let poll = Gctx.poller ctx in
             let lo, hi = ranges.(i) in
             let acc = ref [] in
             Bitvec.iter_set_range
-              (fun row -> acc := tuple_at t row :: !acc)
+              (fun row ->
+                poll ();
+                acc := tuple_at t row :: !acc)
               col ~lo ~hi;
             List.rev !acc)
           ~consume:(fun tuples -> List.iter f tuples)
+          ()
 
   (* Scanning a branch touches the whole shared heap extent: with
      interleaved loads a branch's live rows are scattered across every
      page (§5.2), so the page figure reported is the heap's page count
      rather than a per-row count, keeping accounting amortized and
      allocation-free. *)
-  let instrumented_scan_col span t col f =
+  let instrumented_scan_col ?ctx span t col f =
     Obs.with_span span (fun () ->
         Obs.add c_scan_pages (Heap_file.page_count t.heap);
         Obs.add c_scan_bitmap_words (bitmap_words col);
         (* emitted tuples == set bits in the branch column, so the
            count is amortized and the scan runs uninstrumented *)
         Obs.add c_scan_tuples (Bitvec.pop_count col);
-        scan_col t col f)
+        scan_col ?ctx t col f)
 
-  let scan t b f =
+  let scan ?ctx t b f =
     let col = B.column_view t.bitmap ~branch:b in
-    if not (Obs.enabled ()) then scan_col t col f
-    else instrumented_scan_col sp_scan t col f
+    if not (Obs.enabled ()) then scan_col ?ctx t col f
+    else instrumented_scan_col ?ctx sp_scan t col f
 
-  let scan_version t vid f =
+  let scan_version ?ctx t vid f =
     let col = bitmap_at_version t vid in
-    if not (Obs.enabled ()) then scan_col t col f
-    else instrumented_scan_col sp_scan_version t col f
+    if not (Obs.enabled ()) then scan_col ?ctx t col f
+    else instrumented_scan_col ?ctx sp_scan_version t col f
 
-  let multi_scan_impl t branches f =
+  let multi_scan_impl ?ctx t branches f =
     let nrows = Vec.length t.offsets in
     let ranges = if Par.available () then Par.chunk_ranges nrows else [||] in
     if Array.length ranges > 1 then
       (* rows ascend within a range and ranges are consumed in order,
          so the annotated stream matches the serial record walk below *)
-      Par.parallel_iter_buffered ~n:(Array.length ranges)
+      Par.parallel_iter_buffered ?ctx ~n:(Array.length ranges)
         ~produce:(fun i ->
+          let poll = Gctx.poller ctx in
           let lo, hi = ranges.(i) in
           let acc = ref [] in
           for row = lo to hi - 1 do
+            poll ();
             let live =
               List.filter (fun b -> B.get t.bitmap ~branch:b ~row) branches
             in
@@ -311,9 +325,12 @@ module Make (B : Bitmap_intf.S) = struct
           done;
           List.rev !acc)
         ~consume:(fun l -> List.iter f l)
+        ()
     else
+      let poll = Gctx.poller ctx in
       let row = ref 0 in
       Heap_file.iter t.heap (fun _off payload ->
+          poll ();
           let live =
             List.filter (fun b -> B.get t.bitmap ~branch:b ~row:!row) branches
           in
@@ -321,13 +338,13 @@ module Make (B : Bitmap_intf.S) = struct
             f { tuple = decode_tuple t payload; in_branches = live };
           incr row)
 
-  let multi_scan t branches f =
-    if not (Obs.enabled ()) then multi_scan_impl t branches f
+  let multi_scan ?ctx t branches f =
+    if not (Obs.enabled ()) then multi_scan_impl ?ctx t branches f
     else
       Obs.with_span sp_multi_scan (fun () ->
           Obs.add c_scan_pages (Heap_file.page_count t.heap);
           let n = ref 0 in
-          multi_scan_impl t branches (fun mt ->
+          multi_scan_impl ?ctx t branches (fun mt ->
               n := !n + 1;
               f mt);
           Obs.add c_multi_scan_tuples !n)
@@ -335,13 +352,14 @@ module Make (B : Bitmap_intf.S) = struct
   (* Bitmap XOR yields candidate rows; a key-level content check drops
      rows whose key has an identical live copy on the other side, so
      diff is by content, consistently across engines. *)
-  let diff_impl t a b ~pos ~neg =
+  let diff_impl ?ctx t a b ~pos ~neg =
     let ca = B.column_view t.bitmap ~branch:a in
     let cb = B.column_view t.bitmap ~branch:b in
     (* candidate rows into the per-domain scratch, in place *)
     let sym = scratch () in
     Bitvec.copy_into ~src:ca ~dst:sym;
     Bitvec.xor_in_place sym cb;
+    Gctx.charge_current ((Bitvec.length sym + 7) lsr 3);
     let emit_side ~live_in ~other out row =
       if Bitvec.get live_in row then begin
         let tuple = tuple_at t row in
@@ -355,8 +373,10 @@ module Make (B : Bitmap_intf.S) = struct
       end
     in
     let serial () =
+      let poll = Gctx.poller ctx in
       Bitvec.iter_set
         (fun row ->
+          poll ();
           emit_side ~live_in:ca ~other:b pos row;
           emit_side ~live_in:cb ~other:a neg row)
         sym
@@ -366,22 +386,25 @@ module Make (B : Bitmap_intf.S) = struct
       let ranges = Par.chunk_ranges (Bitvec.length sym) in
       if Array.length ranges <= 1 then serial ()
       else
-        Par.parallel_iter_buffered ~n:(Array.length ranges)
+        Par.parallel_iter_buffered ?ctx ~n:(Array.length ranges)
           ~produce:(fun i ->
+            let poll = Gctx.poller ctx in
             let lo, hi = ranges.(i) in
             let acc = ref [] in
             let buffer side tuple = acc := (side, tuple) :: !acc in
             Bitvec.iter_set_range
               (fun row ->
+                poll ();
                 emit_side ~live_in:ca ~other:b (buffer true) row;
                 emit_side ~live_in:cb ~other:a (buffer false) row)
               sym ~lo ~hi;
             List.rev !acc)
           ~consume:
             (List.iter (fun (side, tu) -> if side then pos tu else neg tu))
+          ()
 
-  let diff t a b ~pos ~neg =
-    if not (Obs.enabled ()) then diff_impl t a b ~pos ~neg
+  let diff ?ctx t a b ~pos ~neg =
+    if not (Obs.enabled ()) then diff_impl ?ctx t a b ~pos ~neg
     else
       Obs.with_span sp_diff (fun () ->
           let n = ref 0 in
@@ -389,7 +412,7 @@ module Make (B : Bitmap_intf.S) = struct
             n := !n + 1;
             out tuple
           in
-          diff_impl t a b ~pos:(count pos) ~neg:(count neg);
+          diff_impl ?ctx t a b ~pos:(count pos) ~neg:(count neg);
           Obs.add c_diff_tuples !n)
 
   (* Change table for one branch relative to the LCA snapshot: rows set
@@ -431,13 +454,20 @@ module Make (B : Bitmap_intf.S) = struct
       tbl;
     tbl
 
-  let merge_impl t ~into ~from ~policy ~message =
+  let merge_impl ?ctx t ~into ~from ~policy ~message =
+    (* read phase polls the context; the install loop below never does,
+       so an expired deadline cannot leave a half-applied merge *)
+    let check () = match ctx with Some c -> Gctx.check c | None -> () in
     let v_ours = Vg.head t.graph into and v_theirs = Vg.head t.graph from in
     let lca = Vg.lca t.graph v_ours v_theirs in
     let col_lca = bitmap_at_version t lca in
+    check ();
     let ours = changes_since t col_lca into in
+    check ();
     let theirs = changes_since t col_lca from in
+    check ();
     let decisions, stats = Merge_driver.decide ~policy ~ours ~theirs in
+    check ();
     List.iter
       (fun (d : Merge_driver.decision) ->
         let install_state final =
@@ -486,12 +516,12 @@ module Make (B : Bitmap_intf.S) = struct
       keys_both = stats.Merge_driver.n_both;
     }
 
-  let merge t ~into ~from ~policy ~message =
-    if not (Obs.enabled ()) then merge_impl t ~into ~from ~policy ~message
+  let merge ?ctx t ~into ~from ~policy ~message =
+    if not (Obs.enabled ()) then merge_impl ?ctx t ~into ~from ~policy ~message
     else
       Obs.with_span sp_merge (fun () ->
           Obs.incr c_merges;
-          merge_impl t ~into ~from ~policy ~message)
+          merge_impl ?ctx t ~into ~from ~policy ~message)
 
   let dataset_bytes t = Heap_file.size t.heap
 

@@ -26,6 +26,7 @@ open Types
 module Vg = Decibel_graph.Version_graph
 module Obs = Decibel_obs.Obs
 module Par = Decibel_par.Par
+module Gctx = Decibel_governor.Governor.Ctx
 
 (* same engine.* names as the other schemes: Obs interns by name, so
    all engines feed the shared counters *)
@@ -221,7 +222,7 @@ let plan t seg0 upto0 =
    first within a segment, descendants before ancestors across
    segments.  [f] receives the segment, offset and decoded record of
    each winner (tombstone winners mean "deleted here"). *)
-let scan_winners t seg0 upto0 f =
+let scan_winners ?ctx t seg0 upto0 f =
   let seen : (Value.t, unit) Hashtbl.t = Hashtbl.create 1024 in
   let items = plan t seg0 upto0 in
   if Par.available () && List.length items > 1 then
@@ -230,12 +231,17 @@ let scan_winners t seg0 upto0 f =
        serially in plan order over the buffered fragments, so winners
        are exactly the serial ones, in the same order. *)
     let items = Array.of_list items in
-    Par.parallel_iter_buffered ~n:(Array.length items)
+    Par.parallel_iter_buffered ?ctx ~n:(Array.length items)
       ~produce:(fun i ->
+        let poll = Gctx.poller ctx in
         let sid, upto = items.(i) in
+        (* the buffered fragment decode is the scheme's big transient
+           allocation; bill its extent to the operation's budget *)
+        Gctx.charge_current upto;
         let s = segment t sid in
         let acc = ref [] in
         Heap_file.iter_rev ~upto s.file (fun off payload ->
+            poll ();
             let record = decode_record t payload in
             acc := (sid, off, record, record_key t.schema record) :: !acc);
         List.rev !acc)
@@ -245,11 +251,14 @@ let scan_winners t seg0 upto0 f =
                Hashtbl.replace seen key ();
                f sid off record
              end))
+      ()
   else
+    let poll = Gctx.poller ctx in
     List.iter
       (fun (sid, upto) ->
         let s = segment t sid in
         Heap_file.iter_rev ~upto s.file (fun off payload ->
+            poll ();
             let record = decode_record t payload in
             let key = record_key t.schema record in
             if not (Hashtbl.mem seen key) then begin
@@ -258,8 +267,8 @@ let scan_winners t seg0 upto0 f =
             end))
       items
 
-let scan_live t seg0 upto0 f =
-  scan_winners t seg0 upto0 (fun sid off record ->
+let scan_live ?ctx t seg0 upto0 f =
+  scan_winners ?ctx t seg0 upto0 (fun sid off record ->
       match record with
       | `Tuple tuple -> f sid off tuple
       | `Tombstone _ -> ())
@@ -366,36 +375,38 @@ let account_plan t sid upto =
   List.iter (fun (_, u) -> Obs.add c_scan_pages ((u + psz - 1) / psz)) p;
   Obs.add c_scan_segments (List.length p)
 
-let instrumented_scan span t sid upto f =
+let instrumented_scan ?ctx span t sid upto f =
   Obs.with_span span (fun () ->
       account_plan t sid upto;
       let n = ref 0 in
-      scan_live t sid upto (fun _ _ tuple ->
+      scan_live ?ctx t sid upto (fun _ _ tuple ->
           n := !n + 1;
           f tuple);
       Obs.add c_scan_tuples !n)
 
-let scan t b f =
+let scan ?ctx t b f =
   let sid, upto = head_loc t b in
-  if not (Obs.enabled ()) then scan_live t sid upto (fun _ _ tuple -> f tuple)
-  else instrumented_scan sp_scan t sid upto f
+  if not (Obs.enabled ()) then
+    scan_live ?ctx t sid upto (fun _ _ tuple -> f tuple)
+  else instrumented_scan ?ctx sp_scan t sid upto f
 
-let scan_version t vid f =
+let scan_version ?ctx t vid f =
   let sid, upto = commit_loc t vid in
-  if not (Obs.enabled ()) then scan_live t sid upto (fun _ _ tuple -> f tuple)
-  else instrumented_scan sp_scan_version t sid upto f
+  if not (Obs.enabled ()) then
+    scan_live ?ctx t sid upto (fun _ _ tuple -> f tuple)
+  else instrumented_scan ?ctx sp_scan_version t sid upto f
 
 (* Multi-branch scan, per the paper's two-pass scheme (§3.3): pass one
    records each branch's live (segment, offset) pairs in hash tables;
    pass two walks the union of segments in storage order emitting each
    live record once with its branch annotations. *)
-let multi_scan_impl t branches f =
+let multi_scan_impl ?ctx t branches f =
   let ann : (int * int, branch_id list) Hashtbl.t = Hashtbl.create 4096 in
   let segs : (int, unit) Hashtbl.t = Hashtbl.create 16 in
   List.iter
     (fun b ->
       let sid, upto = head_loc t b in
-      scan_live t sid upto (fun s off _tuple ->
+      scan_live ?ctx t sid upto (fun s off _tuple ->
           Hashtbl.replace segs s ();
           let prev = Option.value ~default:[] (Hashtbl.find_opt ann (s, off)) in
           Hashtbl.replace ann (s, off) (b :: prev)))
@@ -407,9 +418,11 @@ let multi_scan_impl t branches f =
      parallel; buffered fragments are consumed in sorted segment order,
      matching the serial walk *)
   let annotated_of_segment sid =
+    let poll = Gctx.poller ctx in
     let s = segment t sid in
     let acc = ref [] in
     Heap_file.iter s.file (fun off payload ->
+        poll ();
         match Hashtbl.find_opt ann (sid, off) with
         | None -> ()
         | Some bs -> (
@@ -421,17 +434,18 @@ let multi_scan_impl t branches f =
   in
   if Par.available () && List.length seg_ids > 1 then
     let seg_ids = Array.of_list seg_ids in
-    Par.parallel_iter_buffered ~n:(Array.length seg_ids)
+    Par.parallel_iter_buffered ?ctx ~n:(Array.length seg_ids)
       ~produce:(fun i -> annotated_of_segment seg_ids.(i))
       ~consume:(fun l -> List.iter f l)
+      ()
   else List.iter (fun sid -> List.iter f (annotated_of_segment sid)) seg_ids
 
-let multi_scan t branches f =
-  if not (Obs.enabled ()) then multi_scan_impl t branches f
+let multi_scan ?ctx t branches f =
+  if not (Obs.enabled ()) then multi_scan_impl ?ctx t branches f
   else
     Obs.with_span sp_multi_scan (fun () ->
         let n = ref 0 in
-        multi_scan_impl t branches (fun mt ->
+        multi_scan_impl ?ctx t branches (fun mt ->
             n := !n + 1;
             f mt);
         Obs.add c_multi_scan_tuples !n)
@@ -439,10 +453,11 @@ let multi_scan t branches f =
 (* Content diff needs the active records of both branches, which
    version-first can only obtain with full lineage scans — the
    multiple-pass cost the paper reports for Q2 (§5.2). *)
-let diff_impl t a b ~pos ~neg =
+let diff_impl ?ctx t a b ~pos ~neg =
   let in_a : (Value.t, Tuple.t) Hashtbl.t = Hashtbl.create 4096 in
-  scan t a (fun tuple -> Hashtbl.replace in_a (Tuple.pk t.schema tuple) tuple);
-  scan t b (fun tuple ->
+  scan ?ctx t a
+    (fun tuple -> Hashtbl.replace in_a (Tuple.pk t.schema tuple) tuple);
+  scan ?ctx t b (fun tuple ->
       let key = Tuple.pk t.schema tuple in
       match Hashtbl.find_opt in_a key with
       | Some ta when Tuple.equal ta tuple -> Hashtbl.remove in_a key
@@ -453,8 +468,8 @@ let diff_impl t a b ~pos ~neg =
       | None -> neg tuple);
   Hashtbl.iter (fun _ tuple -> pos tuple) in_a
 
-let diff t a b ~pos ~neg =
-  if not (Obs.enabled ()) then diff_impl t a b ~pos ~neg
+let diff ?ctx t a b ~pos ~neg =
+  if not (Obs.enabled ()) then diff_impl ?ctx t a b ~pos ~neg
   else
     Obs.with_span sp_diff (fun () ->
         let n = ref 0 in
@@ -462,7 +477,7 @@ let diff t a b ~pos ~neg =
           n := !n + 1;
           out tuple
         in
-        diff_impl t a b ~pos:(count pos) ~neg:(count neg);
+        diff_impl ?ctx t a b ~pos:(count pos) ~neg:(count neg);
         Obs.add c_diff_tuples !n)
 
 (* Keys a branch touched since the LCA: scan only the segment ranges of
@@ -510,7 +525,11 @@ let changes_since t b lca_loc ~lca_state =
     keys;
   tbl
 
-let merge_impl t ~into ~from ~policy ~message =
+let merge_impl ?ctx t ~into ~from ~policy ~message =
+  (* the read phase (LCA scan, change collection) polls the context;
+     once the merge segment starts filling the operation runs to
+     completion so no half-applied merge is observable *)
+  let check () = match ctx with Some c -> Gctx.check c | None -> () in
   let v_ours = Vg.head t.graph into and v_theirs = Vg.head t.graph from in
   let lca = Vg.lca t.graph v_ours v_theirs in
   let lca_loc = commit_loc t lca in
@@ -524,13 +543,17 @@ let merge_impl t ~into ~from ~policy ~message =
   let lca_state =
     let m : (Value.t, Tuple.t) Hashtbl.t = Hashtbl.create 4096 in
     let lca_sid, lca_upto = lca_loc in
-    scan_live t lca_sid lca_upto (fun _ _ tuple ->
+    scan_live ?ctx t lca_sid lca_upto (fun _ _ tuple ->
         Hashtbl.replace m (Tuple.pk t.schema tuple) tuple);
     Some m
   in
+  check ();
   let ours = changes_since t into lca_loc ~lca_state in
+  check ();
   let theirs = changes_since t from lca_loc ~lca_state in
+  check ();
   let decisions, stats = Merge_driver.decide ~policy ~ours ~theirs in
+  check ();
   (* fresh merge segment: scanned before either parent lineage *)
   let ours_loc = head_loc t into and theirs_loc = head_loc t from in
   let parents =
@@ -571,12 +594,12 @@ let merge_impl t ~into ~from ~policy ~message =
     keys_both = stats.Merge_driver.n_both;
   }
 
-let merge t ~into ~from ~policy ~message =
-  if not (Obs.enabled ()) then merge_impl t ~into ~from ~policy ~message
+let merge ?ctx t ~into ~from ~policy ~message =
+  if not (Obs.enabled ()) then merge_impl ?ctx t ~into ~from ~policy ~message
   else
     Obs.with_span sp_merge (fun () ->
         Obs.incr c_merges;
-        merge_impl t ~into ~from ~policy ~message)
+        merge_impl ?ctx t ~into ~from ~policy ~message)
 
 let dataset_bytes t =
   let acc = ref 0 in

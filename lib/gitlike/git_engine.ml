@@ -119,7 +119,15 @@ let delete t b key = t.heads.(b) <- Vmap.remove key (head t b)
 
 let lookup t b key = Vmap.find_opt key (head t b)
 
-let scan t b f = Vmap.iter (fun _ tuple -> f tuple) (head t b)
+let scan ?ctx t b f =
+  (* the baseline honors cancellation contexts like the real engines:
+     one cheap poll per emitted record *)
+  let poll = Decibel_governor.Governor.Ctx.poller ctx in
+  Vmap.iter
+    (fun _ tuple ->
+      poll ();
+      f tuple)
+    (head t b)
 
 let data_bytes t b =
   Vmap.fold
@@ -231,7 +239,10 @@ let commit t b ~message =
   Hashtbl.replace t.commit_oids vid commit_oid;
   vid
 
-let checkout t vid =
+let checkout ?ctx t vid =
+  (match ctx with
+  | Some c -> Decibel_governor.Governor.Ctx.check c
+  | None -> ());
   if vid = Vg.root_version then Vmap.empty
   else
     match Hashtbl.find_opt t.commit_oids vid with

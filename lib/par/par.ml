@@ -192,6 +192,20 @@ let run_tasks p (tasks : (unit -> unit) array) =
 (* ------------------------------------------------------------------ *)
 (* combinators *)
 
+module Ctx = Decibel_governor.Governor.Ctx
+
+(* Cooperative cancellation: serial paths poll the context on a
+   stride; parallel chunk tasks check it once up front (all tasks of a
+   batch are enqueued eagerly, so after the first failure the
+   remaining chunks reduce to this check) and install the context as
+   the worker domain's ambient context so that budget charging in
+   lower layers (buffer-pool page loads) attributes to the right
+   operation. *)
+let ctx_check = function None -> () | Some c -> Ctx.check c
+
+let with_ctx ctx f =
+  match ctx with None -> f () | Some _ -> Ctx.with_current ctx f
+
 let chunk_ranges ?chunk n =
   if n <= 0 then [||]
   else
@@ -207,69 +221,93 @@ let chunk_ranges ?chunk n =
     let nchunks = (n + size - 1) / size in
     Array.init nchunks (fun k -> (k * size, min n ((k + 1) * size)))
 
-let serial_for n f =
+let serial_for ?ctx n f =
+  let poll = Ctx.poller ctx in
   for i = 0 to n - 1 do
+    poll ();
     f i
   done
 
-let parallel_for ?chunk n f =
+let parallel_for ?ctx ?chunk n f =
   if n <= 0 then ()
   else
     match usable_pool () with
-    | None -> serial_for n f
+    | None -> serial_for ?ctx n f
     | Some p ->
         let ranges = chunk_ranges ?chunk n in
-        if Array.length ranges <= 1 then serial_for n f
+        if Array.length ranges <= 1 then serial_for ?ctx n f
         else
           run_tasks p
             (Array.map
                (fun (lo, hi) () ->
-                 for i = lo to hi - 1 do
-                   f i
-                 done)
+                 ctx_check ctx;
+                 with_ctx ctx (fun () ->
+                     for i = lo to hi - 1 do
+                       f i
+                     done))
                ranges)
 
-let serial_fold ~n ~init ~body ~merge z =
+let serial_fold ?ctx ~n ~init ~body ~merge z =
+  let poll = Ctx.poller ctx in
   let acc = ref (init ()) in
   for i = 0 to n - 1 do
+    poll ();
     acc := body !acc i
   done;
   merge z !acc
 
-let parallel_fold ?chunk ~n ~init ~body ~merge z =
+let parallel_fold ?ctx ?chunk ~n ~init ~body ~merge z =
   if n <= 0 then z
   else
     match usable_pool () with
-    | None -> serial_fold ~n ~init ~body ~merge z
+    | None -> serial_fold ?ctx ~n ~init ~body ~merge z
     | Some p ->
         let ranges = chunk_ranges ?chunk n in
         let nchunks = Array.length ranges in
-        if nchunks <= 1 then serial_fold ~n ~init ~body ~merge z
+        if nchunks <= 1 then serial_fold ?ctx ~n ~init ~body ~merge z
         else begin
           let results = Array.make nchunks None in
           run_tasks p
             (Array.init nchunks (fun k () ->
-                 let lo, hi = ranges.(k) in
-                 let acc = ref (init ()) in
-                 for i = lo to hi - 1 do
-                   acc := body !acc i
-                 done;
-                 results.(k) <- Some !acc));
+                 ctx_check ctx;
+                 with_ctx ctx (fun () ->
+                     let lo, hi = ranges.(k) in
+                     let acc = ref (init ()) in
+                     for i = lo to hi - 1 do
+                       acc := body !acc i
+                     done;
+                     results.(k) <- Some !acc)));
           Array.fold_left
             (fun z r -> match r with Some a -> merge z a | None -> z)
             z results
         end
 
-let parallel_iter_buffered ~n ~produce ~consume =
+let parallel_iter_buffered ?ctx ~n ~produce ~consume () =
   if n <= 0 then ()
   else
     match usable_pool () with
     | None ->
+        let poll = Ctx.poller ~stride:1 ctx in
         for i = 0 to n - 1 do
+          poll ();
           consume (produce i)
         done
     | Some p when n > 1 ->
         let results = Array.make n None in
-        run_tasks p (Array.init n (fun i () -> results.(i) <- Some (produce i)));
-        Array.iter (function Some r -> consume r | None -> ()) results
-    | Some _ -> consume (produce 0)
+        run_tasks p
+          (Array.init n (fun i () ->
+               ctx_check ctx;
+               with_ctx ctx (fun () -> results.(i) <- Some (produce i))));
+        (* the consumer may cancel its own context mid-drain, so the
+           drain loop polls between buffers, not just once up front *)
+        let poll = Ctx.poller ~stride:1 ctx in
+        Array.iter
+          (function
+            | Some r ->
+                poll ();
+                consume r
+            | None -> ())
+          results
+    | Some _ ->
+        ctx_check ctx;
+        consume (produce 0)

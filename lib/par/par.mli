@@ -23,7 +23,16 @@
 
     Exceptions raised by worker tasks are caught, the batch is drained
     to completion, and the first exception observed is re-raised in
-    the calling domain. *)
+    the calling domain.
+
+    Cancellation: every combinator takes an optional
+    [?ctx:Decibel_governor.Ctx.t].  Serial paths poll it on a stride;
+    parallel paths check it at the start of every chunk (and install
+    it as the worker's ambient context for the chunk's duration, so
+    buffer-pool budget charging sees it).  A cancelled or expired
+    context makes the batch drain cheaply — every not-yet-started
+    chunk fails its initial check — and the first
+    [Cancelled]/[Deadline_exceeded] is re-raised in the caller. *)
 
 val domain_count : unit -> int
 (** Number of pool workers currently configured.  0 means the pool is
@@ -48,13 +57,16 @@ val chunk_ranges : ?chunk:int -> int -> (int * int) array
     worker, with a floor so tiny inputs are not oversplit).  [?chunk]
     forces an explicit chunk size. *)
 
-val parallel_for : ?chunk:int -> int -> (int -> unit) -> unit
+val parallel_for :
+  ?ctx:Decibel_governor.Governor.Ctx.t -> ?chunk:int -> int -> (int -> unit) ->
+  unit
 (** [parallel_for n f] runs [f i] for every [i] in [0 .. n-1].
     Iteration order across chunks is unspecified; [f] must be safe to
     call from multiple domains.  With the pool disabled this is a
     plain ascending loop. *)
 
 val parallel_fold :
+  ?ctx:Decibel_governor.Governor.Ctx.t ->
   ?chunk:int ->
   n:int ->
   init:(unit -> 'acc) ->
@@ -70,13 +82,19 @@ val parallel_fold :
     homomorphism property; deterministic regardless. *)
 
 val parallel_iter_buffered :
-  n:int -> produce:(int -> 'b) -> consume:('b -> unit) -> unit
-(** [parallel_iter_buffered ~n ~produce ~consume] evaluates
+  ?ctx:Decibel_governor.Governor.Ctx.t ->
+  n:int ->
+  produce:(int -> 'b) ->
+  consume:('b -> unit) ->
+  unit ->
+  unit
+(** [parallel_iter_buffered ~n ~produce ~consume ()] evaluates
     [produce i] for [i] in [0 .. n-1] on the pool, buffers the
     results, and calls [consume (produce i)] in ascending index order
     from the calling domain.  [produce] must be domain-safe;
     [consume] runs only in the caller.  With the pool disabled,
-    [produce]/[consume] alternate serially with no buffering. *)
+    [produce]/[consume] alternate serially with no buffering.  (The
+    trailing [unit] exists so [?ctx] is erasable.) *)
 
 val shutdown : unit -> unit
 (** Join all pool workers.  Called automatically [at_exit]; safe to

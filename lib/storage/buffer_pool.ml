@@ -1,4 +1,5 @@
 module Obs = Decibel_obs.Obs
+module Gctx = Decibel_governor.Governor.Ctx
 
 type key = int * int
 
@@ -143,6 +144,11 @@ let evict_one s =
 
 let add t ~file ~page data =
   let k = (file, page) in
+  (* Page loads are the dominant transient allocation on read paths:
+     charge them to the governed operation's byte budget (if any).
+     [charge_current] never raises — a breach surfaces at the op's next
+     poll point, so cache bookkeeping below cannot be torn. *)
+  Gctx.charge_current (Bytes.length data);
   Obs.incr c_writes;
   let s = shard_of t k in
   with_shard s (fun () ->

@@ -1,3 +1,6 @@
+module Obs = Decibel_obs.Obs
+module Governor = Decibel_governor.Governor
+
 type mode = Shared | Exclusive
 
 exception Deadlock of string
@@ -29,7 +32,9 @@ let create ?(timeout_s = 5.0) () =
    thread broadcasts [changed] periodically so waiters re-check their
    deadlines; it exits as soon as the last waiter is gone. *)
 let rec watchdog_loop t =
-  Thread.delay (min 0.05 (max 0.002 (t.timeout_s /. 10.)));
+  (* Tick fast enough that short per-call deadlines (a few ms) are
+     honored with useful precision, not just the coarse lock timeout. *)
+  Thread.delay (min 0.005 (max 0.002 (t.timeout_s /. 10.)));
   Mutex.lock t.mutex;
   let keep_going = t.waiters > 0 in
   if keep_going then Condition.broadcast t.changed else t.watchdog <- false;
@@ -52,14 +57,36 @@ let compatible entry ~owner mode =
         entry.locks
   | Exclusive -> List.for_all (fun (o, _) -> o = owner) entry.locks
 
-let acquire t ~owner ~resource mode =
+let acquire t ?deadline ~owner ~resource mode =
   Mutex.lock t.mutex;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.mutex)
     (fun () ->
       let e = entry_of t resource in
-      let deadline = Unix.gettimeofday () +. t.timeout_s in
+      let lock_deadline = Unix.gettimeofday () +. t.timeout_s in
+      let ctx = Governor.Ctx.current () in
+      (* A caller deadline (explicit or via the ambient governor
+         context) abandons the wait with [Deadline_exceeded], not
+         [Deadlock]: the wait was cut short by the caller's budget,
+         not by suspected lock-graph starvation. *)
+      let abandon () =
+        Obs.event ~level:Obs.Warn ~comp:"lock"
+          ~attrs:[ ("resource", resource); ("owner", string_of_int owner) ]
+          "lock wait abandoned: caller deadline exceeded";
+        raise Governor.Deadline_exceeded
+      in
+      let check_caller () =
+        (match ctx with
+        | Some c -> (
+            try Governor.Ctx.check c
+            with Governor.Deadline_exceeded -> abandon ())
+        | None -> ());
+        match deadline with
+        | Some d when Unix.gettimeofday () > d -> abandon ()
+        | _ -> ()
+      in
       let rec wait () =
+        check_caller ();
         if compatible e ~owner mode then begin
           let held = List.assoc_opt owner e.locks in
           match held, mode with
@@ -70,7 +97,7 @@ let acquire t ~owner ~resource mode =
           | None, _ -> e.locks <- (owner, mode) :: e.locks
         end
         else begin
-          if Unix.gettimeofday () > deadline then raise (Deadlock resource);
+          if Unix.gettimeofday () > lock_deadline then raise (Deadlock resource);
           t.waiters <- t.waiters + 1;
           if not t.watchdog then begin
             t.watchdog <- true;

@@ -20,10 +20,18 @@ exception Deadlock of string
 val create : ?timeout_s:float -> unit -> t
 (** [timeout_s] bounds lock waits (default 5 s). *)
 
-val acquire : t -> owner:int -> resource:string -> mode -> unit
+val acquire :
+  t -> ?deadline:float -> owner:int -> resource:string -> mode -> unit
 (** Blocks until granted.  Re-acquisition by the same owner is a no-op;
     a shared holder requesting exclusive upgrades when it is the sole
-    holder. *)
+    holder.
+
+    [deadline] is an absolute [Unix.gettimeofday] instant; a wait that
+    passes it is abandoned with
+    {!Decibel_governor.Governor.Deadline_exceeded} (and a warn-level
+    event), as is a wait whose ambient governor context ({!
+    Decibel_governor.Governor.Ctx.current}) expires or is cancelled.
+    The manager's own [timeout_s] still raises {!Deadlock}. *)
 
 val release_all : t -> owner:int -> unit
 (** Drop every lock the owner holds (commit or abort). *)

@@ -129,7 +129,8 @@ let test_parallel_iter_buffered_order () =
       let got = ref [] in
       Par.parallel_iter_buffered ~n
         ~produce:(fun i -> i * 3)
-        ~consume:(fun x -> got := x :: !got);
+        ~consume:(fun x -> got := x :: !got)
+        ();
       Alcotest.(check (list int)) "consume order"
         (List.init n (fun i -> i * 3))
         (List.rev !got))
