@@ -1,7 +1,7 @@
 # Convenience targets; `make ci` is what .github/workflows/ci.yml runs.
 
 .PHONY: all build test fmt ci bench bench-smoke crash-smoke scale-smoke \
-	shed-smoke clean
+	shed-smoke prof-smoke clean
 
 all: build
 
@@ -52,6 +52,13 @@ scale-smoke:
 # reference (shedding must be invisible to the data).
 shed-smoke:
 	DECIBEL_BENCH_SCALE=1 dune exec bench/main.exe -- --only shed
+
+# Profiler-overhead smoke: Q1 latency with and without the request
+# profiler per scheme, asserting < 5% median overhead (exit non-zero
+# on a breach). Emits BENCH_<stamp>.prof.json with the medians plus a
+# captured EXPLAIN ANALYZE tree per scheme; CI uploads it.
+prof-smoke:
+	DECIBEL_BENCH_SCALE=1 dune exec bench/main.exe -- --only profoverhead
 
 clean:
 	dune clean

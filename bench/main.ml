@@ -1320,6 +1320,107 @@ let crash () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Profiler overhead: Q1 latency with and without the request profiler
+   (Database.profile) per scheme.  The tracing layer's budget is < 5%
+   on the median; exceed it and the run fails.  Writes
+   BENCH_<stamp>.prof.json with per-scheme medians plus one captured
+   profile tree each, so the overhead claim ships with the evidence. *)
+
+let prof_overhead () =
+  Report.section
+    "Profiler overhead — Q1 profiled vs unprofiled (< 5% median budget)";
+  Obs.set_enabled true;
+  let cfg = Config.default in
+  let repeat = 7 in
+  let budget_pct = 5.0 in
+  (* sub-millisecond medians put 5% well inside clock jitter at small
+     scales, so a breach must also clear an absolute 20 us delta *)
+  let noise_floor_s = 20e-6 in
+  let results =
+    List.map
+      (fun (ename, scheme) ->
+        let l = load ~scheme_name:ename ~scheme Strategy.Flat cfg in
+        let db = l.Driver.db in
+        let bid =
+          Driver.branch_id db (Workload.role_exn l.Driver.workload "child")
+        in
+        let run () = ignore (Query.q1_scan db bid) in
+        let run_profiled () =
+          ignore (Database.profile ~label:("q1-" ^ ename) db run)
+        in
+        (* interleave the two measurements in two blocks each, so clock
+           drift and buffer-pool state hit both sides equally *)
+        let plain1 = Driver.measure ~repeat l run in
+        let prof1 = Driver.measure ~repeat l run_profiled in
+        let plain2 = Driver.measure ~repeat l run in
+        let prof2 = Driver.measure ~repeat l run_profiled in
+        let plain = plain1 @ plain2 and prof = prof1 @ prof2 in
+        let p50_plain = Report.percentile plain 0.50 in
+        let p50_prof = Report.percentile prof 0.50 in
+        let overhead_pct =
+          if p50_plain <= 0. then 0.
+          else (p50_prof -. p50_plain) /. p50_plain *. 100.
+        in
+        let over_budget =
+          overhead_pct > budget_pct && p50_prof -. p50_plain > noise_floor_s
+        in
+        let sample_profile =
+          match Database.last_profile db with
+          | Some p -> Obs.Prof.profile_json p
+          | None -> "null"
+        in
+        Report.note "%s: plain p50 %s  profiled p50 %s  overhead %+.2f%%%s"
+          ename
+          (Report.fmt_ms [ p50_plain ])
+          (Report.fmt_ms [ p50_prof ])
+          overhead_pct
+          (if over_budget then "  OVER BUDGET" else "");
+        Driver.close l;
+        let entry =
+          Report.J_obj
+            [
+              ("plain_p50_ms", Report.J_float (p50_plain *. 1e3));
+              ("profiled_p50_ms", Report.J_float (p50_prof *. 1e3));
+              ("overhead_pct", Report.J_float overhead_pct);
+              ("over_budget", Report.J_raw (if over_budget then "true" else "false"));
+              ("sample_profile", Report.J_raw sample_profile);
+            ]
+        in
+        (ename, entry, over_budget))
+      engines
+  in
+  let stamp =
+    let tm = Unix.localtime (Unix.time ()) in
+    Printf.sprintf "%04d%02d%02d_%02d%02d%02d" (tm.Unix.tm_year + 1900)
+      (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+      tm.Unix.tm_sec
+  in
+  let doc =
+    Report.J_obj
+      [
+        ("schema", Report.J_str "decibel-prof-overhead-v1");
+        ("timestamp", Report.J_str stamp);
+        ("scale", Report.J_int Config.scale);
+        ("repeat", Report.J_int (2 * repeat));
+        ("budget_pct", Report.J_float budget_pct);
+        ( "schemes",
+          Report.J_obj (List.map (fun (e, j, _) -> (e, j)) results) );
+      ]
+  in
+  let path = Printf.sprintf "BENCH_%s.prof.json" stamp in
+  let oc = open_out path in
+  output_string oc (Report.json_to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Report.note "wrote %s" path;
+  let breaches = List.filter (fun (_, _, over) -> over) results in
+  if breaches <> [] then begin
+    Printf.eprintf "profiler overhead over %.1f%% budget: %s\n%!" budget_pct
+      (String.concat ", " (List.map (fun (e, _, _) -> e) breaches));
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1335,6 +1436,7 @@ let experiments =
     ("obs", obs_report);
     ("scale", scale_bench);
     ("shed", shed_bench);
+    ("profoverhead", prof_overhead);
     ("crash", crash);
     ("tab5", tab5); (* printed last: aggregates all loads this run *)
   ]

@@ -20,6 +20,7 @@ open Decibel_storage
 open Cmdliner
 module Vg = Decibel_graph.Version_graph
 module Governor = Decibel_governor.Governor
+module Obs = Decibel_obs.Obs
 
 (* ------------------------------------------------------------------ *)
 (* helpers *)
@@ -142,6 +143,30 @@ let deadline_opt =
 let ctx_of_deadline = function
   | None -> None
   | Some ms -> Some (Governor.Ctx.create ~deadline_ms:ms ())
+
+let profile_opt =
+  let fmt_conv = Arg.enum [ ("text", "text"); ("json", "json") ] in
+  Arg.(
+    value
+    & opt ~vopt:(Some "text") (some fmt_conv) None
+    & info [ "profile" ] ~docv:"FMT"
+        ~doc:
+          "EXPLAIN ANALYZE: run the operation under a request trace and \
+           print its per-operator profile tree (rows, timings, cost \
+           counters) after the results.  $(docv) is $(b,text) (default) or \
+           $(b,json).")
+
+(* Run [f] under Database.profile when --profile was given; tracing
+   must be armed before the operation or the spans that become profile
+   nodes are never recorded. *)
+let with_profile db profile ~label f =
+  match profile with
+  | None -> f ()
+  | Some fmt ->
+      Obs.set_enabled true;
+      let (), p = Database.profile ~label db f in
+      if fmt = "json" then print_endline (Obs.Prof.profile_json p)
+      else print_string (Obs.Prof.render p)
 
 (* ------------------------------------------------------------------ *)
 (* commands *)
@@ -305,33 +330,37 @@ let scan_cmd =
       & info [ "at" ] ~docv:"N"
           ~doc:"Scan committed version N (--at N) instead of a branch head.")
   in
-  let run dir branch version deadline =
+  let run dir branch version deadline profile =
     wrap (fun () ->
         with_repo dir (fun db ->
             let ctx = ctx_of_deadline deadline in
-            match version with
-            | Some v -> Database.scan_version ?ctx db v print_tuple
-            | None -> Database.scan ?ctx db (branch_arg db branch) print_tuple))
+            with_profile db profile ~label:"cli.scan" (fun () ->
+                match version with
+                | Some v -> Database.scan_version ?ctx db v print_tuple
+                | None ->
+                    Database.scan ?ctx db (branch_arg db branch) print_tuple)))
   in
   Cmd.v
     (Cmd.info "scan" ~doc:"Print the live records of a branch or version.")
-    Term.(const run $ dir_arg $ branch_opt $ version $ deadline_opt)
+    Term.(const run $ dir_arg $ branch_opt $ version $ deadline_opt
+          $ profile_opt)
 
 let diff_cmd =
   let b1 = Arg.(required & pos 1 (some string) None & info [] ~docv:"A") in
   let b2 = Arg.(required & pos 2 (some string) None & info [] ~docv:"B") in
-  let run dir a b deadline =
+  let run dir a b deadline profile =
     wrap (fun () ->
         with_repo dir (fun db ->
             let ctx = ctx_of_deadline deadline in
-            Database.diff ?ctx db (branch_arg db a) (branch_arg db b)
-              ~pos:(fun t -> Printf.printf "< %s\n" (Tuple.to_string t))
-              ~neg:(fun t -> Printf.printf "> %s\n" (Tuple.to_string t))))
+            with_profile db profile ~label:"cli.diff" (fun () ->
+                Database.diff ?ctx db (branch_arg db a) (branch_arg db b)
+                  ~pos:(fun t -> Printf.printf "< %s\n" (Tuple.to_string t))
+                  ~neg:(fun t -> Printf.printf "> %s\n" (Tuple.to_string t)))))
   in
   Cmd.v
     (Cmd.info "diff"
        ~doc:"Differences between two branches ('<' only in A, '>' only in B).")
-    Term.(const run $ dir_arg $ b1 $ b2 $ deadline_opt)
+    Term.(const run $ dir_arg $ b1 $ b2 $ deadline_opt $ profile_opt)
 
 let merge_cmd =
   let into =
@@ -357,30 +386,33 @@ let merge_cmd =
              (default: field-level three-way with destination precedence).")
   in
   let msg = Arg.(value & opt string "merge" & info [ "message"; "m" ]) in
-  let run dir into from policy message deadline =
+  let run dir into from policy message deadline profile =
     wrap (fun () ->
         with_repo dir (fun db ->
             let ctx = ctx_of_deadline deadline in
-            let r =
-              Database.merge ?ctx db ~into:(branch_arg db into)
-                ~from:(branch_arg db from) ~policy ~message
-            in
-            Printf.printf
-              "merged %s into %s: version %d, %d conflicts (%d/%d/%d keys \
-               ours/theirs/both)\n"
-              from into r.Types.merge_version
-              (List.length r.Types.conflicts)
-              r.Types.keys_ours r.Types.keys_theirs r.Types.keys_both;
-            List.iter
-              (fun (c : Types.conflict) ->
-                Printf.printf "  conflict key=%s fields=[%s]\n"
-                  (Value.to_string c.Types.key)
-                  (String.concat "," (List.map string_of_int c.Types.fields)))
-              r.Types.conflicts))
+            with_profile db profile ~label:"cli.merge" (fun () ->
+                let r =
+                  Database.merge ?ctx db ~into:(branch_arg db into)
+                    ~from:(branch_arg db from) ~policy ~message
+                in
+                Printf.printf
+                  "merged %s into %s: version %d, %d conflicts (%d/%d/%d \
+                   keys ours/theirs/both)\n"
+                  from into r.Types.merge_version
+                  (List.length r.Types.conflicts)
+                  r.Types.keys_ours r.Types.keys_theirs r.Types.keys_both;
+                List.iter
+                  (fun (c : Types.conflict) ->
+                    Printf.printf "  conflict key=%s fields=[%s]\n"
+                      (Value.to_string c.Types.key)
+                      (String.concat ","
+                         (List.map string_of_int c.Types.fields)))
+                  r.Types.conflicts)))
   in
   Cmd.v
     (Cmd.info "merge" ~doc:"Merge one branch into another.")
-    Term.(const run $ dir_arg $ into $ from $ policy $ msg $ deadline_opt)
+    Term.(const run $ dir_arg $ into $ from $ policy $ msg $ deadline_opt
+          $ profile_opt)
 
 let log_cmd =
   let run dir =
@@ -413,7 +445,7 @@ let branches_cmd =
   in
   Cmd.v (Cmd.info "branches" ~doc:"List branches.") Term.(const run $ dir_arg)
 
-let sql_cmd =
+let sql_term =
   let query =
     Arg.(
       required
@@ -423,22 +455,30 @@ let sql_cmd =
             "A VQuel query (see the paper's Table 1 for the four supported \
              shapes).")
   in
-  let run dir q =
+  let run dir q profile =
     wrap (fun () ->
         with_repo dir (fun db ->
-            let rows = Vquel.query db q in
-            List.iter
-              (fun (r : Vquel.row) ->
-                if r.Vquel.row_branches = [] then print_tuple r.Vquel.values
-                else
-                  Printf.printf "%s  [%s]\n"
-                    (Tuple.to_string r.Vquel.values)
-                    (String.concat ", " r.Vquel.row_branches))
-              rows;
-            Printf.printf "(%d rows)\n" (List.length rows)))
+            with_profile db profile ~label:"cli.query" (fun () ->
+                let rows = Vquel.query db q in
+                List.iter
+                  (fun (r : Vquel.row) ->
+                    if r.Vquel.row_branches = [] then
+                      print_tuple r.Vquel.values
+                    else
+                      Printf.printf "%s  [%s]\n"
+                        (Tuple.to_string r.Vquel.values)
+                        (String.concat ", " r.Vquel.row_branches))
+                  rows;
+                Printf.printf "(%d rows)\n" (List.length rows))))
   in
-  Cmd.v (Cmd.info "sql" ~doc:"Run a versioned query.")
-    Term.(const run $ dir_arg $ query)
+  Term.(const run $ dir_arg $ query $ profile_opt)
+
+let sql_cmd = Cmd.v (Cmd.info "sql" ~doc:"Run a versioned query.") sql_term
+
+let query_cmd =
+  (* alias: `decibel query REPO SQL --profile` reads as EXPLAIN ANALYZE *)
+  Cmd.v (Cmd.info "query" ~doc:"Run a versioned query (alias of sql).")
+    sql_term
 
 let stats_cmd =
   let json_flag =
@@ -609,7 +649,7 @@ let serve_metrics_cmd =
               ~on_listen:(fun port ->
                 Printf.printf
                   "serving metrics on http://%s:%d (routes: /metrics /events \
-                   /report /governor; SIGINT/SIGTERM to stop)\n\
+                   /report /governor /profile; SIGINT/SIGTERM to stop)\n\
                    %!"
                   host port)))
   in
@@ -670,5 +710,6 @@ let () =
           [
             init_cmd; insert_cmd; update_cmd; delete_cmd; commit_cmd;
             branch_cmd; scan_cmd; diff_cmd; merge_cmd; log_cmd; branches_cmd;
-            sql_cmd; stats_cmd; inspect_cmd; serve_metrics_cmd; fsck_cmd;
+            sql_cmd; query_cmd; stats_cmd; inspect_cmd; serve_metrics_cmd;
+            fsck_cmd;
           ]))

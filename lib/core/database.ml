@@ -450,6 +450,14 @@ let metrics (Db _) = Obs.snapshot ()
 let metrics_json (Db _) = Obs.to_json (Obs.snapshot ())
 let dump_trace (Db _) ~path = Obs.write_trace ~path
 
+(* EXPLAIN ANALYZE entry point: run [f] (any sequence of ops against
+   this database) under a fresh request trace; the per-operator tree is
+   returned alongside the result and kept in the profiler's ring for
+   the monitor's /profile route. *)
+let profile ?label (Db _) f = Obs.Prof.profiled ?label f
+let last_profile (Db _) = Obs.Prof.last_profile ()
+let recent_profiles (Db _) = Obs.Prof.recent_profiles ()
+
 let storage_report (Db { engine = (module E); state; pool; _ } as t) =
   Obs.with_span "db.storage_report" (fun () ->
       let part = E.storage_report state in

@@ -156,6 +156,23 @@ val dump_trace : t -> path:string -> unit
 (** Write recorded tracing spans to [path] in Chrome trace format
     (one JSON event per line; load via chrome://tracing or Perfetto). *)
 
+val profile :
+  ?label:string -> t -> (unit -> 'a) -> 'a * Decibel_obs.Obs.Prof.profile
+(** EXPLAIN ANALYZE: run [f] — any sequence of operations against this
+    database — under a fresh request trace and return its result with
+    the per-operator profile tree (rows, timings and cost counters per
+    node, worker-domain work attributed to the request).  If [f]
+    raises, a partial profile is still flushed (see
+    {!Decibel_obs.Obs.Prof.profiled}) and the exception propagates.
+    The profile is also kept in the profiler's bounded ring, which the
+    monitor serves at [/profile]. *)
+
+val last_profile : t -> Decibel_obs.Obs.Prof.profile option
+(** The most recently completed profile, if any. *)
+
+val recent_profiles : t -> Decibel_obs.Obs.Prof.profile list
+(** The profiler ring's contents, oldest first. *)
+
 val flush : t -> unit
 (** Checkpoint: persist engine manifests and truncate the WAL. *)
 

@@ -383,9 +383,14 @@ let scan_segment_col t sid col f =
    bitmap's population count, so the scan itself runs uninstrumented. *)
 let account_segment t sid col =
   Obs.incr c_scan_segments;
+  Obs.Prof.incr Obs.Prof.Delta_fragments;
   Obs.add c_scan_pages (Heap_file.page_count (segment t sid).file);
   Obs.add c_scan_bitmap_words (bitmap_words col);
-  Obs.add c_scan_tuples (Bitvec.pop_count col)
+  Obs.Prof.add Obs.Prof.Bitmap_words (bitmap_words col);
+  let live = Bitvec.pop_count col in
+  Obs.add c_scan_tuples live;
+  Obs.Prof.add Obs.Prof.Tuples_scanned live;
+  Obs.Prof.add Obs.Prof.Tuples_emitted live
 
 (* Segment-parallel scan over (segment, column) pairs: pool workers
    decode their segments into buffered tuple lists against the
@@ -491,7 +496,8 @@ let multi_scan ?ctx t branches f =
         multi_scan_impl ?ctx t branches (fun mt ->
             n := !n + 1;
             f mt);
-        Obs.add c_multi_scan_tuples !n)
+        Obs.add c_multi_scan_tuples !n;
+        Obs.Prof.add Obs.Prof.Tuples_emitted !n)
 
 let diff_impl ?ctx t a b ~pos ~neg =
   let seg_set : (int, unit) Hashtbl.t = Hashtbl.create 16 in
@@ -549,7 +555,8 @@ let diff ?ctx t a b ~pos ~neg =
           out tuple
         in
         diff_impl ?ctx t a b ~pos:(count pos) ~neg:(count neg);
-        Obs.add c_diff_tuples !n)
+        Obs.add c_diff_tuples !n;
+        Obs.Prof.add Obs.Prof.Tuples_emitted !n)
 
 (* Change tables for merge: per segment, XOR the branch's current
    column against the LCA's restored column; set-minus directions give

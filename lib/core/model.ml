@@ -117,15 +117,36 @@ let ctx_poll ctx =
   let poll = Decibel_governor.Governor.Ctx.poller ~stride:1 ctx in
   fun f x -> poll (); f x
 
+module Obs = Decibel_obs.Obs
+
+(* Oracle ops still profile (one span + one batch-total counter add per
+   operation) so model-vs-engine comparisons show up in profile trees,
+   while the uninstrumented fast path stays allocation-free. *)
 let scan ?ctx t b f =
-  let f = ctx_poll ctx f in
-  Vmap.iter (fun _ tuple -> f tuple) (head_state t b)
+  let run ?(count = fun g x -> g x) () =
+    let f = ctx_poll ctx (count f) in
+    Vmap.iter (fun _ tuple -> f tuple) (head_state t b)
+  in
+  if not (Obs.enabled ()) then run ()
+  else
+    Obs.with_span "model.scan" (fun () ->
+        let n = ref 0 in
+        run ~count:(fun g x -> incr n; g x) ();
+        Obs.Prof.add Obs.Prof.Tuples_emitted !n)
 
 let scan_version ?ctx t vid f =
-  let f = ctx_poll ctx f in
-  Vmap.iter (fun _ tuple -> f tuple) (snapshot t vid)
+  let run ?(count = fun g x -> g x) () =
+    let f = ctx_poll ctx (count f) in
+    Vmap.iter (fun _ tuple -> f tuple) (snapshot t vid)
+  in
+  if not (Obs.enabled ()) then run ()
+  else
+    Obs.with_span "model.scan_version" (fun () ->
+        let n = ref 0 in
+        run ~count:(fun g x -> incr n; g x) ();
+        Obs.Prof.add Obs.Prof.Tuples_emitted !n)
 
-let multi_scan ?ctx t branches f =
+let multi_scan_impl ?ctx t branches f =
   let f = ctx_poll ctx f in
   (* group by record content: each distinct live tuple once, annotated
      with the branches holding exactly that state for its key *)
@@ -145,7 +166,17 @@ let multi_scan ?ctx t branches f =
     (fun (_, tuple) bs -> f { tuple; in_branches = List.sort compare bs })
     tbl
 
-let diff ?ctx t a b ~pos ~neg =
+let multi_scan ?ctx t branches f =
+  if not (Obs.enabled ()) then multi_scan_impl ?ctx t branches f
+  else
+    Obs.with_span "model.multi_scan" (fun () ->
+        let n = ref 0 in
+        multi_scan_impl ?ctx t branches (fun mt ->
+            incr n;
+            f mt);
+        Obs.Prof.add Obs.Prof.Tuples_emitted !n)
+
+let diff_impl ?ctx t a b ~pos ~neg =
   let pos = ctx_poll ctx pos and neg = ctx_poll ctx neg in
   let sa = head_state t a and sb = head_state t b in
   Vmap.iter
@@ -160,6 +191,18 @@ let diff ?ctx t a b ~pos ~neg =
       | Some other when Tuple.equal other tuple -> ()
       | _ -> neg tuple)
     sb
+
+let diff ?ctx t a b ~pos ~neg =
+  if not (Obs.enabled ()) then diff_impl ?ctx t a b ~pos ~neg
+  else
+    Obs.with_span "model.diff" (fun () ->
+        let n = ref 0 in
+        let count out tuple =
+          incr n;
+          out tuple
+        in
+        diff_impl ?ctx t a b ~pos:(count pos) ~neg:(count neg);
+        Obs.Prof.add Obs.Prof.Tuples_emitted !n)
 
 let changes_since t b base =
   let cur = head_state t b in
@@ -180,7 +223,7 @@ let changes_since t b base =
     base;
   tbl
 
-let merge ?ctx t ~into ~from ~policy ~message =
+let merge_impl ?ctx t ~into ~from ~policy ~message =
   let check () =
     match ctx with
     | Some c -> Decibel_governor.Governor.Ctx.check c
@@ -214,6 +257,12 @@ let merge ?ctx t ~into ~from ~policy ~message =
     keys_theirs = stats.Merge_driver.n_theirs;
     keys_both = stats.Merge_driver.n_both;
   }
+
+let merge ?ctx t ~into ~from ~policy ~message =
+  if not (Obs.enabled ()) then merge_impl ?ctx t ~into ~from ~policy ~message
+  else
+    Obs.with_span "model.merge" (fun () ->
+        merge_impl ?ctx t ~into ~from ~policy ~message)
 
 let dataset_bytes _ = 0
 let commit_meta_bytes _ = 0

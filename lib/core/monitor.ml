@@ -51,7 +51,7 @@ let handler db ~meth ~path =
     | "/" ->
         Http.text
           "decibel metrics endpoint\n\
-           routes: /metrics /events /report /governor\n"
+           routes: /metrics /events /report /governor /profile\n"
     | "/metrics" ->
         let report = Database.storage_report db in
         {
@@ -77,6 +77,13 @@ let handler db ~meth ~path =
           Http.status = 200;
           content_type = "application/json";
           body = governor_json db;
+        }
+    | "/profile" ->
+        (* ring of the last N request profiles, oldest first *)
+        {
+          Http.status = 200;
+          content_type = "application/json";
+          body = Obs.Prof.profiles_json () ^ "\n";
         }
     | _ -> Http.not_found
 

@@ -8,7 +8,10 @@
     - [/events] — the structured event ring as JSONL;
     - [/governor] — resource-governor snapshot as JSON: admission
       stats (null when ungoverned), governor counters, pinned bytes,
-      and per-branch circuit-breaker states.
+      and per-branch circuit-breaker states;
+    - [/profile] — the last N request profiles (EXPLAIN ANALYZE
+      operator trees, see {!Decibel_obs.Obs.Prof}) as a JSON array,
+      oldest first.
 
     Anything else is a 404; non-GET methods are a 405. *)
 

@@ -36,64 +36,82 @@ let always : predicate = fun _ -> true
 
 let nop _ = ()
 
+module Obs = Decibel_obs.Obs
+
+(* Each query class runs under its own span so a profile tree shows
+   the query operator as the parent of the engine-op nodes, with the
+   post-predicate result count as its rows. *)
+let qspan name f =
+  if not (Obs.enabled ()) then f ()
+  else
+    Obs.with_span name (fun () ->
+        let n = f () in
+        Obs.Prof.set_rows n;
+        n)
+
 (** Q1: single-branch scan. *)
 let q1_scan ?(pred = always) ?(f = nop) db branch =
-  let n = ref 0 in
-  Database.scan db branch (fun t ->
-      if pred t then begin
-        incr n;
-        f t
-      end);
-  !n
+  qspan "query.q1_scan" (fun () ->
+      let n = ref 0 in
+      Database.scan db branch (fun t ->
+          if pred t then begin
+            incr n;
+            f t
+          end);
+      !n)
 
 (** Q1 over a committed version instead of a branch head. *)
 let q1_scan_version ?(pred = always) ?(f = nop) db version =
-  let n = ref 0 in
-  Database.scan_version db version (fun t ->
-      if pred t then begin
-        incr n;
-        f t
-      end);
-  !n
+  qspan "query.q1_scan_version" (fun () ->
+      let n = ref 0 in
+      Database.scan_version db version (fun t ->
+          if pred t then begin
+            incr n;
+            f t
+          end);
+      !n)
 
 (** Q2: positive diff — records in [b1] but not in [b2]. *)
 let q2_pos_diff ?(f = nop) db b1 b2 =
-  let n = ref 0 in
-  Database.diff db b1 b2
-    ~pos:(fun t ->
-      incr n;
-      f t)
-    ~neg:(fun _ -> ());
-  !n
+  qspan "query.q2_pos_diff" (fun () ->
+      let n = ref 0 in
+      Database.diff db b1 b2
+        ~pos:(fun t ->
+          incr n;
+          f t)
+        ~neg:(fun _ -> ());
+      !n)
 
 (** Q3: primary-key join of two branch heads; emits pairs whose [b1]
     side satisfies the predicate.  Implemented as a hash join: build on
     the filtered left input, probe with the right (§5.2 Q3). *)
 let q3_join ?(pred = always) ?(f = fun _ _ -> ()) db b1 b2 =
-  let schema = Database.schema db in
-  let build : (Value.t, Tuple.t) Hashtbl.t = Hashtbl.create 4096 in
-  Database.scan db b1 (fun t ->
-      if pred t then Hashtbl.replace build (Tuple.pk schema t) t);
-  let n = ref 0 in
-  Database.scan db b2 (fun t2 ->
-      match Hashtbl.find_opt build (Tuple.pk schema t2) with
-      | Some t1 ->
-          incr n;
-          f t1 t2
-      | None -> ());
-  !n
+  qspan "query.q3_join" (fun () ->
+      let schema = Database.schema db in
+      let build : (Value.t, Tuple.t) Hashtbl.t = Hashtbl.create 4096 in
+      Database.scan db b1 (fun t ->
+          if pred t then Hashtbl.replace build (Tuple.pk schema t) t);
+      let n = ref 0 in
+      Database.scan db b2 (fun t2 ->
+          match Hashtbl.find_opt build (Tuple.pk schema t2) with
+          | Some t1 ->
+              incr n;
+              f t1 t2
+          | None -> ());
+      !n)
 
 (** Q4: scan the heads of the given branches (default: all active
     branches), emitting records matching the predicate annotated with
     the branches they are live in. *)
 let q4_heads ?branches ?(pred = always) ?(f = nop) db =
-  let branches =
-    match branches with Some bs -> bs | None -> Database.heads db
-  in
-  let n = ref 0 in
-  Database.multi_scan db branches (fun (a : annotated) ->
-      if pred a.tuple then begin
-        incr n;
-        f a.tuple
-      end);
-  !n
+  qspan "query.q4_heads" (fun () ->
+      let branches =
+        match branches with Some bs -> bs | None -> Database.heads db
+      in
+      let n = ref 0 in
+      Database.multi_scan db branches (fun (a : annotated) ->
+          if pred a.tuple then begin
+            incr n;
+            f a.tuple
+          end);
+      !n)

@@ -289,9 +289,13 @@ module Make (B : Bitmap_intf.S) = struct
     Obs.with_span span (fun () ->
         Obs.add c_scan_pages (Heap_file.page_count t.heap);
         Obs.add c_scan_bitmap_words (bitmap_words col);
+        Obs.Prof.add Obs.Prof.Bitmap_words (bitmap_words col);
         (* emitted tuples == set bits in the branch column, so the
            count is amortized and the scan runs uninstrumented *)
-        Obs.add c_scan_tuples (Bitvec.pop_count col);
+        let live = Bitvec.pop_count col in
+        Obs.add c_scan_tuples live;
+        Obs.Prof.add Obs.Prof.Tuples_scanned live;
+        Obs.Prof.add Obs.Prof.Tuples_emitted live;
         scan_col ?ctx t col f)
 
   let scan ?ctx t b f =
@@ -343,11 +347,14 @@ module Make (B : Bitmap_intf.S) = struct
     else
       Obs.with_span sp_multi_scan (fun () ->
           Obs.add c_scan_pages (Heap_file.page_count t.heap);
+          (* every heap row is probed against each head's bitmap *)
+          Obs.Prof.add Obs.Prof.Tuples_scanned (Vec.length t.offsets);
           let n = ref 0 in
           multi_scan_impl ?ctx t branches (fun mt ->
               n := !n + 1;
               f mt);
-          Obs.add c_multi_scan_tuples !n)
+          Obs.add c_multi_scan_tuples !n;
+          Obs.Prof.add Obs.Prof.Tuples_emitted !n)
 
   (* Bitmap XOR yields candidate rows; a key-level content check drops
      rows whose key has an identical live copy on the other side, so
@@ -407,13 +414,16 @@ module Make (B : Bitmap_intf.S) = struct
     if not (Obs.enabled ()) then diff_impl ?ctx t a b ~pos ~neg
     else
       Obs.with_span sp_diff (fun () ->
+          Obs.Prof.add Obs.Prof.Bitmap_words
+            (bitmap_words (B.column_view t.bitmap ~branch:a));
           let n = ref 0 in
           let count out tuple =
             n := !n + 1;
             out tuple
           in
           diff_impl ?ctx t a b ~pos:(count pos) ~neg:(count neg);
-          Obs.add c_diff_tuples !n)
+          Obs.add c_diff_tuples !n;
+          Obs.Prof.add Obs.Prof.Tuples_emitted !n)
 
   (* Change table for one branch relative to the LCA snapshot: rows set
      now but not at the LCA are new live copies; rows live at the LCA

@@ -238,6 +238,7 @@ let scan_winners ?ctx t seg0 upto0 f =
         (* the buffered fragment decode is the scheme's big transient
            allocation; bill its extent to the operation's budget *)
         Gctx.charge_current upto;
+        Obs.Prof.add Obs.Prof.Bytes_decoded upto;
         let s = segment t sid in
         let acc = ref [] in
         Heap_file.iter_rev ~upto s.file (fun off payload ->
@@ -373,7 +374,10 @@ let account_plan t sid upto =
   let psz = Buffer_pool.page_size t.pool in
   let p = plan t sid upto in
   List.iter (fun (_, u) -> Obs.add c_scan_pages ((u + psz - 1) / psz)) p;
-  Obs.add c_scan_segments (List.length p)
+  Obs.add c_scan_segments (List.length p);
+  (* the plan's (segment, upto) pairs are exactly the delta fragments
+     this lineage scan replays *)
+  Obs.Prof.add Obs.Prof.Delta_fragments (List.length p)
 
 let instrumented_scan ?ctx span t sid upto f =
   Obs.with_span span (fun () ->
@@ -382,7 +386,9 @@ let instrumented_scan ?ctx span t sid upto f =
       scan_live ?ctx t sid upto (fun _ _ tuple ->
           n := !n + 1;
           f tuple);
-      Obs.add c_scan_tuples !n)
+      Obs.add c_scan_tuples !n;
+      Obs.Prof.add Obs.Prof.Tuples_scanned !n;
+      Obs.Prof.add Obs.Prof.Tuples_emitted !n)
 
 let scan ?ctx t b f =
   let sid, upto = head_loc t b in
@@ -444,11 +450,18 @@ let multi_scan ?ctx t branches f =
   if not (Obs.enabled ()) then multi_scan_impl ?ctx t branches f
   else
     Obs.with_span sp_multi_scan (fun () ->
+        List.iter
+          (fun b ->
+            let sid, upto = head_loc t b in
+            Obs.Prof.add Obs.Prof.Delta_fragments
+              (List.length (plan t sid upto)))
+          branches;
         let n = ref 0 in
         multi_scan_impl ?ctx t branches (fun mt ->
             n := !n + 1;
             f mt);
-        Obs.add c_multi_scan_tuples !n)
+        Obs.add c_multi_scan_tuples !n;
+        Obs.Prof.add Obs.Prof.Tuples_emitted !n)
 
 (* Content diff needs the active records of both branches, which
    version-first can only obtain with full lineage scans — the
@@ -478,7 +491,8 @@ let diff ?ctx t a b ~pos ~neg =
           out tuple
         in
         diff_impl ?ctx t a b ~pos:(count pos) ~neg:(count neg);
-        Obs.add c_diff_tuples !n)
+        Obs.add c_diff_tuples !n;
+        Obs.Prof.add Obs.Prof.Tuples_emitted !n)
 
 (* Keys a branch touched since the LCA: scan only the segment ranges of
    the branch's lineage that lie beyond the LCA's coverage (the records

@@ -513,49 +513,92 @@ let scan_target db target f =
 
 type row = { values : Tuple.t; row_branches : string list }
 
+module Obs = Decibel_obs.Obs
+
+(* Each plan shape runs under its own operator span (two-phase shapes
+   get a child span per phase), so EXPLAIN ANALYZE of a VQuel query
+   shows the planner's operator over the engine-op nodes it drove,
+   with post-predicate emitted rows per node. *)
+let op_span name f =
+  if not (Obs.enabled ()) then f ()
+  else
+    Obs.with_span name (fun () ->
+        let n = f () in
+        Obs.Prof.set_rows n;
+        n)
+
 let run_base db plan =
   let schema = Database.schema db in
   let rows = ref [] in
+  let nemitted = ref 0 in
   let emit ?(branches = []) t =
+    incr nemitted;
     rows := { values = t; row_branches = branches } :: !rows
   in
   (match plan with
   | Scan { target; preds } ->
       let preds = List.map (resolve_pred schema) preds in
-      scan_target db target (fun t -> if conj preds t then emit t)
+      ignore
+        (op_span "vquel.scan" (fun () ->
+             scan_target db target (fun t -> if conj preds t then emit t);
+             !nemitted))
   | Pos_diff { target; other; preds } ->
       let preds = List.map (resolve_pred schema) preds in
-      (* materialize the subquery's key set, probe while scanning *)
-      let keys = Hashtbl.create 4096 in
-      scan_target db other (fun t ->
-          Hashtbl.replace keys (Tuple.pk schema t) ());
-      scan_target db target (fun t ->
-          if (not (Hashtbl.mem keys (Tuple.pk schema t))) && conj preds t then
-            emit t)
+      ignore
+        (op_span "vquel.pos_diff" (fun () ->
+             (* materialize the subquery's key set, probe while scanning *)
+             let keys = Hashtbl.create 4096 in
+             ignore
+               (op_span "vquel.pos_diff.keys" (fun () ->
+                    scan_target db other (fun t ->
+                        Hashtbl.replace keys (Tuple.pk schema t) ());
+                    Hashtbl.length keys));
+             ignore
+               (op_span "vquel.pos_diff.probe" (fun () ->
+                    scan_target db target (fun t ->
+                        if
+                          (not (Hashtbl.mem keys (Tuple.pk schema t)))
+                          && conj preds t
+                        then emit t);
+                    !nemitted));
+             !nemitted))
   | Join { left; right; left_preds; right_preds } ->
       let lp = List.map (resolve_pred schema) left_preds in
       let rp = List.map (resolve_pred schema) right_preds in
-      let build = Hashtbl.create 4096 in
-      scan_target db left (fun t ->
-          if conj lp t then Hashtbl.replace build (Tuple.pk schema t) t);
-      scan_target db right (fun t2 ->
-          if conj rp t2 then
-            match Hashtbl.find_opt build (Tuple.pk schema t2) with
-            | Some t1 -> emit (Array.append t1 t2)
-            | None -> ())
+      ignore
+        (op_span "vquel.join" (fun () ->
+             let build = Hashtbl.create 4096 in
+             ignore
+               (op_span "vquel.join.build" (fun () ->
+                    scan_target db left (fun t ->
+                        if conj lp t then
+                          Hashtbl.replace build (Tuple.pk schema t) t);
+                    Hashtbl.length build));
+             ignore
+               (op_span "vquel.join.probe" (fun () ->
+                    scan_target db right (fun t2 ->
+                        if conj rp t2 then
+                          match Hashtbl.find_opt build (Tuple.pk schema t2) with
+                          | Some t1 -> emit (Array.append t1 t2)
+                          | None -> ());
+                    !nemitted));
+             !nemitted))
   | Head_scan { preds } ->
       let preds = List.map (resolve_pred schema) preds in
       let graph = Database.graph db in
-      Database.multi_scan db (Database.heads db) (fun a ->
-          if conj preds a.tuple then
-            emit
-              ~branches:
-                (List.map
-                   (fun b ->
-                     (Decibel_graph.Version_graph.branch graph b)
-                       .Decibel_graph.Version_graph.name)
-                   a.in_branches)
-              a.tuple));
+      ignore
+        (op_span "vquel.head_scan" (fun () ->
+             Database.multi_scan db (Database.heads db) (fun a ->
+                 if conj preds a.tuple then
+                   emit
+                     ~branches:
+                       (List.map
+                          (fun b ->
+                            (Decibel_graph.Version_graph.branch graph b)
+                              .Decibel_graph.Version_graph.name)
+                          a.in_branches)
+                     a.tuple);
+             !nemitted)));
   List.rev !rows
 
 (* aggregate accumulation over int columns; MIN/MAX also work on
@@ -681,6 +724,16 @@ let apply_post schema post rows =
       end
 
 let run db { base; post } =
-  apply_post (Database.schema db) post (run_base db base)
+  let base_rows = run_base db base in
+  match post with
+  | P_star -> base_rows
+  | P_items _ ->
+      if not (Obs.enabled ()) then
+        apply_post (Database.schema db) post base_rows
+      else
+        Obs.with_span "vquel.post" (fun () ->
+            let out = apply_post (Database.schema db) post base_rows in
+            Obs.Prof.set_rows (List.length out);
+            out)
 
 let query db input = run db (plan_of_select (parse input))

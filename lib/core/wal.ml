@@ -201,6 +201,7 @@ let append t schema entry =
   t.entries <- t.entries + 1;
   Obs.incr c_records;
   Obs.add c_bytes (String.length payload + 8);
+  Obs.Prof.add Obs.Prof.Wal_bytes (String.length payload + 8);
   Obs.incr c_fsyncs;
   lsn
 

@@ -41,6 +41,7 @@ module Ctx = struct
     cancel_flag : bool Atomic.t;
     charged : int Atomic.t;
     released : bool Atomic.t;
+    trace : Obs.Prof.trace option; (* request profiling identity *)
   }
 
   (* one global accumulator behind the pinned-bytes gauge; contexts
@@ -49,7 +50,7 @@ module Ctx = struct
 
   let sync_pinned () = Obs.set_gauge g_pinned (float (Atomic.get global_pinned))
 
-  let create ?deadline_ms ?budget_bytes () =
+  let create ?deadline_ms ?budget_bytes ?trace () =
     let deadline =
       Option.map
         (fun ms -> Unix.gettimeofday () +. (float ms /. 1e3))
@@ -61,11 +62,13 @@ module Ctx = struct
       cancel_flag = Atomic.make false;
       charged = Atomic.make 0;
       released = Atomic.make false;
+      trace;
     }
 
   let cancel t = Atomic.set t.cancel_flag true
   let cancelled t = Atomic.get t.cancel_flag
   let deadline t = t.deadline
+  let trace t = t.trace
 
   let remaining_ms t =
     Option.map
@@ -130,7 +133,16 @@ module Ctx = struct
   let with_current ctx f =
     let saved = Domain.DLS.get current_key in
     Domain.DLS.set current_key ctx;
-    Fun.protect ~finally:(fun () -> Domain.DLS.set current_key saved) f
+    let body () =
+      Fun.protect ~finally:(fun () -> Domain.DLS.set current_key saved) f
+    in
+    (* a context that carries a trace makes it ambient for its extent;
+       a traceless context (or None) never severs an already-ambient
+       trace, so Database.profile keeps attributing through the
+       per-op governed contexts it did not create *)
+    match ctx with
+    | Some { trace = Some tr; _ } -> Obs.Prof.with_attribution tr body
+    | _ -> body ()
 
   let charge_current n =
     match current () with Some c -> charge c n | None -> ()

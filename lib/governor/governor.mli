@@ -41,10 +41,18 @@ exception Overloaded of { retry_after_ms : int }
 module Ctx : sig
   type t
 
-  val create : ?deadline_ms:int -> ?budget_bytes:int -> unit -> t
+  val create :
+    ?deadline_ms:int ->
+    ?budget_bytes:int ->
+    ?trace:Decibel_obs.Obs.Prof.trace ->
+    unit ->
+    t
   (** [deadline_ms] is relative to now; [budget_bytes] bounds the
       transient bytes ({!charge}) the operation may accumulate.  Both
-      default to unlimited. *)
+      default to unlimited.  [trace] attaches a request-profiling
+      identity: {!with_current} then also installs it as the ambient
+      {!Decibel_obs.Obs.Prof} trace for the context's extent, so cost
+      counters attribute to the request that created the context. *)
 
   val cancel : t -> unit
   (** Set the manual cancel flag (safe from any thread or domain);
@@ -54,6 +62,9 @@ module Ctx : sig
 
   val deadline : t -> float option
   (** Absolute deadline ([Unix.gettimeofday] base), if any. *)
+
+  val trace : t -> Decibel_obs.Obs.Prof.trace option
+  (** The profiling trace attached at {!create}, if any. *)
 
   val remaining_ms : t -> int option
   (** Milliseconds until the deadline; negative once overdue. *)
@@ -94,7 +105,10 @@ module Ctx : sig
   val current : unit -> t option
   val with_current : t option -> (unit -> 'a) -> 'a
   (** Install the context for the dynamic extent of the callback on
-      the calling domain (saved/restored exception-safely). *)
+      the calling domain (saved/restored exception-safely).  If the
+      context carries a {!create}-time [trace], it is also installed
+      as the ambient profiling trace; a traceless context (or [None])
+      leaves any already-ambient trace in place. *)
 
   val charge_current : int -> unit
   (** [charge] against the ambient context, if any. *)

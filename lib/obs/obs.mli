@@ -117,6 +117,20 @@ val hist_bucket_counts : histogram -> int array
 
 val hist_count : histogram -> int
 val hist_sum : histogram -> float
+
+val hist_exemplars : histogram -> string array
+(** Per-bucket exemplar trace ids (length [buckets + 1], aligned with
+    {!hist_bucket_counts}; [""] = no traced request has landed in that
+    bucket).  An observation made while a {!Prof} trace is ambient
+    stamps its bucket with the trace id, so tail buckets link to a
+    concrete recent request. *)
+
+val exemplar_near : histogram -> float -> string option
+(** [exemplar_near h q]: trace id of a sample request at quantile [q]
+    — the exemplar of the quantile's bucket, falling back to the
+    nearest populated bucket below it, then above.  [None] when the
+    histogram is empty or no traced request has been observed. *)
+
 val counter_name : counter -> string
 val gauge_name : gauge -> string
 
@@ -172,9 +186,17 @@ val set_event_capacity : int -> unit
 val set_min_event_level : level -> unit
 (** Drop events below this level (default [Debug], i.e. keep all). *)
 
-val set_event_sink : string option -> unit
+val set_event_sink : ?max_bytes:int -> ?keep:int -> string option -> unit
 (** [Some path] appends each subsequent event to [path] as JSONL
-    (flushed per line); [None] closes any open sink. *)
+    (flushed per line); [None] closes any open sink.
+
+    The sink is size-bounded: when appending a line would push the file
+    past [max_bytes] (default 8 MiB; [0] = unbounded) it is rotated —
+    [path] becomes [path.1], [path.1] becomes [path.2], ... keeping at
+    most [keep] rotated files (default 3; [0] truncates in place) —
+    and a fresh [path] is opened.  Rotations are counted in
+    ["obs.event_log_rotations"].  Re-opening an existing file resumes
+    its byte budget from the on-disk size. *)
 
 (** {1 Slow-operation log}
 
@@ -224,13 +246,133 @@ val set_max_spans : int -> unit
 (** Cap on buffered spans (default 200_000); beyond it spans are
     dropped and counted.  Raises [Invalid_argument] when negative. *)
 
+val span_json : span -> string
+(** One span as a single-line Chrome-trace-format ["ph":"X"] event. *)
+
+val output_trace : out_channel -> unit
+(** Stream the recorded spans to [oc], one {!span_json} line per span.
+    Spans are snapshotted up-front; the channel write happens outside
+    the registry lock and never materializes the whole trace as one
+    string (which matters at the 200k-span cap). *)
+
 val dump_trace : unit -> string
 (** The recorded spans as Chrome-trace-format JSON lines (one complete
     ["ph":"X"] event per line; load with [chrome://tracing] or
-    Perfetto after wrapping in a JSON array). *)
+    Perfetto after wrapping in a JSON array).  Prefer {!output_trace}
+    for large traces. *)
 
 val write_trace : path:string -> unit
-(** {!dump_trace} to a file. *)
+(** {!output_trace} to a file (streamed, closed on error). *)
+
+(** {1 Request profiler}
+
+    Request-scoped cost attribution and EXPLAIN ANALYZE-style operator
+    trees.  {!Prof.profiled} allocates a {e trace} — a process-unique
+    id plus a bag of atomic cost counters — and installs it ambiently
+    (per-domain) for the extent of the request, so every
+    {!Prof.add}-instrumented site (buffer pool, WAL, engines) and every
+    {!with_span} attributes to the active request.  [Par] re-installs
+    the submitting domain's trace around worker tasks, so a 4-domain
+    parallel scan's costs land in the one requesting trace.
+
+    Each {!with_span} inside the profiled extent (on the requesting
+    domain) becomes a node of the operator tree; a node's counters are
+    the bag delta between span entry and exit — cumulative, children
+    included, exactly like EXPLAIN ANALYZE.  Completed profiles are
+    kept in a bounded ring for the monitor's [/profile] route. *)
+
+module Prof : sig
+  (** Cost-counter kinds, chosen to explain the paper's scheme
+      tradeoffs (§5): tuples touched vs. emitted, page traffic, bitmap
+      words intersected (tuple-first/hybrid), delta fragments replayed
+      (version-first), WAL and decode volume. *)
+  type kind =
+    | Tuples_scanned
+    | Tuples_emitted
+    | Pages_hit
+    | Pages_missed
+    | Bitmap_words
+    | Delta_fragments
+    | Wal_bytes
+    | Bytes_decoded
+
+  val all_kinds : kind list
+  val kind_name : kind -> string
+
+  type trace
+  (** A request identity: trace id + atomic counter bag.  Shareable
+      across domains. *)
+
+  val make_trace : unit -> trace
+  val trace_id : trace -> string
+
+  val current_trace : unit -> trace option
+  (** The trace ambient on the calling domain, if any. *)
+
+  val with_attribution : trace -> (unit -> 'a) -> 'a
+  (** Run [f] with [trace] installed as this domain's ambient trace
+      (restored afterwards).  Used by [Par] to propagate the submitting
+      domain's trace into pool worker tasks; usable directly by any
+      code that moves work across domains. *)
+
+  val add : kind -> int -> unit
+  (** Attribute [n] units to the ambient trace; no-op (one DLS read)
+      when no trace is installed.  Call per operation or per batch,
+      never per tuple. *)
+
+  val incr : kind -> unit
+
+  val set_rows : int -> unit
+  (** Annotate the innermost open operator node with its logical row
+      count (e.g. rows returned post-predicate).  Unset nodes fall
+      back to their [Tuples_emitted] delta. *)
+
+  type node = {
+    n_name : string;
+    mutable n_rows : int;
+    mutable n_dur : float;  (** seconds *)
+    n_counters : int array;
+        (** indexed like {!all_kinds}; cumulative — children included *)
+    mutable n_children : node list;
+  }
+
+  type profile = {
+    p_trace_id : string;
+    p_label : string;
+    p_dur : float;  (** seconds *)
+    p_root : node;
+    p_aborted : string option;
+        (** exception text when the request aborted (deadline, cancel,
+            ...) and a partial profile was flushed *)
+  }
+
+  val profiled : ?label:string -> (unit -> 'a) -> 'a * profile
+  (** Run [f] under a fresh trace and operator-tree builder and return
+      its result with the completed profile.  If [f] raises, a partial
+      profile is still flushed to the ring (with [p_aborted] set) and
+      the exception is re-raised with its backtrace.  Profiles are
+      counted in ["prof.profiles"] / ["prof.aborted"]. *)
+
+  val total : profile -> kind -> int
+  (** Whole-request total for one counter kind (the root's delta). *)
+
+  val last_profile : unit -> profile option
+
+  val recent_profiles : unit -> profile list
+  (** Ring contents, oldest first (capacity 16 by default). *)
+
+  val set_profile_capacity : int -> unit
+  (** Resize the profile ring (clears it); raises [Invalid_argument]
+      when < 1. *)
+
+  val render : profile -> string
+  (** Human-readable profile tree, one operator per line:
+      [-> name  rows=N  time=T  [kind=v ...]] (zero counters elided). *)
+
+  val profile_json : profile -> string
+  val profiles_json : unit -> string
+  (** The ring as one JSON array of {!profile_json} objects. *)
+end
 
 (** {1 Snapshots} *)
 
@@ -260,6 +402,6 @@ val json_float : float -> string
     (exposed for other JSON emitters). *)
 
 val reset : unit -> unit
-(** Zero every counter, gauge and histogram and clear the trace buffer
-    and event ring.  Handles, slow thresholds and the event sink
-    remain valid. *)
+(** Zero every counter, gauge and histogram (including exemplars) and
+    clear the trace buffer, event ring and profile ring.  Handles,
+    slow thresholds and the event sink remain valid. *)

@@ -57,7 +57,50 @@ let add_sample buf name labels v =
   Buffer.add_string buf (float_string v);
   Buffer.add_char buf '\n'
 
+(* HELP text for metric families whose meaning is not obvious from the
+   name alone — the governor and profiler families in particular.
+   Keyed on the final exposition name (post-sanitize, post-suffix). *)
+let help_table =
+  [
+    ("governor_admitted_total", "Operations admitted past admission control");
+    ("governor_shed_total", "Operations rejected by admission control (load shed)");
+    ("governor_cancelled_total", "Operations aborted by explicit cancellation");
+    ("governor_deadline_exceeded_total", "Operations aborted at their deadline");
+    ( "governor_budget_exceeded_total",
+      "Operations aborted for exceeding their byte budget" );
+    ("governor_queue_depth", "Operations currently waiting for admission");
+    ("governor_pinned_bytes", "Bytes currently charged to governed operations");
+    ( "governor_admission_wait",
+      "Seconds spent waiting for an admission slot (histogram)" );
+    ("prof_profiles_total", "Request profiles completed (EXPLAIN ANALYZE runs)");
+    ( "prof_aborted_total",
+      "Request profiles flushed partially after an abort \
+       (deadline/cancel/error)" );
+    ("obs_event_log_rotations_total", "Event-log sink file rotations");
+  ]
+
+(* escape HELP text: backslash and newline only (HELP values are not
+   quoted in the exposition format) *)
+let escape_help v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let add_help buf name =
+  match List.assoc_opt name help_table with
+  | Some text ->
+      Buffer.add_string buf
+        (Printf.sprintf "# HELP %s %s\n" name (escape_help text))
+  | None -> ()
+
 let add_type buf name kind =
+  add_help buf name;
   Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
 
 let render_histogram buf h =

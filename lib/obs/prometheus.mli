@@ -16,6 +16,9 @@ val sanitize : string -> string
     guard a leading digit with ['_']. *)
 
 val render : ?extra:(string * (string * string) list * float) list -> unit -> string
-(** The full registry as exposition text.  [extra] appends ad-hoc
-    labeled gauge samples ([(metric, labels, value)]), e.g.
-    {!Report.prometheus_samples}. *)
+(** The full registry as exposition text.  Families with registered
+    help text (the [governor_*] and [prof_*] families notably) are
+    preceded by a [# HELP] line; every family gets a [# TYPE] line.
+    Label values are escaped per the format (backslash, double-quote,
+    newline).  [extra] appends ad-hoc labeled gauge samples
+    ([(metric, labels, value)]), e.g. {!Report.prometheus_samples}. *)

@@ -193,6 +193,7 @@ let run_tasks p (tasks : (unit -> unit) array) =
 (* combinators *)
 
 module Ctx = Decibel_governor.Governor.Ctx
+module Prof = Decibel_obs.Obs.Prof
 
 (* Cooperative cancellation: serial paths poll the context on a
    stride; parallel chunk tasks check it once up front (all tasks of a
@@ -205,6 +206,14 @@ let ctx_check = function None -> () | Some c -> Ctx.check c
 
 let with_ctx ctx f =
   match ctx with None -> f () | Some _ -> Ctx.with_current ctx f
+
+(* Profiling-trace propagation: each combinator captures the
+   submitting domain's ambient trace and re-installs it around every
+   worker task, so cost counters hit on worker domains attribute to
+   the requesting trace.  Serial paths stay on the submitting domain,
+   where the trace is already ambient. *)
+let with_trace tr f =
+  match tr with None -> f () | Some t -> Prof.with_attribution t f
 
 let chunk_ranges ?chunk n =
   if n <= 0 then [||]
@@ -237,14 +246,16 @@ let parallel_for ?ctx ?chunk n f =
         let ranges = chunk_ranges ?chunk n in
         if Array.length ranges <= 1 then serial_for ?ctx n f
         else
+          let tr = Prof.current_trace () in
           run_tasks p
             (Array.map
                (fun (lo, hi) () ->
                  ctx_check ctx;
-                 with_ctx ctx (fun () ->
-                     for i = lo to hi - 1 do
-                       f i
-                     done))
+                 with_trace tr (fun () ->
+                     with_ctx ctx (fun () ->
+                         for i = lo to hi - 1 do
+                           f i
+                         done)))
                ranges)
 
 let serial_fold ?ctx ~n ~init ~body ~merge z =
@@ -267,16 +278,18 @@ let parallel_fold ?ctx ?chunk ~n ~init ~body ~merge z =
         if nchunks <= 1 then serial_fold ?ctx ~n ~init ~body ~merge z
         else begin
           let results = Array.make nchunks None in
+          let tr = Prof.current_trace () in
           run_tasks p
             (Array.init nchunks (fun k () ->
                  ctx_check ctx;
-                 with_ctx ctx (fun () ->
-                     let lo, hi = ranges.(k) in
-                     let acc = ref (init ()) in
-                     for i = lo to hi - 1 do
-                       acc := body !acc i
-                     done;
-                     results.(k) <- Some !acc)));
+                 with_trace tr (fun () ->
+                     with_ctx ctx (fun () ->
+                         let lo, hi = ranges.(k) in
+                         let acc = ref (init ()) in
+                         for i = lo to hi - 1 do
+                           acc := body !acc i
+                         done;
+                         results.(k) <- Some !acc))));
           Array.fold_left
             (fun z r -> match r with Some a -> merge z a | None -> z)
             z results
@@ -294,10 +307,12 @@ let parallel_iter_buffered ?ctx ~n ~produce ~consume () =
         done
     | Some p when n > 1 ->
         let results = Array.make n None in
+        let tr = Prof.current_trace () in
         run_tasks p
           (Array.init n (fun i () ->
                ctx_check ctx;
-               with_ctx ctx (fun () -> results.(i) <- Some (produce i))));
+               with_trace tr (fun () ->
+                   with_ctx ctx (fun () -> results.(i) <- Some (produce i)))));
         (* the consumer may cancel its own context mid-drain, so the
            drain loop polls between buffers, not just once up front *)
         let poll = Ctx.poller ~stride:1 ctx in

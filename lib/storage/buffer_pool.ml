@@ -101,10 +101,12 @@ let find t ~file ~page =
           e.referenced <- true;
           s.hits <- s.hits + 1;
           Obs.incr c_hits;
+          Obs.Prof.incr Obs.Prof.Pages_hit;
           Some e.data
       | None ->
           s.misses <- s.misses + 1;
           Obs.incr c_misses;
+          Obs.Prof.incr Obs.Prof.Pages_missed;
           None)
 
 (* Advance the clock hand until a victim with referenced=false is found,
@@ -149,6 +151,9 @@ let add t ~file ~page data =
      [charge_current] never raises — a breach surfaces at the op's next
      poll point, so cache bookkeeping below cannot be torn. *)
   Gctx.charge_current (Bytes.length data);
+  (* profile-attributed decode volume: every page materialized into
+     the pool was read+decoded on behalf of the ambient request *)
+  Obs.Prof.add Obs.Prof.Bytes_decoded (Bytes.length data);
   Obs.incr c_writes;
   let s = shard_of t k in
   with_shard s (fun () ->

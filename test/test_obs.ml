@@ -319,6 +319,147 @@ let test_event_sink () =
          in
          go 0))
 
+let contains hay needle =
+  let n = String.length needle and m = String.length hay in
+  let rec go i = i + n <= m && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_event_sink_rotation () =
+  Obs.set_enabled true;
+  Obs.reset ();
+  let dir = Decibel_util.Fsutil.fresh_dir "decibel-test-obs-rot" in
+  let path = Filename.concat dir "events.jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_event_sink None;
+      Decibel_util.Fsutil.rm_rf dir)
+    (fun () ->
+      let rot0 = Obs.value_of "obs.event_log_rotations" in
+      (* ~150-byte lines against a 256-byte budget: the sink rotates
+         every couple of events *)
+      Obs.set_event_sink ~max_bytes:256 ~keep:2 (Some path);
+      for i = 1 to 12 do
+        Obs.event ~comp:"rot"
+          (Printf.sprintf "event-%03d-%s" i (String.make 80 'x'))
+      done;
+      Obs.set_event_sink None;
+      Alcotest.(check bool) "rotations counted" true
+        (Obs.value_of "obs.event_log_rotations" > rot0);
+      Alcotest.(check bool) "live file exists" true (Sys.file_exists path);
+      Alcotest.(check bool) ".1 exists" true (Sys.file_exists (path ^ ".1"));
+      Alcotest.(check bool) ".2 exists" true (Sys.file_exists (path ^ ".2"));
+      Alcotest.(check bool) ".3 never created (keep 2)" false
+        (Sys.file_exists (path ^ ".3"));
+      (* rotation happens on line boundaries: every surviving file is
+         intact JSONL, and only oversized single lines may exceed the
+         byte budget *)
+      List.iter
+        (fun p ->
+          let ic = open_in p in
+          Fun.protect
+            ~finally:(fun () -> close_in ic)
+            (fun () ->
+              Alcotest.(check bool) (p ^ " within budget") true
+                (in_channel_length ic <= 256 + 200);
+              try
+                while true do
+                  let l = input_line ic in
+                  if l <> "" then
+                    Alcotest.(check bool) "rotated line is an object" true
+                      (is_json_object l)
+                done
+              with End_of_file -> ()))
+        [ path; path ^ ".1"; path ^ ".2" ];
+      (* the newest event is in the live file, not a rotated one *)
+      let ic = open_in path in
+      let last = ref "" in
+      (try
+         while true do
+           last := input_line ic
+         done
+       with End_of_file -> close_in ic);
+      Alcotest.(check bool) "live file holds the newest event" true
+        (contains !last "event-012"))
+
+let test_streaming_trace () =
+  Obs.set_enabled true;
+  Obs.reset ();
+  Obs.with_span "trace.a" (fun () ->
+      Obs.with_span "trace.b" (fun () -> ()));
+  Obs.with_span "trace.c" (fun () -> ());
+  let dump_lines =
+    List.filter (fun l -> l <> "")
+      (String.split_on_char '\n' (Obs.dump_trace ()))
+  in
+  Alcotest.(check int) "one line per span" 3 (List.length dump_lines);
+  (* write_trace streams through output_trace; the file must carry
+     exactly the batch dump, line for line *)
+  let path = Filename.temp_file "decibel-trace" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Obs.write_trace ~path;
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           let l = input_line ic in
+           if l <> "" then lines := l :: !lines
+         done
+       with End_of_file -> close_in ic);
+      let file_lines = List.rev !lines in
+      Alcotest.(check (list string)) "streamed = batch dump" dump_lines
+        file_lines;
+      (* each line is span_json of the corresponding span *)
+      let b = List.find (fun s -> s.Obs.sp_name = "trace.b") (Obs.spans ()) in
+      Alcotest.(check bool) "span_json line present" true
+        (List.mem (Obs.span_json b) file_lines))
+
+let test_prometheus_format () =
+  Obs.set_enabled true;
+  Obs.reset ();
+  let module P = Decibel_obs.Prometheus in
+  (* touch one member of each HELP-registered family *)
+  Obs.incr (Obs.counter "governor.admitted");
+  Obs.incr (Obs.counter "prof.profiles");
+  Obs.incr (Obs.counter "obs.event_log_rotations");
+  let text =
+    P.render
+      ~extra:[ ("test_labeled", [ ("branch", "we\"ird\nname\\x") ], 1.0) ]
+      ()
+  in
+  (* HELP and TYPE headers for the documented families, HELP first *)
+  List.iter
+    (fun family ->
+      let help = "# HELP " ^ family ^ " " in
+      let typ = "# TYPE " ^ family ^ " counter" in
+      Alcotest.(check bool) (family ^ " has HELP") true (contains text help);
+      Alcotest.(check bool) (family ^ " has TYPE") true (contains text typ);
+      let idx needle =
+        let n = String.length needle and m = String.length text in
+        let rec go i =
+          if i + n > m then -1
+          else if String.sub text i n = needle then i
+          else go (i + 1)
+        in
+        go 0
+      in
+      Alcotest.(check bool) (family ^ " HELP precedes TYPE") true
+        (idx help < idx typ))
+    [
+      "governor_admitted_total"; "prof_profiles_total";
+      "obs_event_log_rotations_total";
+    ];
+  (* label values escape backslash, double-quote and newline *)
+  Alcotest.(check bool) "label value escaped" true
+    (contains text "branch=\"we\\\"ird\\nname\\\\x\"");
+  (* undocumented families still get a bare TYPE line *)
+  Obs.incr (Obs.counter "test.prom.undocumented");
+  let text2 = P.render () in
+  Alcotest.(check bool) "TYPE without HELP for unknown family" true
+    (contains text2 "# TYPE test_prom_undocumented_total counter"
+    && not (contains text2 "# HELP test_prom_undocumented_total"))
+
 let test_slow_op_log () =
   Obs.set_enabled true;
   Obs.reset ();
@@ -485,6 +626,11 @@ let () =
         [
           Alcotest.test_case "event ring" `Quick test_event_ring;
           Alcotest.test_case "event sink" `Quick test_event_sink;
+          Alcotest.test_case "event sink rotation" `Quick
+            test_event_sink_rotation;
+          Alcotest.test_case "streaming trace" `Quick test_streaming_trace;
+          Alcotest.test_case "prometheus format" `Quick
+            test_prometheus_format;
           Alcotest.test_case "slow-op log" `Quick test_slow_op_log;
         ] );
       ( "instrumentation",
