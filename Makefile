@@ -1,7 +1,7 @@
 # Convenience targets; `make ci` is what .github/workflows/ci.yml runs.
 
 .PHONY: all build test fmt ci bench bench-smoke crash-smoke scale-smoke \
-	shed-smoke prof-smoke clean
+	shed-smoke prof-smoke advise-smoke clean
 
 all: build
 
@@ -59,6 +59,13 @@ shed-smoke:
 # captured EXPLAIN ANALYZE tree per scheme; CI uploads it.
 prof-smoke:
 	DECIBEL_BENCH_SCALE=1 dune exec bench/main.exe -- --only profoverhead
+
+# Storage-advisor smoke: a skewed scan mix over hot/cold branches on
+# long version-first delta chains must make the advisor recommend
+# materializing the hot branch and leave the cold one on deltas (exit
+# non-zero otherwise). Emits BENCH_<stamp>.advise.json; CI uploads it.
+advise-smoke:
+	DECIBEL_BENCH_SCALE=1 dune exec bench/main.exe -- --only advise
 
 clean:
 	dune clean

@@ -1421,6 +1421,114 @@ let prof_overhead () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Storage advisor: not a paper artifact — the workload-vs-storage
+   walkthrough in EXPERIMENTS.md.  A skewed scan mix over three
+   branches of a version-first store (hot and cold both sitting on
+   long delta chains, plus a quiet mainline) must drive the advisor to
+   recommend materializing the hot branch while leaving the cold one
+   on deltas — the measured form of the recreation/storage tradeoff.
+   Writes BENCH_<stamp>.advise.json; a wrong or missing recommendation
+   fails the process. *)
+
+module ObsWl = Decibel_obs.Workload
+module Advisor = Decibel_obs.Advisor
+
+let advise_bench () =
+  Report.section
+    "Advise — storage advisor on a skewed branch workload (VF, long chains)";
+  Obs.set_enabled true;
+  ObsWl.reset ();
+  incr load_counter;
+  let dir = fresh_dir (Printf.sprintf "advise-%d" !load_counter) in
+  Fsutil.mkdir_p dir;
+  let cfg = Config.default in
+  let db =
+    Database.open_ ~scheme:Database.Version_first ~dir
+      ~schema:(Config.schema cfg) ()
+  in
+  let key = ref 0 in
+  let insert_batch b n =
+    for _ = 1 to n do
+      incr key;
+      Database.insert db b (Driver.tuple_of_key cfg !key)
+    done
+  in
+  insert_batch Vg.master (50 * Config.scale);
+  let _base = Database.commit db Vg.master ~message:"base" in
+  (* version-first opens one segment per branch and a scan replays the
+     whole branch lineage, so a stack of branches is what builds a long
+     delta chain (depth fragments per read) *)
+  let grow name depth =
+    let rec go parent i =
+      let nm = if i = depth then name else Printf.sprintf "%s-%d" name i in
+      let b = Database.branch_from db ~name:nm ~of_branch:parent in
+      insert_batch b (20 * Config.scale);
+      ignore (Database.commit db b ~message:nm);
+      if i = depth then b else go b (i + 1)
+    in
+    go Vg.master 1
+  in
+  let hot = grow "hot" 6 and cold = grow "cold" 6 in
+  (* skew: hot absorbs almost all the reads, cold sees one *)
+  for _ = 1 to 40 do
+    Database.scan db hot (fun _ -> ())
+  done;
+  Database.scan db cold (fun _ -> ());
+  Database.scan db Vg.master (fun _ -> ());
+  let recs = Database.advise db in
+  List.iter
+    (fun r ->
+      Report.note "%s %s: %s"
+        (Advisor.kind_name r.Advisor.rc_kind)
+        r.Advisor.rc_target r.Advisor.rc_reason)
+    recs;
+  let is_materialize target r =
+    r.Advisor.rc_kind = Advisor.Materialize && r.Advisor.rc_target = target
+  in
+  let hot_flagged = List.exists (is_materialize "hot") recs in
+  let cold_on_deltas = not (List.exists (is_materialize "cold") recs) in
+  let workload_json = ObsWl.to_json (Database.workload db) in
+  Database.close db;
+  let stamp =
+    let tm = Unix.localtime (Unix.time ()) in
+    Printf.sprintf "%04d%02d%02d_%02d%02d%02d" (tm.Unix.tm_year + 1900)
+      (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+      tm.Unix.tm_sec
+  in
+  let doc =
+    Report.J_obj
+      [
+        ("schema", Report.J_str "decibel-advise-v1");
+        ("timestamp", Report.J_str stamp);
+        ("scale", Report.J_int Config.scale);
+        ("config", Report.J_str (Format.asprintf "%a" Config.pp cfg));
+        ("workload", Report.J_raw workload_json);
+        ("recommendations", Report.J_raw (Advisor.to_json recs));
+        ( "assertions",
+          Report.J_obj
+            [
+              ( "hot_materialize",
+                Report.J_raw (if hot_flagged then "true" else "false") );
+              ( "cold_on_deltas",
+                Report.J_raw (if cold_on_deltas then "true" else "false") );
+            ] );
+      ]
+  in
+  let path = Printf.sprintf "BENCH_%s.advise.json" stamp in
+  let oc = open_out path in
+  output_string oc (Report.json_to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Report.note "wrote %s" path;
+  if not (hot_flagged && cold_on_deltas) then begin
+    Printf.eprintf
+      "advise bench: expected materialize(hot) and cold on deltas \
+       (hot_materialize=%b cold_on_deltas=%b)\n%!"
+      hot_flagged cold_on_deltas;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1437,6 +1545,7 @@ let experiments =
     ("scale", scale_bench);
     ("shed", shed_bench);
     ("profoverhead", prof_overhead);
+    ("advise", advise_bench);
     ("crash", crash);
     ("tab5", tab5); (* printed last: aggregates all loads this run *)
   ]

@@ -624,6 +624,62 @@ let inspect_cmd =
           fragmentation, version-graph shape and buffer-pool residency.")
     Term.(const run $ dir_arg $ json_flag)
 
+let advise_cmd =
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the recommendations as one JSON array.")
+  in
+  let run dir json =
+    wrap (fun () ->
+        with_repo dir (fun db ->
+            let recs = Database.advise db in
+            if json then print_endline (Decibel_obs.Advisor.to_json recs)
+            else print_string (Decibel_obs.Advisor.to_text recs)))
+  in
+  Cmd.v
+    (Cmd.info "advise"
+       ~doc:
+         "Storage advisor: join the per-branch workload statistics \
+          (read/write rates, delta fragments replayed) with the storage \
+          report through the recreation/storage cost model and print \
+          ranked, explained recommendations — materialize a hot \
+          delta-chained branch, compact a fragmented segment, gc dead \
+          space, rechunk a long cold chain.")
+    Term.(const run $ dir_arg $ json_flag)
+
+let health_cmd =
+  let json_flag =
+    Arg.(
+      value & flag & info [ "json" ] ~doc:"Emit the status as one JSON object.")
+  in
+  let run dir json =
+    let level = ref 0 in
+    let rc =
+      wrap (fun () ->
+          with_repo dir (fun db ->
+              let module W = Decibel_obs.Watchdog in
+              let st = Database.health_tick db in
+              if json then print_endline (W.to_json st)
+              else print_string (W.to_text st);
+              level :=
+                (match st.W.st_level with
+                | W.L_ok -> 0
+                | W.L_warn -> 1
+                | W.L_critical -> 2)))
+    in
+    if rc <> 0 then rc else !level
+  in
+  Cmd.v
+    (Cmd.info "health"
+       ~doc:
+         "Run one health-watchdog evaluation (dead-space ratios, \
+          delta-chain depths, hot replay cost, quarantined branches) and \
+          print the verdict.  Exits 0 when ok, 1 on warnings, 2 when \
+          critical.")
+    Term.(const run $ dir_arg $ json_flag)
+
 let serve_metrics_cmd =
   let port_opt =
     Arg.(
@@ -649,7 +705,8 @@ let serve_metrics_cmd =
               ~on_listen:(fun port ->
                 Printf.printf
                   "serving metrics on http://%s:%d (routes: /metrics /events \
-                   /report /governor /profile; SIGINT/SIGTERM to stop)\n\
+                   /report /governor /profile /workload /advise /health; \
+                   SIGINT/SIGTERM to stop)\n\
                    %!"
                   host port)))
   in
@@ -710,6 +767,6 @@ let () =
           [
             init_cmd; insert_cmd; update_cmd; delete_cmd; commit_cmd;
             branch_cmd; scan_cmd; diff_cmd; merge_cmd; log_cmd; branches_cmd;
-            sql_cmd; query_cmd; stats_cmd; inspect_cmd; serve_metrics_cmd;
-            fsck_cmd;
+            sql_cmd; query_cmd; stats_cmd; inspect_cmd; advise_cmd;
+            health_cmd; serve_metrics_cmd; fsck_cmd;
           ]))

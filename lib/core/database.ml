@@ -11,6 +11,9 @@ open Decibel_storage
 open Types
 module Vg = Decibel_graph.Version_graph
 module Obs = Decibel_obs.Obs
+module Workload = Decibel_obs.Workload
+module Advisor = Decibel_obs.Advisor
+module Watchdog = Decibel_obs.Watchdog
 module Governor = Decibel_governor.Governor
 
 (** Storage scheme selector (paper §3, plus the testing oracle). *)
@@ -39,6 +42,7 @@ type t =
   | Db : {
       engine : (module Engine_intf.S with type t = 'e);
       state : 'e;
+      dir : string;
       pool : Buffer_pool.t;
       locks : Lock_manager.t;
       mutable wal : Wal.t option;
@@ -47,10 +51,14 @@ type t =
       quarantined : (branch_id, string) Hashtbl.t;
       governor : Governor.Admission.t option;
       breakers : (branch_id, Governor.Breaker.t) Hashtbl.t;
+      watchdog : Watchdog.t;
     }
       -> t
 
 let wal_path dir = Filename.concat dir "wal.log"
+
+(* workload checkpoint lives next to the manifest, like the WAL *)
+let workload_path dir = Filename.concat dir "workload.jsonl"
 
 let c_corruption = Obs.counter "storage.corruption_detected"
 let c_replay_skipped = Obs.counter "wal.replay_skipped"
@@ -76,6 +84,7 @@ let open_ ?pool ?(durable = false) ?(compress = false) ?lock_timeout_s
       {
         engine = (module E);
         state;
+        dir;
         pool;
         locks;
         wal;
@@ -84,6 +93,7 @@ let open_ ?pool ?(durable = false) ?(compress = false) ?lock_timeout_s
         quarantined = Hashtbl.create 4;
         governor;
         breakers = Hashtbl.create 4;
+        watchdog = Watchdog.create ();
       }
   in
   match scheme with
@@ -132,10 +142,14 @@ let reopen_checkpoint ?pool ?scheme ?governor ~dir () =
   let scheme = match scheme with Some s -> s | None -> detect_scheme dir in
   let pack (type e) (module E : Engine_intf.S with type t = e) =
     let state = E.open_existing ~dir ~pool in
+    (* resume per-branch workload accounting from the checkpoint left
+       by the last flush/close (missing file is a no-op) *)
+    Workload.load ~path:(workload_path dir) ();
     Db
       {
         engine = (module E);
         state;
+        dir;
         pool;
         locks = Lock_manager.create ();
         wal = None;
@@ -144,6 +158,7 @@ let reopen_checkpoint ?pool ?scheme ?governor ~dir () =
         quarantined = Hashtbl.create 4;
         governor;
         breakers = Hashtbl.create 4;
+        watchdog = Watchdog.create ();
       }
   in
   match scheme with
@@ -410,13 +425,24 @@ let dataset_bytes (Db { engine = (module E); state; _ }) =
 let commit_meta_bytes (Db { engine = (module E); state; _ }) =
   E.commit_meta_bytes state
 
+(* Checkpoint this database's slice of the process-wide workload table
+   next to the manifest.  The model oracle may run with a nonexistent
+   dir; skip rather than fail the flush. *)
+let save_workload (Db { engine = (module E); state; dir; _ }) =
+  if Sys.file_exists dir && Sys.is_directory dir then
+    Workload.save
+      ~table:(Schema.name (E.schema state))
+      ~path:(workload_path dir) ()
+
 (* flushing checkpoints: once the engine's durable state reflects all
    applied operations, the log can restart empty *)
-let flush (Db { engine = (module E); state; wal; _ }) =
+let flush (Db { engine = (module E); state; wal; _ } as t) =
   E.flush state;
+  save_workload t;
   Option.iter Wal.reset wal
 
-let close (Db { engine = (module E); state; wal; _ }) =
+let close (Db { engine = (module E); state; wal; _ } as t) =
+  save_workload t;
   E.close state;
   Option.iter
     (fun w ->
@@ -501,6 +527,45 @@ let storage_report (Db { engine = (module E); state; pool; _ } as t) =
             (fun (b, reason) -> (branch_name t b, reason))
             (quarantined t);
       })
+
+(* ------------------------------------------------------------------ *)
+(* Workload telemetry, storage advice and health.
+
+   The workload table is process-wide; this database's slice is the
+   entries whose table name matches its schema. *)
+
+let workload (Db { engine = (module E); state; _ }) =
+  let table = Schema.name (E.schema state) in
+  List.filter
+    (fun (s : Workload.stats) -> s.Workload.w_table = table)
+    (Workload.snapshot ())
+
+let advise ?thresholds t =
+  Advisor.advise ?thresholds ~report:(storage_report t)
+    ~workload:(workload t) ()
+
+let watchdog_status (Db { watchdog; _ }) = Watchdog.status watchdog
+
+(* One watchdog evaluation over fresh report/workload snapshots.  The
+   tick itself is governor-budgeted: it takes a cheap admission slot
+   and runs under a short deadline, so health probes cannot pile onto
+   an already-overloaded server — if the governor refuses, the sticky
+   status from the previous tick is returned unchanged. *)
+let health_tick (Db d as t) =
+  let run () =
+    Watchdog.tick d.watchdog ~report:(storage_report t) ~workload:(workload t)
+  in
+  match d.governor with
+  | None -> run ()
+  | Some _ -> (
+      let ctx = Governor.Ctx.create ~deadline_ms:250 () in
+      try governed t ~ctx ~cls:Governor.Cheap [] run
+      with
+      | Governor.Cancelled | Governor.Deadline_exceeded
+      | Governor.Budget_exceeded _
+      | Governor.Overloaded _
+      ->
+        Watchdog.status d.watchdog)
 
 let scan_list t b =
   let acc = ref [] in

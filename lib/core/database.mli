@@ -174,9 +174,43 @@ val recent_profiles : t -> Decibel_obs.Obs.Prof.profile list
 (** The profiler ring's contents, oldest first. *)
 
 val flush : t -> unit
-(** Checkpoint: persist engine manifests and truncate the WAL. *)
+(** Checkpoint: persist engine manifests and truncate the WAL.  Also
+    checkpoints this database's per-branch workload statistics to
+    [workload.jsonl] next to the manifest; {!reopen} and
+    {!reopen_checkpoint} merge it back, so access frequencies survive
+    restarts. *)
 
 val close : t -> unit
+
+(** {1 Workload telemetry, storage advice and health}
+
+    Per-branch access accounting ({!Decibel_obs.Workload}) is fed from
+    hooks inside the engines and the buffer pool whenever the
+    {!Decibel_obs.Obs} recording switch is on.  The advisor joins it
+    with {!storage_report} through the recreation/storage cost model;
+    the watchdog turns both into a sticky ok/warn/critical status. *)
+
+val workload : t -> Decibel_obs.Workload.stats list
+(** This database's slice of the process-wide workload table (entries
+    whose table name matches the schema), rates decayed to now. *)
+
+val advise :
+  ?thresholds:Decibel_obs.Advisor.thresholds ->
+  t ->
+  Decibel_obs.Advisor.recommendation list
+(** Ranked, explained storage recommendations (materialize / compact /
+    gc / rechunk) from the current report and workload. *)
+
+val health_tick : t -> Decibel_obs.Watchdog.status
+(** Run one watchdog evaluation over fresh report/workload snapshots
+    and return (and store) the new sticky status.  On a governed
+    database the tick takes a cheap admission slot under a short
+    deadline; if the governor sheds or expires it, the previous sticky
+    status is returned unchanged. *)
+
+val watchdog_status : t -> Decibel_obs.Watchdog.status
+(** The sticky status from the last {!health_tick} (all-ok with
+    [st_ticks = 0] before the first). *)
 
 (** {1 Fault tolerance}
 

@@ -22,6 +22,7 @@ open Decibel_index
 open Types
 module Vg = Decibel_graph.Version_graph
 module Obs = Decibel_obs.Obs
+module Workload = Decibel_obs.Workload
 module Par = Decibel_par.Par
 module Gctx = Decibel_governor.Governor.Ctx
 
@@ -232,6 +233,21 @@ let clear_live t b sid row =
     Branch_bitmap.clear t.seg_index ~branch:b ~row:sid
   end
 
+(* Workload accounting mirrors the Prof sites: the single-branch scan
+   reports summed per-segment counts — the same figures added to the
+   engine.* counters, so per-branch totals reconcile with the globals;
+   multi-branch reads leave zero-count touches. *)
+let wl_table t = Schema.name t.schema
+let wl_branch t b = (Vg.branch t.graph b).Vg.name
+
+let wl_touch t b =
+  Workload.note_read ~table:(wl_table t) ~branch:(wl_branch t b) ~scanned:0
+    ~emitted:0 ~fragments:0 ()
+
+let wl_write t b =
+  if Obs.enabled () then
+    Workload.note_write ~table:(wl_table t) ~branch:(wl_branch t b) ()
+
 let commit_impl t b ~message =
   (* snapshot every segment the branch has ever had a history for plus
      any it now touches, so deletions round-trip through checkout *)
@@ -258,6 +274,7 @@ let commit t b ~message =
   else
     Obs.with_span sp_commit (fun () ->
         Obs.incr c_commits;
+        wl_write t b;
         commit_impl t b ~message)
 
 let commit_cols t vid =
@@ -343,7 +360,8 @@ let insert t b tuple =
   let sid, row = append_record t b tuple in
   set_live t b sid row;
   Pk_index.set t.pk ~branch:b key (sid, row);
-  set_dirty t b true
+  set_dirty t b true;
+  wl_write t b
 
 let update t b tuple =
   validate t tuple;
@@ -355,7 +373,8 @@ let update t b tuple =
       let sid, row = append_record t b tuple in
       set_live t b sid row;
       Pk_index.set t.pk ~branch:b key (sid, row);
-      set_dirty t b true
+      set_dirty t b true;
+      wl_write t b
 
 let delete t b key =
   match Pk_index.find t.pk ~branch:b key with
@@ -363,7 +382,8 @@ let delete t b key =
   | Some (sid, row) ->
       clear_live t b sid row;
       Pk_index.remove t.pk ~branch:b key;
-      set_dirty t b true
+      set_dirty t b true;
+      wl_write t b
 
 let lookup t b key =
   Option.map
@@ -431,9 +451,20 @@ let scan ?ctx t b f =
   in
   if not (Obs.enabled ()) then scan_cols ?ctx t cols f
   else
-    Obs.with_span sp_scan (fun () ->
-        List.iter (fun (sid, col) -> account_segment t sid col) cols;
-        scan_cols ?ctx t cols f)
+    let table = wl_table t and branch = wl_branch t b in
+    (* ambient context attributes buffer-pool page traffic during the
+       segment walk to this (table, branch) *)
+    Workload.with_context ~table ~branch (fun () ->
+        Obs.with_span sp_scan (fun () ->
+            List.iter (fun (sid, col) -> account_segment t sid col) cols;
+            let live =
+              List.fold_left
+                (fun acc (_, col) -> acc + Bitvec.pop_count col)
+                0 cols
+            in
+            Workload.note_read ~table ~branch ~scanned:live ~emitted:live
+              ~fragments:(List.length cols) ();
+            scan_cols ?ctx t cols f))
 
 let scan_version ?ctx t vid f =
   let cols = commit_cols t vid in
@@ -492,6 +523,7 @@ let multi_scan ?ctx t branches f =
   if not (Obs.enabled ()) then multi_scan_impl ?ctx t branches f
   else
     Obs.with_span sp_multi_scan (fun () ->
+        List.iter (wl_touch t) branches;
         let n = ref 0 in
         multi_scan_impl ?ctx t branches (fun mt ->
             n := !n + 1;
@@ -549,6 +581,8 @@ let diff ?ctx t a b ~pos ~neg =
   if not (Obs.enabled ()) then diff_impl ?ctx t a b ~pos ~neg
   else
     Obs.with_span sp_diff (fun () ->
+        wl_touch t a;
+        wl_touch t b;
         let n = ref 0 in
         let count out tuple =
           n := !n + 1;

@@ -90,24 +90,39 @@ let validate t tuple =
   | Ok () -> ()
   | Error msg -> errorf "model: %s" msg
 
+module Obs = Decibel_obs.Obs
+module Workload = Decibel_obs.Workload
+
+(* Workload notes mirror the Prof sites, as in the physical engines:
+   single-branch scans carry real counts, writes a per-op note. *)
+let wl_table t = Schema.name t.schema
+let wl_branch t b = (Vg.branch t.graph b).Vg.name
+
+let wl_write t b =
+  if Obs.enabled () then
+    Workload.note_write ~table:(wl_table t) ~branch:(wl_branch t b) ()
+
 let insert t b tuple =
   validate t tuple;
   let key = Tuple.pk t.schema tuple in
   if Vmap.mem key (head_state t b) then
     errorf "model: duplicate key %s in branch %d" (Value.to_string key) b;
-  set_head t b (Vmap.add key tuple (head_state t b))
+  set_head t b (Vmap.add key tuple (head_state t b));
+  wl_write t b
 
 let update t b tuple =
   validate t tuple;
   let key = Tuple.pk t.schema tuple in
   if not (Vmap.mem key (head_state t b)) then
     errorf "model: update of absent key %s" (Value.to_string key);
-  set_head t b (Vmap.add key tuple (head_state t b))
+  set_head t b (Vmap.add key tuple (head_state t b));
+  wl_write t b
 
 let delete t b key =
   if not (Vmap.mem key (head_state t b)) then
     errorf "model: delete of absent key %s" (Value.to_string key);
-  set_head t b (Vmap.remove key (head_state t b))
+  set_head t b (Vmap.remove key (head_state t b));
+  wl_write t b
 
 let lookup t b key = Vmap.find_opt key (head_state t b)
 
@@ -116,8 +131,6 @@ let lookup t b key = Vmap.find_opt key (head_state t b)
 let ctx_poll ctx =
   let poll = Decibel_governor.Governor.Ctx.poller ~stride:1 ctx in
   fun f x -> poll (); f x
-
-module Obs = Decibel_obs.Obs
 
 (* Oracle ops still profile (one span + one batch-total counter add per
    operation) so model-vs-engine comparisons show up in profile trees,
@@ -132,7 +145,9 @@ let scan ?ctx t b f =
     Obs.with_span "model.scan" (fun () ->
         let n = ref 0 in
         run ~count:(fun g x -> incr n; g x) ();
-        Obs.Prof.add Obs.Prof.Tuples_emitted !n)
+        Obs.Prof.add Obs.Prof.Tuples_emitted !n;
+        Workload.note_read ~table:(wl_table t) ~branch:(wl_branch t b)
+          ~scanned:!n ~emitted:!n ~fragments:0 ())
 
 let scan_version ?ctx t vid f =
   let run ?(count = fun g x -> g x) () =

@@ -44,27 +44,41 @@ let governor_json db =
   Buffer.add_string buf "]}\n";
   Buffer.contents buf
 
-let handler db ~meth ~path =
-  if meth <> "GET" then Http.text ~status:405 "method not allowed\n"
+module Workload = Decibel_obs.Workload
+module Advisor = Decibel_obs.Advisor
+module Watchdog = Decibel_obs.Watchdog
+
+(* /health re-evaluates at most once a second: probes between ticks
+   read the sticky status, so a probe storm costs one rule pass. *)
+let health_min_interval_s = 1.0
+
+let handler db ~meth ~path ~query =
+  if meth <> "GET" then Http.error ~status:405 "method not allowed"
   else
     match path with
     | "/" ->
         Http.text
           "decibel metrics endpoint\n\
-           routes: /metrics /events /report /governor /profile\n"
+           routes: /metrics /events /report /governor /profile /workload \
+           /advise /health\n"
     | "/metrics" ->
         let report = Database.storage_report db in
+        let extra =
+          Report.prometheus_samples report
+          @ Workload.prometheus_samples ()
+          @ Advisor.prometheus_samples (Database.advise db)
+        in
         {
           Http.status = 200;
           content_type = Prometheus.content_type;
-          body =
-            Prometheus.render ~extra:(Report.prometheus_samples report) ();
+          body = Prometheus.render ~extra ();
         }
     | "/events" ->
+        (* ?n= limits to the newest n events *)
         {
           Http.status = 200;
           content_type = "application/x-ndjson";
-          body = Obs.events_json ();
+          body = Obs.events_json ?limit:(Http.query_int query "n") ();
         }
     | "/report" ->
         {
@@ -79,13 +93,33 @@ let handler db ~meth ~path =
           body = governor_json db;
         }
     | "/profile" ->
-        (* ring of the last N request profiles, oldest first *)
+        (* ring of the last N request profiles, oldest first; ?n=
+           limits to the newest n *)
         {
           Http.status = 200;
           content_type = "application/json";
-          body = Obs.Prof.profiles_json () ^ "\n";
+          body = Obs.Prof.profiles_json ?limit:(Http.query_int query "n") ()
+                 ^ "\n";
         }
-    | _ -> Http.not_found
+    | "/workload" -> Http.json (Workload.to_json (Database.workload db) ^ "\n")
+    | "/advise" -> Http.json (Advisor.to_json (Database.advise db) ^ "\n")
+    | "/health" ->
+        let st = Database.watchdog_status db in
+        let st =
+          if Unix.gettimeofday () -. st.Watchdog.st_time
+             >= health_min_interval_s
+          then Database.health_tick db
+          else st
+        in
+        (* critical maps to 503 so load balancers can act on status
+           alone; warn stays 200 (degraded but serving) *)
+        let status =
+          match st.Watchdog.st_level with
+          | Watchdog.L_ok | Watchdog.L_warn -> 200
+          | Watchdog.L_critical -> 503
+        in
+        Http.json ~status (Watchdog.to_json st ^ "\n")
+    | _ -> Http.not_found ~path
 
 let serve ?(host = "127.0.0.1") ?(max_requests = 0) ?on_listen
     ?(handle_signals = false) ~port db =

@@ -18,6 +18,7 @@ open Decibel_index
 open Types
 module Vg = Decibel_graph.Version_graph
 module Obs = Decibel_obs.Obs
+module Workload = Decibel_obs.Workload
 module Par = Decibel_par.Par
 module Gctx = Decibel_governor.Governor.Ctx
 
@@ -65,6 +66,23 @@ module Make (B : Bitmap_intf.S) = struct
   let sp_diff = "tuple_first.diff"
   let sp_merge = "tuple_first.merge"
   let sp_commit = "tuple_first.commit"
+
+  (* Workload accounting mirrors the Prof sites at batch granularity.
+     Only single-branch scans report tuple/fragment counts — the same
+     figures added to the engine.* counters, so per-branch totals
+     reconcile exactly with the globals.  Multi-branch reads leave a
+     zero-count touch that moves the read rate without double-counting
+     tuples. *)
+  let wl_table t = Schema.name t.schema
+  let wl_branch t b = (Vg.branch t.graph b).Vg.name
+
+  let wl_touch t b =
+    Workload.note_read ~table:(wl_table t) ~branch:(wl_branch t b) ~scanned:0
+      ~emitted:0 ~fragments:0 ()
+
+  let wl_write t b =
+    if Obs.enabled () then
+      Workload.note_write ~table:(wl_table t) ~branch:(wl_branch t b) ()
 
   let history t b =
     match Hashtbl.find_opt t.histories b with
@@ -160,6 +178,7 @@ module Make (B : Bitmap_intf.S) = struct
     else
       Obs.with_span sp_commit (fun () ->
           Obs.incr c_commits;
+          wl_write t b;
           commit_impl t b ~message)
 
   let create_branch t ~name ~from =
@@ -214,7 +233,8 @@ module Make (B : Bitmap_intf.S) = struct
     let row = append_record t tuple in
     B.set t.bitmap ~branch:b ~row;
     Pk_index.set t.pk ~branch:b key row;
-    set_dirty t b true
+    set_dirty t b true;
+    wl_write t b
 
   let update t b tuple =
     validate t tuple;
@@ -227,7 +247,8 @@ module Make (B : Bitmap_intf.S) = struct
         let row = append_record t tuple in
         B.set t.bitmap ~branch:b ~row;
         Pk_index.set t.pk ~branch:b key row;
-        set_dirty t b true
+        set_dirty t b true;
+        wl_write t b
 
   let delete t b key =
     match Pk_index.find t.pk ~branch:b key with
@@ -236,7 +257,8 @@ module Make (B : Bitmap_intf.S) = struct
     | Some row ->
         B.clear t.bitmap ~branch:b ~row;
         Pk_index.remove t.pk ~branch:b key;
-        set_dirty t b true
+        set_dirty t b true;
+        wl_write t b
 
   let lookup t b key =
     Option.map (tuple_at t) (Pk_index.find t.pk ~branch:b key)
@@ -285,7 +307,7 @@ module Make (B : Bitmap_intf.S) = struct
      page (§5.2), so the page figure reported is the heap's page count
      rather than a per-row count, keeping accounting amortized and
      allocation-free. *)
-  let instrumented_scan_col ?ctx span t col f =
+  let instrumented_scan_col ?ctx ?on_live span t col f =
     Obs.with_span span (fun () ->
         Obs.add c_scan_pages (Heap_file.page_count t.heap);
         Obs.add c_scan_bitmap_words (bitmap_words col);
@@ -296,12 +318,22 @@ module Make (B : Bitmap_intf.S) = struct
         Obs.add c_scan_tuples live;
         Obs.Prof.add Obs.Prof.Tuples_scanned live;
         Obs.Prof.add Obs.Prof.Tuples_emitted live;
+        (match on_live with Some g -> g live | None -> ());
         scan_col ?ctx t col f)
 
   let scan ?ctx t b f =
     let col = B.column_view t.bitmap ~branch:b in
     if not (Obs.enabled ()) then scan_col ?ctx t col f
-    else instrumented_scan_col ?ctx sp_scan t col f
+    else
+      let table = wl_table t and branch = wl_branch t b in
+      (* ambient context attributes buffer-pool page traffic during the
+         scan body to this (table, branch) *)
+      Workload.with_context ~table ~branch (fun () ->
+          instrumented_scan_col ?ctx
+            ~on_live:(fun live ->
+              Workload.note_read ~table ~branch ~scanned:live ~emitted:live
+                ~fragments:0 ())
+            sp_scan t col f)
 
   let scan_version ?ctx t vid f =
     let col = bitmap_at_version t vid in
@@ -347,6 +379,7 @@ module Make (B : Bitmap_intf.S) = struct
     else
       Obs.with_span sp_multi_scan (fun () ->
           Obs.add c_scan_pages (Heap_file.page_count t.heap);
+          List.iter (wl_touch t) branches;
           (* every heap row is probed against each head's bitmap *)
           Obs.Prof.add Obs.Prof.Tuples_scanned (Vec.length t.offsets);
           let n = ref 0 in
@@ -416,6 +449,8 @@ module Make (B : Bitmap_intf.S) = struct
       Obs.with_span sp_diff (fun () ->
           Obs.Prof.add Obs.Prof.Bitmap_words
             (bitmap_words (B.column_view t.bitmap ~branch:a));
+          wl_touch t a;
+          wl_touch t b;
           let n = ref 0 in
           let count out tuple =
             n := !n + 1;

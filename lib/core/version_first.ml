@@ -25,6 +25,7 @@ open Decibel_index
 open Types
 module Vg = Decibel_graph.Version_graph
 module Obs = Decibel_obs.Obs
+module Workload = Decibel_obs.Workload
 module Par = Decibel_par.Par
 module Gctx = Decibel_governor.Governor.Ctx
 
@@ -283,6 +284,22 @@ let commit_loc t vid =
   | Some loc -> loc
   | None -> errorf "version-first: version %d has no commit record" vid
 
+(* Workload accounting mirrors the Prof sites: single-branch scans
+   report the exact counts also added to the engine.* counters, so
+   per-branch totals reconcile with the globals; multi-branch reads
+   leave zero-count touches.  [diff] needs no touch of its own — it is
+   implemented as two instrumented scans, which already note reads. *)
+let wl_table t = Schema.name t.schema
+let wl_branch t b = (Vg.branch t.graph b).Vg.name
+
+let wl_touch t b =
+  Workload.note_read ~table:(wl_table t) ~branch:(wl_branch t b) ~scanned:0
+    ~emitted:0 ~fragments:0 ()
+
+let wl_write t b =
+  if Obs.enabled () then
+    Workload.note_write ~table:(wl_table t) ~branch:(wl_branch t b) ()
+
 let commit_impl t b ~message =
   let sid, upto = head_loc t b in
   Heap_file.flush (segment t sid).file;
@@ -296,6 +313,7 @@ let commit t b ~message =
   else
     Obs.with_span sp_commit (fun () ->
         Obs.incr c_commits;
+        wl_write t b;
         commit_impl t b ~message)
 
 let create_branch t ~name ~from =
@@ -342,7 +360,8 @@ let insert t b tuple =
       (Value.to_string key) b;
   let loc = append t b (`Tuple tuple) in
   Pk_index.set t.pk ~branch:b key loc;
-  set_dirty t b true
+  set_dirty t b true;
+  wl_write t b
 
 let update t b tuple =
   validate t tuple;
@@ -351,14 +370,16 @@ let update t b tuple =
     errorf "version-first: update of absent key %s" (Value.to_string key);
   let loc = append t b (`Tuple tuple) in
   Pk_index.set t.pk ~branch:b key loc;
-  set_dirty t b true
+  set_dirty t b true;
+  wl_write t b
 
 let delete t b key =
   if not (Pk_index.mem t.pk ~branch:b key) then
     errorf "version-first: delete of absent key %s" (Value.to_string key);
   let _ = append t b (`Tombstone key) in
   Pk_index.remove t.pk ~branch:b key;
-  set_dirty t b true
+  set_dirty t b true;
+  wl_write t b
 
 let fetch t (sid, off) =
   match decode_record t (Heap_file.get (segment t sid).file off) with
@@ -379,7 +400,7 @@ let account_plan t sid upto =
      this lineage scan replays *)
   Obs.Prof.add Obs.Prof.Delta_fragments (List.length p)
 
-let instrumented_scan ?ctx span t sid upto f =
+let instrumented_scan ?ctx ?on_emitted span t sid upto f =
   Obs.with_span span (fun () ->
       account_plan t sid upto;
       let n = ref 0 in
@@ -388,13 +409,24 @@ let instrumented_scan ?ctx span t sid upto f =
           f tuple);
       Obs.add c_scan_tuples !n;
       Obs.Prof.add Obs.Prof.Tuples_scanned !n;
-      Obs.Prof.add Obs.Prof.Tuples_emitted !n)
+      Obs.Prof.add Obs.Prof.Tuples_emitted !n;
+      match on_emitted with Some g -> g !n | None -> ())
 
 let scan ?ctx t b f =
   let sid, upto = head_loc t b in
   if not (Obs.enabled ()) then
     scan_live ?ctx t sid upto (fun _ _ tuple -> f tuple)
-  else instrumented_scan ?ctx sp_scan t sid upto f
+  else
+    let table = wl_table t and branch = wl_branch t b in
+    let frags = List.length (plan t sid upto) in
+    (* ambient context attributes buffer-pool page traffic during the
+       lineage walk to this (table, branch) *)
+    Workload.with_context ~table ~branch (fun () ->
+        instrumented_scan ?ctx
+          ~on_emitted:(fun n ->
+            Workload.note_read ~table ~branch ~scanned:n ~emitted:n
+              ~fragments:frags ())
+          sp_scan t sid upto f)
 
 let scan_version ?ctx t vid f =
   let sid, upto = commit_loc t vid in
@@ -454,7 +486,8 @@ let multi_scan ?ctx t branches f =
           (fun b ->
             let sid, upto = head_loc t b in
             Obs.Prof.add Obs.Prof.Delta_fragments
-              (List.length (plan t sid upto)))
+              (List.length (plan t sid upto));
+            wl_touch t b)
           branches;
         let n = ref 0 in
         multi_scan_impl ?ctx t branches (fun mt ->

@@ -2,14 +2,31 @@
    enough for a metrics pull endpoint.  See http.mli. *)
 
 type response = { status : int; content_type : string; body : string }
-type handler = meth:string -> path:string -> response
+
+type handler =
+  meth:string -> path:string -> query:(string * string) list -> response
 
 type server = { fd : Unix.file_descr; port : int }
 
 let text ?(status = 200) body =
   { status; content_type = "text/plain; charset=utf-8"; body }
 
-let not_found = text ~status:404 "not found\n"
+let json ?(status = 200) body =
+  { status; content_type = "application/json"; body }
+
+(* JSON error bodies on every non-2xx route, so curl users and
+   machines get structure, not a bare string *)
+let error ~status msg =
+  json ~status
+    (Printf.sprintf "{\"error\":\"%s\",\"status\":%d}\n" (Obs.json_escape msg)
+       status)
+
+let not_found ~path = error ~status:404 (Printf.sprintf "no route %s" path)
+
+let query_int ?default query key =
+  match List.assoc_opt key query with
+  | Some v -> ( match int_of_string_opt v with Some n -> Some n | None -> default)
+  | None -> default
 
 let listen ?(host = "127.0.0.1") ?(backlog = 16) ~port () =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
@@ -62,8 +79,22 @@ let read_head fd =
   in
   try go () with Unix.Unix_error _ -> Buffer.contents buf
 
-(* "GET /metrics HTTP/1.1" -> (meth, path); the query string is
-   stripped from the path *)
+(* "key=v&flag&n=10" -> [("key","v");("flag","");("n","10")]; no
+   percent-decoding — route parameters here are plain integers/names *)
+let parse_query qs =
+  List.filter_map
+    (fun kv ->
+      if kv = "" then None
+      else
+        match String.index_opt kv '=' with
+        | Some i ->
+            Some
+              ( String.sub kv 0 i,
+                String.sub kv (i + 1) (String.length kv - i - 1) )
+        | None -> Some (kv, ""))
+    (String.split_on_char '&' qs)
+
+(* "GET /metrics?n=10 HTTP/1.1" -> (meth, path, query) *)
 let parse_request_line head =
   match String.index_opt head '\n' with
   | None -> None
@@ -71,12 +102,16 @@ let parse_request_line head =
       let line = String.trim (String.sub head 0 i) in
       match String.split_on_char ' ' line with
       | meth :: target :: _ ->
-          let path =
+          let path, query =
             match String.index_opt target '?' with
-            | Some q -> String.sub target 0 q
-            | None -> target
+            | Some q ->
+                ( String.sub target 0 q,
+                  parse_query
+                    (String.sub target (q + 1) (String.length target - q - 1))
+                )
+            | None -> (target, [])
           in
-          if meth = "" || path = "" then None else Some (meth, path)
+          if meth = "" || path = "" then None else Some (meth, path, query)
       | _ -> None)
 
 let write_all fd s =
@@ -102,10 +137,10 @@ let handle_one s (handler : handler) =
     (fun () ->
       let response =
         match parse_request_line (read_head client) with
-        | None -> text ~status:400 "malformed request\n"
-        | Some (meth, path) -> (
-            try handler ~meth ~path
-            with e -> text ~status:500 (Printexc.to_string e ^ "\n"))
+        | None -> error ~status:400 "malformed request"
+        | Some (meth, path, query) -> (
+            try handler ~meth ~path ~query
+            with e -> error ~status:500 (Printexc.to_string e))
       in
       try write_response client response with Unix.Unix_error _ -> ())
 

@@ -9,9 +9,11 @@
 
 type response = { status : int; content_type : string; body : string }
 
-type handler = meth:string -> path:string -> response
-(** [path] has the query string stripped.  Exceptions escaping the
-    handler become a 500 response. *)
+type handler =
+  meth:string -> path:string -> query:(string * string) list -> response
+(** [path] has the query string stripped; [query] carries the parsed
+    [?k=v&...] pairs (no percent-decoding).  Exceptions escaping the
+    handler become a 500 JSON error response. *)
 
 type server
 
@@ -33,4 +35,16 @@ val close : server -> unit
 val text : ?status:int -> string -> response
 (** A [text/plain] response (default status 200). *)
 
-val not_found : response
+val json : ?status:int -> string -> response
+(** An [application/json] response (default status 200). *)
+
+val error : status:int -> string -> response
+(** A JSON error body [{"error": msg, "status": n}]; like every
+    response, written with [Content-Type] and [Content-Length]. *)
+
+val not_found : path:string -> response
+(** [error ~status:404] naming the unmatched path. *)
+
+val query_int : ?default:int -> (string * string) list -> string -> int option
+(** Parse an integer query parameter; a present-but-malformed value
+    falls back to [default]. *)

@@ -455,13 +455,20 @@ let events () =
 
 let events_emitted () = !ev_seq
 
-let events_json () =
+(* keep the last [n] elements of a list *)
+let last_n n l =
+  let len = List.length l in
+  if n >= len then l else List.filteri (fun i _ -> i >= len - n) l
+
+let events_json ?limit () =
+  let es = events () in
+  let es = match limit with Some n when n >= 0 -> last_n n es | _ -> es in
   let buf = Buffer.create 1024 in
   List.iter
     (fun e ->
       Buffer.add_string buf (event_json e);
       Buffer.add_char buf '\n')
-    (events ());
+    es;
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
@@ -837,8 +844,11 @@ module Prof = struct
     Buffer.add_char buf '}';
     Buffer.contents buf
 
-  let profiles_json () =
+  let profiles_json ?limit () =
     let ps = recent_profiles () in
+    let ps =
+      match limit with Some n when n >= 0 -> last_n n ps | _ -> ps
+    in
     let buf = Buffer.create 1024 in
     Buffer.add_char buf '[';
     List.iteri

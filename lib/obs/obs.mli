@@ -176,8 +176,9 @@ val events_emitted : unit -> int
 val event_json : event -> string
 (** One event as a single-line JSON object. *)
 
-val events_json : unit -> string
-(** The ring as JSONL (one {!event_json} line per event). *)
+val events_json : ?limit:int -> unit -> string
+(** The ring as JSONL (one {!event_json} line per event).  [limit]
+    keeps only the newest that many events. *)
 
 val set_event_capacity : int -> unit
 (** Resize the ring (clears it).  Raises [Invalid_argument] on a
@@ -370,8 +371,9 @@ module Prof : sig
       [-> name  rows=N  time=T  [kind=v ...]] (zero counters elided). *)
 
   val profile_json : profile -> string
-  val profiles_json : unit -> string
-  (** The ring as one JSON array of {!profile_json} objects. *)
+  val profiles_json : ?limit:int -> unit -> string
+  (** The ring as one JSON array of {!profile_json} objects; [limit]
+      keeps only the newest that many. *)
 end
 
 (** {1 Snapshots} *)

@@ -77,6 +77,20 @@ let help_table =
       "Request profiles flushed partially after an abort \
        (deadline/cancel/error)" );
     ("obs_event_log_rotations_total", "Event-log sink file rotations");
+    ("watchdog_ticks_total", "Health-watchdog rule evaluations");
+    ("watchdog_warnings_total", "Watchdog ticks that concluded warn");
+    ("watchdog_criticals_total", "Watchdog ticks that concluded critical");
+    ("watchdog_level", "Sticky health level (0 ok, 1 warn, 2 critical)");
+    ( "workload_branch_read_rate",
+      "Per-branch EWMA read rate in scans per second" );
+    ( "workload_branch_write_rate",
+      "Per-branch EWMA write rate in operations per second" );
+    ( "workload_branch_selectivity",
+      "Per-branch tuples emitted over tuples scanned" );
+    ( "workload_branch_fragments_replayed",
+      "Delta fragments replayed by the branch's scans" );
+    ( "advisor_recommendations",
+      "Open storage-advisor recommendations by kind" );
   ]
 
 (* escape HELP text: backslash and newline only (HELP values are not
@@ -92,12 +106,25 @@ let escape_help v =
     v;
   Buffer.contents buf
 
+(* Every family gets a HELP line: curated text when we have it, else a
+   readable fallback derived from the metric name, so scrape tooling
+   that keys on HELP/TYPE pairs never sees a bare family. *)
+let default_help name =
+  let base =
+    match Filename.chop_suffix_opt ~suffix:"_total" name with
+    | Some b -> b
+    | None -> name
+  in
+  String.map (fun c -> if c = '_' then ' ' else c) base
+
 let add_help buf name =
-  match List.assoc_opt name help_table with
-  | Some text ->
-      Buffer.add_string buf
-        (Printf.sprintf "# HELP %s %s\n" name (escape_help text))
-  | None -> ()
+  let text =
+    match List.assoc_opt name help_table with
+    | Some text -> text
+    | None -> default_help name
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "# HELP %s %s\n" name (escape_help text))
 
 let add_type buf name kind =
   add_help buf name;

@@ -1,0 +1,117 @@
+(** Per-branch workload accounting.
+
+    [Obs] counters are process-global and [Obs.Prof] bags are
+    per-request; neither records {e which branches} are read and
+    written, how often, and at what replay cost over time — the access
+    frequencies the recreation/storage tradeoff ("Principles of Dataset
+    Versioning") needs.  This module is that record: a process-wide,
+    lock-striped table keyed by [(table, branch)], fed from cheap hooks
+    at the engines' existing batch-granularity instrumentation sites
+    (one update per scan / write op, never per tuple) and from the
+    buffer pool via an ambient attribution context.
+
+    Rates are exponentially-weighted: each event adds an impulse of
+    [1/tau] and the rate decays as [exp (-dt/tau)] between events
+    (lazily, plus {!decay} for periodic sweeps), so a steady stream of
+    r events/s reads as ~r and stale branches cool toward 0.  All
+    entry points take an optional [?now] (unix epoch seconds) so decay
+    is testable over simulated time.
+
+    The table is domain-safe: entries are guarded by striped mutexes,
+    and hooks from parallel scan workers serialize only against
+    same-shard updates. *)
+
+type stats = {
+  w_table : string;
+  w_branch : string;
+  w_reads : int;  (** scan batches (scan / multi_scan / diff touches) *)
+  w_writes : int;  (** write operations (insert/update/delete/commit) *)
+  w_scanned : int;  (** tuples examined by single-branch scans *)
+  w_emitted : int;  (** tuples emitted by single-branch scans *)
+  w_fragments : int;  (** delta fragments replayed across scans *)
+  w_pages_hit : int;  (** pool hits attributed via the ambient context *)
+  w_pages_missed : int;
+  w_read_rate : float;  (** EWMA reads/s, decayed to snapshot time *)
+  w_write_rate : float;  (** EWMA writes/s *)
+  w_last_read : float;  (** unix epoch seconds; [0.] = never *)
+  w_last_write : float;
+}
+
+val selectivity : stats -> float
+(** [emitted / scanned]; [0.] when nothing was scanned. *)
+
+val fragments_per_read : stats -> float
+(** Mean delta fragments replayed per read; [0.] when never read. *)
+
+(** {1 Hooks} *)
+
+val note_read :
+  ?now:float ->
+  table:string ->
+  branch:string ->
+  scanned:int ->
+  emitted:int ->
+  fragments:int ->
+  unit ->
+  unit
+(** Record one read batch.  A multi-branch touch that cannot cheaply
+    attribute per-branch tuple counts passes zeros — the read count and
+    rate still move. *)
+
+val note_write : ?now:float -> table:string -> branch:string -> unit -> unit
+
+val with_context : table:string -> branch:string -> (unit -> 'a) -> 'a
+(** Install [(table, branch)] as the calling domain's ambient
+    attribution target for the extent of [f] (restored afterwards);
+    {!note_page} calls inside attribute to it.  Worker domains do not
+    inherit the context — their page traffic stays unattributed. *)
+
+val note_page : hit:bool -> unit
+(** Attribute one buffer-pool page hit/miss to the ambient context;
+    no-op (one domain-local read) when none is installed.  Counts
+    buffer lock-free inside the context and land in the table when
+    {!with_context} returns, keeping the pool's per-page path cheap. *)
+
+(** {1 Decay, snapshots and reset} *)
+
+val decay : ?now:float -> unit -> unit
+(** Decay every entry's rates forward to [now] (default: wall clock).
+    Lazily-decayed entries make this optional; periodic sweeps keep
+    snapshots of idle tables honest without waiting for traffic. *)
+
+val snapshot : ?now:float -> unit -> stats list
+(** All entries, rates decayed to [now], sorted by [(table, branch)]. *)
+
+val find : ?now:float -> table:string -> branch:string -> unit -> stats option
+
+val reset : unit -> unit
+(** Drop every entry (tests and fresh benchmarks). *)
+
+val set_tau : float -> unit
+(** EWMA time constant in seconds (default 60).  Raises
+    [Invalid_argument] when not positive. *)
+
+(** {1 Rendering} *)
+
+val stats_json : stats -> string
+val to_json : stats list -> string
+val to_text : stats list -> string
+
+val prometheus_samples :
+  ?now:float -> unit -> (string * (string * string) list * float) list
+(** Labeled gauge samples (one family per stats field that matters for
+    alerting), for the monitor's /metrics extra section. *)
+
+(** {1 JSONL checkpoint}
+
+    One flat JSON object per line.  [save] writes temp+rename so a
+    crash mid-save keeps the previous checkpoint; [load] merges into
+    the live table (totals sum, rates resume from their checkpointed
+    value and timestamp), so stats survive restarts. *)
+
+val save : ?now:float -> ?table:string -> path:string -> unit -> unit
+(** Persist the table (optionally only entries of [table]), rates
+    decayed to [now]. *)
+
+val load : path:string -> unit -> unit
+(** Merge a checkpoint back in; missing file is a no-op. *)

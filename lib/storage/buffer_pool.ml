@@ -102,11 +102,13 @@ let find t ~file ~page =
           s.hits <- s.hits + 1;
           Obs.incr c_hits;
           Obs.Prof.incr Obs.Prof.Pages_hit;
+          Decibel_obs.Workload.note_page ~hit:true;
           Some e.data
       | None ->
           s.misses <- s.misses + 1;
           Obs.incr c_misses;
           Obs.Prof.incr Obs.Prof.Pages_missed;
+          Decibel_obs.Workload.note_page ~hit:false;
           None)
 
 (* Advance the clock hand until a victim with referenced=false is found,

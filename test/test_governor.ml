@@ -481,7 +481,7 @@ let test_monitor_governor_route () =
   Fun.protect ~finally:(fun () -> Driver.close l) @@ fun () ->
   let db = l.Driver.db in
   Database.scan db (biggest_branch db) (fun _ -> ());
-  let resp = Monitor.handler db ~meth:"GET" ~path:"/governor" in
+  let resp = Monitor.handler db ~meth:"GET" ~path:"/governor" ~query:[] in
   Alcotest.(check int) "200" 200 resp.Decibel_obs.Http.status;
   let body = resp.Decibel_obs.Http.body in
   List.iter
@@ -491,14 +491,14 @@ let test_monitor_governor_route () =
         true (contains body needle))
     [ "\"admission\""; "\"capacity\":16"; "\"counters\""; "\"breakers\"" ];
   (* prometheus exposition carries the governor counters *)
-  let metrics = Monitor.handler db ~meth:"GET" ~path:"/metrics" in
+  let metrics = Monitor.handler db ~meth:"GET" ~path:"/metrics" ~query:[] in
   Alcotest.(check bool) "governor counters exported" true
     (contains metrics.Decibel_obs.Http.body "governor_")
 
 let test_monitor_governor_ungoverned () =
   let l = load_flat ~scheme:Database.Hybrid gov_cfg in
   Fun.protect ~finally:(fun () -> Driver.close l) @@ fun () ->
-  let resp = Monitor.handler l.Driver.db ~meth:"GET" ~path:"/governor" in
+  let resp = Monitor.handler l.Driver.db ~meth:"GET" ~path:"/governor" ~query:[] in
   Alcotest.(check int) "200" 200 resp.Decibel_obs.Http.status;
   Alcotest.(check bool) "admission null" true
     (contains resp.Decibel_obs.Http.body "\"admission\":null")

@@ -453,12 +453,36 @@ let test_prometheus_format () =
   (* label values escape backslash, double-quote and newline *)
   Alcotest.(check bool) "label value escaped" true
     (contains text "branch=\"we\\\"ird\\nname\\\\x\"");
-  (* undocumented families still get a bare TYPE line *)
+  (* EVERY family carries both headers: undocumented ones get a
+     readable fallback HELP derived from the metric name *)
   Obs.incr (Obs.counter "test.prom.undocumented");
   let text2 = P.render () in
-  Alcotest.(check bool) "TYPE without HELP for unknown family" true
-    (contains text2 "# TYPE test_prom_undocumented_total counter"
-    && not (contains text2 "# HELP test_prom_undocumented_total"))
+  Alcotest.(check bool) "TYPE for unknown family" true
+    (contains text2 "# TYPE test_prom_undocumented_total counter");
+  Alcotest.(check bool) "fallback HELP for unknown family" true
+    (contains text2 "# HELP test_prom_undocumented_total test prom undocumented\n");
+  (* exporter-wide regression: walk the rendered text and require that
+     each TYPE line is immediately preceded by its family's HELP line *)
+  let has_prefix p s =
+    String.length s >= String.length p && String.sub s 0 (String.length p) = p
+  in
+  let lines = String.split_on_char '\n' text2 in
+  let rec check_pairs = function
+    | prev :: line :: rest ->
+        (if has_prefix "# TYPE " line then
+           let fam =
+             match String.split_on_char ' ' line with
+             | _ :: _ :: fam :: _ -> fam
+             | _ -> Alcotest.fail ("malformed TYPE line: " ^ line)
+           in
+           Alcotest.(check bool)
+             ("HELP precedes TYPE for " ^ fam)
+             true
+             (has_prefix ("# HELP " ^ fam ^ " ") prev));
+        check_pairs (line :: rest)
+    | _ -> ()
+  in
+  check_pairs lines
 
 let test_slow_op_log () =
   Obs.set_enabled true;

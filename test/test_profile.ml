@@ -269,7 +269,7 @@ let test_profile_route () =
         Database.profile ~label:"http" db (fun () ->
             Database.scan db master (fun _ -> ()))
       in
-      let resp = Monitor.handler db ~meth:"GET" ~path:"/profile" in
+      let resp = Monitor.handler db ~meth:"GET" ~path:"/profile" ~query:[] in
       Alcotest.(check int) "200" 200 resp.Decibel_obs.Http.status;
       Alcotest.(check string) "json content type" "application/json"
         resp.Decibel_obs.Http.content_type;
