@@ -730,15 +730,25 @@ let fsck_cmd =
              write-ahead-log tail to its intact prefix.  Checkpoint \
              checksum failures are only ever reported.")
   in
+  let migrate_flag =
+    Arg.(
+      value & flag
+      & info [ "migrate" ]
+          ~doc:
+            "Upgrade a segment-format-v1 (pre-columnar) repository to the \
+             columnar v2 layout in place.  Row order is preserved so every \
+             persisted locator stays valid; the checkpoint must verify \
+             clean first, and a repository already on v2 is untouched.")
+  in
   let json_flag =
     Arg.(
       value & flag & info [ "json" ] ~doc:"Emit the report as one JSON object.")
   in
-  let run dir repair json =
+  let run dir repair migrate json =
     let code = ref 0 in
     let rc =
       wrap (fun () ->
-          let r = Fsck.run ~repair ~dir () in
+          let r = Fsck.run ~repair ~migrate ~dir () in
           if json then print_endline (Fsck.to_json r)
           else print_string (Fsck.to_text r);
           if not (Fsck.clean r) then code := 1)
@@ -751,8 +761,10 @@ let fsck_cmd =
          "Check repository integrity: manifest trailer checksum, per-record \
           heap and segment checksums, commit-locator cross-references, \
           stale temp files and torn write-ahead-log tails.  Exits non-zero \
-          if any problem is found (repaired or not).")
-    Term.(const run $ dir_arg $ repair_flag $ json_flag)
+          if any problem is found (repaired or not).  With $(b,--migrate), \
+          also upgrades a clean v1-format repository to the columnar v2 \
+          segment layout.")
+    Term.(const run $ dir_arg $ repair_flag $ migrate_flag $ json_flag)
 
 let () =
   let info =

@@ -63,14 +63,14 @@ let workload_path dir = Filename.concat dir "workload.jsonl"
 let c_corruption = Obs.counter "storage.corruption_detected"
 let c_replay_skipped = Obs.counter "wal.replay_skipped"
 
-let open_ ?pool ?(durable = false) ?(compress = false) ?lock_timeout_s
-    ?governor ~scheme ~dir ~schema () =
+let open_ ?pool ?(durable = false) ?(compress = false) ?(format = 2)
+    ?lock_timeout_s ?governor ~scheme ~dir ~schema () =
   let pool =
     match pool with Some p -> p | None -> Buffer_pool.create ()
   in
   let locks = Lock_manager.create ?timeout_s:lock_timeout_s () in
   let pack (type e) (module E : Engine_intf.S with type t = e) =
-    let state = E.create ~compress ~dir ~pool ~schema in
+    let state = E.create ~format ~compress ~dir ~pool ~schema in
     let wal =
       if durable then begin
         (* checkpoint 0: the freshly-initialized state, so a crash
@@ -124,11 +124,12 @@ let detect_scheme dir =
   | [ (file, scheme) ] ->
       if scheme = Tuple_first then begin
         (* both bitmap layouts share the manifest file; it records which
-           layout wrote it *)
+           layout wrote it (past the columnar format header, if any) *)
         let data =
           Decibel_util.Binio.read_file (Filename.concat dir file)
         in
         let pos = ref 0 in
+        let _version = Col_segment.manifest_version data pos in
         match Decibel_util.Binio.read_string data pos with
         | "tuple-oriented" -> Tuple_first_tuple_oriented
         | _ -> Tuple_first
@@ -136,6 +137,13 @@ let detect_scheme dir =
       else scheme
   | [] -> errorf "no Decibel repository found in %s" dir
   | _ :: _ :: _ -> errorf "ambiguous repository manifests in %s" dir
+
+(* A repository persisted in segment format v1 opens read-only under
+   the v2 binary: every read path works (the v1 codecs remain), but
+   writes would commit the old layout further, so they are refused
+   until [fsck --migrate] rewrites the segments. *)
+let v1_readonly_reason =
+  "repository uses segment format v1; run fsck --migrate to upgrade"
 
 let reopen_checkpoint ?pool ?scheme ?governor ~dir () =
   let pool = match pool with Some p -> p | None -> Buffer_pool.create () in
@@ -154,7 +162,9 @@ let reopen_checkpoint ?pool ?scheme ?governor ~dir () =
         locks = Lock_manager.create ();
         wal = None;
         next_session = 0;
-        health = Healthy;
+        health =
+          (if E.format_version state < 2 then Degraded v1_readonly_reason
+           else Healthy);
         quarantined = Hashtbl.create 4;
         governor;
         breakers = Hashtbl.create 4;
@@ -383,6 +393,11 @@ let scan ?ctx (Db { engine = (module E); state; _ } as t) b f =
       governed t ?ctx ~cls:Governor.Cheap [ b ] (fun () ->
           E.scan ?ctx state b f))
 
+let scan_filtered ?ctx (Db { engine = (module E); state; _ } as t) b ~preds f =
+  guarded t [ b ] (fun () ->
+      governed t ?ctx ~cls:Governor.Cheap [ b ] (fun () ->
+          E.scan_filtered ?ctx state b ~preds f))
+
 let scan_version ?ctx (Db { engine = (module E); state; _ } as t) v f =
   try
     governed t ?ctx ~cls:Governor.Cheap [] (fun () ->
@@ -418,6 +433,19 @@ let merge ?ctx (Db { engine = (module E); state; _ } as t) ~into ~from ~policy
                  applying — an operation the caller saw fail. *)
               mark t lsn;
               raise e))
+
+let format_version (Db { engine = (module E); state; _ }) =
+  E.format_version state
+
+(* In-place v1 → v2 segment rewrite.  Clearing the v1 read-only
+   degradation afterwards makes the migrated repository immediately
+   writable; any other degradation reason is left in force. *)
+let migrate (Db d as t) =
+  let (Db { engine = (module E); state; _ }) = t in
+  E.migrate state;
+  match d.health with
+  | Degraded reason when reason = v1_readonly_reason -> d.health <- Healthy
+  | _ -> ()
 
 let dataset_bytes (Db { engine = (module E); state; _ }) =
   E.dataset_bytes state
@@ -492,10 +520,12 @@ let storage_report (Db { engine = (module E); state; pool; _ } as t) =
       let module R = Decibel_obs.Report in
       {
         R.r_scheme = E.scheme;
+        r_format = part.R.e_format;
         r_dataset_bytes = E.dataset_bytes state;
         r_commit_meta_bytes = E.commit_meta_bytes state;
         r_branches = part.R.e_branches;
         r_segments = part.R.e_segments;
+        r_columns = part.R.e_columns;
         r_history = part.R.e_history;
         r_graph =
           {

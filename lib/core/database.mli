@@ -28,6 +28,7 @@ val open_ :
   ?pool:Buffer_pool.t ->
   ?durable:bool ->
   ?compress:bool ->
+  ?format:int ->
   ?lock_timeout_s:float ->
   ?governor:Decibel_governor.Governor.Admission.t ->
   scheme:scheme ->
@@ -38,10 +39,13 @@ val open_ :
 (** Initialize a fresh repository in [dir].  [durable] arms write-ahead
     logging of every operation (default off); [compress] stores record
     payloads LZ77-compressed (the paper's §5.5 space/materialization
-    trade-off, default off); [lock_timeout_s] bounds session lock
-    waits; [governor] arms admission control, load shedding and
-    per-branch circuit breakers on the long-running operations (see
-    {e Resource governance} below). *)
+    trade-off, default off); [format] selects the segment layout —
+    [2] (default) the columnar block format of
+    {!Decibel_storage.Col_segment}, [1] the original row-per-record
+    heap (kept for compatibility fixtures and comparison benchmarks);
+    [lock_timeout_s] bounds session lock waits; [governor] arms
+    admission control, load shedding and per-branch circuit breakers on
+    the long-running operations (see {e Resource governance} below). *)
 
 val reopen :
   ?pool:Buffer_pool.t -> ?scheme:scheme -> ?durable:bool ->
@@ -104,6 +108,14 @@ val scan :
   ?ctx:Decibel_governor.Governor.Ctx.t ->
   t -> branch_id -> (Tuple.t -> unit) -> unit
 
+val scan_filtered :
+  ?ctx:Decibel_governor.Governor.Ctx.t ->
+  t -> branch_id -> preds:Col_pred.t list -> (Tuple.t -> unit) -> unit
+(** {!scan} restricted to records satisfying every structured
+    predicate.  On format-v2 segments the predicates are pushed below
+    tuple materialization (and the branch bitmap below block
+    decompression); engines without a batch path filter row-wise. *)
+
 val scan_version :
   ?ctx:Decibel_governor.Governor.Ctx.t ->
   t -> version_id -> (Tuple.t -> unit) -> unit
@@ -133,6 +145,17 @@ val heads : t -> branch_id list
 val dataset_bytes : t -> int
 val commit_meta_bytes : t -> int
 val pool : t -> Buffer_pool.t
+
+val format_version : t -> int
+(** Segment layout version of the open repository: [1] (row heap) or
+    [2] (columnar blocks).  A v1 repository reopened from disk is
+    read-only ({!health} reports it degraded) until {!migrate}. *)
+
+val migrate : t -> unit
+(** Rewrite format-v1 segments as v2 in place (row order preserved, so
+    every locator, bitmap and commit history stays valid) and persist a
+    v2 manifest.  Clears the v1 read-only degradation; no-op on v2
+    repositories.  Exposed to applications via [fsck --migrate]. *)
 
 val drop_caches : t -> unit
 (** Flush, then empty the buffer pool (cold-cache benchmarking). *)

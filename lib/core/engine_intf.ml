@@ -36,11 +36,21 @@ module type S = sig
       ["hybrid"], ... *)
 
   val create :
-    compress:bool -> dir:string -> pool:Buffer_pool.t -> schema:Schema.t -> t
+    format:int ->
+    compress:bool ->
+    dir:string ->
+    pool:Buffer_pool.t ->
+    schema:Schema.t ->
+    t
   (** Initialize a repository in [dir] (created if absent): the root
       version (empty dataset) on the master branch.  The paper's [init]
       operation (§2.2.3).  [dir] should be empty or absent; existing
       repository files are truncated.
+
+      [format] selects the segment layout: [1] is the original
+      row-per-record heap, [2] the columnar block layout of
+      {!Decibel_storage.Col_segment} (the default everywhere above this
+      interface).  Raises {!Types.Engine_error} on any other value.
 
       [compress] stores record payloads LZ77-compressed — the paper's
       suggested mitigation for the storage blowup of whole-record
@@ -102,6 +112,19 @@ module type S = sig
     unit
   (** All live records of the branch's working head (Q1). *)
 
+  val scan_filtered :
+    ?ctx:Decibel_governor.Governor.Ctx.t ->
+    t ->
+    branch_id ->
+    preds:Col_pred.t list ->
+    (Tuple.t -> unit) ->
+    unit
+  (** [scan] restricted to records satisfying every predicate.  On
+      format-v2 segments the predicates are evaluated on decoded column
+      batches — below tuple materialization, and below decompression
+      for blocks the branch bitmap rules out; engines without a
+      columnar path apply {!Col_pred.eval_tuple} per record. *)
+
   val scan_version :
     ?ctx:Decibel_governor.Governor.Ctx.t ->
     t ->
@@ -132,6 +155,16 @@ module type S = sig
       differ in the second; [neg] the converse (Q2 runs [pos] only). *)
 
   (** {1 Introspection} *)
+
+  val format_version : t -> int
+  (** Segment layout version of the open repository: [1] (row heap) or
+      [2] (columnar blocks). *)
+
+  val migrate : t -> unit
+  (** Rewrite format-v1 segments as v2 in place, row order preserved
+      (so bitmaps, commit histories and row locators stay valid), and
+      persist a v2 manifest.  No-op on v2 repositories.  The engine
+      half of [fsck --migrate]. *)
 
   val dataset_bytes : t -> int
   (** Bytes of record data on disk (heap/segment files). *)

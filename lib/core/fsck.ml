@@ -107,7 +107,51 @@ let check_engine ?pool dir =
       Database.close db;
       (Some scheme, findings)
 
-let run ?(repair = false) ?pool ~dir () =
+(* Format upgrade: reopen the checkpoint and rewrite any v1 segments
+   as columnar v2 in place (row order preserved, so every persisted
+   locator stays valid).  Only attempted on a repository whose
+   checkpoint verifies clean — migrating corrupt data would launder
+   the corruption into a fresh file. *)
+let migrate_repo ?pool dir =
+  match Database.reopen_checkpoint ?pool ~dir () with
+  | exception Decibel_util.Binio.Corrupt msg ->
+      [
+        {
+          artifact = "manifest";
+          problem = "cannot migrate: " ^ msg;
+          repaired = false;
+        };
+      ]
+  | exception Types.Engine_error msg ->
+      [
+        { artifact = dir; problem = "cannot migrate: " ^ msg; repaired = false };
+      ]
+  | db ->
+      Fun.protect
+        ~finally:(fun () -> Database.close db)
+        (fun () ->
+          let before = Database.format_version db in
+          if before >= 2 then [] (* already v2: nothing to do *)
+          else if Database.verify db <> [] then
+            [
+              {
+                artifact = dir;
+                problem = "cannot migrate: checkpoint has integrity errors";
+                repaired = false;
+              };
+            ]
+          else begin
+            Database.migrate db;
+            [
+              {
+                artifact = dir;
+                problem = "segment format v1 (pre-columnar)";
+                repaired = true;
+              };
+            ]
+          end)
+
+let run ?(repair = false) ?(migrate = false) ?pool ~dir () =
   Obs.incr c_runs;
   if not (Sys.file_exists dir && Sys.is_directory dir) then
     {
@@ -120,7 +164,8 @@ let run ?(repair = false) ?pool ~dir () =
     let tmp = check_tmp_files ~repair dir in
     let wal = check_wal ~repair dir in
     let scheme, engine = check_engine ?pool dir in
-    let findings = tmp @ wal @ engine in
+    let migration = if migrate then migrate_repo ?pool dir else [] in
+    let findings = tmp @ wal @ engine @ migration in
     Obs.add c_findings (List.length findings);
     if findings <> [] then
       Obs.event ~level:Obs.Warn ~comp:"fsck"

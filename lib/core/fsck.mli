@@ -21,13 +21,20 @@ type report = {
 
 val run :
   ?repair:bool ->
+  ?migrate:bool ->
   ?pool:Decibel_storage.Buffer_pool.t ->
   dir:string ->
   unit ->
   report
-(** Check the repository at [dir].  Read-only unless [repair] (default
-    false).  Never raises on a corrupt repository — problems become
-    findings. *)
+(** Check the repository at [dir].  Read-only unless [repair] or
+    [migrate] (both default false).  Never raises on a corrupt
+    repository — problems become findings.
+
+    With [~migrate:true], a repository still on segment format v1 whose
+    checkpoint verifies clean is rewritten to columnar v2 in place (row
+    order preserved, all persisted locators stay valid); the upgrade
+    appears as a repaired finding.  A corrupt checkpoint is never
+    migrated, and a v2 repository is left untouched. *)
 
 val clean : report -> bool
 (** No findings at all (repaired ones still count as findings). *)

@@ -7,6 +7,14 @@
     records live in each branch, letting scans skip irrelevant segments
     entirely and proceed in any order.
 
+    Segments are {!Decibel_storage.Col_segment}s addressed by local row
+    index (format v1 keeps the original byte-offset record heap behind
+    the same row interface; format v2 stores columnar blocks).  The
+    local bitmaps were always row-indexed, so branch scans hand them to
+    {!Col_segment.scan} as selection vectors directly — in v2 that
+    skips and filters whole blocks below decompression, the combination
+    of §3.4's segment skipping with columnar execution.
+
     Head segments receive a branch's fresh modifications; when a branch
     is created from a clean head, the old head is frozen into an
     internal segment (its data no longer changes, only its bitmaps) and
@@ -43,6 +51,7 @@ let c_diff_tuples = Obs.counter "engine.diff.tuples"
 let c_commits = Obs.counter "engine.commits"
 let c_merges = Obs.counter "engine.merges"
 let sp_scan = "hybrid.scan"
+let sp_scan_filtered = "hybrid.scan_filtered"
 let sp_scan_version = "hybrid.scan_version"
 let sp_multi_scan = "hybrid.multi_scan"
 let sp_diff = "hybrid.diff"
@@ -53,9 +62,8 @@ let bitmap_words col = (Bitvec.length col + 63) / 64
 
 type seg = {
   seg_id : int;
-  file : Heap_file.t;
+  seg : Col_segment.t;
   local : Branch_bitmap.t; (* columns indexed by global branch id *)
-  offsets : int Vec.t; (* local row -> file offset *)
 }
 
 type t = {
@@ -63,6 +71,7 @@ type t = {
   pool : Buffer_pool.t;
   schema : Schema.t;
   compress : bool;
+  mutable format : int; (* segment layout version; migrate flips to 2 *)
   graph : Vg.t;
   segments : seg Vec.t;
   head_seg : int Vec.t; (* branch -> head segment id *)
@@ -80,22 +89,64 @@ type t = {
 
 let scheme = "hybrid"
 
+(* Format-v1 record wire format, as in the original layout: [u8 tag]
+   with tag 0 a raw tuple body and tag 1 LZ77-compressed (§5.5
+   mitigation).  Hybrid has no tombstone records — deletion only clears
+   liveness bits. *)
+let v1_codec ~schema ~compress =
+  let encode = function
+    | Col_segment.Live tuple ->
+        let buf = Buffer.create 64 in
+        if compress then begin
+          Binio.write_u8 buf 1;
+          Buffer.add_string buf (Lz77.compress (Tuple.encode schema tuple))
+        end
+        else begin
+          Binio.write_u8 buf 0;
+          Tuple.encode_into schema buf tuple
+        end;
+        Buffer.contents buf
+    | Col_segment.Tombstone _ ->
+        raise (Binio.Corrupt "hybrid: tombstone in record stream")
+  in
+  let decode payload =
+    Obs.Prof.add Obs.Prof.Bytes_decoded (String.length payload);
+    let pos = ref 0 in
+    match Binio.read_u8 payload pos with
+    | 0 -> Col_segment.Live (Tuple.decode schema payload pos)
+    | 1 ->
+        let raw =
+          Lz77.decompress (String.sub payload 1 (String.length payload - 1))
+        in
+        Col_segment.Live (Tuple.decode schema raw (ref 0))
+    | k -> raise (Binio.Corrupt (Printf.sprintf "hybrid: record tag %d" k))
+  in
+  { Col_segment.v1_encode = encode; v1_decode = decode }
+
 let segment t id = Vec.get t.segments id
+
+let seg_dummy =
+  {
+    seg_id = -1;
+    seg = Obj.magic `never_dereferenced;
+    local = Branch_bitmap.create ();
+  }
+
+let seg_file_path dir seg_id =
+  Filename.concat dir (Printf.sprintf "seg_%d.dat" seg_id)
 
 let new_segment t =
   let seg_id = Vec.length t.segments in
-  let file =
-    Heap_file.create ~pool:t.pool
-      (Filename.concat t.dir (Printf.sprintf "seg_%d.dat" seg_id))
+  let path = seg_file_path t.dir seg_id in
+  let seg =
+    if t.format >= 2 then
+      Col_segment.create_v2 ~pool:t.pool ~schema:t.schema ~compress:t.compress
+        ~path
+    else
+      Col_segment.create_v1 ~pool:t.pool ~schema:t.schema ~compress:t.compress
+        ~codec:(v1_codec ~schema:t.schema ~compress:t.compress) ~path
   in
-  let s =
-    {
-      seg_id;
-      file;
-      local = Branch_bitmap.create ();
-      offsets = Vec.create ~dummy:(-1) ();
-    }
-  in
+  let s = { seg_id; seg; local = Branch_bitmap.create () } in
   let _ = Vec.push t.segments s in
   s
 
@@ -107,31 +158,9 @@ let ensure_branch bm b =
     ()
   done
 
-(* Record payload codec, as in tuple-first (§5.5 mitigation). *)
-let encode_tuple t tuple =
-  let buf = Buffer.create 64 in
-  if t.compress then begin
-    Binio.write_u8 buf 1;
-    Buffer.add_string buf (Lz77.compress (Tuple.encode t.schema tuple))
-  end
-  else begin
-    Binio.write_u8 buf 0;
-    Tuple.encode_into t.schema buf tuple
-  end;
-  Buffer.contents buf
-
-let decode_tuple t payload =
-  let pos = ref 0 in
-  match Binio.read_u8 payload pos with
-  | 0 -> Tuple.decode t.schema payload pos
-  | 1 ->
-      let raw =
-        Lz77.decompress (String.sub payload 1 (String.length payload - 1))
-      in
-      Tuple.decode t.schema raw (ref 0)
-  | k -> raise (Binio.Corrupt (Printf.sprintf "hybrid: record tag %d" k))
-
-let create ~compress ~dir ~pool ~schema =
+let create ~format ~compress ~dir ~pool ~schema =
+  if format <> 1 && format <> 2 then
+    errorf "hybrid: unknown segment format v%d" format;
   Fsutil.mkdir_p dir;
   let t =
     {
@@ -139,18 +168,10 @@ let create ~compress ~dir ~pool ~schema =
       pool;
       schema;
       compress;
+      format;
       graph = Vg.create ();
       (* dummy never dereferenced; fills unused Vec capacity *)
-      segments =
-        Vec.create
-          ~dummy:
-            {
-              seg_id = -1;
-              file = Obj.magic `never_dereferenced;
-              local = Branch_bitmap.create ();
-              offsets = Vec.create ~dummy:(-1) ();
-            }
-          ();
+      segments = Vec.create ~dummy:seg_dummy ();
       head_seg = Vec.create ~dummy:(-1) ();
       seg_index = Branch_bitmap.create ();
       pk = Pk_index.create ();
@@ -171,6 +192,7 @@ let create ~compress ~dir ~pool ~schema =
 
 let schema t = t.schema
 let graph t = t.graph
+let format_version t = t.format
 
 let is_dirty t b = Hashtbl.find_opt t.dirty b = Some true
 let set_dirty t b v = Hashtbl.replace t.dirty b v
@@ -198,10 +220,7 @@ let history t b sid =
       l := sid :: !l;
       h
 
-let tuple_at t sid row =
-  let s = segment t sid in
-  decode_tuple t (Heap_file.get s.file (Vec.get s.offsets row))
-
+let tuple_at t sid row = Col_segment.get_tuple (segment t sid).seg row
 let key_at t sid row = Tuple.pk t.schema (tuple_at t sid row)
 
 (* Segments holding live records of a branch, per the global
@@ -347,9 +366,7 @@ let validate t tuple =
 
 let append_record t b tuple =
   let sid = Vec.get t.head_seg b in
-  let s = segment t sid in
-  let off = Heap_file.append s.file (encode_tuple t tuple) in
-  let row = Vec.push s.offsets off in
+  let row = Col_segment.append (segment t sid).seg (Col_segment.Live tuple) in
   (sid, row)
 
 let insert t b tuple =
@@ -390,21 +407,22 @@ let lookup t b key =
     (fun (sid, row) -> tuple_at t sid row)
     (Pk_index.find t.pk ~branch:b key)
 
-let scan_segment_col t sid col f =
-  let s = segment t sid in
-  let row = ref 0 in
-  Heap_file.iter s.file (fun _off payload ->
-      if Bitvec.get col !row then f (decode_tuple t payload);
-      incr row)
+(* The local column goes straight down as the segment scan's selection
+   vector: in v2 the block skip + batch predicate machinery runs below
+   decompression, in v1 it degenerates to the old bit-test-per-row
+   walk. *)
+let scan_segment_col ?preds t sid col f =
+  Col_segment.scan ~sel:col ?preds (segment t sid).seg (fun _row tuple ->
+      f tuple)
 
 (* One segment's worth of accounting, charged per segment (not per
-   tuple) so instrumentation stays amortized: Heap_file.iter walks the
-   whole segment extent page by page, and the live-tuple count is the
+   tuple) so instrumentation stays amortized: the segment scan walks
+   the whole extent page by page, and the live-tuple count is the
    bitmap's population count, so the scan itself runs uninstrumented. *)
 let account_segment t sid col =
   Obs.incr c_scan_segments;
   Obs.Prof.incr Obs.Prof.Delta_fragments;
-  Obs.add c_scan_pages (Heap_file.page_count (segment t sid).file);
+  Obs.add c_scan_pages (Col_segment.page_count (segment t sid).seg);
   Obs.add c_scan_bitmap_words (bitmap_words col);
   Obs.Prof.add Obs.Prof.Bitmap_words (bitmap_words col);
   let live = Bitvec.pop_count col in
@@ -418,7 +436,7 @@ let account_segment t sid col =
    tuple stream is byte-identical to the serial loop.  With the pool
    off (or a single segment) this is the plain serial loop with no
    buffering. *)
-let scan_cols ?ctx t cols f =
+let scan_cols ?ctx ?preds t cols f =
   match cols with
   | [] -> ()
   | _ when Par.available () && List.length cols > 1 ->
@@ -428,7 +446,7 @@ let scan_cols ?ctx t cols f =
           let poll = Gctx.poller ctx in
           let sid, col = cols.(i) in
           let acc = ref [] in
-          scan_segment_col t sid col (fun tu ->
+          scan_segment_col ?preds t sid col (fun tu ->
               poll ();
               acc := tu :: !acc);
           List.rev !acc)
@@ -438,7 +456,7 @@ let scan_cols ?ctx t cols f =
       let poll = Gctx.poller ctx in
       List.iter
         (fun (sid, col) ->
-          scan_segment_col t sid col (fun tu ->
+          scan_segment_col ?preds t sid col (fun tu ->
               poll ();
               f tu))
         cols
@@ -465,6 +483,39 @@ let scan ?ctx t b f =
             Workload.note_read ~table ~branch ~scanned:live ~emitted:live
               ~fragments:(List.length cols) ();
             scan_cols ?ctx t cols f))
+
+(* Predicate pushdown composes with segment skipping: the branch's
+   local columns select, the predicates filter on decoded batches (or
+   dictionary codes) inside each surviving block. *)
+let scan_filtered ?ctx t b ~preds f =
+  let cols =
+    List.map (fun sid -> (sid, local_col t b sid)) (segs_of_branch t b)
+  in
+  if not (Obs.enabled ()) then scan_cols ?ctx ~preds t cols f
+  else
+    let table = wl_table t and branch = wl_branch t b in
+    Workload.with_context ~table ~branch (fun () ->
+        Obs.with_span sp_scan_filtered (fun () ->
+            let scanned = ref 0 in
+            List.iter
+              (fun (sid, col) ->
+                Obs.incr c_scan_segments;
+                Obs.Prof.incr Obs.Prof.Delta_fragments;
+                Obs.add c_scan_pages
+                  (Col_segment.page_count (segment t sid).seg);
+                Obs.add c_scan_bitmap_words (bitmap_words col);
+                Obs.Prof.add Obs.Prof.Bitmap_words (bitmap_words col);
+                scanned := !scanned + Bitvec.pop_count col)
+              cols;
+            let n = ref 0 in
+            scan_cols ?ctx ~preds t cols (fun tu ->
+                incr n;
+                f tu);
+            Obs.add c_scan_tuples !n;
+            Obs.Prof.add Obs.Prof.Tuples_scanned !scanned;
+            Obs.Prof.add Obs.Prof.Tuples_emitted !n;
+            Workload.note_read ~table ~branch ~scanned:!scanned ~emitted:!n
+              ~fragments:(List.length cols) ()))
 
 let scan_version ?ctx t vid f =
   let cols = commit_cols t vid in
@@ -500,16 +551,14 @@ let multi_scan_impl ?ctx t branches f =
            operation's byte budget *)
         Gctx.charge_current ((Bitvec.length any + 7) lsr 3);
         let acc = ref [] in
-        Bitvec.iter_set
-          (fun row ->
+        Col_segment.scan ~sel:any (segment t sid).seg (fun row tuple ->
             poll ();
             let live =
               List.filter_map
                 (fun (b, col) -> if Bitvec.get col row then Some b else None)
                 cols
             in
-            acc := { tuple = tuple_at t sid row; in_branches = live } :: !acc)
-          any;
+            acc := { tuple; in_branches = live } :: !acc);
         List.rev !acc
   in
   if Par.available () && Array.length segs > 1 then
@@ -548,24 +597,19 @@ let diff_impl ?ctx t a b ~pos ~neg =
     Bitvec.xor_in_place sym cb;
     Gctx.charge_current ((Bitvec.length sym + 7) lsr 3);
     let acc = ref [] in
-    let emit_side ~live_in ~other side row =
-      poll ();
-      if Bitvec.get live_in row then begin
-        let tuple = tuple_at t sid row in
+    (* every symmetric-difference row is live in exactly one branch;
+       the selection-driven scan decodes each exactly once *)
+    Col_segment.scan ~sel:sym (segment t sid).seg (fun row tuple ->
+        poll ();
+        let side = Bitvec.get ca row in
+        let other = if side then b else a in
         let key = Tuple.pk t.schema tuple in
         let same =
           match lookup t other key with
           | Some other_t -> Tuple.equal tuple other_t
           | None -> false
         in
-        if not same then acc := (side, tuple) :: !acc
-      end
-    in
-    Bitvec.iter_set
-      (fun row ->
-        emit_side ~live_in:ca ~other:b true row;
-        emit_side ~live_in:cb ~other:a false row)
-      sym;
+        if not same then acc := (side, tuple) :: !acc);
     List.rev !acc
   in
   let consume l =
@@ -732,7 +776,7 @@ let merge ?ctx t ~into ~from ~policy ~message =
 
 let dataset_bytes t =
   let acc = ref 0 in
-  Vec.iter (fun s -> acc := !acc + Heap_file.size s.file) t.segments;
+  Vec.iter (fun s -> acc := !acc + Col_segment.byte_size s.seg) t.segments;
   !acc
 
 let commit_meta_bytes t =
@@ -758,7 +802,7 @@ let storage_report t =
           List.fold_left
             (fun (live, bits) sid ->
               ( live + Bitvec.pop_count (local_col t b sid),
-                bits + Vec.length (segment t sid).offsets ))
+                bits + Col_segment.rows (segment t sid).seg ))
             (0, 0) segs
         in
         let chain, dbytes =
@@ -793,7 +837,7 @@ let storage_report t =
   let segments =
     List.init (Vec.length t.segments) (fun sid ->
         let s = segment t sid in
-        let records = Vec.length s.offsets in
+        let records = Col_segment.rows s.seg in
         let any_live = Bitvec.create ~capacity:(max 1 records) () in
         List.iter
           (fun (br : Vg.branch) ->
@@ -802,9 +846,9 @@ let storage_report t =
         let live = Bitvec.pop_count any_live in
         {
           R.sg_id = sid;
-          sg_file = Filename.basename (Heap_file.path s.file);
-          sg_bytes = Heap_file.size s.file;
-          sg_pages = Heap_file.page_count s.file;
+          sg_file = Filename.basename (Col_segment.path s.seg);
+          sg_bytes = Col_segment.byte_size s.seg;
+          sg_pages = Col_segment.page_count s.seg;
           sg_records = records;
           sg_live_records = live;
           sg_fragmentation = R.fragmentation ~live ~records;
@@ -829,9 +873,26 @@ let storage_report t =
         else (n, bytes))
       (0, 0) (Sys.readdir t.dir)
   in
+  let columns =
+    let reports = ref [] in
+    Vec.iter
+      (fun s -> reports := Col_segment.column_report s.seg :: !reports)
+      t.segments;
+    List.map
+      (fun (c : Col_segment.col_report) ->
+        {
+          R.co_name = c.Col_segment.cr_name;
+          co_encoding = c.cr_encoding;
+          co_raw_bytes = c.cr_raw_bytes;
+          co_enc_bytes = c.cr_enc_bytes;
+        })
+      (Array.to_list (Col_segment.merge_column_reports !reports))
+  in
   {
-    R.e_branches = branches;
+    R.e_format = t.format;
+    e_branches = branches;
     e_segments = segments;
+    e_columns = columns;
     e_history =
       {
         R.h_files;
@@ -843,23 +904,36 @@ let storage_report t =
   }
 
 (* The manifest persists the graph, every segment's local bitmap and
-   row-offset table, branch head segments, the branch–segment bitmap,
+   layout metadata, branch head segments, the branch–segment bitmap,
    history bookkeeping, the commit locator and dirtiness; the key index
-   is rebuilt from local bitmaps on reopen. *)
+   is rebuilt from local bitmaps on reopen.  Format-v1 manifests keep
+   the original byte-for-byte encoding (heap size + per-row byte
+   offsets), so pre-columnar repositories reopen unchanged; v2
+   manifests lead with the columnar magic header and embed each
+   segment's block index instead of an offset table. *)
 let manifest_path dir = Filename.concat dir "manifest.hy"
 
 let save_manifest t =
+  let v2 = t.format >= 2 in
   let buf = Buffer.create 4096 in
+  if v2 then Col_segment.write_manifest_header buf;
   Binio.write_u8 buf (if t.compress then 1 else 0);
   Binio.write_string buf (Vg.serialize t.graph);
   Schema.serialize buf t.schema;
   Binio.write_varint buf (Vec.length t.segments);
   Vec.iter
     (fun s ->
-      Binio.write_varint buf (Heap_file.size s.file);
-      Branch_bitmap.serialize buf s.local;
-      Binio.write_varint buf (Vec.length s.offsets);
-      Vec.iter (fun off -> Binio.write_varint buf off) s.offsets)
+      if v2 then begin
+        Col_segment.save_meta buf s.seg;
+        Branch_bitmap.serialize buf s.local
+      end
+      else begin
+        Binio.write_varint buf (Col_segment.byte_size s.seg);
+        Branch_bitmap.serialize buf s.local;
+        let offsets = Col_segment.v1_offsets s.seg in
+        Binio.write_varint buf (Vec.length offsets);
+        Vec.iter (fun off -> Binio.write_varint buf off) offsets
+      end)
     t.segments;
   Binio.write_varint buf (Vec.length t.head_seg);
   Vec.iter (fun sid -> Binio.write_varint buf sid) t.head_seg;
@@ -891,8 +965,21 @@ let save_manifest t =
   Atomic_file.write (manifest_path t.dir) (Buffer.contents buf)
 
 let flush t =
-  Vec.iter (fun s -> Heap_file.flush s.file) t.segments;
+  Vec.iter (fun s -> Col_segment.flush s.seg) t.segments;
   save_manifest t
+
+let migrate t =
+  if t.format < 2 then begin
+    for sid = 0 to Vec.length t.segments - 1 do
+      let s = segment t sid in
+      Vec.set t.segments sid { s with seg = Col_segment.migrate_to_v2 s.seg }
+    done;
+    (* local bitmaps, the key index and commit histories are all
+       row-addressed and rows survive migration 1:1 — only the format
+       flag and manifest encoding change *)
+    t.format <- 2;
+    save_manifest t
+  end
 
 let open_existing ~dir ~pool =
   let data =
@@ -900,6 +987,7 @@ let open_existing ~dir ~pool =
     with Sys_error _ -> errorf "hybrid: no repository in %s" dir
   in
   let pos = ref 0 in
+  let version = Col_segment.manifest_version data pos in
   let compress = Binio.read_u8 data pos = 1 in
   let graph = Vg.deserialize (Binio.read_string data pos) in
   let schema = Schema.deserialize data pos in
@@ -909,17 +997,9 @@ let open_existing ~dir ~pool =
       pool;
       schema;
       compress;
+      format = version;
       graph;
-      segments =
-        Vec.create
-          ~dummy:
-            {
-              seg_id = -1;
-              file = Obj.magic `never_dereferenced;
-              local = Branch_bitmap.create ();
-              offsets = Vec.create ~dummy:(-1) ();
-            }
-          ();
+      segments = Vec.create ~dummy:seg_dummy ();
       head_seg = Vec.create ~dummy:(-1) ();
       seg_index = Branch_bitmap.create ();
       pk = Pk_index.create ();
@@ -933,22 +1013,36 @@ let open_existing ~dir ~pool =
   in
   let nsegs = Binio.read_varint data pos in
   for seg_id = 0 to nsegs - 1 do
-    let size = Binio.read_varint data pos in
-    let local = Branch_bitmap.deserialize data pos in
-    let offsets = Vec.create ~dummy:(-1) () in
-    let noff = Binio.read_varint data pos in
-    for _ = 1 to noff do
-      let _ = Vec.push offsets (Binio.read_varint data pos) in
+    if version >= 2 then begin
+      let seg =
+        Col_segment.open_v2 ~pool ~schema ~compress
+          ~path:(seg_file_path dir seg_id) data pos
+      in
+      let local = Branch_bitmap.deserialize data pos in
+      let _ = Vec.push t.segments { seg_id; seg; local } in
       ()
-    done;
-    let file =
-      Heap_file.open_existing ~pool
-        (Filename.concat dir (Printf.sprintf "seg_%d.dat" seg_id))
-    in
-    (* drop bytes past the checkpoint (recovered via the WAL instead) *)
-    Heap_file.truncate_to file size;
-    let _ = Vec.push t.segments { seg_id; file; local; offsets } in
-    ()
+    end
+    else begin
+      let size = Binio.read_varint data pos in
+      let local = Branch_bitmap.deserialize data pos in
+      let offsets = ref [] in
+      let noff = Binio.read_varint data pos in
+      for _ = 1 to noff do
+        offsets := Binio.read_varint data pos :: !offsets
+      done;
+      let file =
+        Heap_file.open_existing ~pool (seg_file_path dir seg_id)
+      in
+      (* drop bytes past the checkpoint (recovered via the WAL instead) *)
+      Heap_file.truncate_to file size;
+      let seg =
+        Col_segment.of_v1 ~pool ~schema ~compress
+          ~codec:(v1_codec ~schema ~compress) ~file
+          ~offsets:(List.rev !offsets)
+      in
+      let _ = Vec.push t.segments { seg_id; seg; local } in
+      ()
+    end
   done;
   let nheads = Binio.read_varint data pos in
   for _ = 1 to nheads do
@@ -1017,7 +1111,7 @@ let verify t =
       let name = Printf.sprintf "seg_%d.dat" s.seg_id in
       List.iter
         (fun (_, reason) -> errs := (name, reason) :: !errs)
-        (Heap_file.verify s.file))
+        (Col_segment.verify s.seg))
     t.segments;
   Hashtbl.iter
     (fun vid (_, snaps) ->
@@ -1041,7 +1135,7 @@ let verify t =
 
 let crash t =
   if not t.closed then begin
-    Vec.iter (fun s -> Heap_file.abandon s.file) t.segments;
+    Vec.iter (fun s -> Col_segment.abandon s.seg) t.segments;
     Hashtbl.iter (fun _ h -> Commit_history.close h) t.histories;
     t.closed <- true
   end
@@ -1049,7 +1143,7 @@ let crash t =
 let close t =
   if not t.closed then begin
     flush t;
-    Vec.iter (fun s -> Heap_file.close s.file) t.segments;
+    Vec.iter (fun s -> Col_segment.close s.seg) t.segments;
     Hashtbl.iter (fun _ h -> Commit_history.close h) t.histories;
     t.closed <- true
   end

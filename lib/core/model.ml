@@ -31,7 +31,7 @@ type t = {
 
 let scheme = "model"
 
-let create ~compress:_ ~dir:_ ~pool:_ ~schema =
+let create ~format:_ ~compress:_ ~dir:_ ~pool:_ ~schema =
   let snapshots = Hashtbl.create 64 in
   Hashtbl.replace snapshots Vg.root_version Vmap.empty;
   {
@@ -148,6 +148,12 @@ let scan ?ctx t b f =
         Obs.Prof.add Obs.Prof.Tuples_emitted !n;
         Workload.note_read ~table:(wl_table t) ~branch:(wl_branch t b)
           ~scanned:!n ~emitted:!n ~fragments:0 ())
+
+(* No physical layout, so predicate pushdown degenerates to a row-wise
+   filter — the executable semantics the columnar engines must match. *)
+let scan_filtered ?ctx t b ~preds f =
+  scan ?ctx t b (fun tuple ->
+      if Col_pred.eval_tuple preds tuple then f tuple)
 
 let scan_version ?ctx t vid f =
   let run ?(count = fun g x -> g x) () =
@@ -279,6 +285,9 @@ let merge ?ctx t ~into ~from ~policy ~message =
     Obs.with_span "model.merge" (fun () ->
         merge_impl ?ctx t ~into ~from ~policy ~message)
 
+(* in-memory maps: always the current format, nothing to rewrite *)
+let format_version _ = 2
+let migrate _ = ()
 let dataset_bytes _ = 0
 let commit_meta_bytes _ = 0
 
@@ -305,8 +314,10 @@ let storage_report t =
       (Vg.branches t.graph)
   in
   {
-    R.e_branches = branches;
+    R.e_format = 2;
+    e_branches = branches;
     e_segments = [];
+    e_columns = [];
     e_history =
       { R.empty_history with h_commits = Hashtbl.length t.snapshots };
   }

@@ -32,6 +32,20 @@ let column_pred schema ~column op value : predicate =
   let test = compare_op op in
   fun tuple -> test (Value.compare tuple.(idx) value)
 
+(* Structured predicates carry the comparison as data instead of a
+   closure, so engines with a columnar batch path can evaluate them on
+   decoded values (or dictionary codes) before materializing tuples. *)
+let col_pred_op = function
+  | Eq -> Col_pred.Eq
+  | Ne -> Col_pred.Ne
+  | Lt -> Col_pred.Lt
+  | Le -> Col_pred.Le
+  | Gt -> Col_pred.Gt
+  | Ge -> Col_pred.Ge
+
+let col_pred schema ~column op value : Col_pred.t =
+  Col_pred.make schema ~column (col_pred_op op) value
+
 let always : predicate = fun _ -> true
 
 let nop _ = ()
@@ -49,15 +63,22 @@ let qspan name f =
         Obs.Prof.set_rows n;
         n)
 
-(** Q1: single-branch scan. *)
-let q1_scan ?(pred = always) ?(f = nop) db branch =
+(** Q1: single-branch scan.  Structured [where] conjuncts are pushed
+    into the engine scan ({!Database.scan_filtered}), which evaluates
+    them below tuple materialization on columnar segments; the closure
+    [pred] still filters row-wise on whatever comes back. *)
+let q1_scan ?(pred = always) ?(where = []) ?(f = nop) db branch =
   qspan "query.q1_scan" (fun () ->
       let n = ref 0 in
-      Database.scan db branch (fun t ->
-          if pred t then begin
-            incr n;
-            f t
-          end);
+      let consume t =
+        if pred t then begin
+          incr n;
+          f t
+        end
+      in
+      (match where with
+      | [] -> Database.scan db branch consume
+      | preds -> Database.scan_filtered db branch ~preds consume);
       !n)
 
 (** Q1 over a committed version instead of a branch head. *)
@@ -85,12 +106,16 @@ let q2_pos_diff ?(f = nop) db b1 b2 =
 (** Q3: primary-key join of two branch heads; emits pairs whose [b1]
     side satisfies the predicate.  Implemented as a hash join: build on
     the filtered left input, probe with the right (§5.2 Q3). *)
-let q3_join ?(pred = always) ?(f = fun _ _ -> ()) db b1 b2 =
+let q3_join ?(pred = always) ?(where = []) ?(f = fun _ _ -> ()) db b1 b2 =
   qspan "query.q3_join" (fun () ->
       let schema = Database.schema db in
       let build : (Value.t, Tuple.t) Hashtbl.t = Hashtbl.create 4096 in
-      Database.scan db b1 (fun t ->
-          if pred t then Hashtbl.replace build (Tuple.pk schema t) t);
+      let collect t =
+        if pred t then Hashtbl.replace build (Tuple.pk schema t) t
+      in
+      (match where with
+      | [] -> Database.scan db b1 collect
+      | preds -> Database.scan_filtered db b1 ~preds collect);
       let n = ref 0 in
       Database.scan db b2 (fun t2 ->
           match Hashtbl.find_opt build (Tuple.pk schema t2) with

@@ -1,12 +1,18 @@
 (** Tuple-first storage (paper §3.2).
 
     Every tuple that has ever existed in any branch lives in one shared
-    heap file, in insertion order; a bitmap index with one bit per
+    segment file, in insertion order; a bitmap index with one bit per
     (tuple, branch) records which branches each tuple is live in.
     Branching clones the parent's bitmap column; commits snapshot the
     column into a compressed per-branch history file; updates and
     deletes only flip bits (plus append the new copy on update), so old
     record versions remain readable through historical commits.
+
+    Record storage is a {!Decibel_storage.Col_segment}: format v1 is
+    the original row-per-record heap, format v2 packs rows into
+    columnar blocks with per-column compression, so branch scans skip
+    whole blocks the membership bitmap rules out and evaluate pushed
+    predicates on decoded batches before any [Tuple.t] exists.
 
     The module is a functor over the bitmap layout
     ({!Decibel_index.Bitmap_intf.S}) so tuple-oriented and
@@ -44,9 +50,8 @@ module Make (B : Bitmap_intf.S) = struct
     schema : Schema.t;
     compress : bool;
     graph : Vg.t;
-    heap : Heap_file.t;
+    mutable seg : Col_segment.t; (* mutable only for [migrate] *)
     bitmap : B.t;
-    offsets : int Vec.t; (* row -> heap offset *)
     pk : int Pk_index.t; (* branch -> key -> live row *)
     histories : (branch_id, Commit_history.t) Hashtbl.t;
     commit_loc : (version_id, branch_id * int) Hashtbl.t;
@@ -61,6 +66,7 @@ module Make (B : Bitmap_intf.S) = struct
   (* span names precomputed once per functor instantiation so the
      instrumented paths allocate nothing per call *)
   let sp_scan = "tuple_first.scan"
+  let sp_scan_filtered = "tuple_first.scan_filtered"
   let sp_scan_version = "tuple_first.scan_version"
   let sp_multi_scan = "tuple_first.multi_scan"
   let sp_diff = "tuple_first.diff"
@@ -96,43 +102,61 @@ module Make (B : Bitmap_intf.S) = struct
         Hashtbl.replace t.histories b h;
         h
 
-  (* Record payload codec: a leading tag byte selects raw or LZ77 form,
-     so files remain self-describing (§5.5 compression mitigation). *)
-  let encode_tuple t tuple =
-    let buf = Buffer.create 64 in
-    if t.compress then begin
-      Binio.write_u8 buf 1;
-      Buffer.add_string buf (Lz77.compress (Tuple.encode t.schema tuple))
-    end
-    else begin
-      Binio.write_u8 buf 0;
-      Tuple.encode_into t.schema buf tuple
-    end;
-    Buffer.contents buf
+  (* Format-v1 record payload codec: a leading tag byte selects raw or
+     LZ77 form, so files remain self-describing (§5.5 compression
+     mitigation).  Tuple-first never writes tombstones — deletes only
+     clear bitmap bits. *)
+  let v1_codec ~schema ~compress =
+    let encode = function
+      | Col_segment.Live tuple ->
+          let buf = Buffer.create 64 in
+          if compress then begin
+            Binio.write_u8 buf 1;
+            Buffer.add_string buf (Lz77.compress (Tuple.encode schema tuple))
+          end
+          else begin
+            Binio.write_u8 buf 0;
+            Tuple.encode_into schema buf tuple
+          end;
+          Buffer.contents buf
+      | Col_segment.Tombstone _ ->
+          raise (Binio.Corrupt "tuple-first: tombstone in record stream")
+    in
+    let decode payload =
+      Obs.Prof.add Obs.Prof.Bytes_decoded (String.length payload);
+      let pos = ref 0 in
+      match Binio.read_u8 payload pos with
+      | 0 -> Col_segment.Live (Tuple.decode schema payload pos)
+      | 1 ->
+          let raw =
+            Lz77.decompress (String.sub payload 1 (String.length payload - 1))
+          in
+          Col_segment.Live (Tuple.decode schema raw (ref 0))
+      | k ->
+          raise (Binio.Corrupt (Printf.sprintf "tuple-first: record tag %d" k))
+    in
+    { Col_segment.v1_encode = encode; v1_decode = decode }
 
-  let decode_tuple t payload =
-    let pos = ref 0 in
-    match Binio.read_u8 payload pos with
-    | 0 -> Tuple.decode t.schema payload pos
-    | 1 ->
-        let raw =
-          Lz77.decompress (String.sub payload 1 (String.length payload - 1))
-        in
-        Tuple.decode t.schema raw (ref 0)
-    | k -> raise (Binio.Corrupt (Printf.sprintf "tuple-first: record tag %d" k))
+  let seg_path dir = Filename.concat dir "heap.dat"
 
-  let create ~compress ~dir ~pool ~schema =
+  let create ~format ~compress ~dir ~pool ~schema =
+    if format <> 1 && format <> 2 then
+      errorf "tuple-first: unknown segment format v%d" format;
     Fsutil.mkdir_p dir;
-    let heap = Heap_file.create ~pool (Filename.concat dir "heap.dat") in
+    let seg =
+      if format = 1 then
+        Col_segment.create_v1 ~pool ~schema ~compress
+          ~codec:(v1_codec ~schema ~compress) ~path:(seg_path dir)
+      else Col_segment.create_v2 ~pool ~schema ~compress ~path:(seg_path dir)
+    in
     let t =
       {
         dir;
         schema;
         compress;
         graph = Vg.create ();
-        heap;
+        seg;
         bitmap = B.create ();
-        offsets = Vec.create ~dummy:(-1) ();
         pk = Pk_index.create ();
         histories = Hashtbl.create 16;
         commit_loc = Hashtbl.create 64;
@@ -151,13 +175,11 @@ module Make (B : Bitmap_intf.S) = struct
 
   let schema t = t.schema
   let graph t = t.graph
+  let format_version t = Col_segment.format_version t.seg
 
   let is_dirty t b = Hashtbl.find_opt t.dirty b = Some true
   let set_dirty t b v = Hashtbl.replace t.dirty b v
-
-  let tuple_at t row =
-    decode_tuple t (Heap_file.get t.heap (Vec.get t.offsets row))
-
+  let tuple_at t row = Col_segment.get_tuple t.seg row
   let key_at t row = Tuple.pk t.schema (tuple_at t row)
 
   let bitmap_at_version t vid =
@@ -218,9 +240,8 @@ module Make (B : Bitmap_intf.S) = struct
     | Error msg -> errorf "tuple-first: %s" msg
 
   let append_record t tuple =
-    let off = Heap_file.append t.heap (encode_tuple t tuple) in
-    let row = B.append_row t.bitmap in
-    let row' = Vec.push t.offsets off in
+    let row = Col_segment.append t.seg (Col_segment.Live tuple) in
+    let row' = B.append_row t.bitmap in
     assert (row = row');
     row
 
@@ -263,25 +284,20 @@ module Make (B : Bitmap_intf.S) = struct
   let lookup t b key =
     Option.map (tuple_at t) (Pk_index.find t.pk ~branch:b key)
 
-  (* Single scans fetch exactly the rows whose bit is set, through the
-     buffer pool's pages.  With interleaved loads a branch's rows are
-     scattered across the shared heap file, so nearly every page is
-     fetched for a few valid records — the tuple-first penalty of §5.2;
-     with clustered loads the same rows share pages and the scan
-     touches few of them (figure 7's clustered variant). *)
-  (* Row-range parallel form: the heap is append-only and rows map to
-     offsets through [t.offsets], so contiguous row ranges are
-     contiguous page ranges of the shared heap.  Workers decode their
-     range into a buffered list; ranges are consumed in ascending
-     order, so the tuple stream matches the serial bit walk. *)
-  let scan_col ?ctx t col f =
+  (* Single scans drive the segment's batch reader with the branch
+     column as the selection bitmap: v2 blocks with no selected row are
+     skipped before any read or decode (the interleaved-load penalty of
+     §5.2 becomes a bitmap test instead of a page fetch), and pushed
+     predicates run on the decoded columns before tuples materialize.
+     Row-range parallel form: rows ascend within a range and ranges are
+     consumed in ascending order, so the tuple stream matches the
+     serial walk. *)
+  let scan_col ?ctx ?(preds = []) t col f =
     let serial () =
       let poll = Gctx.poller ctx in
-      Bitvec.iter_set
-        (fun row ->
+      Col_segment.scan ~sel:col ~preds t.seg (fun _row tuple ->
           poll ();
-          f (tuple_at t row))
-        col
+          f tuple)
     in
     if not (Par.available ()) then serial ()
     else
@@ -293,23 +309,20 @@ module Make (B : Bitmap_intf.S) = struct
             let poll = Gctx.poller ctx in
             let lo, hi = ranges.(i) in
             let acc = ref [] in
-            Bitvec.iter_set_range
-              (fun row ->
+            Col_segment.scan ~sel:col ~preds ~from:lo ~upto:hi t.seg
+              (fun _row tuple ->
                 poll ();
-                acc := tuple_at t row :: !acc)
-              col ~lo ~hi;
+                acc := tuple :: !acc);
             List.rev !acc)
           ~consume:(fun tuples -> List.iter f tuples)
           ()
 
-  (* Scanning a branch touches the whole shared heap extent: with
-     interleaved loads a branch's live rows are scattered across every
-     page (§5.2), so the page figure reported is the heap's page count
-     rather than a per-row count, keeping accounting amortized and
-     allocation-free. *)
+  (* Page accounting stays amortized: the figure reported is the
+     segment's page count rather than a per-row count (scattered rows
+     under interleaved loads touch nearly every page, §5.2). *)
   let instrumented_scan_col ?ctx ?on_live span t col f =
     Obs.with_span span (fun () ->
-        Obs.add c_scan_pages (Heap_file.page_count t.heap);
+        Obs.add c_scan_pages (Col_segment.page_count t.seg);
         Obs.add c_scan_bitmap_words (bitmap_words col);
         Obs.Prof.add Obs.Prof.Bitmap_words (bitmap_words col);
         (* emitted tuples == set bits in the branch column, so the
@@ -335,13 +348,39 @@ module Make (B : Bitmap_intf.S) = struct
                 ~fragments:0 ())
             sp_scan t col f)
 
+  (* Predicated scan: the emitted count is no longer the column's
+     population, so it is measured rather than amortized. *)
+  let scan_filtered ?ctx t b ~preds f =
+    let col = B.column_view t.bitmap ~branch:b in
+    if not (Obs.enabled ()) then scan_col ?ctx ~preds t col f
+    else
+      let table = wl_table t and branch = wl_branch t b in
+      Workload.with_context ~table ~branch (fun () ->
+          Obs.with_span sp_scan_filtered (fun () ->
+              Obs.add c_scan_pages (Col_segment.page_count t.seg);
+              Obs.add c_scan_bitmap_words (bitmap_words col);
+              Obs.Prof.add Obs.Prof.Bitmap_words (bitmap_words col);
+              let live = Bitvec.pop_count col in
+              Obs.add c_scan_tuples live;
+              Obs.Prof.add Obs.Prof.Tuples_scanned live;
+              let n = ref 0 in
+              scan_col ?ctx ~preds t col (fun tuple ->
+                  incr n;
+                  f tuple);
+              Obs.Prof.add Obs.Prof.Tuples_emitted !n;
+              Workload.note_read ~table ~branch ~scanned:live ~emitted:!n
+                ~fragments:0 ()))
+
   let scan_version ?ctx t vid f =
     let col = bitmap_at_version t vid in
     if not (Obs.enabled ()) then scan_col ?ctx t col f
     else instrumented_scan_col ?ctx sp_scan_version t col f
 
   let multi_scan_impl ?ctx t branches f =
-    let nrows = Vec.length t.offsets in
+    let nrows = Col_segment.rows t.seg in
+    let probe row =
+      List.filter (fun b -> B.get t.bitmap ~branch:b ~row) branches
+    in
     let ranges = if Par.available () then Par.chunk_ranges nrows else [||] in
     if Array.length ranges > 1 then
       (* rows ascend within a range and ranges are consumed in order,
@@ -351,37 +390,35 @@ module Make (B : Bitmap_intf.S) = struct
           let poll = Gctx.poller ctx in
           let lo, hi = ranges.(i) in
           let acc = ref [] in
-          for row = lo to hi - 1 do
-            poll ();
-            let live =
-              List.filter (fun b -> B.get t.bitmap ~branch:b ~row) branches
-            in
-            if live <> [] then
-              acc := { tuple = tuple_at t row; in_branches = live } :: !acc
-          done;
+          Col_segment.iter ~from:lo ~upto:hi t.seg (fun row rv ->
+              poll ();
+              match rv with
+              | Col_segment.Tombstone _ -> ()
+              | Col_segment.Live tuple ->
+                  let live = probe row in
+                  if live <> [] then
+                    acc := { tuple; in_branches = live } :: !acc);
           List.rev !acc)
         ~consume:(fun l -> List.iter f l)
         ()
     else
       let poll = Gctx.poller ctx in
-      let row = ref 0 in
-      Heap_file.iter t.heap (fun _off payload ->
+      Col_segment.iter t.seg (fun row rv ->
           poll ();
-          let live =
-            List.filter (fun b -> B.get t.bitmap ~branch:b ~row:!row) branches
-          in
-          if live <> [] then
-            f { tuple = decode_tuple t payload; in_branches = live };
-          incr row)
+          match rv with
+          | Col_segment.Tombstone _ -> ()
+          | Col_segment.Live tuple ->
+              let live = probe row in
+              if live <> [] then f { tuple; in_branches = live })
 
   let multi_scan ?ctx t branches f =
     if not (Obs.enabled ()) then multi_scan_impl ?ctx t branches f
     else
       Obs.with_span sp_multi_scan (fun () ->
-          Obs.add c_scan_pages (Heap_file.page_count t.heap);
+          Obs.add c_scan_pages (Col_segment.page_count t.seg);
           List.iter (wl_touch t) branches;
-          (* every heap row is probed against each head's bitmap *)
-          Obs.Prof.add Obs.Prof.Tuples_scanned (Vec.length t.offsets);
+          (* every segment row is probed against each head's bitmap *)
+          Obs.Prof.add Obs.Prof.Tuples_scanned (Col_segment.rows t.seg);
           let n = ref 0 in
           multi_scan_impl ?ctx t branches (fun mt ->
               n := !n + 1;
@@ -568,7 +605,7 @@ module Make (B : Bitmap_intf.S) = struct
           Obs.incr c_merges;
           merge_impl ?ctx t ~into ~from ~policy ~message)
 
-  let dataset_bytes t = Heap_file.size t.heap
+  let dataset_bytes t = Col_segment.byte_size t.seg
 
   let commit_meta_bytes t =
     (* count the persisted history files, including ones not yet
@@ -617,14 +654,14 @@ module Make (B : Bitmap_intf.S) = struct
           Bitvec.union_in_place any_live
             (B.column_view t.bitmap ~branch:br.Vg.bid))
       (Vg.branches t.graph);
-    let records = Vec.length t.offsets in
+    let records = Col_segment.rows t.seg in
     let live_records = Bitvec.pop_count any_live in
     let segment =
       {
         R.sg_id = 0;
-        sg_file = Filename.basename (Heap_file.path t.heap);
-        sg_bytes = Heap_file.size t.heap;
-        sg_pages = Heap_file.page_count t.heap;
+        sg_file = Filename.basename (Col_segment.path t.seg);
+        sg_bytes = Col_segment.byte_size t.seg;
+        sg_pages = Col_segment.page_count t.seg;
         sg_records = records;
         sg_live_records = live_records;
         sg_fragmentation = R.fragmentation ~live:live_records ~records;
@@ -645,9 +682,22 @@ module Make (B : Bitmap_intf.S) = struct
           else (n, bytes))
         (0, 0) (Sys.readdir t.dir)
     in
+    let columns =
+      List.map
+        (fun (c : Col_segment.col_report) ->
+          {
+            R.co_name = c.Col_segment.cr_name;
+            co_encoding = c.cr_encoding;
+            co_raw_bytes = c.cr_raw_bytes;
+            co_enc_bytes = c.cr_enc_bytes;
+          })
+        (Array.to_list (Col_segment.column_report t.seg))
+    in
     {
-      R.e_branches = branches;
+      R.e_format = Col_segment.format_version t.seg;
+      e_branches = branches;
       e_segments = [ segment ];
+      e_columns = columns;
       e_history =
         {
           R.h_files;
@@ -658,21 +708,31 @@ module Make (B : Bitmap_intf.S) = struct
         };
     }
 
-  (* The manifest persists everything the heap file and commit
-     histories do not: the version graph, the live bitmap, the
-     row-offset table, the commit locator and per-branch dirtiness.
-     The key index is rebuilt from the bitmap on reopen. *)
+  (* The manifest persists everything the segment file and commit
+     histories do not: the version graph, the live bitmap, the segment
+     metadata (v1: the row-offset table; v2: the block index behind the
+     columnar magic header), the commit locator and per-branch
+     dirtiness.  The key index is rebuilt from the bitmap on reopen.
+     Format-v1 manifests stay byte-identical to the pre-columnar
+     layout, so old repositories reopen unchanged. *)
   let manifest_path dir = Filename.concat dir "manifest.tf"
 
   let save_manifest t =
     let buf = Buffer.create 4096 in
+    if Col_segment.format_version t.seg >= 2 then
+      Col_segment.write_manifest_header buf;
     Binio.write_string buf B.layout;
     Binio.write_u8 buf (if t.compress then 1 else 0);
     Schema.serialize buf t.schema;
     Binio.write_string buf (Vg.serialize t.graph);
-    Binio.write_varint buf (Heap_file.size t.heap);
-    Binio.write_varint buf (Vec.length t.offsets);
-    Vec.iter (fun off -> Binio.write_varint buf off) t.offsets;
+    (if Col_segment.format_version t.seg >= 2 then
+       Col_segment.save_meta buf t.seg
+     else begin
+       Binio.write_varint buf (Col_segment.byte_size t.seg);
+       let offsets = Col_segment.v1_offsets t.seg in
+       Binio.write_varint buf (Vec.length offsets);
+       Vec.iter (fun off -> Binio.write_varint buf off) offsets
+     end);
     B.serialize buf t.bitmap;
     Binio.write_varint buf (Hashtbl.length t.commit_loc);
     Hashtbl.iter
@@ -691,12 +751,19 @@ module Make (B : Bitmap_intf.S) = struct
     Atomic_file.write (manifest_path t.dir) (Buffer.contents buf)
 
   let flush t =
-    Heap_file.flush t.heap;
+    Col_segment.flush t.seg;
     save_manifest t
+
+  let migrate t =
+    if Col_segment.format_version t.seg < 2 then begin
+      t.seg <- Col_segment.migrate_to_v2 t.seg;
+      save_manifest t
+    end
 
   let open_existing ~dir ~pool =
     let s = Atomic_file.read (manifest_path dir) in
     let pos = ref 0 in
+    let version = Col_segment.manifest_version s pos in
     let layout = Binio.read_string s pos in
     if layout <> B.layout then
       errorf "tuple-first: manifest written by %s layout, opening as %s"
@@ -704,16 +771,24 @@ module Make (B : Bitmap_intf.S) = struct
     let compress = Binio.read_u8 s pos = 1 in
     let schema = Schema.deserialize s pos in
     let graph = Vg.deserialize (Binio.read_string s pos) in
-    let heap_size = Binio.read_varint s pos in
-    let heap = Heap_file.open_existing ~pool (Filename.concat dir "heap.dat") in
-    (* drop bytes past the checkpoint (recovered via the WAL instead) *)
-    Heap_file.truncate_to heap heap_size;
-    let offsets = Vec.create ~dummy:(-1) () in
-    let noff = Binio.read_varint s pos in
-    for _ = 1 to noff do
-      let _ = Vec.push offsets (Binio.read_varint s pos) in
-      ()
-    done;
+    let seg =
+      if version >= 2 then
+        Col_segment.open_v2 ~pool ~schema ~compress ~path:(seg_path dir) s pos
+      else begin
+        let heap_size = Binio.read_varint s pos in
+        let heap = Heap_file.open_existing ~pool (seg_path dir) in
+        (* drop bytes past the checkpoint (recovered via the WAL) *)
+        Heap_file.truncate_to heap heap_size;
+        let noff = Binio.read_varint s pos in
+        let offsets = ref [] in
+        for _ = 1 to noff do
+          offsets := Binio.read_varint s pos :: !offsets
+        done;
+        Col_segment.of_v1 ~pool ~schema ~compress
+          ~codec:(v1_codec ~schema ~compress) ~file:heap
+          ~offsets:(List.rev !offsets)
+      end
+    in
     let bitmap = B.deserialize s pos in
     let commit_loc = Hashtbl.create 64 in
     let ncommits = Binio.read_varint s pos in
@@ -736,9 +811,8 @@ module Make (B : Bitmap_intf.S) = struct
         schema;
         compress;
         graph;
-        heap;
+        seg;
         bitmap;
-        offsets;
         pk = Pk_index.create ();
         histories = Hashtbl.create 16;
         commit_loc;
@@ -767,7 +841,7 @@ module Make (B : Bitmap_intf.S) = struct
     | None -> ());
     List.iter
       (fun (_, reason) -> errs := ("heap.dat", reason) :: !errs)
-      (Heap_file.verify t.heap);
+      (Col_segment.verify t.seg);
     Hashtbl.iter
       (fun vid _ ->
         if not (Vg.mem_version t.graph vid) then
@@ -781,7 +855,7 @@ module Make (B : Bitmap_intf.S) = struct
 
   let crash t =
     if not t.closed then begin
-      Heap_file.abandon t.heap;
+      Col_segment.abandon t.seg;
       Hashtbl.iter (fun _ h -> Commit_history.close h) t.histories;
       t.closed <- true
     end
@@ -789,7 +863,7 @@ module Make (B : Bitmap_intf.S) = struct
   let close t =
     if not t.closed then begin
       flush t;
-      Heap_file.close t.heap;
+      Col_segment.close t.seg;
       Hashtbl.iter (fun _ h -> Commit_history.close h) t.histories;
       t.closed <- true
     end

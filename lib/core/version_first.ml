@@ -1,12 +1,18 @@
 (** Version-first storage (paper §3.3).
 
     Each branch's modifications are appended to that branch's own head
-    segment file; a child segment records, for each parent segment, the
-    byte offset of the branch point, so anything the parent writes
-    afterwards is invisible to the child.  A branch's contents are the
-    records reachable through this chain of segment files, newest copy
-    of each primary key winning.  Deletes append tombstones because a
-    record physically present in an ancestor file cannot be removed.
+    segment; a child segment records, for each parent segment, the row
+    index of the branch point, so anything the parent writes afterwards
+    is invisible to the child.  A branch's contents are the records
+    reachable through this chain of segments, newest copy of each
+    primary key winning.  Deletes append tombstones because a record
+    physically present in an ancestor segment cannot be removed.
+
+    Segments are {!Decibel_storage.Col_segment}s addressed by dense row
+    index (format v1 keeps the original byte-offset record heap behind
+    the same row interface; format v2 stores columnar blocks).  Branch
+    points, commit locators and the key index all speak rows, which
+    survive the v1→v2 migration unchanged.
 
     Scan order: the paper scans segments so that descendants are read
     before ancestors (reverse topological order, §3.3 “Multi-branch
@@ -39,6 +45,7 @@ let c_diff_tuples = Obs.counter "engine.diff.tuples"
 let c_commits = Obs.counter "engine.commits"
 let c_merges = Obs.counter "engine.merges"
 let sp_scan = "version_first.scan"
+let sp_scan_filtered = "version_first.scan_filtered"
 let sp_scan_version = "version_first.scan_version"
 let sp_multi_scan = "version_first.multi_scan"
 let sp_diff = "version_first.diff"
@@ -47,8 +54,8 @@ let sp_commit = "version_first.commit"
 
 type segment = {
   seg_id : int;
-  file : Heap_file.t;
-  parents : (int * int) list; (* (segment, branch-point offset), precedence *)
+  seg : Col_segment.t;
+  parents : (int * int) list; (* (segment, branch-point row), precedence *)
 }
 
 type t = {
@@ -56,11 +63,12 @@ type t = {
   pool : Buffer_pool.t;
   schema : Schema.t;
   compress : bool;
+  mutable format : int; (* segment layout version; migrate flips to 2 *)
   graph : Vg.t;
   segments : segment Vec.t;
   head_seg : int Vec.t; (* branch -> its current head segment *)
-  pk : (int * int) Pk_index.t; (* branch -> key -> (segment, offset) *)
-  commits : (version_id, int * int) Hashtbl.t; (* version -> (seg, upto) *)
+  pk : (int * int) Pk_index.t; (* branch -> key -> (segment, row) *)
+  commits : (version_id, int * int) Hashtbl.t; (* version -> (seg, upto row) *)
   dirty : (branch_id, bool) Hashtbl.t;
   mutable wal_marker : int; (* last WAL LSN reflected here *)
   mutable closed : bool;
@@ -68,58 +76,72 @@ type t = {
 
 let scheme = "version-first"
 
-(* Record wire format: [u8 flags][body]; flag bit 0 marks a tombstone
-   (body = deleted key, §3.3 “Data Modification”), flag bit 1 an
-   LZ77-compressed tuple body (§5.5 compression mitigation). *)
-let encode_record t = function
-  | `Tuple tuple ->
-      let buf = Buffer.create 64 in
-      if t.compress then begin
-        Binio.write_u8 buf 2;
-        Buffer.add_string buf (Lz77.compress (Tuple.encode t.schema tuple))
-      end
-      else begin
-        Binio.write_u8 buf 0;
-        Tuple.encode_into t.schema buf tuple
-      end;
-      Buffer.contents buf
-  | `Tombstone key ->
-      let buf = Buffer.create 16 in
-      Binio.write_u8 buf 1;
-      Value.encode buf key;
-      Buffer.contents buf
-
-let decode_record t payload =
-  let pos = ref 0 in
-  match Binio.read_u8 payload pos with
-  | 0 ->
-      let tuple = Tuple.decode t.schema payload pos in
-      `Tuple tuple
-  | 1 -> `Tombstone (Value.decode payload pos)
-  | 2 ->
-      let raw =
-        Lz77.decompress (String.sub payload 1 (String.length payload - 1))
-      in
-      `Tuple (Tuple.decode t.schema raw (ref 0))
-  | f -> raise (Binio.Corrupt (Printf.sprintf "version-first: bad flags %d" f))
+(* Format-v1 record wire format: [u8 flags][body]; flag bit 0 marks a
+   tombstone (body = deleted key, §3.3 “Data Modification”), flag bit 1
+   an LZ77-compressed tuple body (§5.5 compression mitigation). *)
+let v1_codec ~schema ~compress =
+  let encode = function
+    | Col_segment.Live tuple ->
+        let buf = Buffer.create 64 in
+        if compress then begin
+          Binio.write_u8 buf 2;
+          Buffer.add_string buf (Lz77.compress (Tuple.encode schema tuple))
+        end
+        else begin
+          Binio.write_u8 buf 0;
+          Tuple.encode_into schema buf tuple
+        end;
+        Buffer.contents buf
+    | Col_segment.Tombstone key ->
+        let buf = Buffer.create 16 in
+        Binio.write_u8 buf 1;
+        Value.encode buf key;
+        Buffer.contents buf
+  in
+  let decode payload =
+    Obs.Prof.add Obs.Prof.Bytes_decoded (String.length payload);
+    let pos = ref 0 in
+    match Binio.read_u8 payload pos with
+    | 0 -> Col_segment.Live (Tuple.decode schema payload pos)
+    | 1 -> Col_segment.Tombstone (Value.decode payload pos)
+    | 2 ->
+        let raw =
+          Lz77.decompress (String.sub payload 1 (String.length payload - 1))
+        in
+        Col_segment.Live (Tuple.decode schema raw (ref 0))
+    | f ->
+        raise (Binio.Corrupt (Printf.sprintf "version-first: bad flags %d" f))
+  in
+  { Col_segment.v1_encode = encode; v1_decode = decode }
 
 let record_key schema = function
-  | `Tuple tuple -> Tuple.pk schema tuple
-  | `Tombstone key -> key
+  | Col_segment.Live tuple -> Tuple.pk schema tuple
+  | Col_segment.Tombstone key -> key
 
 let segment t id = Vec.get t.segments id
+let seg_dummy = { seg_id = -1; seg = Obj.magic `never_dereferenced; parents = [] }
+
+let seg_file_path dir seg_id =
+  Filename.concat dir (Printf.sprintf "seg_%d.dat" seg_id)
 
 let new_segment t parents =
   let seg_id = Vec.length t.segments in
-  let file =
-    Heap_file.create ~pool:t.pool
-      (Filename.concat t.dir (Printf.sprintf "seg_%d.dat" seg_id))
+  let path = seg_file_path t.dir seg_id in
+  let seg =
+    if t.format >= 2 then
+      Col_segment.create_v2 ~pool:t.pool ~schema:t.schema ~compress:t.compress
+        ~path
+    else
+      Col_segment.create_v1 ~pool:t.pool ~schema:t.schema ~compress:t.compress
+        ~codec:(v1_codec ~schema:t.schema ~compress:t.compress) ~path
   in
-  let s = { seg_id; file; parents } in
+  let s = { seg_id; seg; parents } in
   let _ = Vec.push t.segments s in
   s
 
-let create ~compress ~dir ~pool ~schema =
+let create ~format ~compress ~dir ~pool ~schema =
+  if format <> 1 && format <> 2 then
+    errorf "version-first: unknown segment format v%d" format;
   Fsutil.mkdir_p dir;
   let t =
     {
@@ -127,14 +149,11 @@ let create ~compress ~dir ~pool ~schema =
       pool;
       schema;
       compress;
+      format;
       graph = Vg.create ();
       (* the dummy fills unused Vec capacity only and is never read;
-         its file handle is a placeholder that no code path touches *)
-      segments =
-        Vec.create
-          ~dummy:{ seg_id = -1; file = Obj.magic `never_dereferenced;
-                   parents = [] }
-          ();
+         its segment handle is a placeholder that no code path touches *)
+      segments = Vec.create ~dummy:seg_dummy ();
       head_seg = Vec.create ~dummy:(-1) ();
       pk = Pk_index.create ();
       commits = Hashtbl.create 64;
@@ -151,12 +170,13 @@ let create ~compress ~dir ~pool ~schema =
 
 let schema t = t.schema
 let graph t = t.graph
+let format_version t = t.format
 
 let is_dirty t b = Hashtbl.find_opt t.dirty b = Some true
 let set_dirty t b v = Hashtbl.replace t.dirty b v
 
 (* Scan plan from a root (segment, upto): every reachable segment with
-   the maximum branch-point offset over all paths, ordered descendants
+   the maximum branch-point row over all paths, ordered descendants
    before ancestors, ties broken by precedence-DFS discovery order. *)
 let plan t seg0 upto0 =
   let upto_tbl : (int, int) Hashtbl.t = Hashtbl.create 16 in
@@ -169,9 +189,9 @@ let plan t seg0 upto0 =
     if not (Hashtbl.mem disc seg) then begin
       Hashtbl.replace disc seg !next_disc;
       incr next_disc;
-      (* branch-point offsets recorded in parent pointers never change,
+      (* branch-point rows recorded in parent pointers never change,
          so parents need no re-visit when only [upto] grows *)
-      List.iter (fun (p, off) -> visit p off) (segment t seg).parents
+      List.iter (fun (p, row) -> visit p row) (segment t seg).parents
     end
   in
   visit seg0 upto0;
@@ -221,14 +241,14 @@ let plan t seg0 upto0 =
 
 (* Core lineage scan: emit each key's winning record once, newest copy
    first within a segment, descendants before ancestors across
-   segments.  [f] receives the segment, offset and decoded record of
-   each winner (tombstone winners mean "deleted here"). *)
+   segments.  [f] receives the segment, row and record of each winner
+   (tombstone winners mean "deleted here"). *)
 let scan_winners ?ctx t seg0 upto0 f =
   let seen : (Value.t, unit) Hashtbl.t = Hashtbl.create 1024 in
   let items = plan t seg0 upto0 in
   if Par.available () && List.length items > 1 then
-    (* Branch fragments decode in parallel (the expensive part: record
-       walk + CRC + decode); the first-writer-wins [seen] filter runs
+    (* Branch fragments decode in parallel (the expensive part: block
+       read + CRC + decode); the first-writer-wins [seen] filter runs
        serially in plan order over the buffered fragments, so winners
        are exactly the serial ones, in the same order. *)
     let items = Array.of_list items in
@@ -236,22 +256,20 @@ let scan_winners ?ctx t seg0 upto0 f =
       ~produce:(fun i ->
         let poll = Gctx.poller ctx in
         let sid, upto = items.(i) in
+        let s = segment t sid in
         (* the buffered fragment decode is the scheme's big transient
            allocation; bill its extent to the operation's budget *)
-        Gctx.charge_current upto;
-        Obs.Prof.add Obs.Prof.Bytes_decoded upto;
-        let s = segment t sid in
+        Gctx.charge_current (Col_segment.bytes_upto s.seg upto);
         let acc = ref [] in
-        Heap_file.iter_rev ~upto s.file (fun off payload ->
+        Col_segment.iter_rev ~upto s.seg (fun row rv ->
             poll ();
-            let record = decode_record t payload in
-            acc := (sid, off, record, record_key t.schema record) :: !acc);
+            acc := (sid, row, rv, record_key t.schema rv) :: !acc);
         List.rev !acc)
       ~consume:
-        (List.iter (fun (sid, off, record, key) ->
+        (List.iter (fun (sid, row, rv, key) ->
              if not (Hashtbl.mem seen key) then begin
                Hashtbl.replace seen key ();
-               f sid off record
+               f sid row rv
              end))
       ()
   else
@@ -259,25 +277,24 @@ let scan_winners ?ctx t seg0 upto0 f =
     List.iter
       (fun (sid, upto) ->
         let s = segment t sid in
-        Heap_file.iter_rev ~upto s.file (fun off payload ->
+        Col_segment.iter_rev ~upto s.seg (fun row rv ->
             poll ();
-            let record = decode_record t payload in
-            let key = record_key t.schema record in
+            let key = record_key t.schema rv in
             if not (Hashtbl.mem seen key) then begin
               Hashtbl.replace seen key ();
-              f sid off record
+              f sid row rv
             end))
       items
 
 let scan_live ?ctx t seg0 upto0 f =
-  scan_winners ?ctx t seg0 upto0 (fun sid off record ->
-      match record with
-      | `Tuple tuple -> f sid off tuple
-      | `Tombstone _ -> ())
+  scan_winners ?ctx t seg0 upto0 (fun sid row rv ->
+      match rv with
+      | Col_segment.Live tuple -> f sid row tuple
+      | Col_segment.Tombstone _ -> ())
 
 let head_loc t b =
   let sid = Vec.get t.head_seg b in
-  (sid, Heap_file.size (segment t sid).file)
+  (sid, Col_segment.rows (segment t sid).seg)
 
 let commit_loc t vid =
   match Hashtbl.find_opt t.commits vid with
@@ -302,7 +319,7 @@ let wl_write t b =
 
 let commit_impl t b ~message =
   let sid, upto = head_loc t b in
-  Heap_file.flush (segment t sid).file;
+  Col_segment.flush (segment t sid).seg;
   let vid = Vg.commit t.graph b ~message in
   Hashtbl.replace t.commits vid (sid, upto);
   set_dirty t b false;
@@ -319,12 +336,12 @@ let commit t b ~message =
 let create_branch t ~name ~from =
   let v = Vg.version t.graph from in
   let parent = v.Vg.on_branch in
-  let psid, poff = commit_loc t from in
+  let psid, prow = commit_loc t from in
   let nb =
     try Vg.create_branch t.graph ~name ~from
     with Invalid_argument msg -> errorf "version-first: %s" msg
   in
-  let s = new_segment t [ (psid, poff) ] in
+  let s = new_segment t [ (psid, prow) ] in
   let slot = Vec.push t.head_seg s.seg_id in
   assert (slot = nb);
   if Vg.head t.graph parent = from && not (is_dirty t parent) then begin
@@ -336,8 +353,8 @@ let create_branch t ~name ~from =
        scanning that commit's lineage *)
     let bid = Pk_index.add_branch t.pk ~from:None in
     assert (bid = nb);
-    scan_live t psid poff (fun sid off tuple ->
-        Pk_index.set t.pk ~branch:nb (Tuple.pk t.schema tuple) (sid, off))
+    scan_live t psid prow (fun sid row tuple ->
+        Pk_index.set t.pk ~branch:nb (Tuple.pk t.schema tuple) (sid, row))
   end;
   set_dirty t nb false;
   nb
@@ -347,10 +364,10 @@ let validate t tuple =
   | Ok () -> ()
   | Error msg -> errorf "version-first: %s" msg
 
-let append t b record =
+let append t b rv =
   let sid = Vec.get t.head_seg b in
-  let off = Heap_file.append (segment t sid).file (encode_record t record) in
-  (sid, off)
+  let row = Col_segment.append (segment t sid).seg rv in
+  (sid, row)
 
 let insert t b tuple =
   validate t tuple;
@@ -358,7 +375,7 @@ let insert t b tuple =
   if Pk_index.mem t.pk ~branch:b key then
     errorf "version-first: duplicate key %s in branch %d"
       (Value.to_string key) b;
-  let loc = append t b (`Tuple tuple) in
+  let loc = append t b (Col_segment.Live tuple) in
   Pk_index.set t.pk ~branch:b key loc;
   set_dirty t b true;
   wl_write t b
@@ -368,7 +385,7 @@ let update t b tuple =
   let key = Tuple.pk t.schema tuple in
   if not (Pk_index.mem t.pk ~branch:b key) then
     errorf "version-first: update of absent key %s" (Value.to_string key);
-  let loc = append t b (`Tuple tuple) in
+  let loc = append t b (Col_segment.Live tuple) in
   Pk_index.set t.pk ~branch:b key loc;
   set_dirty t b true;
   wl_write t b
@@ -376,15 +393,16 @@ let update t b tuple =
 let delete t b key =
   if not (Pk_index.mem t.pk ~branch:b key) then
     errorf "version-first: delete of absent key %s" (Value.to_string key);
-  let _ = append t b (`Tombstone key) in
+  let _ = append t b (Col_segment.Tombstone key) in
   Pk_index.remove t.pk ~branch:b key;
   set_dirty t b true;
   wl_write t b
 
-let fetch t (sid, off) =
-  match decode_record t (Heap_file.get (segment t sid).file off) with
-  | `Tuple tuple -> tuple
-  | `Tombstone _ -> errorf "version-first: key index points at tombstone"
+let fetch t (sid, row) =
+  match Col_segment.get (segment t sid).seg row with
+  | Col_segment.Live tuple -> tuple
+  | Col_segment.Tombstone _ ->
+      errorf "version-first: key index points at tombstone"
 
 let lookup t b key =
   Option.map (fetch t) (Pk_index.find t.pk ~branch:b key)
@@ -394,7 +412,11 @@ let lookup t b key =
 let account_plan t sid upto =
   let psz = Buffer_pool.page_size t.pool in
   let p = plan t sid upto in
-  List.iter (fun (_, u) -> Obs.add c_scan_pages ((u + psz - 1) / psz)) p;
+  List.iter
+    (fun (s, u) ->
+      let bytes = Col_segment.bytes_upto (segment t s).seg u in
+      Obs.add c_scan_pages ((bytes + psz - 1) / psz))
+    p;
   Obs.add c_scan_segments (List.length p);
   (* the plan's (segment, upto) pairs are exactly the delta fragments
      this lineage scan replays *)
@@ -428,6 +450,25 @@ let scan ?ctx t b f =
               ~fragments:frags ())
           sp_scan t sid upto f)
 
+(* Winners must be resolved before predicates apply: filtering below
+   the newest-copy-wins dedup would let a stale copy of a key win when
+   its head copy fails the predicate.  So version-first evaluates
+   predicates row-wise on winning tuples. *)
+let scan_filtered ?ctx t b ~preds f =
+  let filter tuple = if Col_pred.eval_tuple preds tuple then f tuple in
+  if not (Obs.enabled ()) then
+    let sid, upto = head_loc t b in
+    scan_live ?ctx t sid upto (fun _ _ tuple -> filter tuple)
+  else
+    Obs.with_span sp_scan_filtered (fun () ->
+        let n = ref 0 in
+        scan ?ctx t b (fun tuple ->
+            if Col_pred.eval_tuple preds tuple then begin
+              n := !n + 1;
+              f tuple
+            end);
+        Obs.Prof.add Obs.Prof.Tuples_emitted !n)
+
 let scan_version ?ctx t vid f =
   let sid, upto = commit_loc t vid in
   if not (Obs.enabled ()) then
@@ -435,7 +476,7 @@ let scan_version ?ctx t vid f =
   else instrumented_scan ?ctx sp_scan_version t sid upto f
 
 (* Multi-branch scan, per the paper's two-pass scheme (§3.3): pass one
-   records each branch's live (segment, offset) pairs in hash tables;
+   records each branch's live (segment, row) pairs in hash tables;
    pass two walks the union of segments in storage order emitting each
    live record once with its branch annotations. *)
 let multi_scan_impl ?ctx t branches f =
@@ -444,10 +485,10 @@ let multi_scan_impl ?ctx t branches f =
   List.iter
     (fun b ->
       let sid, upto = head_loc t b in
-      scan_live ?ctx t sid upto (fun s off _tuple ->
+      scan_live ?ctx t sid upto (fun s row _tuple ->
           Hashtbl.replace segs s ();
-          let prev = Option.value ~default:[] (Hashtbl.find_opt ann (s, off)) in
-          Hashtbl.replace ann (s, off) (b :: prev)))
+          let prev = Option.value ~default:[] (Hashtbl.find_opt ann (s, row)) in
+          Hashtbl.replace ann (s, row) (b :: prev)))
     branches;
   let seg_ids =
     List.sort compare (Hashtbl.fold (fun s () acc -> s :: acc) segs [])
@@ -459,15 +500,16 @@ let multi_scan_impl ?ctx t branches f =
     let poll = Gctx.poller ctx in
     let s = segment t sid in
     let acc = ref [] in
-    Heap_file.iter s.file (fun off payload ->
+    Col_segment.iter s.seg (fun row rv ->
         poll ();
-        match Hashtbl.find_opt ann (sid, off) with
+        match Hashtbl.find_opt ann (sid, row) with
         | None -> ()
         | Some bs -> (
-            match decode_record t payload with
-            | `Tuple tuple ->
+            match rv with
+            | Col_segment.Live tuple ->
                 acc := { tuple; in_branches = List.sort compare bs } :: !acc
-            | `Tombstone _ -> errorf "version-first: annotated tombstone"));
+            | Col_segment.Tombstone _ ->
+                errorf "version-first: annotated tombstone"));
     List.rev !acc
   in
   if Par.available () && List.length seg_ids > 1 then
@@ -542,9 +584,8 @@ let changed_keys_since t b lca_loc =
     (fun (s, u) ->
       let from = Option.value ~default:0 (Hashtbl.find_opt lca_cover s) in
       if u > from then
-        Heap_file.iter ~from ~upto:u (segment t s).file (fun _off payload ->
-            let record = decode_record t payload in
-            Hashtbl.replace keys (record_key t.schema record) ()))
+        Col_segment.iter ~from ~upto:u (segment t s).seg (fun _row rv ->
+            Hashtbl.replace keys (record_key t.schema rv) ()))
     (plan t sid upto);
   keys
 
@@ -623,15 +664,15 @@ let merge_impl ?ctx t ~into ~from ~policy ~message =
       let key = d.Merge_driver.d_key in
       match d.Merge_driver.final with
       | None ->
-          let _ = append t into (`Tombstone key) in
+          let _ = append t into (Col_segment.Tombstone key) in
           Pk_index.remove t.pk ~branch:into key
       | Some tuple ->
-          let loc = append t into (`Tuple tuple) in
+          let loc = append t into (Col_segment.Live tuple) in
           Pk_index.set t.pk ~branch:into key loc)
     decisions;
-  Heap_file.flush s.file;
+  Col_segment.flush s.seg;
   let vid = Vg.merge_commit t.graph ~into ~theirs:v_theirs ~message in
-  Hashtbl.replace t.commits vid (s.seg_id, Heap_file.size s.file);
+  Hashtbl.replace t.commits vid (s.seg_id, Col_segment.rows s.seg);
   set_dirty t into false;
   {
     merge_version = vid;
@@ -650,35 +691,17 @@ let merge ?ctx t ~into ~from ~policy ~message =
 
 let dataset_bytes t =
   let acc = ref 0 in
-  Vec.iter (fun s -> acc := !acc + Heap_file.size s.file) t.segments;
+  Vec.iter (fun s -> acc := !acc + Col_segment.byte_size s.seg) t.segments;
   !acc
 
 (* Version-first keeps no bitmap histories; its commit metadata is the
-   version -> (segment, offset) map. *)
+   version -> (segment, row) map. *)
 let commit_meta_bytes t = Hashtbl.length t.commits * 12
 
 let storage_report t =
   let module R = Decibel_obs.Report in
   let nsegs = Vec.length t.segments in
-  (* one pass per segment collects record offsets (ascending, since
-     segments are append-only); branch extents and occupancy are then
-     answered by counting, not re-scanning *)
-  let seg_offsets =
-    Array.init nsegs (fun sid ->
-        let acc = ref [] in
-        Heap_file.iter (segment t sid).file (fun off _ -> acc := off :: !acc);
-        Array.of_list (List.rev !acc))
-  in
-  let count_below offs upto =
-    (* offsets are sorted ascending: binary search the partition point *)
-    let lo = ref 0 and hi = ref (Array.length offs) in
-    while !lo < !hi do
-      let mid = (!lo + !hi) / 2 in
-      if offs.(mid) < upto then lo := mid + 1 else hi := mid
-    done;
-    !lo
-  in
-  (* live physical records: the distinct (segment, offset) targets of
+  (* live physical records: the distinct (segment, row) targets of
      every active branch's key index *)
   let live_locs : (int * int, unit) Hashtbl.t = Hashtbl.create 1024 in
   List.iter
@@ -698,11 +721,8 @@ let storage_report t =
         (* head extent, including uncommitted appends *)
         let sid, upto = head_loc t b in
         let lineage = plan t sid upto in
-        let extent =
-          List.fold_left
-            (fun acc (s, u) -> acc + count_below seg_offsets.(s) u)
-            0 lineage
-        in
+        (* rows are dense, so a fragment's record extent is its upto *)
+        let extent = List.fold_left (fun acc (_, u) -> acc + u) 0 lineage in
         let live = Pk_index.cardinal t.pk ~branch:b in
         {
           R.br_name = br.Vg.name;
@@ -723,12 +743,12 @@ let storage_report t =
   let segments =
     List.init nsegs (fun sid ->
         let s = segment t sid in
-        let records = Array.length seg_offsets.(sid) in
+        let records = Col_segment.rows s.seg in
         {
           R.sg_id = sid;
-          sg_file = Filename.basename (Heap_file.path s.file);
-          sg_bytes = Heap_file.size s.file;
-          sg_pages = Heap_file.page_count s.file;
+          sg_file = Filename.basename (Col_segment.path s.seg);
+          sg_bytes = Col_segment.byte_size s.seg;
+          sg_pages = Col_segment.page_count s.seg;
           sg_records = records;
           sg_live_records = live_per_seg.(sid);
           sg_fragmentation =
@@ -741,9 +761,26 @@ let storage_report t =
       t.commits []
   in
   let max_chain, mean_chain = R.chain_stats chains in
+  let columns =
+    let reports = ref [] in
+    Vec.iter
+      (fun s -> reports := Col_segment.column_report s.seg :: !reports)
+      t.segments;
+    List.map
+      (fun (c : Col_segment.col_report) ->
+        {
+          R.co_name = c.Col_segment.cr_name;
+          co_encoding = c.cr_encoding;
+          co_raw_bytes = c.cr_raw_bytes;
+          co_enc_bytes = c.cr_enc_bytes;
+        })
+      (Array.to_list (Col_segment.merge_column_reports !reports))
+  in
   {
-    R.e_branches = branches;
+    R.e_format = t.format;
+    e_branches = branches;
     e_segments = segments;
+    e_columns = columns;
     e_history =
       {
         R.h_files = 0;
@@ -755,24 +792,33 @@ let storage_report t =
   }
 
 (* The manifest persists the version graph, the segment DAG (parent
-   pointers with branch-point offsets), branch head segments, the
+   pointers with branch-point locations), branch head segments, the
    commit locator and dirtiness; segment contents live in their own
-   files and the key index is rebuilt by lineage scans on reopen. *)
+   files and the key index is rebuilt by lineage scans on reopen.
+   Format-v1 manifests keep the original byte-addressed encoding
+   (branch points and commit uptos as byte offsets), so pre-columnar
+   repositories reopen unchanged; v2 manifests lead with the columnar
+   magic header and speak rows throughout. *)
 let manifest_path dir = Filename.concat dir "manifest.vf"
 
 let save_manifest t =
+  let v2 = t.format >= 2 in
   let buf = Buffer.create 4096 in
+  if v2 then Col_segment.write_manifest_header buf;
   Binio.write_u8 buf (if t.compress then 1 else 0);
   Binio.write_string buf (Vg.serialize t.graph);
   Schema.serialize buf t.schema;
   Binio.write_varint buf (Vec.length t.segments);
   Vec.iter
     (fun s ->
-      Binio.write_varint buf (Heap_file.size s.file);
+      (if v2 then Col_segment.save_meta buf s.seg
+       else Binio.write_varint buf (Col_segment.byte_size s.seg));
       Binio.write_list
-        (fun b (p, off) ->
+        (fun b (p, row) ->
           Binio.write_varint b p;
-          Binio.write_varint b off)
+          Binio.write_varint b
+            (if v2 then row
+             else Col_segment.v1_offset_of_row (segment t p).seg row))
         buf s.parents)
     t.segments;
   Binio.write_varint buf (Vec.length t.head_seg);
@@ -782,7 +828,9 @@ let save_manifest t =
     (fun vid (sid, upto) ->
       Binio.write_varint buf vid;
       Binio.write_varint buf sid;
-      Binio.write_varint buf upto)
+      Binio.write_varint buf
+        (if v2 then upto
+         else Col_segment.v1_offset_of_row (segment t sid).seg upto))
     t.commits;
   Binio.write_varint buf (Hashtbl.length t.dirty);
   Hashtbl.iter
@@ -794,8 +842,21 @@ let save_manifest t =
   Atomic_file.write (manifest_path t.dir) (Buffer.contents buf)
 
 let flush t =
-  Vec.iter (fun s -> Heap_file.flush s.file) t.segments;
+  Vec.iter (fun s -> Col_segment.flush s.seg) t.segments;
   save_manifest t
+
+let migrate t =
+  if t.format < 2 then begin
+    for sid = 0 to Vec.length t.segments - 1 do
+      let s = segment t sid in
+      Vec.set t.segments sid { s with seg = Col_segment.migrate_to_v2 s.seg }
+    done;
+    (* branch points, commit locators and the key index are all
+       row-addressed and rows survive migration 1:1 — only the format
+       flag and manifest encoding change *)
+    t.format <- 2;
+    save_manifest t
+  end
 
 let open_existing ~dir ~pool =
   let data =
@@ -803,6 +864,7 @@ let open_existing ~dir ~pool =
     with Sys_error _ -> errorf "version-first: no repository in %s" dir
   in
   let pos = ref 0 in
+  let version = Col_segment.manifest_version data pos in
   let compress = Binio.read_u8 data pos = 1 in
   let graph = Vg.deserialize (Binio.read_string data pos) in
   let schema = Schema.deserialize data pos in
@@ -812,12 +874,9 @@ let open_existing ~dir ~pool =
       pool;
       schema;
       compress;
+      format = version;
       graph;
-      segments =
-        Vec.create
-          ~dummy:{ seg_id = -1; file = Obj.magic `never_dereferenced;
-                   parents = [] }
-          ();
+      segments = Vec.create ~dummy:seg_dummy ();
       head_seg = Vec.create ~dummy:(-1) ();
       pk = Pk_index.create ();
       commits = Hashtbl.create 64;
@@ -828,23 +887,56 @@ let open_existing ~dir ~pool =
   in
   let nsegs = Binio.read_varint data pos in
   for seg_id = 0 to nsegs - 1 do
-    let size = Binio.read_varint data pos in
-    let parents =
-      Binio.read_list
-        (fun s p ->
-          let a = Binio.read_varint s p in
-          let b = Binio.read_varint s p in
-          (a, b))
-        data pos
-    in
-    let file =
-      Heap_file.open_existing ~pool
-        (Filename.concat dir (Printf.sprintf "seg_%d.dat" seg_id))
-    in
-    (* drop bytes past the checkpoint (recovered via the WAL instead) *)
-    Heap_file.truncate_to file size;
-    let _ = Vec.push t.segments { seg_id; file; parents } in
-    ()
+    if version >= 2 then begin
+      let seg =
+        Col_segment.open_v2 ~pool ~schema ~compress
+          ~path:(seg_file_path dir seg_id) data pos
+      in
+      let parents =
+        Binio.read_list
+          (fun s p ->
+            let a = Binio.read_varint s p in
+            let b = Binio.read_varint s p in
+            (a, b))
+          data pos
+      in
+      let _ = Vec.push t.segments { seg_id; seg; parents } in
+      ()
+    end
+    else begin
+      let size = Binio.read_varint data pos in
+      let byte_parents =
+        Binio.read_list
+          (fun s p ->
+            let a = Binio.read_varint s p in
+            let b = Binio.read_varint s p in
+            (a, b))
+          data pos
+      in
+      let file =
+        Heap_file.open_existing ~pool (seg_file_path dir seg_id)
+      in
+      (* drop bytes past the checkpoint (recovered via the WAL) *)
+      Heap_file.truncate_to file size;
+      (* rebuild the row-address table by walking the record framing *)
+      let offs = ref [] in
+      Heap_file.iter file (fun off _payload -> offs := off :: !offs);
+      let seg =
+        Col_segment.of_v1 ~pool ~schema ~compress
+          ~codec:(v1_codec ~schema ~compress) ~file
+          ~offsets:(List.rev !offs)
+      in
+      (* parents reference earlier segments only, so their byte
+         offsets can be translated to rows as we go *)
+      let parents =
+        List.map
+          (fun (p, off) ->
+            (p, Col_segment.v1_row_of_offset (segment t p).seg off))
+          byte_parents
+      in
+      let _ = Vec.push t.segments { seg_id; seg; parents } in
+      ()
+    end
   done;
   let nheads = Binio.read_varint data pos in
   for _ = 1 to nheads do
@@ -856,6 +948,10 @@ let open_existing ~dir ~pool =
     let vid = Binio.read_varint data pos in
     let sid = Binio.read_varint data pos in
     let upto = Binio.read_varint data pos in
+    let upto =
+      if version >= 2 then upto
+      else Col_segment.v1_row_of_offset (segment t sid).seg upto
+    in
     Hashtbl.replace t.commits vid (sid, upto)
   done;
   let ndirty = Binio.read_varint data pos in
@@ -869,9 +965,9 @@ let open_existing ~dir ~pool =
     let bid = Pk_index.add_branch t.pk ~from:None in
     assert (bid = b);
     let sid = Vec.get t.head_seg b in
-    scan_live t sid (Heap_file.size (segment t sid).file)
-      (fun s off tuple ->
-        Pk_index.set t.pk ~branch:b (Tuple.pk t.schema tuple) (s, off))
+    scan_live t sid (Col_segment.rows (segment t sid).seg)
+      (fun s row tuple ->
+        Pk_index.set t.pk ~branch:b (Tuple.pk t.schema tuple) (s, row))
   done;
   t
 
@@ -888,7 +984,7 @@ let verify t =
       let name = Printf.sprintf "seg_%d.dat" s.seg_id in
       List.iter
         (fun (_, reason) -> errs := (name, reason) :: !errs)
-        (Heap_file.verify s.file);
+        (Col_segment.verify s.seg);
       List.iter
         (fun (p, _) ->
           if p < 0 || p >= Vec.length t.segments then
@@ -914,13 +1010,13 @@ let verify t =
 
 let crash t =
   if not t.closed then begin
-    Vec.iter (fun s -> Heap_file.abandon s.file) t.segments;
+    Vec.iter (fun s -> Col_segment.abandon s.seg) t.segments;
     t.closed <- true
   end
 
 let close t =
   if not t.closed then begin
     flush t;
-    Vec.iter (fun s -> Heap_file.close s.file) t.segments;
+    Vec.iter (fun s -> Col_segment.close s.seg) t.segments;
     t.closed <- true
   end

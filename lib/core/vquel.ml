@@ -504,12 +504,39 @@ let resolve_pred schema (p : pred) : Query.predicate =
 
 let conj preds tuple = List.for_all (fun p -> p tuple) preds
 
+(* Compile planner predicates to their data form so branch-head scans
+   can hand them to the engine, which evaluates them on decoded column
+   batches (dictionary codes for string equality) before materializing
+   tuples. *)
+let compile_preds schema (preds : pred list) : Col_pred.t list =
+  List.map
+    (fun p ->
+      match Query.col_pred schema ~column:p.p_column p.p_op p.p_value with
+      | cp -> cp
+      | exception Not_found -> fail "unknown column %S" p.p_column)
+    preds
+
 (* Scans of a committed version go through scan_version; branch names
    resolve to working heads. *)
 let scan_target db target f =
   match target with
   | Branch_head name -> Database.scan db (Database.branch_named db name) f
   | Committed v -> Database.scan_version db v f
+
+(* [scan_target] with the plan's predicates applied.  Branch heads get
+   predicate pushdown via {!Database.scan_filtered}; committed-version
+   scans (and any engine without a batch path) filter row-wise. *)
+let scan_target_where db target preds f =
+  let schema = Database.schema db in
+  match target, preds with
+  | _, [] -> scan_target db target f
+  | Branch_head name, preds ->
+      Database.scan_filtered db
+        (Database.branch_named db name)
+        ~preds:(compile_preds schema preds) f
+  | Committed v, preds ->
+      let ps = List.map (resolve_pred schema) preds in
+      Database.scan_version db v (fun t -> if conj ps t then f t)
 
 type row = { values : Tuple.t; row_branches : string list }
 
@@ -537,16 +564,16 @@ let run_base db plan =
   in
   (match plan with
   | Scan { target; preds } ->
-      let preds = List.map (resolve_pred schema) preds in
       ignore
         (op_span "vquel.scan" (fun () ->
-             scan_target db target (fun t -> if conj preds t then emit t);
+             scan_target_where db target preds emit;
              !nemitted))
   | Pos_diff { target; other; preds } ->
-      let preds = List.map (resolve_pred schema) preds in
       ignore
         (op_span "vquel.pos_diff" (fun () ->
-             (* materialize the subquery's key set, probe while scanning *)
+             (* materialize the subquery's key set, probe while scanning;
+                the plan predicates push into the probe-side scan (the
+                NOT IN test is a conjunct, so order is immaterial) *)
              let keys = Hashtbl.create 4096 in
              ignore
                (op_span "vquel.pos_diff.keys" (fun () ->
@@ -555,32 +582,26 @@ let run_base db plan =
                     Hashtbl.length keys));
              ignore
                (op_span "vquel.pos_diff.probe" (fun () ->
-                    scan_target db target (fun t ->
-                        if
-                          (not (Hashtbl.mem keys (Tuple.pk schema t)))
-                          && conj preds t
-                        then emit t);
+                    scan_target_where db target preds (fun t ->
+                        if not (Hashtbl.mem keys (Tuple.pk schema t)) then
+                          emit t);
                     !nemitted));
              !nemitted))
   | Join { left; right; left_preds; right_preds } ->
-      let lp = List.map (resolve_pred schema) left_preds in
-      let rp = List.map (resolve_pred schema) right_preds in
       ignore
         (op_span "vquel.join" (fun () ->
              let build = Hashtbl.create 4096 in
              ignore
                (op_span "vquel.join.build" (fun () ->
-                    scan_target db left (fun t ->
-                        if conj lp t then
-                          Hashtbl.replace build (Tuple.pk schema t) t);
+                    scan_target_where db left left_preds (fun t ->
+                        Hashtbl.replace build (Tuple.pk schema t) t);
                     Hashtbl.length build));
              ignore
                (op_span "vquel.join.probe" (fun () ->
-                    scan_target db right (fun t2 ->
-                        if conj rp t2 then
-                          match Hashtbl.find_opt build (Tuple.pk schema t2) with
-                          | Some t1 -> emit (Array.append t1 t2)
-                          | None -> ());
+                    scan_target_where db right right_preds (fun t2 ->
+                        match Hashtbl.find_opt build (Tuple.pk schema t2) with
+                        | Some t1 -> emit (Array.append t1 t2)
+                        | None -> ());
                     !nemitted));
              !nemitted))
   | Head_scan { preds } ->

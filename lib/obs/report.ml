@@ -51,18 +51,29 @@ type pool = {
   p_write_backs : int;
 }
 
+type column = {
+  co_name : string;
+  co_encoding : string;
+  co_raw_bytes : int;
+  co_enc_bytes : int;
+}
+
 type engine_part = {
+  e_format : int;
   e_branches : branch list;
   e_segments : segment list;
+  e_columns : column list;
   e_history : history;
 }
 
 type t = {
   r_scheme : string;
+  r_format : int;
   r_dataset_bytes : int;
   r_commit_meta_bytes : int;
   r_branches : branch list;
   r_segments : segment list;
+  r_columns : column list;
   r_history : history;
   r_graph : graph;
   r_pool : pool;
@@ -78,6 +89,10 @@ let density ~live ~bits = if bits = 0 then 0.0 else float_of_int live /. float_o
 let fragmentation ~live ~records =
   if records = 0 then 0.0
   else 1.0 -. (float_of_int live /. float_of_int records)
+
+let compression_ratio c =
+  if c.co_enc_bytes = 0 then 0.0
+  else float_of_int c.co_raw_bytes /. float_of_int c.co_enc_bytes
 
 let chain_stats chains =
   let n = List.length chains in
@@ -107,11 +122,18 @@ let segment_json s =
     s.sg_id (esc s.sg_file) s.sg_bytes s.sg_pages s.sg_records
     s.sg_live_records (fl s.sg_fragmentation)
 
+let column_json c =
+  Printf.sprintf
+    "{\"name\":\"%s\",\"encoding\":\"%s\",\"raw_bytes\":%d,\"enc_bytes\":%d,\"ratio\":%s}"
+    (esc c.co_name) (esc c.co_encoding) c.co_raw_bytes c.co_enc_bytes
+    (fl (compression_ratio c))
+
 let to_json r =
   let buf = Buffer.create 2048 in
   Buffer.add_string buf
-    (Printf.sprintf "{\"scheme\":\"%s\",\"dataset_bytes\":%d,\"commit_meta_bytes\":%d"
-       (esc r.r_scheme) r.r_dataset_bytes r.r_commit_meta_bytes);
+    (Printf.sprintf
+       "{\"scheme\":\"%s\",\"format\":%d,\"dataset_bytes\":%d,\"commit_meta_bytes\":%d"
+       (esc r.r_scheme) r.r_format r.r_dataset_bytes r.r_commit_meta_bytes);
   Buffer.add_string buf ",\"branches\":[";
   List.iteri
     (fun i b ->
@@ -124,6 +146,12 @@ let to_json r =
       if i > 0 then Buffer.add_char buf ',';
       Buffer.add_string buf (segment_json s))
     r.r_segments;
+  Buffer.add_string buf "],\"columns\":[";
+  List.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (column_json c))
+    r.r_columns;
   Buffer.add_string buf "]";
   let h = r.r_history in
   Buffer.add_string buf
@@ -161,6 +189,7 @@ let to_text r =
   let buf = Buffer.create 2048 in
   let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   pf "scheme            %s\n" r.r_scheme;
+  pf "segment format    v%d\n" r.r_format;
   pf "health            %s\n" r.r_health;
   List.iter
     (fun (b, reason) -> pf "  quarantined     %s: %s\n" b reason)
@@ -195,6 +224,16 @@ let to_text r =
       pf "  %-4d %-24s %10d %6d %8d %8d %6.3f\n" s.sg_id s.sg_file s.sg_bytes
         s.sg_pages s.sg_records s.sg_live_records s.sg_fragmentation)
     r.r_segments;
+  if r.r_columns <> [] then begin
+    pf "columns (%d)\n" (List.length r.r_columns);
+    pf "  %-16s %-12s %10s %10s %7s\n" "name" "encoding" "raw-B" "enc-B"
+      "ratio";
+    List.iter
+      (fun c ->
+        pf "  %-16s %-12s %10d %10d %7.2f\n" c.co_name c.co_encoding
+          c.co_raw_bytes c.co_enc_bytes (compression_ratio c))
+      r.r_columns
+  end;
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
@@ -203,6 +242,7 @@ let to_text r =
 let prometheus_samples r =
   let base =
     [
+      ("storage_segment_format", [], float_of_int r.r_format);
       ("storage_dataset_bytes", [], float_of_int r.r_dataset_bytes);
       ("storage_commit_meta_bytes", [], float_of_int r.r_commit_meta_bytes);
       ("storage_graph_versions", [], float_of_int r.r_graph.g_versions);
@@ -240,4 +280,15 @@ let prometheus_samples r =
         ])
       r.r_branches
   in
-  base @ per_branch
+  let per_column =
+    List.concat_map
+      (fun c ->
+        let l = [ ("column", c.co_name); ("encoding", c.co_encoding) ] in
+        [
+          ("storage_column_raw_bytes", l, float_of_int c.co_raw_bytes);
+          ("storage_column_enc_bytes", l, float_of_int c.co_enc_bytes);
+          ("storage_column_compression_ratio", l, compression_ratio c);
+        ])
+      r.r_columns
+  in
+  base @ per_branch @ per_column

@@ -63,19 +63,32 @@ type pool = {
   p_write_backs : int;
 }
 
+type column = {
+  co_name : string;
+  co_encoding : string;  (** dominant block encoding, e.g. ["delta"],
+                             ["dict"]; ["-"] when nothing is sealed *)
+  co_raw_bytes : int;  (** pre-encoding byte volume across blocks *)
+  co_enc_bytes : int;  (** encoded byte volume across blocks *)
+}
+(** Per-column encoding facts from format-v2 segments (empty for v1). *)
+
 type engine_part = {
+  e_format : int;  (** segment layout version: 1 row-heap, 2 columnar *)
   e_branches : branch list;
   e_segments : segment list;
+  e_columns : column list;
   e_history : history;
 }
 (** The storage-scheme-specific slice an engine contributes. *)
 
 type t = {
   r_scheme : string;
+  r_format : int;
   r_dataset_bytes : int;
   r_commit_meta_bytes : int;
   r_branches : branch list;
   r_segments : segment list;
+  r_columns : column list;
   r_history : history;
   r_graph : graph;
   r_pool : pool;
@@ -86,6 +99,9 @@ type t = {
 }
 
 val empty_history : history
+
+val compression_ratio : column -> float
+(** [raw / enc], [0.] when nothing is encoded. *)
 
 val density : live:int -> bits:int -> float
 (** [live / bits], [0.] when [bits = 0]. *)

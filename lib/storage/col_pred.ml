@@ -1,0 +1,43 @@
+(* Structured column predicates, pushable below tuple materialization.
+
+   The query layer's [column op literal] conjuncts are the only
+   predicate shape the benchmark uses (paper §4.3); expressing them as
+   data instead of closures lets the columnar scan path of segment
+   format v2 evaluate them against decoded batches — or against
+   dictionary codes without decoding at all — before any Tuple.t is
+   built. *)
+
+type op = Eq | Ne | Lt | Le | Gt | Ge
+
+let op_name = function
+  | Eq -> "="
+  | Ne -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+(* Truth of [op] given a three-way comparison result. *)
+let matches op c =
+  match op with
+  | Eq -> c = 0
+  | Ne -> c <> 0
+  | Lt -> c < 0
+  | Le -> c <= 0
+  | Gt -> c > 0
+  | Ge -> c >= 0
+
+type t = { cp_col : int; cp_op : op; cp_value : Value.t }
+
+let make schema ~column op value =
+  { cp_col = Schema.column_index schema column; cp_op = op; cp_value = value }
+
+let of_index col op value = { cp_col = col; cp_op = op; cp_value = value }
+
+let eval_one p (tuple : Tuple.t) =
+  matches p.cp_op (Value.compare tuple.(p.cp_col) p.cp_value)
+
+let eval_tuple ps tuple = List.for_all (fun p -> eval_one p tuple) ps
+
+let pp fmt p =
+  Format.fprintf fmt "c%d %s %a" p.cp_col (op_name p.cp_op) Value.pp p.cp_value

@@ -1,0 +1,181 @@
+(** Row-addressed segment storage: format v1 (row-per-record heap) and
+    v2 (PAX column-group blocks with per-column compression).
+
+    Engines address records by dense row index.  In v2 mode, appended
+    rows accumulate in an in-memory open block and are sealed into one
+    heap record of up to {!block_rows} rows: per-column byte ranges
+    encoded as constant / delta+zigzag-varint ints and raw /
+    dictionary strings, with an RLE tombstone bitmap, optionally LZ77
+    compressed as a unit.  Scans decode a block at a time into
+    per-domain scratch arrays, test selection bitmaps {e before}
+    reading or decoding a block, evaluate column predicates on the
+    decoded batch (on dictionary codes for string equality), and
+    materialize [Tuple.t] only for emitted rows.
+
+    v1 mode reproduces the pre-columnar layout byte for byte (payload
+    encoding is engine-supplied), so old repositories open unchanged
+    and {!migrate_to_v2} can rewrite them row-order-preserving. *)
+
+val block_rows : int
+(** Maximum rows per sealed v2 block (1024). *)
+
+type row_value =
+  | Live of Tuple.t
+  | Tombstone of Value.t  (** deletion marker, keyed by primary key *)
+
+type v1_codec = {
+  v1_encode : row_value -> string;
+  v1_decode : string -> row_value;
+}
+(** Engine-owned payload codec for v1 row records. *)
+
+type t
+
+(** {1 Construction} *)
+
+val create_v1 :
+  pool:Buffer_pool.t ->
+  schema:Schema.t ->
+  compress:bool ->
+  codec:v1_codec ->
+  path:string ->
+  t
+
+val create_v2 :
+  pool:Buffer_pool.t -> schema:Schema.t -> compress:bool -> path:string -> t
+
+val of_v1 :
+  pool:Buffer_pool.t ->
+  schema:Schema.t ->
+  compress:bool ->
+  codec:v1_codec ->
+  file:Heap_file.t ->
+  offsets:int list ->
+  t
+(** Wrap an already-opened (and truncated) v1 heap; [offsets] is each
+    row's heap byte offset, ascending. *)
+
+val open_v2 :
+  pool:Buffer_pool.t ->
+  schema:Schema.t ->
+  compress:bool ->
+  path:string ->
+  string ->
+  int ref ->
+  t
+(** Reopen from metadata written by {!save_meta}; truncates the heap
+    to the persisted size (crash recovery). *)
+
+(** {1 Introspection} *)
+
+val format_version : t -> int
+(** 1 or 2. *)
+
+val schema : t -> Schema.t
+val path : t -> string
+val rows : t -> int
+val byte_size : t -> int
+val page_count : t -> int
+
+val bytes_upto : t -> int -> int
+(** Approximate on-disk bytes holding rows [0, row) — the charge basis
+    for governed scans bounded by a row locator. *)
+
+(** {1 Mutation} *)
+
+val append : t -> row_value -> int
+(** Appends and returns the new row's index. *)
+
+val flush : t -> unit
+(** Seals the open block (v2) and flushes the heap. *)
+
+(** {1 Access} *)
+
+val get : t -> int -> row_value
+(** Point lookup; v2 decodes through a per-domain one-block cache. *)
+
+val get_tuple : t -> int -> Tuple.t
+(** [get], raising [Binio.Corrupt] on a tombstone row. *)
+
+val iter : ?from:int -> ?upto:int -> t -> (int -> row_value -> unit) -> unit
+(** Every row (live and tombstone) of [\[from, upto)], ascending. *)
+
+val iter_rev :
+  ?from:int -> ?upto:int -> t -> (int -> row_value -> unit) -> unit
+(** Every row of [\[from, upto)], descending (newest first). *)
+
+val scan :
+  ?sel:Decibel_util.Bitvec.t ->
+  ?preds:Col_pred.t list ->
+  ?from:int ->
+  ?upto:int ->
+  t ->
+  (int -> Tuple.t -> unit) ->
+  unit
+(** Live rows passing the selection bitmap and predicates, ascending.
+    v2 skips blocks whose row range has no selected bit without
+    reading them, and evaluates [preds] on decoded batches before any
+    tuple is built. *)
+
+val block_ranges : t -> (int * int) array
+(** Row ranges at block granularity covering [\[0, rows)], for fanning
+    a scan across domains: parallel workers over distinct ranges touch
+    disjoint blocks. *)
+
+(** {1 v1 locator conversion} *)
+
+val v1_offset_of_row : t -> int -> int
+val v1_row_of_offset : t -> int -> int
+val v1_offsets : t -> int Decibel_util.Vec.t
+(** v1-mode only: byte-offset/row translation for engine manifests
+    that address records by byte. *)
+
+(** {1 Manifest metadata} *)
+
+val save_meta : Buffer.t -> t -> unit
+(** v2-mode only: flushes, then appends heap size + block index +
+    per-column stats (read back by {!open_v2}). *)
+
+val manifest_magic_v2 : int
+
+val write_manifest_header : Buffer.t -> unit
+(** Appends the v2 magic + format version bytes. *)
+
+val manifest_version : string -> int ref -> int
+(** 1 (cursor unmoved) or the version from a v2 header (cursor past
+    it).  v1 manifests cannot begin with the v2 magic byte. *)
+
+(** {1 Reporting} *)
+
+type col_report = {
+  cr_name : string;
+  cr_encoding : string;
+  cr_raw_bytes : int;
+  cr_enc_bytes : int;
+}
+
+val column_report : t -> col_report array
+(** Per-column dominant encoding and raw-vs-encoded byte volume across
+    sealed blocks (empty for v1). *)
+
+val merge_column_reports : col_report array list -> col_report array
+(** Aggregate several same-schema segments' reports: byte volumes sum;
+    each column's dominant encoding comes from the segment that
+    contributed the most raw bytes.  Empty (v1) reports are ignored. *)
+
+(** {1 Integrity and lifecycle} *)
+
+val verify : t -> (int * string) list
+(** Record checksums plus (v2) block decode and row-count checks. *)
+
+val migrate_to_v2 : t -> t
+(** Rewrite a v1 segment as v2 in place, preserving row order 1:1 so
+    row-addressed locators stay valid.  The v2 copy is built beside
+    the original and renamed over it only once complete.  Identity on
+    v2 segments. *)
+
+val close : t -> unit
+val abandon : t -> unit
+(** Crash simulation: drop buffered state without flushing. *)
+
+val remove : t -> unit

@@ -204,6 +204,28 @@ let iter_set_range f t ~lo ~hi =
     done
   end
 
+let any_in_range t ~lo ~hi =
+  let lo = max 0 lo and hi = min hi t.len in
+  if lo >= hi then false
+  else begin
+    let wlo = lo / 64 and whi = (hi - 1) / 64 in
+    let wmax = min whi (used_words t - 1) in
+    let found = ref false in
+    let wi = ref wlo in
+    while (not !found) && !wi <= wmax do
+      let w = ref (get_word t !wi) in
+      if !wi = wlo && lo mod 64 > 0 then
+        w := Int64.logand !w (Int64.shift_left Int64.minus_one (lo mod 64));
+      if !wi = whi && hi mod 64 > 0 then
+        w :=
+          Int64.logand !w
+            (Int64.shift_right_logical Int64.minus_one (64 - (hi mod 64)));
+      if !w <> 0L then found := true;
+      incr wi
+    done;
+    !found
+  end
+
 let fold_set f init t =
   let acc = ref init in
   iter_set (fun i -> acc := f !acc i) t;

@@ -83,6 +83,13 @@ val iter_set_range : (int -> unit) -> t -> lo:int -> hi:int -> unit
     [\[lo, hi)], ascending — the chunked form of {!iter_set} used by
     parallel range scans. *)
 
+val any_in_range : t -> lo:int -> hi:int -> bool
+(** [any_in_range t ~lo ~hi] is [true] iff some bit in [\[lo, hi)] is
+    set — word-at-a-time, without iterating individual bits.  The
+    block-skip primitive of columnar scans: a branch-membership bitmap
+    with no bit in a block's row range means the block is never read or
+    decoded. *)
+
 val fold_set : ('a -> int -> 'a) -> 'a -> t -> 'a
 
 val to_list : t -> int list

@@ -34,11 +34,21 @@ let encoded_size v = String.length (encode v)
 let decode s pos =
   let len = Binio.read_varint s pos in
   let nruns = Binio.read_varint s pos in
+  (* Sanity-check the header before trusting it with allocation or
+     loop bounds: a well-formed encoding alternates runs starting with
+     a (possibly empty) zero-run, so at most [len + 1] runs exist, and
+     every run must fit inside the declared length.  Without these
+     checks a flipped bit in [len] or a run length turns decode into an
+     unbounded allocation instead of a clean [Corrupt]. *)
+  if nruns > len + 1 then
+    raise (Binio.Corrupt "Rle.decode: more runs than bits");
   let v = Bitvec.create ~capacity:(max 64 len) () in
   let cursor = ref 0 in
   let bit = ref false in
   for _ = 1 to nruns do
     let run = Binio.read_varint s pos in
+    if run > len - !cursor then
+      raise (Binio.Corrupt "Rle.decode: run overruns declared length");
     if !bit then
       for i = !cursor to !cursor + run - 1 do
         Bitvec.set v i

@@ -1,0 +1,70 @@
+(* LEB128 over full 64-bit values, plus the zigzag transform used by
+   the columnar int codec.  Binio's varint is capped at 62 bits because
+   it round-trips OCaml's tagged ints; column data is Int64-valued, so
+   delta streams need the full range (a delta between two extremes of
+   the int64 domain does not fit a tagged int). *)
+
+let write_u64 buf (v : int64) =
+  let v = ref v in
+  let continue = ref true in
+  while !continue do
+    let b = Int64.to_int (Int64.logand !v 0x7fL) in
+    v := Int64.shift_right_logical !v 7;
+    if !v = 0L then begin
+      Buffer.add_char buf (Char.chr b);
+      continue := false
+    end
+    else Buffer.add_char buf (Char.chr (b lor 0x80))
+  done
+
+(* Chunks at shifts 0..49 accumulate in a native int (56 bits fit a
+   63-bit OCaml int with room to spare), so the common small-delta case
+   decodes without a single boxed Int64 operation; only the 9th and
+   10th chunks fall back to Int64 arithmetic. *)
+let read_u64 s pos =
+  let len = String.length s in
+  let i = ref !pos in
+  let rec fast acc shift =
+    if !i >= len then
+      raise (Binio.Corrupt "Varint.read_u64: truncated input");
+    let b = Char.code (String.unsafe_get s !i) in
+    incr i;
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 = 0 then Int64.of_int acc
+    else if shift = 49 then slow (Int64.of_int acc) 56
+    else fast acc (shift + 7)
+  and slow acc shift =
+    if shift > 63 then raise (Binio.Corrupt "Varint.read_u64: too long");
+    if !i >= len then
+      raise (Binio.Corrupt "Varint.read_u64: truncated input");
+    let b = Char.code (String.unsafe_get s !i) in
+    incr i;
+    let acc =
+      Int64.logor acc (Int64.shift_left (Int64.of_int (b land 0x7f)) shift)
+    in
+    if b land 0x80 = 0 then acc else slow acc (shift + 7)
+  in
+  let v = fast 0 0 in
+  pos := !i;
+  v
+
+(* Zigzag maps signed values to unsigned ones with small magnitudes
+   staying small: 0 -> 0, -1 -> 1, 1 -> 2, -2 -> 3, ... *)
+let zigzag v = Int64.logxor (Int64.shift_left v 1) (Int64.shift_right v 63)
+
+let unzigzag v =
+  Int64.logxor
+    (Int64.shift_right_logical v 1)
+    (Int64.neg (Int64.logand v 1L))
+
+let write_i64 buf v = write_u64 buf (zigzag v)
+let read_i64 s pos = unzigzag (read_u64 s pos)
+
+let size_u64 v =
+  let rec loop n v =
+    let v = Int64.shift_right_logical v 7 in
+    if v = 0L then n else loop (n + 1) v
+  in
+  loop 1 v
+
+let size_i64 v = size_u64 (zigzag v)

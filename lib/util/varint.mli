@@ -1,0 +1,30 @@
+(** Full-width (64-bit) LEB128 varints with zigzag signed encoding.
+
+    {!Binio.write_varint} serves manifest bookkeeping where values are
+    non-negative tagged ints; the columnar codecs of segment format v2
+    store deltas of arbitrary [int64] column values, which need all 64
+    bits and a signed mapping that keeps small magnitudes short.
+    Conventions follow {!Binio}: writers append to a [Buffer.t], readers
+    take a string and a cursor and raise [Binio.Corrupt] on truncated or
+    over-long input. *)
+
+val write_u64 : Buffer.t -> int64 -> unit
+(** Unsigned LEB128; at most 10 bytes. *)
+
+val read_u64 : string -> int ref -> int64
+(** Inverse of {!write_u64}. Raises [Binio.Corrupt] on truncation or an
+    encoding longer than 10 bytes. *)
+
+val zigzag : int64 -> int64
+val unzigzag : int64 -> int64
+(** The zigzag transform and its inverse: [0, -1, 1, -2, ...] maps to
+    [0, 1, 2, 3, ...], so small-magnitude deltas encode in one byte. *)
+
+val write_i64 : Buffer.t -> int64 -> unit
+(** [write_u64] of the zigzag transform. *)
+
+val read_i64 : string -> int ref -> int64
+
+val size_u64 : int64 -> int
+val size_i64 : int64 -> int
+(** Encoded byte counts, for storage accounting. *)

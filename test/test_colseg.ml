@@ -1,0 +1,492 @@
+(* Tests for the columnar segment format v2: codec round-trips
+   (delta-varint ints, dictionary strings, RLE tombstone bitmaps)
+   through append / save_meta / open_v2, vectorized-scan pushdown
+   against row-wise evaluation, adversarial truncated and bit-flipped
+   input, and the v1 compatibility story — a v1-format repository
+   opens read-only under the v2 binary and [fsck --migrate] rewrites
+   it in place with identical query results, for all three schemes. *)
+
+open Decibel
+open Decibel_storage
+module Binio = Decibel_util.Binio
+module Bitvec = Decibel_util.Bitvec
+module Varint = Decibel_util.Varint
+module Rle = Decibel_util.Rle
+module Prng = Decibel_util.Prng
+module Fsutil = Decibel_util.Fsutil
+module Vg = Decibel_graph.Version_graph
+
+let qtest t = QCheck_alcotest.to_alcotest t
+
+(* ------------------------------------------------------------------ *)
+(* varint codec *)
+
+let i64_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        map Int64.of_int int;
+        oneofl [ 0L; 1L; -1L; Int64.max_int; Int64.min_int; 300L; -300L ];
+      ])
+
+let prop_zigzag_involution =
+  QCheck2.Test.make ~name:"zigzag/unzigzag identity" ~count:500 i64_gen
+    (fun x -> Varint.unzigzag (Varint.zigzag x) = x)
+
+let prop_varint_roundtrip =
+  QCheck2.Test.make ~name:"varint i64 roundtrip + size" ~count:500 i64_gen
+    (fun x ->
+      let buf = Buffer.create 10 in
+      Varint.write_i64 buf x;
+      let s = Buffer.contents buf in
+      let pos = ref 0 in
+      Varint.read_i64 s pos = x
+      && !pos = String.length s
+      && Varint.size_i64 x = String.length s)
+
+let test_varint_rejects_truncated () =
+  let buf = Buffer.create 10 in
+  Varint.write_u64 buf Int64.max_int;
+  let s = Buffer.contents buf in
+  for cut = 0 to String.length s - 1 do
+    match Varint.read_u64 (String.sub s 0 cut) (ref 0) with
+    | _ -> Alcotest.failf "prefix of %d bytes decoded" cut
+    | exception Binio.Corrupt _ -> ()
+  done
+
+let test_varint_rejects_overlong () =
+  (* eleven continuation bytes can never be a valid 64-bit varint *)
+  let s = String.make 11 '\x80' in
+  match Varint.read_u64 s (ref 0) with
+  | _ -> Alcotest.fail "over-long varint decoded"
+  | exception Binio.Corrupt _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Rle under adversarial input *)
+
+let bits_gen = QCheck2.Gen.(list_size (int_range 0 200) (int_bound 2000))
+
+let prop_rle_rejects_truncation =
+  QCheck2.Test.make ~name:"rle rejects every strict prefix" ~count:100
+    bits_gen (fun l ->
+      let enc = Rle.encode (Bitvec.of_list l) in
+      let ok = ref true in
+      for cut = 0 to String.length enc - 1 do
+        (match Rle.decode (String.sub enc 0 cut) (ref 0) with
+        | _ -> ok := false
+        | exception Binio.Corrupt _ -> ())
+      done;
+      !ok)
+
+let prop_rle_bitflip_never_crashes =
+  QCheck2.Test.make ~name:"rle bit flips: Corrupt or bounded decode"
+    ~count:200
+    QCheck2.Gen.(pair bits_gen (int_bound 10_000))
+    (fun (l, seed) ->
+      let enc = Rle.encode (Bitvec.of_list l) in
+      if String.length enc = 0 then true
+      else begin
+        let rng = Prng.create (Int64.of_int (seed + 1)) in
+        let b = Bytes.of_string enc in
+        let i = Prng.int rng (Bytes.length b) in
+        let bit = Prng.int rng 8 in
+        Bytes.set b i
+          (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)));
+        let flipped = Bytes.to_string b in
+        match Rle.decode flipped (ref 0) with
+        | v ->
+            (* decoded fine: the declared length bounds the result, so
+               a flipped run count can not turn into runaway growth *)
+            Bitvec.length v <= 8 * String.length flipped * 128
+        | exception Binio.Corrupt _ -> true
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* v2 segment round-trip *)
+
+let seg_schema =
+  Schema.make ~name:"s"
+    ~columns:
+      [
+        { Schema.col_name = "id"; col_type = Schema.T_int };
+        { Schema.col_name = "grp"; col_type = Schema.T_str };
+        { Schema.col_name = "v"; col_type = Schema.T_int };
+        { Schema.col_name = "note"; col_type = Schema.T_str };
+      ]
+    ~pk:"id"
+
+let words = [| "alpha"; "beta"; "gamma"; "delta" |]
+
+(* deterministic but varied rows: sequential pk, low-cardinality
+   strings (dictionary-friendly), near-constant ints (delta-friendly),
+   occasional wide outliers and tombstones *)
+let rows_of_seeds seeds =
+  List.mapi
+    (fun i (a, b, c) ->
+      if a mod 13 = 0 then Col_segment.Tombstone (Value.int i)
+      else
+        Col_segment.Live
+          [|
+            Value.int i;
+            Value.Str words.(b mod Array.length words);
+            (if c mod 29 = 0 then Value.Int Int64.min_int
+             else Value.int (1000 + (c mod 50)));
+            Value.Str (if b mod 5 = 0 then "" else Printf.sprintf "n%d" (c mod 7));
+          |])
+    seeds
+
+let collect seg =
+  let out = ref [] in
+  Col_segment.iter seg (fun _ rv -> out := rv :: !out);
+  List.rev !out
+
+let with_seg_dir f =
+  let dir = Fsutil.fresh_dir "decibel-colseg" in
+  Fun.protect ~finally:(fun () -> Fsutil.rm_rf dir) (fun () -> f dir)
+
+let seeds_gen =
+  QCheck2.Gen.(
+    list_size (int_range 0 400) (triple small_nat small_nat small_nat))
+
+let prop_segment_roundtrip =
+  QCheck2.Test.make ~name:"v2 segment roundtrip save_meta/open_v2"
+    ~count:30 seeds_gen (fun seeds ->
+      let rows = rows_of_seeds seeds in
+      with_seg_dir (fun dir ->
+          let pool = Buffer_pool.create () in
+          let path = Filename.concat dir "seg" in
+          let seg =
+            Col_segment.create_v2 ~pool ~schema:seg_schema ~compress:true
+              ~path
+          in
+          List.iteri
+            (fun i rv ->
+              if Col_segment.append seg rv <> i then
+                QCheck2.Test.fail_report "append returned wrong row")
+            rows;
+          let before = collect seg in
+          let buf = Buffer.create 256 in
+          Col_segment.save_meta buf seg;
+          let meta = Buffer.contents buf in
+          Col_segment.close seg;
+          let seg2 =
+            Col_segment.open_v2 ~pool ~schema:seg_schema ~compress:true ~path
+              meta (ref 0)
+          in
+          let after = collect seg2 in
+          let verified = Col_segment.verify seg2 in
+          Col_segment.close seg2;
+          before = rows && after = rows && verified = []))
+
+let prop_scan_pushdown_matches_rowwise =
+  (* scan with a selection bitmap + pushed predicates must equal the
+     row-wise reference: live rows, selected, satisfying every pred *)
+  QCheck2.Test.make ~name:"pushdown scan = row-wise filter" ~count:30
+    QCheck2.Gen.(pair seeds_gen (pair (int_bound 3) (int_bound 49)))
+    (fun (seeds, (widx, vbound)) ->
+      let rows = rows_of_seeds seeds in
+      with_seg_dir (fun dir ->
+          let pool = Buffer_pool.create () in
+          let seg =
+            Col_segment.create_v2 ~pool ~schema:seg_schema ~compress:false
+              ~path:(Filename.concat dir "seg")
+          in
+          List.iter (fun rv -> ignore (Col_segment.append seg rv)) rows;
+          let preds =
+            [
+              Col_pred.of_index 1 Col_pred.Eq (Value.Str words.(widx));
+              Col_pred.of_index 2 Col_pred.Le (Value.int (1000 + vbound));
+            ]
+          in
+          let sel = Bitvec.create () in
+          List.iteri (fun i (a, _, _) -> if a mod 2 = 0 then Bitvec.set sel i)
+            (List.map (fun x -> x) seeds);
+          let got = ref [] in
+          Col_segment.scan ~sel ~preds seg (fun i t -> got := (i, t) :: !got);
+          let want =
+            List.filteri (fun i _ -> Bitvec.get sel i) rows
+            |> List.concat_map (fun rv ->
+                   match rv with
+                   | Col_segment.Tombstone _ -> []
+                   | Col_segment.Live t ->
+                       if Col_pred.eval_tuple preds t then [ t ] else [])
+          in
+          let got = List.rev_map snd !got in
+          Col_segment.close seg;
+          got = want))
+
+let test_column_report_compresses () =
+  with_seg_dir (fun dir ->
+      let pool = Buffer_pool.create () in
+      let seg =
+        Col_segment.create_v2 ~pool ~schema:seg_schema ~compress:false
+          ~path:(Filename.concat dir "seg")
+      in
+      for i = 0 to 4999 do
+        ignore
+          (Col_segment.append seg
+             (Col_segment.Live
+                [|
+                  Value.int i;
+                  Value.Str words.(i mod 4);
+                  Value.int 42;
+                  Value.Str "note";
+                |]))
+      done;
+      Col_segment.flush seg;
+      let report = Col_segment.column_report seg in
+      Alcotest.(check int) "one entry per column" 4 (Array.length report);
+      let by_name n =
+        Array.to_list report
+        |> List.find (fun c -> c.Col_segment.cr_name = n)
+      in
+      let check_col n enc =
+        let c = by_name n in
+        Alcotest.(check string) (n ^ " encoding") enc c.Col_segment.cr_encoding;
+        Alcotest.(check bool)
+          (n ^ " compresses") true
+          (c.Col_segment.cr_enc_bytes < c.Col_segment.cr_raw_bytes)
+      in
+      check_col "id" "delta";
+      check_col "grp" "dict";
+      check_col "v" "const";
+      check_col "note" "dict";
+      Col_segment.close seg)
+
+(* ------------------------------------------------------------------ *)
+(* adversarial segment corruption: flips and truncation must surface
+   as [Binio.Corrupt], never as a crash or silently wrong data *)
+
+let test_segment_bitflip_detected () =
+  with_seg_dir (fun dir ->
+      let pool = Buffer_pool.create () in
+      let path = Filename.concat dir "seg" in
+      let seg =
+        Col_segment.create_v2 ~pool ~schema:seg_schema ~compress:true ~path
+      in
+      let rows =
+        rows_of_seeds (List.init 600 (fun i -> (i * 7, i * 3, i * 11)))
+      in
+      List.iter (fun rv -> ignore (Col_segment.append seg rv)) rows;
+      let buf = Buffer.create 256 in
+      Col_segment.save_meta buf seg;
+      let meta = Buffer.contents buf in
+      Col_segment.close seg;
+      let pristine = Binio.read_file path in
+      let rng = Prng.create 0x5eedL in
+      for _trial = 1 to 40 do
+        let b = Bytes.of_string pristine in
+        let i = Prng.int rng (Bytes.length b) in
+        let bit = Prng.int rng 8 in
+        Bytes.set b i
+          (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)));
+        Binio.write_file path (Bytes.to_string b);
+        (* a fresh pool per trial: nothing cached from the last one *)
+        let pool = Buffer_pool.create () in
+        match
+          let seg =
+            Col_segment.open_v2 ~pool ~schema:seg_schema ~compress:true ~path
+              meta (ref 0)
+          in
+          Fun.protect
+            ~finally:(fun () -> Col_segment.close seg)
+            (fun () -> collect seg)
+        with
+        | got ->
+            (* the flip landed in heap slack: data must be untouched *)
+            if got <> rows then
+              Alcotest.failf "bit flip at byte %d silently changed data" i
+        | exception Binio.Corrupt _ -> ()
+      done;
+      Binio.write_file path pristine)
+
+let test_segment_truncation_detected () =
+  with_seg_dir (fun dir ->
+      let pool = Buffer_pool.create () in
+      let path = Filename.concat dir "seg" in
+      let seg =
+        Col_segment.create_v2 ~pool ~schema:seg_schema ~compress:true ~path
+      in
+      let rows =
+        rows_of_seeds (List.init 600 (fun i -> (i * 5, i, i * 13)))
+      in
+      List.iter (fun rv -> ignore (Col_segment.append seg rv)) rows;
+      let buf = Buffer.create 256 in
+      Col_segment.save_meta buf seg;
+      let meta = Buffer.contents buf in
+      Col_segment.close seg;
+      let pristine = Binio.read_file path in
+      let rng = Prng.create 0x7ac3L in
+      for _trial = 1 to 20 do
+        let cut = Prng.int rng (String.length pristine) in
+        Binio.write_file path (String.sub pristine 0 cut);
+        let pool = Buffer_pool.create () in
+        match
+          let seg =
+            Col_segment.open_v2 ~pool ~schema:seg_schema ~compress:true ~path
+              meta (ref 0)
+          in
+          Fun.protect
+            ~finally:(fun () -> Col_segment.close seg)
+            (fun () -> collect seg)
+        with
+        | _ -> Alcotest.failf "truncation to %d bytes went undetected" cut
+        | exception Binio.Corrupt _ -> ()
+      done;
+      Binio.write_file path pristine)
+
+(* ------------------------------------------------------------------ *)
+(* v1 compatibility: open read-only, fsck --migrate, identical results *)
+
+let db_schema = Schema.ints ~name:"r" ~width:4
+
+let row k a b c = [| Value.int k; Value.int a; Value.int b; Value.int c |]
+
+let build_branchy db =
+  let m = Vg.master in
+  for k = 0 to 399 do
+    Database.insert db m (row k k (k * 2) 0)
+  done;
+  let v1 = Database.commit db m ~message:"base" in
+  let child = Database.create_branch db ~name:"child" ~from:v1 in
+  for k = 0 to 399 do
+    if k mod 3 = 0 then Database.update db child (row k k (k * 2) 1);
+    if k mod 7 = 0 then Database.delete db child (Value.int k)
+  done;
+  for k = 400 to 449 do
+    Database.insert db child (row k k 0 2)
+  done;
+  ignore (Database.commit db child ~message:"child")
+
+(* FNV-1a over every query surface the migration must preserve: each
+   head's scan (in emission order), the head-pair diff, and a pushed
+   predicate scan *)
+let fingerprint db =
+  let h = ref 0xcbf29ce484222325L in
+  let mix s =
+    String.iter
+      (fun c ->
+        h := Int64.logxor !h (Int64.of_int (Char.code c));
+        h := Int64.mul !h 0x100000001b3L)
+      s
+  in
+  let mix_tuple t = mix (Tuple.to_string t) in
+  let heads = Database.heads db in
+  List.iter
+    (fun b ->
+      mix (Database.branch_name db b);
+      Database.scan db b mix_tuple)
+    heads;
+  (match heads with
+  | b1 :: b2 :: _ ->
+      Database.diff db b1 b2 ~pos:mix_tuple ~neg:mix_tuple
+  | _ -> ());
+  let preds = [ Col_pred.make db_schema ~column:"c3" Col_pred.Eq (Value.int 1) ] in
+  List.iter
+    (fun b -> Database.scan_filtered db b ~preds mix_tuple)
+    heads;
+  !h
+
+let test_v1_migrate_roundtrip scheme () =
+  let dir = Fsutil.fresh_dir "decibel-colseg-migrate" in
+  Fun.protect
+    ~finally:(fun () -> Fsutil.rm_rf dir)
+    (fun () ->
+      (* build and close a v1-format repository *)
+      let db =
+        Database.open_ ~format:1 ~scheme ~dir ~schema:db_schema ()
+      in
+      build_branchy db;
+      let fp0 = fingerprint db in
+      Database.close db;
+      (* reopens read-only under the v2 binary, reads intact *)
+      let db = Database.reopen ~dir () in
+      Alcotest.(check int) "still v1" 1 (Database.format_version db);
+      (match Database.health db with
+      | Database.Degraded _ -> ()
+      | Database.Healthy -> Alcotest.fail "v1 repository opened writable");
+      (match Database.insert db Vg.master (row 9000 0 0 0) with
+      | () -> Alcotest.fail "write accepted on v1 repository"
+      | exception Types.Engine_error _ -> ());
+      Alcotest.(check int64) "v1 reads intact" fp0 (fingerprint db);
+      Database.close db;
+      (* fsck --migrate rewrites it as a repaired finding *)
+      let report = Fsck.run ~migrate:true ~dir () in
+      (match
+         List.find_opt (fun f -> f.Fsck.repaired) report.Fsck.findings
+       with
+      | Some _ -> ()
+      | None -> Alcotest.fail "no repaired migration finding");
+      (* migrated repository: v2, writable, identical results *)
+      let db = Database.reopen ~dir () in
+      Alcotest.(check int) "now v2" 2 (Database.format_version db);
+      (match Database.health db with
+      | Database.Healthy -> ()
+      | Database.Degraded r -> Alcotest.failf "still degraded: %s" r);
+      Alcotest.(check int64) "migrated reads identical" fp0 (fingerprint db);
+      Database.insert db Vg.master (row 9000 1 2 3);
+      Database.delete db Vg.master (Value.int 9000);
+      Database.close db;
+      (* a second --migrate run is a clean no-op *)
+      let again = Fsck.run ~migrate:true ~dir () in
+      Alcotest.(check bool) "second migrate clean" true (Fsck.clean again))
+
+let test_v2_migrate_noop () =
+  let dir = Fsutil.fresh_dir "decibel-colseg-noop" in
+  Fun.protect
+    ~finally:(fun () -> Fsutil.rm_rf dir)
+    (fun () ->
+      let db =
+        Database.open_ ~scheme:Database.Hybrid ~dir ~schema:db_schema ()
+      in
+      build_branchy db;
+      Database.close db;
+      let report = Fsck.run ~migrate:true ~dir () in
+      Alcotest.(check bool) "v2 repo untouched and clean" true
+        (Fsck.clean report))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "colseg"
+    [
+      ( "varint",
+        [
+          qtest prop_zigzag_involution;
+          qtest prop_varint_roundtrip;
+          Alcotest.test_case "rejects truncation" `Quick
+            test_varint_rejects_truncated;
+          Alcotest.test_case "rejects over-long" `Quick
+            test_varint_rejects_overlong;
+        ] );
+      ( "rle-adversarial",
+        [
+          qtest prop_rle_rejects_truncation;
+          qtest prop_rle_bitflip_never_crashes;
+        ] );
+      ( "segment-v2",
+        [
+          qtest prop_segment_roundtrip;
+          qtest prop_scan_pushdown_matches_rowwise;
+          Alcotest.test_case "column report encodings" `Quick
+            test_column_report_compresses;
+        ] );
+      ( "segment-adversarial",
+        [
+          Alcotest.test_case "bit flips detected" `Quick
+            test_segment_bitflip_detected;
+          Alcotest.test_case "truncation detected" `Quick
+            test_segment_truncation_detected;
+        ] );
+      ( "v1-compat",
+        [
+          Alcotest.test_case "tuple-first" `Quick
+            (test_v1_migrate_roundtrip Database.Tuple_first);
+          Alcotest.test_case "version-first" `Quick
+            (test_v1_migrate_roundtrip Database.Version_first);
+          Alcotest.test_case "hybrid" `Quick
+            (test_v1_migrate_roundtrip Database.Hybrid);
+          Alcotest.test_case "v2 migrate is a no-op" `Quick
+            test_v2_migrate_noop;
+        ] );
+    ]

@@ -538,12 +538,16 @@ let test_hybrid_scan_accounting () =
       Decibel_util.Fsutil.rm_rf dir)
     (fun () ->
       let master = Database.branch_named db "master" in
-      let n = 300 in
+      (* enough rows that the dataset spans several small pages even
+         after v2 per-column compression *)
+      let n = 3000 in
       for k = 1 to n do
         Database.insert db master (row k)
       done;
       let _ = Database.commit db master ~message:"seed" in
-      (* cold cache: every page the scan touches must miss *)
+      (* seal and flush so the extent accounting sees only on-disk
+         bytes, then cold-cache: every page the scan touches must miss *)
+      Database.flush db;
       Database.drop_caches db;
       let bytes = Database.dataset_bytes db in
       let expected_pages = (bytes + 511) / 512 in

@@ -176,8 +176,8 @@ let key k = Value.int k
 
 (* a small but branchy database: enough rows for several chunks, with
    updates and deletes so diff/multi-scan outputs are non-trivial *)
-let build_db scheme dir =
-  let db = Database.open_ ~scheme ~dir ~schema () in
+let build_db ?(compress = false) scheme dir =
+  let db = Database.open_ ~compress ~scheme ~dir ~schema () in
   let m = Vg.master in
   for k = 0 to 599 do
     Database.insert db m (row k k (k * 2) 0)
@@ -237,12 +237,12 @@ let check_snapshots_equal ~msg a b =
           (Tuple.to_string ta) (Tuple.to_string tb))
     a.multi b.multi
 
-let test_engine_identity scheme () =
+let test_engine_identity ?compress scheme () =
   let dir = Decibel_util.Fsutil.fresh_dir "decibel-par-test" in
   Fun.protect
     ~finally:(fun () -> Decibel_util.Fsutil.rm_rf dir)
     (fun () ->
-      let db, m, child = build_db scheme dir in
+      let db, m, child = build_db ?compress scheme dir in
       Fun.protect
         ~finally:(fun () -> Database.close db)
         (fun () ->
@@ -360,6 +360,15 @@ let () =
             (test_engine_identity Database.Version_first);
           Alcotest.test_case "hybrid" `Quick
             (test_engine_identity Database.Hybrid);
+          (* the same identity over LZ77-wrapped v2 blocks: parallel
+             workers decompress independently into per-domain scratch,
+             so results must still be byte-identical to serial *)
+          Alcotest.test_case "tuple-first compressed" `Quick
+            (test_engine_identity ~compress:true Database.Tuple_first);
+          Alcotest.test_case "version-first compressed" `Quick
+            (test_engine_identity ~compress:true Database.Version_first);
+          Alcotest.test_case "hybrid compressed" `Quick
+            (test_engine_identity ~compress:true Database.Hybrid);
         ] );
       ( "domain-safety",
         [

@@ -309,10 +309,12 @@ let report ?(branches = []) ?(segments = []) ?(health = "healthy")
     ?(quarantined = []) () =
   {
     Report.r_scheme = "synthetic";
+    r_format = 2;
     r_dataset_bytes = 0;
     r_commit_meta_bytes = 0;
     r_branches = branches;
     r_segments = segments;
+    r_columns = [];
     r_history = Report.empty_history;
     r_graph =
       {
