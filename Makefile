@@ -1,7 +1,7 @@
 # Convenience targets; `make ci` is what .github/workflows/ci.yml runs.
 
 .PHONY: all build test fmt ci bench bench-smoke crash-smoke scale-smoke \
-	shed-smoke prof-smoke advise-smoke colscan-smoke clean
+	shed-smoke prof-smoke advise-smoke colscan-smoke maint-smoke clean
 
 all: build
 
@@ -73,6 +73,15 @@ advise-smoke:
 # fingerprint diverges. Emits BENCH_<stamp>.colscan.json; CI uploads it.
 colscan-smoke:
 	DECIBEL_BENCH_SCALE=1 dune exec bench/main.exe -- --only colscan
+
+# Maintenance smoke: builds a fragmented, chain-heavy store per scheme,
+# runs the journaled maintenance executor, and reports before/after
+# storage deltas (dead records, delta-chain depth, on-disk bytes) plus
+# the hot-branch scan p50. Exits non-zero if maintenance fails to
+# reclaim dead space (TF/HY) or collapse the hot chain (VF). Emits
+# BENCH_<stamp>.maint.json; CI uploads it.
+maint-smoke:
+	DECIBEL_BENCH_SCALE=1 dune exec bench/main.exe -- --only maint
 
 clean:
 	dune clean

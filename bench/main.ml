@@ -1287,6 +1287,33 @@ let crash () =
   Report.table
     ~headers:[ "scheme"; "sites"; "cases"; "fired"; "fsck repairs"; "failures" ]
     ~rows;
+  (* same deal inside maintenance: the journaled executor killed at
+     every maint.* site mid-compaction/materialization/GC must recover
+     fingerprint-identical *)
+  let maint_summaries =
+    List.map
+      (fun (ename, scheme) -> (ename, Torture.maint_torture ~root scheme))
+      engines
+  in
+  Report.section
+    "Maintenance torture — crash at every maint.* site mid-rewrite";
+  let maint_rows =
+    List.map
+      (fun (ename, (s : Torture.summary)) ->
+        let fired =
+          List.length (List.filter (fun c -> c.Torture.c_fired) s.Torture.s_cases)
+        in
+        [
+          ename;
+          string_of_int (List.length s.Torture.s_cases);
+          string_of_int fired;
+          string_of_int s.Torture.s_failures;
+        ])
+      maint_summaries
+  in
+  Report.table
+    ~headers:[ "scheme"; "cases"; "fired"; "failures" ]
+    ~rows:maint_rows;
   let transient_rows =
     List.map
       (fun (ename, scheme) ->
@@ -1307,15 +1334,188 @@ let crash () =
     (fun i (_, s) ->
       if i > 0 then output_char oc ',';
       output_string oc (Torture.summary_json s))
-    summaries;
+    (summaries @ maint_summaries);
   output_string oc "]\n";
   close_out oc;
   Report.note "wrote FSCK_REPORT.json";
   let total_failures =
-    List.fold_left (fun acc (_, s) -> acc + s.Torture.s_failures) 0 summaries
+    List.fold_left
+      (fun acc (_, s) -> acc + s.Torture.s_failures)
+      0
+      (summaries @ maint_summaries)
   in
   if total_failures > 0 then begin
     Printf.eprintf "crash torture: %d failure(s)\n%!" total_failures;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Maintenance: build a fragmented, chain-heavy store per scheme, run
+   the journaled executor, and report the before/after storage-report
+   deltas (dead records, delta-chain depth, on-disk bytes) plus the
+   hot-branch scan p50.  Maintenance that fails to reclaim dead space
+   (TF/HY) or collapse the hot chain (VF) fails the process.  Writes
+   BENCH_<stamp>.maint.json. *)
+
+let maint_bench () =
+  Report.section
+    "Maint — journaled executor: fragmentation and chains, before/after";
+  Obs.set_enabled true;
+  let module R = Decibel_obs.Report in
+  let dead (r : R.t) =
+    List.fold_left
+      (fun acc (s : R.segment) -> acc + (s.R.sg_records - s.R.sg_live_records))
+      0 r.R.r_segments
+  in
+  let chain name (r : R.t) =
+    match
+      List.find_opt (fun (b : R.branch) -> b.R.br_name = name) r.R.r_branches
+    with
+    | Some b -> b.R.br_delta_chain
+    | None -> 0
+  in
+  let repeat = 15 in
+  let cfg = Config.default in
+  let all_ok = ref true in
+  let scheme_docs = ref [] in
+  let rows =
+    List.map
+      (fun (ename, scheme) ->
+        incr load_counter;
+        let dir = fresh_dir (Printf.sprintf "maint-%s-%d" ename !load_counter) in
+        Fsutil.mkdir_p dir;
+        let db = Database.open_ ~scheme ~dir ~schema:(Config.schema cfg) () in
+        let key = ref 0 in
+        let n = 400 * Config.scale in
+        (* every key is written twice before its first commit, so half
+           the heap is dead the moment master commits: no checkout
+           references the superseded versions *)
+        for _ = 1 to n do
+          incr key;
+          Database.insert db Vg.master (Driver.tuple_of_key cfg !key)
+        done;
+        for k = 1 to n do
+          Database.update db Vg.master (Driver.tuple_of_key cfg k)
+        done;
+        ignore (Database.commit db Vg.master ~message:"base");
+        (* a stack of committing branches builds the delta chain the
+           version-first materializer collapses; branching off the
+           clean master head also freezes hybrid's fragmented segment *)
+        let hot =
+          let rec go parent i =
+            let nm = if i = 6 then "hot" else Printf.sprintf "hot-%d" i in
+            let b = Database.branch_from db ~name:nm ~of_branch:parent in
+            for _ = 1 to 20 * Config.scale do
+              incr key;
+              Database.insert db b (Driver.tuple_of_key cfg !key)
+            done;
+            ignore (Database.commit db b ~message:nm);
+            if i = 6 then b else go b (i + 1)
+          in
+          go Vg.master 1
+        in
+        Database.flush db;
+        let scan_samples () =
+          List.init repeat (fun _ ->
+              let t = Unix.gettimeofday () in
+              Database.scan db hot (fun _ -> ());
+              Unix.gettimeofday () -. t)
+        in
+        let before = Database.storage_report db in
+        let p50_before = Report.percentile (scan_samples ()) 0.50 in
+        (* the executor: engine-chosen GC to a fixpoint, then
+           materialize every active branch *)
+        let reclaimed = ref 0 in
+        let tasks = ref 0 in
+        let note = function
+          | Some (m : Database.maint_result) ->
+              incr tasks;
+              reclaimed := !reclaimed + m.Database.m_reclaimed
+          | None -> ()
+        in
+        let rec gc_fix i =
+          if i < 4 then
+            match Database.run_maintenance db ~kind:Engine_intf.M_gc ~target:"" with
+            | Some m ->
+                note (Some m);
+                gc_fix (i + 1)
+            | None -> ()
+        in
+        gc_fix 0;
+        List.iter
+          (fun (br : Vg.branch) ->
+            if br.Vg.active then
+              note
+                (Database.run_maintenance db ~kind:Engine_intf.M_materialize
+                   ~target:br.Vg.name))
+          (Vg.branches (Database.graph db));
+        let after = Database.storage_report db in
+        let p50_after = Report.percentile (scan_samples ()) 0.50 in
+        Database.close db;
+        let ok =
+          match scheme with
+          | Database.Version_first -> chain "hot" after < chain "hot" before
+          | _ -> dead after < dead before
+        in
+        if not ok then all_ok := false;
+        scheme_docs :=
+          ( ename,
+            Report.J_obj
+              [
+                ("tasks", Report.J_int !tasks);
+                ("bytes_reclaimed", Report.J_int !reclaimed);
+                ("dead_before", Report.J_int (dead before));
+                ("dead_after", Report.J_int (dead after));
+                ("chain_before", Report.J_int (chain "hot" before));
+                ("chain_after", Report.J_int (chain "hot" after));
+                ("bytes_before", Report.J_int before.R.r_dataset_bytes);
+                ("bytes_after", Report.J_int after.R.r_dataset_bytes);
+                ("scan_p50_ms_before", Report.J_float (p50_before *. 1e3));
+                ("scan_p50_ms_after", Report.J_float (p50_after *. 1e3));
+                ("improved", Report.J_raw (if ok then "true" else "false"));
+              ] )
+          :: !scheme_docs;
+        [
+          ename;
+          string_of_int !tasks;
+          Printf.sprintf "%d -> %d" (dead before) (dead after);
+          Printf.sprintf "%d -> %d" (chain "hot" before) (chain "hot" after);
+          Printf.sprintf "%d -> %d" before.R.r_dataset_bytes
+            after.R.r_dataset_bytes;
+          Printf.sprintf "%s -> %s"
+            (Report.fmt_ms [ p50_before ])
+            (Report.fmt_ms [ p50_after ]);
+        ])
+      engines
+  in
+  Report.table
+    ~headers:
+      [ "scheme"; "tasks"; "dead"; "hot chain"; "bytes"; "hot scan p50" ]
+    ~rows;
+  let stamp =
+    let tm = Unix.localtime (Unix.time ()) in
+    Printf.sprintf "%04d%02d%02d_%02d%02d%02d" (tm.Unix.tm_year + 1900)
+      (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+      tm.Unix.tm_sec
+  in
+  let doc =
+    Report.J_obj
+      [
+        ("schema", Report.J_str "decibel-maint-v1");
+        ("timestamp", Report.J_str stamp);
+        ("scale", Report.J_int Config.scale);
+        ("schemes", Report.J_obj (List.rev !scheme_docs));
+      ]
+  in
+  let path = Printf.sprintf "BENCH_%s.maint.json" stamp in
+  let oc = open_out path in
+  output_string oc (Report.json_to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Report.note "wrote %s" path;
+  if not !all_ok then begin
+    Printf.eprintf
+      "maint bench: maintenance failed to improve the storage report\n%!";
     exit 1
   end
 
@@ -1741,6 +1941,7 @@ let experiments =
     ("advise", advise_bench);
     ("colscan", colscan_bench);
     ("crash", crash);
+    ("maint", maint_bench);
     ("tab5", tab5); (* printed last: aggregates all loads this run *)
   ]
 

@@ -719,6 +719,83 @@ let serve_metrics_cmd =
           over HTTP.")
     Term.(const run $ dir_arg $ port_opt $ host_opt $ max_requests_opt)
 
+let maint_cmd =
+  let kind_opt =
+    Arg.(
+      value
+      & opt
+          (some
+             (enum
+                [
+                  ("compact", Engine_intf.M_compact);
+                  ("materialize", Engine_intf.M_materialize);
+                  ("gc", Engine_intf.M_gc);
+                ]))
+          None
+      & info [ "kind" ] ~docv:"KIND"
+          ~doc:
+            "Run one explicit task instead of an advisor-driven pass: \
+             $(b,compact) a segment, $(b,materialize) a branch, or \
+             $(b,gc) dead heap space.")
+  in
+  let target_opt =
+    Arg.(
+      value & opt string ""
+      & info [ "target" ] ~docv:"TARGET"
+          ~doc:
+            "What the task rewrites: a branch name for materialize, a \
+             segment file for compact.  GC picks its own target when \
+             empty.")
+  in
+  let json_flag =
+    Arg.(
+      value & flag & info [ "json" ] ~doc:"Emit the results as a JSON array.")
+  in
+  let run dir kind target json =
+    wrap (fun () ->
+        with_repo dir (fun db ->
+            let results =
+              match kind with
+              | None -> Database.maintenance_tick db
+              | Some kind -> (
+                  match Database.run_maintenance db ~kind ~target with
+                  | Some m -> [ m ]
+                  | None -> [])
+            in
+            if json then begin
+              let item (m : Database.maint_result) =
+                Printf.sprintf
+                  "{\"kind\":\"%s\",\"target\":\"%s\",\"bytes_reclaimed\":%d}"
+                  (Obs.json_escape m.Database.m_kind)
+                  (Obs.json_escape m.Database.m_target)
+                  m.Database.m_reclaimed
+              in
+              print_endline
+                ("[" ^ String.concat "," (List.map item results) ^ "]")
+            end
+            else if results = [] then print_endline "nothing to do"
+            else
+              List.iter
+                (fun (m : Database.maint_result) ->
+                  Printf.printf "%s %s: reclaimed %d bytes\n"
+                    m.Database.m_kind
+                    (if m.Database.m_target = "" then "store"
+                     else m.Database.m_target)
+                    m.Database.m_reclaimed)
+                results))
+  in
+  Cmd.v
+    (Cmd.info "maint"
+       ~doc:
+         "Run crash-safe maintenance: compact fragmented segments, \
+          materialize hot delta-chained branches, reclaim dead heap \
+          space.  Without $(b,--kind), runs one advisor-driven pass \
+          (every current recommendation).  Each task is journaled to \
+          maint.jsonl and fingerprint-checked against the \
+          pre-maintenance contents, so a crash at any point leaves \
+          either the old or the new state — never a torn hybrid.")
+    Term.(const run $ dir_arg $ kind_opt $ target_opt $ json_flag)
+
 let fsck_cmd =
   let repair_flag =
     Arg.(
@@ -726,8 +803,10 @@ let fsck_cmd =
       & info [ "repair" ]
           ~doc:
             "Fix the mechanically safe problems: remove stale temp files \
-             from interrupted atomic renames and truncate a torn \
-             write-ahead-log tail to its intact prefix.  Checkpoint \
+             from interrupted atomic renames, truncate a torn \
+             write-ahead-log tail to its intact prefix, and finish or \
+             roll back maintenance tasks left pending in the maint.jsonl \
+             journal (reclaiming orphaned rewrite files).  Checkpoint \
              checksum failures are only ever reported.")
   in
   let migrate_flag =
@@ -780,5 +859,5 @@ let () =
             init_cmd; insert_cmd; update_cmd; delete_cmd; commit_cmd;
             branch_cmd; scan_cmd; diff_cmd; merge_cmd; log_cmd; branches_cmd;
             sql_cmd; query_cmd; stats_cmd; inspect_cmd; advise_cmd;
-            health_cmd; serve_metrics_cmd; fsck_cmd;
+            health_cmd; serve_metrics_cmd; maint_cmd; fsck_cmd;
           ]))

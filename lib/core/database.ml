@@ -15,6 +15,8 @@ module Workload = Decibel_obs.Workload
 module Advisor = Decibel_obs.Advisor
 module Watchdog = Decibel_obs.Watchdog
 module Governor = Decibel_governor.Governor
+module Maint = Decibel_maint.Maint
+module Mjournal = Decibel_maint.Journal
 
 (** Storage scheme selector (paper §3, plus the testing oracle). *)
 type scheme =
@@ -52,6 +54,8 @@ type t =
       governor : Governor.Admission.t option;
       breakers : (branch_id, Governor.Breaker.t) Hashtbl.t;
       watchdog : Watchdog.t;
+      maint_mutex : Mutex.t;
+      mutable maint_service : Maint.Service.t option;
     }
       -> t
 
@@ -94,6 +98,8 @@ let open_ ?pool ?(durable = false) ?(compress = false) ?(format = 2)
         governor;
         breakers = Hashtbl.create 4;
         watchdog = Watchdog.create ();
+        maint_mutex = Mutex.create ();
+        maint_service = None;
       }
   in
   match scheme with
@@ -169,6 +175,8 @@ let reopen_checkpoint ?pool ?scheme ?governor ~dir () =
         governor;
         breakers = Hashtbl.create 4;
         watchdog = Watchdog.create ();
+        maint_mutex = Mutex.create ();
+        maint_service = None;
       }
   in
   match scheme with
@@ -469,7 +477,19 @@ let flush (Db { engine = (module E); state; wal; _ } as t) =
   save_workload t;
   Option.iter Wal.reset wal
 
+(* The background maintenance service must be stopped before the
+   engine's descriptors go away, whether the shutdown is graceful or a
+   simulated crash — a domain ticking against a closed state would
+   turn the torture harness's controlled kills into wild ones. *)
+let stop_maint_service (Db d) =
+  match d.maint_service with
+  | None -> ()
+  | Some s ->
+      d.maint_service <- None;
+      Maint.Service.stop s
+
 let close (Db { engine = (module E); state; wal; _ } as t) =
+  stop_maint_service t;
   save_workload t;
   E.close state;
   Option.iter
@@ -481,7 +501,8 @@ let close (Db { engine = (module E); state; wal; _ } as t) =
 (* Crash simulation for the torture harness: drop every in-memory
    buffer and close descriptors without checkpointing, so disk holds
    exactly what the WAL and the last flush made durable. *)
-let crash (Db { engine = (module E); state; wal; _ }) =
+let crash (Db { engine = (module E); state; wal; _ } as t) =
+  stop_maint_service t;
   E.crash state;
   Option.iter Wal.close wal
 
@@ -596,6 +617,260 @@ let health_tick (Db d as t) =
       | Governor.Overloaded _
       ->
         Watchdog.status d.watchdog)
+
+(* ------------------------------------------------------------------ *)
+(* Crash-safe background maintenance (the executor half; the policy
+   half is the advisor, the mechanism half [Decibel_maint]).
+
+   Protocol per task, all under the maintenance mutex:
+
+     plan (pure)                      -- engine hook, None = nothing to do
+     fingerprint before               -- logical content digest
+     journal Begin                    -- intent, fsynced, tearable
+     mp_apply                         -- build new files; in-memory swap
+                                         is its last step; on exception
+                                         it removed its partial files
+     fingerprint after                -- mismatch: degrade, no commit
+     flush                            -- engine manifest via Atomic_file:
+                                         THE atomic commit point
+     journal Apply
+     mp_cleanup                       -- invalidate pool pages, unlink
+                                         old files
+     journal Done
+
+   A crash anywhere leaves either the old state (manifest not yet
+   written) or the new state (manifest written); [resolve_maintenance]
+   finishes or rolls back the pending task from the journal on the
+   next open.  Failpoints [maint.plan] / [maint.rewrite] (inside the
+   engines' applies) / [maint.commit] / [maint.swap] /
+   [maint.journal.append] let the torture harness kill at every
+   transition. *)
+
+type maint_result = {
+  m_kind : string;
+  m_target : string;
+  m_reclaimed : int;  (** on-disk bytes freed (before - after, >= 0) *)
+}
+
+type maint_resolution = {
+  mr_id : int;
+  mr_kind : string;
+  mr_target : string;
+  mr_action : [ `Finished | `Rolled_back ];
+  mr_removed : string list;
+}
+
+let kind_tag = function
+  | Engine_intf.M_compact -> "compact"
+  | Engine_intf.M_materialize -> "materialize"
+  | Engine_intf.M_gc -> "gc"
+
+let maint_kind_of_advisor = function
+  | Advisor.Materialize | Advisor.Rechunk -> Engine_intf.M_materialize
+  | Advisor.Compact -> Engine_intf.M_compact
+  | Advisor.Gc -> Engine_intf.M_gc
+
+(* Logical content digest: per active branch (by name, sorted), the
+   sorted encoded live tuples.  Independent of physical layout, so it
+   is preserved by any correct rewrite — the executor's guard against
+   a maintenance bug silently corrupting data. *)
+let fingerprint (Db { engine = (module E); state; _ }) =
+  let buf = Buffer.create 4096 in
+  let schema = E.schema state in
+  let branches =
+    List.sort
+      (fun (a : Vg.branch) (b : Vg.branch) -> compare a.Vg.name b.Vg.name)
+      (List.filter
+         (fun (b : Vg.branch) -> b.Vg.active)
+         (Vg.branches (E.graph state)))
+  in
+  List.iter
+    (fun (br : Vg.branch) ->
+      Buffer.add_string buf br.Vg.name;
+      Buffer.add_char buf '\000';
+      let rows = ref [] in
+      E.scan state br.Vg.bid (fun tuple ->
+          rows := Tuple.encode schema tuple :: !rows);
+      List.iter
+        (fun s ->
+          Buffer.add_string buf s;
+          Buffer.add_char buf '\001')
+        (List.sort compare !rows))
+    branches;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let file_size dir name =
+  try (Unix.stat (Filename.concat dir name)).Unix.st_size
+  with Unix.Unix_error _ -> 0
+
+let run_maintenance_locked (Db { engine = (module E); state; dir; _ } as t)
+    ~kind ~target =
+  match E.plan_maintenance state ~kind ~target with
+  | None -> None
+  | Some plan ->
+      let target = plan.Engine_intf.mp_target in
+      Maint.note_started ();
+      let entry status =
+        {
+          Mjournal.e_id = Mjournal.next_id (Mjournal.load dir);
+          e_status = status;
+          e_kind = kind_tag kind;
+          e_target = target;
+          e_new = plan.Engine_intf.mp_new_files;
+          e_old = plan.Engine_intf.mp_old_files;
+        }
+      in
+      let protocol () =
+        Decibel_fault.Failpoint.hit "maint.plan";
+        let before = fingerprint t in
+        let begun = entry Mjournal.Begin in
+        Mjournal.append dir begun;
+        let journal status =
+          try Mjournal.append dir { begun with Mjournal.e_status = status }
+          with _ -> ()
+        in
+        (try plan.Engine_intf.mp_apply ()
+         with e ->
+           (* the engine removed its partial new files and left the
+              in-memory state untouched; the task is over *)
+           journal Mjournal.Rolled_back;
+           Maint.note_rolled_back ();
+           raise e);
+        if fingerprint t <> before then begin
+          (* The swap is in memory only (no manifest written): disk
+             still holds the old state, so the next open recovers it
+             and rolls the journaled task back.  This process must not
+             commit or serve writes on the bad state. *)
+          degrade t "maintenance fingerprint mismatch";
+          errorf "maintenance fingerprint mismatch on %s %s" (kind_tag kind)
+            target
+        end;
+        Decibel_fault.Failpoint.hit "maint.commit";
+        flush t;
+        journal Mjournal.Apply;
+        Decibel_fault.Failpoint.hit "maint.swap";
+        plan.Engine_intf.mp_cleanup ();
+        journal Mjournal.Done;
+        let after =
+          List.fold_left
+            (fun acc f -> acc + file_size dir f)
+            0 plan.Engine_intf.mp_new_files
+        in
+        let reclaimed = max 0 (plan.Engine_intf.mp_bytes_before - after) in
+        Maint.note_reclaimed reclaimed;
+        Maint.note_finished ~target ~ok:true;
+        Some { m_kind = kind_tag kind; m_target = target; m_reclaimed = reclaimed }
+      in
+      (match protocol () with
+      | r -> r
+      | exception e ->
+          Maint.note_finished ~target ~ok:false;
+          raise e)
+
+let run_maintenance (Db d as t) ~kind ~target =
+  check_writable t;
+  if format_version t < 2 then None
+  else begin
+    Mutex.lock d.maint_mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock d.maint_mutex)
+      (fun () -> run_maintenance_locked t ~kind ~target)
+  end
+
+(* One advisor-driven pass: plan and execute every current
+   recommendation that maps to an engine task.  Recommendations made
+   stale by an earlier task in the same pass plan to [None] and are
+   skipped.  Exceptions propagate (the service loop counts and
+   swallows them). *)
+let maintenance_tick ?thresholds (Db d as t) =
+  match d.health with
+  | Degraded _ -> []
+  | Healthy when format_version t < 2 -> []
+  | Healthy ->
+      List.filter_map
+        (fun (r : Advisor.recommendation) ->
+          run_maintenance t
+            ~kind:(maint_kind_of_advisor r.Advisor.rc_kind)
+            ~target:r.Advisor.rc_target)
+        (advise ?thresholds t)
+
+let start_maintenance ?interval_s ?thresholds (Db d as t) =
+  match d.maint_service with
+  | Some _ -> ()
+  | None ->
+      d.maint_service <-
+        Some
+          (Maint.Service.start ?interval_s (fun () ->
+               ignore (maintenance_tick ?thresholds t)))
+
+let stop_maintenance t = stop_maint_service t
+let maintenance_running (Db d) =
+  match d.maint_service with Some s -> Maint.Service.running s | None -> false
+
+(* Finish or roll back maintenance the journal left pending.  Runs on
+   a freshly reopened checkpoint, before WAL replay: a pending task
+   committed iff its [Apply] entry was journaled or every file it
+   created is referenced by the manifest state just loaded (the
+   manifest write is atomic, so there is no in-between).  Committed:
+   reclaim surviving old files and journal [Done].  Not committed:
+   remove surviving new files (disk already holds the old state) and
+   journal [Rolled_back].  Never removes a file the current manifest
+   references.  [dry_run] reports what would happen without touching
+   anything (fsck's check mode). *)
+let resolve_maintenance ?(dry_run = false)
+    (Db { engine = (module E); state; dir; _ }) =
+  let entries = Mjournal.load dir in
+  match Mjournal.pending entries with
+  | [] ->
+      (* every recorded task is terminal: the journal is history, not
+         intent, and can be compacted away *)
+      if (not dry_run) && entries <> [] then Mjournal.truncate dir;
+      []
+  | pending ->
+      let referenced = E.referenced_files state in
+      List.map
+        (fun (id, es) ->
+          let last = List.nth es (List.length es - 1) in
+          let committed =
+            List.exists (fun e -> e.Mjournal.e_status = Mjournal.Apply) es
+            || (last.Mjournal.e_new <> []
+               && List.for_all
+                    (fun f -> List.mem f referenced)
+                    last.Mjournal.e_new)
+          in
+          let doomed =
+            if committed then last.Mjournal.e_old else last.Mjournal.e_new
+          in
+          let removed =
+            List.filter
+              (fun f ->
+                (not (List.mem f referenced))
+                && Sys.file_exists (Filename.concat dir f))
+              doomed
+          in
+          if not dry_run then begin
+            List.iter
+              (fun f ->
+                try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+              removed;
+            (try
+               Mjournal.append dir
+                 {
+                   last with
+                   Mjournal.e_status =
+                     (if committed then Mjournal.Done else Mjournal.Rolled_back);
+                 }
+             with _ -> ());
+            if not committed then Maint.note_rolled_back ()
+          end;
+          {
+            mr_id = id;
+            mr_kind = last.Mjournal.e_kind;
+            mr_target = last.Mjournal.e_target;
+            mr_action = (if committed then `Finished else `Rolled_back);
+            mr_removed = removed;
+          })
+        pending
 
 let scan_list t b =
   let acc = ref [] in
@@ -723,6 +998,9 @@ let replay_entry t lsn (e : Wal.entry) =
 
 let reopen ?pool ?scheme ?durable ?governor ~dir () =
   let t = reopen_checkpoint ?pool ?scheme ?governor ~dir () in
+  (* finish or roll back interrupted maintenance before replaying the
+     WAL: replay must run against a physically consistent store *)
+  let _ = resolve_maintenance t in
   let had_log = Sys.file_exists (wal_path dir) in
   let durable = Option.value durable ~default:had_log in
   if had_log then begin

@@ -235,6 +235,74 @@ val watchdog_status : t -> Decibel_obs.Watchdog.status
 (** The sticky status from the last {!health_tick} (all-ok with
     [st_ticks = 0] before the first). *)
 
+(** {1 Crash-safe maintenance}
+
+    The executor for advisor recommendations: compaction, delta-chain
+    materialization and GC, run through the engines'
+    {!Engine_intf.S.plan_maintenance} hooks under a journaled protocol
+    ([maint.jsonl]) whose atomic commit point is the engine manifest
+    write.  A crash at any point leaves either the old or the new
+    physical state — never a torn hybrid; {!reopen} (and
+    [fsck --repair]) finish or roll back whatever the journal left
+    pending.  Results are fingerprint-checked against the
+    pre-maintenance content before the swap commits. *)
+
+type maint_result = {
+  m_kind : string;  (** "compact" | "materialize" | "gc" *)
+  m_target : string;  (** branch name or segment file rewritten *)
+  m_reclaimed : int;  (** on-disk bytes freed (>= 0) *)
+}
+
+type maint_resolution = {
+  mr_id : int;  (** journal task id *)
+  mr_kind : string;
+  mr_target : string;
+  mr_action : [ `Finished | `Rolled_back ];
+  mr_removed : string list;  (** files reclaimed or rolled back *)
+}
+
+val run_maintenance :
+  t -> kind:Engine_intf.maint_kind -> target:string -> maint_result option
+(** Plan and execute one maintenance task crash-safely.  [None] when
+    the engine has nothing to do for this kind/target (or the
+    repository is format v1).  Raises on a failed task; the store is
+    left on its pre-task state (in memory for plan/apply failures, on
+    disk always — recovery rolls back the journaled intent). *)
+
+val maintenance_tick :
+  ?thresholds:Decibel_obs.Advisor.thresholds -> t -> maint_result list
+(** One advisor-driven pass: execute every current recommendation
+    that maps to an engine task.  No-op on degraded or v1 stores. *)
+
+val start_maintenance :
+  ?interval_s:float ->
+  ?thresholds:Decibel_obs.Advisor.thresholds ->
+  t ->
+  unit
+(** Arm the background maintenance service: {!maintenance_tick} every
+    [interval_s] (default 1.0) seconds on a dedicated domain.  The
+    tick serializes against explicit {!run_maintenance} calls through
+    the maintenance mutex, but the engines are not internally
+    synchronized — concurrent user writes during a tick need
+    application-level quiescing.  Stopped by {!stop_maintenance},
+    {!close} and {!crash}. *)
+
+val stop_maintenance : t -> unit
+val maintenance_running : t -> bool
+
+val resolve_maintenance : ?dry_run:bool -> t -> maint_resolution list
+(** Finish or roll back maintenance the journal left pending: a task
+    whose new files all reached the committed manifest is finished
+    (surviving old files reclaimed), anything else is rolled back
+    (surviving new files removed).  Truncates an all-terminal journal.
+    {!reopen} runs this before WAL replay; [fsck] uses [dry_run] to
+    report without repairing. *)
+
+val fingerprint : t -> string
+(** Digest of the logical content (per active branch, sorted encoded
+    live tuples) — layout-independent, so any correct physical rewrite
+    preserves it.  The torture harness's state identity check. *)
+
 (** {1 Fault tolerance}
 
     Detected corruption (a checksum failure escaping an engine

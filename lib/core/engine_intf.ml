@@ -28,6 +28,33 @@
 open Decibel_storage
 open Types
 
+(** What a maintenance task does to the physical layout. *)
+type maint_kind =
+  | M_compact  (** rewrite a fragmented segment keeping only referenced rows *)
+  | M_materialize  (** collapse a version-first delta chain into one segment *)
+  | M_gc  (** reclaim dead heap space (whole-store rewrite for tuple-first) *)
+
+(** A planned, not-yet-executed maintenance task.  [plan_maintenance]
+    is pure: it inspects state and captures closures, touching no
+    files.  The executor ([Database.run_maintenance]) then drives the
+    crash-safe protocol: journal Begin, [mp_apply] (build every file
+    in [mp_new_files] and swap the in-memory state as its very last
+    step — on exception it must remove its partial new files and leave
+    the in-memory state untouched), fingerprint check, manifest commit
+    via the engine [flush], journal Apply, [mp_cleanup] (invalidate
+    buffer-pool pages and unlink [mp_old_files]), journal Done. *)
+type maint_plan = {
+  mp_kind : maint_kind;
+  mp_target : string;  (** branch name or segment file being rewritten *)
+  mp_new_files : string list;  (** basenames the task will create *)
+  mp_old_files : string list;
+      (** basenames made obsolete once the manifest commits; recovery
+          may unlink any that survive a crash after journal Apply *)
+  mp_bytes_before : int;  (** on-disk bytes the rewritten artifacts held *)
+  mp_apply : unit -> unit;
+  mp_cleanup : unit -> unit;
+}
+
 module type S = sig
   type t
 
@@ -181,6 +208,24 @@ module type S = sig
       record headers); never mutates the store.  [Database] composes
       this with graph and buffer-pool facts into a full
       {!Decibel_obs.Report.t}. *)
+
+  (** {1 Maintenance} *)
+
+  val plan_maintenance :
+    t -> kind:maint_kind -> target:string -> maint_plan option
+  (** Plan one maintenance task against the current in-memory state,
+      or [None] when the task is inapplicable (unknown target, nothing
+      to gain, unsupported kind for this scheme).  Pure: no files are
+      touched until the returned plan's [mp_apply] runs.  The caller
+      must hold off concurrent writers for the whole
+      plan-apply-commit-cleanup window (engines are not internally
+      synchronized). *)
+
+  val referenced_files : t -> string list
+  (** Basenames of every data file the current in-memory state (i.e.
+      the manifest that [flush] would write) references.  Recovery
+      uses this to decide whether an interrupted maintenance task's
+      new files made it into the committed manifest. *)
 
   (** {1 Fault tolerance} *)
 

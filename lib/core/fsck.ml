@@ -28,10 +28,18 @@ type finding = {
   repaired : bool;
 }
 
+type maint_fix = {
+  mf_kind : string;  (** "compact" | "materialize" | "gc" *)
+  mf_target : string;
+  mf_action : string;  (** "finished" | "rolled_back" | "pending" *)
+  mf_removed : string list;  (** orphaned rewrite files deleted *)
+}
+
 type report = {
   dir : string;
   scheme : string option;  (** detected scheme, if a manifest was found *)
   findings : finding list;
+  maint : maint_fix list;  (** interrupted maintenance tasks resolved *)
 }
 
 let clean r = r.findings = []
@@ -85,6 +93,73 @@ let check_wal ~repair dir =
         };
       ]
     end
+  end
+
+(* Interrupted maintenance: the maint.jsonl intent log records every
+   compaction / materialization / GC from [Begin] to a terminal
+   status.  A non-terminal task means the process died mid-rewrite;
+   the checkpoint manifest decides which side won (new files all
+   referenced -> the swap committed, finish by reclaiming old files;
+   otherwise -> roll back by deleting the orphaned rewrite output).
+   Report-only unless [repair]. *)
+let check_maint ~repair ?pool dir =
+  let module J = Decibel_maint.Journal in
+  if J.pending (J.load dir) = [] then ([], [])
+  else begin
+    match Database.reopen_checkpoint ?pool ~dir () with
+    | exception _ ->
+        ( [
+            {
+              artifact = Filename.basename (J.path dir);
+              problem =
+                "pending maintenance task, but the checkpoint is unreadable";
+              repaired = false;
+            };
+          ],
+          [] )
+    | db ->
+        let resolutions =
+          Fun.protect
+            ~finally:(fun () -> Database.close db)
+            (fun () -> Database.resolve_maintenance ~dry_run:(not repair) db)
+        in
+        let fixes =
+          List.map
+            (fun (r : Database.maint_resolution) ->
+              {
+                mf_kind = r.Database.mr_kind;
+                mf_target = r.Database.mr_target;
+                mf_action =
+                  (if not repair then "pending"
+                   else
+                     match r.Database.mr_action with
+                     | `Finished -> "finished"
+                     | `Rolled_back -> "rolled_back");
+                mf_removed = r.Database.mr_removed;
+              })
+            resolutions
+        in
+        let findings =
+          List.map
+            (fun (r : Database.maint_resolution) ->
+              {
+                artifact = Filename.basename (J.path dir);
+                problem =
+                  Printf.sprintf "interrupted %s of %s (%s%s)"
+                    r.Database.mr_kind
+                    (if r.Database.mr_target = "" then "store"
+                     else r.Database.mr_target)
+                    (match r.Database.mr_action with
+                    | `Finished -> "swap committed: reclaim old files"
+                    | `Rolled_back -> "swap not committed: roll back")
+                    (match r.Database.mr_removed with
+                    | [] -> ""
+                    | fs -> "; orphans: " ^ String.concat " " fs);
+                repaired = repair;
+              })
+            resolutions
+        in
+        (findings, fixes)
   end
 
 (* Engine-side checks: open the last checkpoint read-only and run the
@@ -159,18 +234,22 @@ let run ?(repair = false) ?(migrate = false) ?pool ~dir () =
       scheme = None;
       findings =
         [ { artifact = dir; problem = "no such directory"; repaired = false } ];
+      maint = [];
     }
   else begin
     let tmp = check_tmp_files ~repair dir in
     let wal = check_wal ~repair dir in
+    (* resolve interrupted maintenance before the engine check so a
+       repaired repository verifies against its settled file set *)
+    let mfind, maint = check_maint ~repair ?pool dir in
     let scheme, engine = check_engine ?pool dir in
     let migration = if migrate then migrate_repo ?pool dir else [] in
-    let findings = tmp @ wal @ engine @ migration in
+    let findings = tmp @ wal @ mfind @ engine @ migration in
     Obs.add c_findings (List.length findings);
     if findings <> [] then
       Obs.event ~level:Obs.Warn ~comp:"fsck"
         (Printf.sprintf "%s: %d finding(s)" dir (List.length findings));
-    { dir; scheme; findings }
+    { dir; scheme; findings; maint }
   end
 
 let to_text r =
@@ -185,6 +264,15 @@ let to_text r =
         pf "  %s: %s%s\n" f.artifact f.problem
           (if f.repaired then "  [repaired]" else ""))
       r.findings;
+  List.iter
+    (fun m ->
+      pf "  maintenance %s of %s: %s%s\n" m.mf_kind
+        (if m.mf_target = "" then "store" else m.mf_target)
+        m.mf_action
+        (match m.mf_removed with
+        | [] -> ""
+        | fs -> "  (removed " ^ String.concat " " fs ^ ")"))
+    r.maint;
   Buffer.contents buf
 
 let to_json r =
@@ -205,5 +293,16 @@ let to_json r =
            "{\"artifact\":\"%s\",\"problem\":\"%s\",\"repaired\":%b}"
            (esc f.artifact) (esc f.problem) f.repaired))
     r.findings;
+  Buffer.add_string buf "],\"maint\":[";
+  List.iteri
+    (fun i m ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"kind\":\"%s\",\"target\":\"%s\",\"action\":\"%s\",\"removed\":[%s]}"
+           (esc m.mf_kind) (esc m.mf_target) (esc m.mf_action)
+           (String.concat ","
+              (List.map (fun f -> Printf.sprintf "\"%s\"" (esc f)) m.mf_removed))))
+    r.maint;
   Buffer.add_string buf "]}";
   Buffer.contents buf

@@ -4,8 +4,15 @@
     interrupted atomic renames, torn write-ahead-log tails, per-record
     heap/segment checksum failures and dangling commit locators.  With
     [~repair:true] the mechanically safe problems (stale temp files,
-    torn WAL tail) are fixed in place; checkpoint corruption is only
-    ever reported. *)
+    torn WAL tail, interrupted maintenance tasks) are fixed in place;
+    checkpoint corruption is only ever reported.
+
+    An interrupted maintenance task (a non-terminal entry in the
+    [maint.jsonl] intent log) is resolved the same way
+    {!Database.reopen} would: if the checkpoint manifest references
+    every file the rewrite produced, the swap committed and the stale
+    old-generation files are reclaimed; otherwise the orphaned rewrite
+    output is deleted and the task rolled back. *)
 
 type finding = {
   artifact : string;  (** file or object the problem is in *)
@@ -13,10 +20,20 @@ type finding = {
   repaired : bool;
 }
 
+type maint_fix = {
+  mf_kind : string;  (** "compact" | "materialize" | "gc" *)
+  mf_target : string;
+  mf_action : string;
+      (** ["finished"] or ["rolled_back"] under [repair];
+          ["pending"] when report-only *)
+  mf_removed : string list;  (** orphaned rewrite files deleted *)
+}
+
 type report = {
   dir : string;
   scheme : string option;  (** detected scheme, if a manifest was found *)
   findings : finding list;
+  maint : maint_fix list;  (** interrupted maintenance tasks resolved *)
 }
 
 val run :

@@ -1133,6 +1133,297 @@ let verify t =
     t.commit_loc;
   List.rev !errs
 
+(* ------------------------------------------------------------------ *)
+(* maintenance *)
+
+let hist_file b sid = Printf.sprintf "hist_b%d_s%d.chx" b sid
+let hist_path t b sid = Filename.concat t.dir (hist_file b sid)
+
+let referenced_files t =
+  let segs =
+    List.init (Vec.length t.segments) (fun sid ->
+        Printf.sprintf "seg_%d.dat" sid)
+  in
+  let hists =
+    Hashtbl.fold
+      (fun b l acc ->
+        List.fold_left (fun acc sid -> hist_file b sid :: acc) acc !l)
+      t.hist_segs []
+  in
+  segs @ List.sort compare hists
+
+(* branches owning a commit history for segment [sid], ascending *)
+let hist_branches t sid =
+  Hashtbl.fold
+    (fun b l acc -> if List.mem sid !l then b :: acc else acc)
+    t.hist_segs []
+  |> List.sort compare
+
+(* Rows of [sid] that anything still addresses: any branch's local
+   column (active or not) or any commit snapshot in any branch's
+   history for this segment.  Rows outside this set are unreachable
+   from every head and every committed version, so a compaction may
+   drop them. *)
+let keep_set t sid =
+  let s = segment t sid in
+  let keep = Bitvec.create ~capacity:(max 1 (Col_segment.rows s.seg)) () in
+  for b = 0 to Branch_bitmap.branch_count s.local - 1 do
+    Bitvec.union_in_place keep (Branch_bitmap.column_view s.local ~branch:b)
+  done;
+  List.iter
+    (fun b ->
+      let h = history t b sid in
+      for i = 0 to Commit_history.count h - 1 do
+        Bitvec.union_in_place keep (Commit_history.checkout h i)
+      done)
+    (hist_branches t sid);
+  keep
+
+let seg_by_file t name =
+  let found = ref None in
+  Vec.iter
+    (fun s ->
+      if Filename.basename (Col_segment.path s.seg) = name then
+        found := Some s.seg_id)
+    t.segments;
+  !found
+
+(* Compact segment [sid] into a fresh tail segment: copy only
+   still-referenced rows (order preserved), rebuild the segment's
+   commit histories with remapped rows at unchanged commit indices,
+   and repoint every in-memory reference (local bitmap, key index,
+   head pointers, branch–segment index, hist bookkeeping, commit
+   locators).  The old slot is re-staffed with an EMPTY segment whose
+   file is deliberately NOT truncated: until the manifest commits, a
+   crash must reopen the old bytes.  The committed manifest records
+   size 0 for the slot, so [open_v2]'s truncate self-heals the file on
+   the next reopen, and the in-process [mp_cleanup] truncates it
+   eagerly after invalidating the old handle's buffer-pool pages. *)
+let plan_compact t ~kind sid =
+  if t.format < 2 then None
+  else if sid < 0 || sid >= Vec.length t.segments then None
+  else begin
+    let rows = Col_segment.rows (segment t sid).seg in
+    let kept = Bitvec.pop_count (keep_set t sid) in
+    if rows = 0 || kept >= rows then None
+    else begin
+      let new_sid = Vec.length t.segments in
+      let hbranches = hist_branches t sid in
+      let bytes_before =
+        Col_segment.byte_size (segment t sid).seg
+        + List.fold_left
+            (fun acc b -> acc + Commit_history.disk_bytes (history t b sid))
+            0 hbranches
+      in
+      let new_seg_path = seg_file_path t.dir new_sid in
+      (* handles retired by the swap, reclaimed by cleanup *)
+      let retired : (Col_segment.t * Commit_history.t list) option ref =
+        ref None
+      in
+      let apply () =
+        let s = segment t sid in
+        let rows = Col_segment.rows s.seg in
+        Col_segment.flush s.seg;
+        let keep = keep_set t sid in
+        let map = Array.make (max 1 rows) (-1) in
+        let new_seg =
+          Col_segment.create_v2 ~pool:t.pool ~schema:t.schema
+            ~compress:t.compress ~path:new_seg_path
+        in
+        let new_hists = ref [] in
+        (try
+           Decibel_fault.Failpoint.hit "maint.rewrite";
+           let next = ref 0 in
+           for row = 0 to rows - 1 do
+             if Bitvec.get keep row then begin
+               let r =
+                 Col_segment.append new_seg
+                   (Col_segment.Live (tuple_at t sid row))
+               in
+               assert (r = !next);
+               map.(row) <- !next;
+               incr next
+             end
+           done;
+           Col_segment.flush new_seg;
+           (* rebuild histories commit-by-commit so indices — what the
+              commit locators store — survive unchanged *)
+           List.iter
+             (fun b ->
+               let oldh = history t b sid in
+               let nh = Commit_history.create ~path:(hist_path t b new_sid) in
+               new_hists := (b, nh) :: !new_hists;
+               for i = 0 to Commit_history.count oldh - 1 do
+                 let col = Commit_history.checkout oldh i in
+                 let ncol = Bitvec.create ~capacity:(max 1 !next) () in
+                 Bitvec.iter_set
+                   (fun row ->
+                     if map.(row) >= 0 then Bitvec.set ncol map.(row))
+                   col;
+                 let idx = Commit_history.commit nh ncol in
+                 assert (idx = i)
+               done)
+             hbranches
+         with e ->
+           Col_segment.abandon new_seg;
+           (try Sys.remove new_seg_path with Sys_error _ -> ());
+           List.iter
+             (fun (b, nh) ->
+               (try Commit_history.close nh with _ -> ());
+               try Sys.remove (hist_path t b new_sid) with Sys_error _ -> ())
+             !new_hists;
+           raise e);
+        (* swap: pure in-memory repointing, nothing below raises *)
+        let new_local = Branch_bitmap.create () in
+        for b = 0 to Branch_bitmap.branch_count s.local - 1 do
+          let col = Branch_bitmap.column_view s.local ~branch:b in
+          if not (Bitvec.is_empty col) then begin
+            ensure_branch new_local b;
+            let ncol = Bitvec.create () in
+            Bitvec.iter_set
+              (fun row -> if map.(row) >= 0 then Bitvec.set ncol map.(row))
+              col;
+            Branch_bitmap.overwrite_column new_local ~branch:b ncol
+          end
+        done;
+        let slot =
+          Vec.push t.segments
+            { seg_id = new_sid; seg = new_seg; local = new_local }
+        in
+        assert (slot = new_sid);
+        let old_hists =
+          List.map
+            (fun b ->
+              let oldh = history t b sid in
+              Hashtbl.remove t.histories (b, sid);
+              oldh)
+            hbranches
+        in
+        List.iter
+          (fun (b, nh) -> Hashtbl.replace t.histories (b, new_sid) nh)
+          !new_hists;
+        Hashtbl.iter
+          (fun _b l ->
+            l := List.map (fun s' -> if s' = sid then new_sid else s') !l)
+          t.hist_segs;
+        let reloc =
+          Hashtbl.fold
+            (fun vid (b, snaps) acc ->
+              if List.exists (fun (s', _) -> s' = sid) snaps then
+                (vid, b, snaps) :: acc
+              else acc)
+            t.commit_loc []
+        in
+        List.iter
+          (fun (vid, b, snaps) ->
+            Hashtbl.replace t.commit_loc vid
+              ( b,
+                List.map
+                  (fun (s', i) -> ((if s' = sid then new_sid else s'), i))
+                  snaps ))
+          reloc;
+        for b = 0 to Vec.length t.head_seg - 1 do
+          if Vec.get t.head_seg b = sid then Vec.set t.head_seg b new_sid
+        done;
+        for b = 0 to Branch_bitmap.branch_count t.seg_index - 1 do
+          if Branch_bitmap.get t.seg_index ~branch:b ~row:sid then begin
+            Branch_bitmap.clear t.seg_index ~branch:b ~row:sid;
+            let nonempty =
+              b < Branch_bitmap.branch_count new_local
+              && not
+                   (Bitvec.is_empty
+                      (Branch_bitmap.column_view new_local ~branch:b))
+            in
+            if nonempty then
+              Branch_bitmap.set t.seg_index ~branch:b ~row:new_sid
+          end
+        done;
+        for b = 0 to Vec.length t.head_seg - 1 do
+          let moves = ref [] in
+          Pk_index.iter t.pk ~branch:b (fun key (s', row) ->
+              if s' = sid then moves := (key, map.(row)) :: !moves);
+          List.iter
+            (fun (key, nrow) ->
+              if nrow >= 0 then Pk_index.set t.pk ~branch:b key (new_sid, nrow))
+            !moves
+        done;
+        let stub =
+          Col_segment.empty_over ~pool:t.pool ~schema:t.schema
+            ~compress:t.compress ~path:(seg_file_path t.dir sid)
+        in
+        Vec.set t.segments sid
+          { seg_id = sid; seg = stub; local = Branch_bitmap.create () };
+        retired := Some (s.seg, old_hists)
+      in
+      let cleanup () =
+        match !retired with
+        | None -> ()
+        | Some (old_seg, old_hists) ->
+            List.iter
+              (fun h ->
+                let p = Commit_history.path h in
+                (try Commit_history.close h with _ -> ());
+                try Sys.remove p with Sys_error _ -> ())
+              old_hists;
+            (* the old handle's buffer-pool pages are invalidated by
+               its close BEFORE the slot file is truncated, so a
+               recycled file id can never serve the stale bytes *)
+            (try Col_segment.close old_seg with _ -> ());
+            let slot = segment t sid in
+            (try Col_segment.close slot.seg with _ -> ());
+            let fresh =
+              Col_segment.create_v2 ~pool:t.pool ~schema:t.schema
+                ~compress:t.compress ~path:(seg_file_path t.dir sid)
+            in
+            Vec.set t.segments sid
+              { seg_id = sid; seg = fresh; local = Branch_bitmap.create () };
+            retired := None
+      in
+      Some
+        {
+          Engine_intf.mp_kind = kind;
+          mp_target = Printf.sprintf "seg_%d.dat" sid;
+          mp_new_files =
+            Filename.basename new_seg_path
+            :: List.map (fun b -> hist_file b new_sid) hbranches;
+          mp_old_files = List.map (fun b -> hist_file b sid) hbranches;
+          mp_bytes_before = bytes_before;
+          mp_apply = apply;
+          mp_cleanup = cleanup;
+        }
+    end
+  end
+
+let is_head t sid =
+  let r = ref false in
+  Vec.iter (fun h -> if h = sid then r := true) t.head_seg;
+  !r
+
+let plan_maintenance t ~kind ~target =
+  match kind with
+  | Engine_intf.M_materialize -> None (* no delta chains in this scheme *)
+  | Engine_intf.M_compact -> (
+      match seg_by_file t target with
+      | None -> None
+      | Some sid -> plan_compact t ~kind sid)
+  | Engine_intf.M_gc ->
+      (* pick the most fragmented non-head segment with dead rows *)
+      let best = ref None in
+      Vec.iter
+        (fun s ->
+          if not (is_head t s.seg_id) then begin
+            let rows = Col_segment.rows s.seg in
+            if rows > 0 then begin
+              let dead = rows - Bitvec.pop_count (keep_set t s.seg_id) in
+              if dead > 0 then
+                match !best with
+                | Some (_, d) when d >= dead -> ()
+                | _ -> best := Some (s.seg_id, dead)
+            end
+          end)
+        t.segments;
+      Option.bind !best (fun (sid, _) -> plan_compact t ~kind sid)
+
 let crash t =
   if not t.closed then begin
     Vec.iter (fun s -> Col_segment.abandon s.seg) t.segments;

@@ -324,6 +324,10 @@ let storage_report t =
 let wal_marker t = t.wal_marker
 let set_wal_marker t lsn = t.wal_marker <- lsn
 
+(* purely in-memory: nothing to compact, no files to reference *)
+let plan_maintenance _ ~kind:_ ~target:_ = None
+let referenced_files _ = []
+
 (* nothing on disk: always clean, and a crash loses everything *)
 let verify _ = []
 let crash _ = ()

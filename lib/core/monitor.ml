@@ -60,7 +60,7 @@ let handler db ~meth ~path ~query =
         Http.text
           "decibel metrics endpoint\n\
            routes: /metrics /events /report /governor /profile /workload \
-           /advise /health\n"
+           /advise /maint /health\n"
     | "/metrics" ->
         let report = Database.storage_report db in
         let extra =
@@ -102,6 +102,39 @@ let handler db ~meth ~path ~query =
                  ^ "\n";
         }
     | "/workload" -> Http.json (Workload.to_json (Database.workload db) ^ "\n")
+    | "/maint" ->
+        (* maintenance executor: service state, lifetime counters, and
+           any journal task recovery would still have to resolve *)
+        let buf = Buffer.create 256 in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "{\"service_running\":%b,\"running_since\":%s,\
+              \"tasks_run\":%d,\"tasks_failed\":%d,\
+              \"tasks_rolled_back\":%d,\"bytes_reclaimed\":%d,\
+              \"consecutive_failures\":%d,\"pending\":["
+             (Database.maintenance_running db)
+             (Obs.json_float (Obs.gauge_value (Obs.gauge "maint.running_since")))
+             (Obs.value_of "maint.tasks_run")
+             (Obs.value_of "maint.tasks_failed")
+             (Obs.value_of "maint.tasks_rolled_back")
+             (Obs.value_of "maint.bytes_reclaimed")
+             (int_of_float
+                (Obs.gauge_value (Obs.gauge "maint.consecutive_failures"))));
+        List.iteri
+          (fun i (r : Database.maint_resolution) ->
+            if i > 0 then Buffer.add_char buf ',';
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "{\"id\":%d,\"kind\":\"%s\",\"target\":\"%s\",\"action\":\"%s\"}"
+                 r.Database.mr_id
+                 (Obs.json_escape r.Database.mr_kind)
+                 (Obs.json_escape r.Database.mr_target)
+                 (match r.Database.mr_action with
+                 | `Finished -> "finish"
+                 | `Rolled_back -> "roll_back")))
+          (Database.resolve_maintenance ~dry_run:true db);
+        Buffer.add_string buf "]}\n";
+        Http.json (Buffer.contents buf)
     | "/advise" -> Http.json (Advisor.to_json (Database.advise db) ^ "\n")
     | "/health" ->
         let st = Database.watchdog_status db in

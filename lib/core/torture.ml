@@ -34,10 +34,12 @@ type op =
   | Branch of string * string  (** new name, from branch *)
   | Merge of string * string  (** into, from *)
   | Flush  (** checkpoint: manifest write + WAL truncation *)
+  | Maint  (** run every applicable maintenance task (gc + materialize) *)
 
-(* every op except Flush appends exactly one WAL entry, so the number
-   of logged ops completed is exactly the recovered WAL marker *)
-let logged = function Flush -> false | _ -> true
+(* every op except Flush and Maint appends exactly one WAL entry, so
+   the number of logged ops completed is exactly the recovered WAL
+   marker (maintenance rewrites physical layout, never content) *)
+let logged = function Flush | Maint -> false | _ -> true
 
 (* The default scripted workload: two branch points, two three-way
    merges (disjoint key sets, so the outcome is deterministic), inserts
@@ -83,6 +85,20 @@ let apply db op =
         (Database.merge db ~into:(b into) ~from:(b from)
            ~policy:Types.Three_way ~message:"torture")
   | Flush -> Database.flush db
+  | Maint ->
+      (* scheme-agnostic: GC lets the engine pick its own target
+         (tuple-first whole-heap rewrite, hybrid's most fragmented
+         sealed segment); materialize is offered per active branch
+         (version-first delta chains).  Engines answer [None] for
+         whatever does not apply. *)
+      ignore (Database.run_maintenance db ~kind:Engine_intf.M_gc ~target:"");
+      List.iter
+        (fun (br : Vg.branch) ->
+          if br.Vg.active then
+            ignore
+              (Database.run_maintenance db ~kind:Engine_intf.M_materialize
+                 ~target:br.Vg.name))
+        (Vg.branches (Database.graph db))
 
 (* Full observable state: every active branch's contents, sorted. *)
 let state_of db =
@@ -110,6 +126,47 @@ let oracle_states ~dir workload =
   Database.close o;
   Array.of_list (List.rev !states)
 
+(* Maintenance-concurrent schedule: enough updates/deletes after
+   commits and branch points to leave dead heap rows (tuple-first GC),
+   multi-commit delta chains (version-first materialize) and fragmented
+   sealed segments (hybrid compact), with writer ops continuing between
+   and after the [Maint] steps so crashes land mid-rewrite with dirty
+   state on both sides. *)
+let maint_workload =
+  [
+    (* pre-commit churn: the row holding 9 is superseded before the
+       first commit, so no checkout ever references it — dead heap
+       space only maintenance can reclaim *)
+    Insert ("master", 1, 9);
+    Insert ("master", 2, 20);
+    Update ("master", 1, 10);
+    Insert ("master", 3, 30);
+    Commit "master";
+    (* hybrid: branching off a clean head freezes master's head
+       segment, turning the dead row into non-head fragmentation *)
+    Branch ("dev", "master");
+    Update ("dev", 1, 11);
+    Update ("dev", 2, 21);
+    Commit "dev";
+    Update ("dev", 1, 12);
+    Commit "dev";
+    Update ("master", 3, 31);
+    Delete ("master", 2);
+    Commit "master";
+    Flush;
+    Maint;
+    Insert ("dev", 4, 39);
+    Update ("dev", 4, 40);
+    Update ("dev", 1, 13);
+    Commit "dev";
+    Update ("master", 1, 14);
+    Commit "master";
+    Maint;
+    Insert ("master", 5, 50);
+    Commit "master";
+    Flush;
+  ]
+
 (* Clean dry run, counting how often the workload crosses each
    failpoint site (arming happens after open, so repository creation
    is excluded — torturing a half-created repository is a different,
@@ -124,7 +181,8 @@ let discover_sites ~dir scheme workload =
   sites
 
 (* sites where an armed failure can leave a partial (torn) write *)
-let tearable = [ "wal.append"; "heap.flush"; "manifest.write_tmp" ]
+let tearable =
+  [ "wal.append"; "heap.flush"; "manifest.write_tmp"; "maint.journal.append" ]
 
 (* sites whose failures are absorbed by bounded retry *)
 let retryable = [ "wal.sync"; "heap.flush"; "manifest.write_tmp" ]
@@ -165,10 +223,16 @@ let run_case ~dir ~scheme ~workload ~states ~site ~occurrence ~action =
   in
   Failpoint.disarm_all ();
   let db = Database.open_ ~durable:true ~scheme ~dir ~schema () in
+  Failpoint.reset_census ();
   Failpoint.arm ~action:fp_action site (Failpoint.After_hits occurrence);
   let fired = ref false in
   (try List.iter (apply db) workload
    with Failpoint.Fault_injected _ -> fired := true);
+  (* an injected fault can be absorbed on purpose (e.g. a post-commit
+     maintenance-journal append swallows its own failure and leaves
+     the journal to recovery), so the census — not just an escaped
+     exception — decides whether the armed crossing was reached *)
+  if Failpoint.hits site >= occurrence then fired := true;
   Failpoint.disarm_all ();
   Database.crash db;
   (* repair what is mechanically repairable (torn WAL tail, stale temp
@@ -259,12 +323,25 @@ let run_case ~dir ~scheme ~workload ~states ~site ~occurrence ~action =
    last (deduplicated for small [c]) *)
 let occurrences c = List.sort_uniq compare [ 1; ((c + 1) / 2); c ]
 
-let torture ?(workload = default_workload) ~root scheme =
+let torture ?(workload = default_workload) ?site_prefix ?(tag = "") ~root
+    scheme =
   let scheme_name = Database.scheme_name scheme in
-  let base = Filename.concat root scheme_name in
+  (* [tag] namespaces the scratch dirs so two torture runs over the
+     same root (e.g. default then maintenance) never share an oracle
+     or dry-run repository *)
+  let base =
+    Filename.concat root
+      (if tag = "" then scheme_name else scheme_name ^ "-" ^ tag)
+  in
   let states = oracle_states ~dir:(Filename.concat base "oracle") workload in
   let sites =
     discover_sites ~dir:(Filename.concat base "dry") scheme workload
+  in
+  let tortured =
+    match site_prefix with
+    | None -> sites
+    | Some p ->
+        List.filter (fun (site, _) -> String.starts_with ~prefix:p site) sites
   in
   let case_no = ref 0 in
   let cases =
@@ -289,7 +366,7 @@ let torture ?(workload = default_workload) ~root scheme =
                 c)
               actions)
           (occurrences count))
-      sites
+      tortured
   in
   Failpoint.disarm_all ();
   {
@@ -298,6 +375,21 @@ let torture ?(workload = default_workload) ~root scheme =
     s_failures = List.length (List.filter (fun c -> not c.c_ok) cases);
     s_sites = sites;
   }
+
+(* Maintenance crash-torture: run the maintenance-heavy schedule and
+   kill only at the maint.* sites — the generic torture above already
+   covers the wal/heap/manifest sites that schedule also crosses. *)
+let maint_sites =
+  [
+    "maint.journal.append";
+    "maint.plan";
+    "maint.rewrite";
+    "maint.commit";
+    "maint.swap";
+  ]
+
+let maint_torture ?(workload = maint_workload) ~root scheme =
+  torture ~workload ~site_prefix:"maint." ~tag:"maint" ~root scheme
 
 (* Transient-fault check: a single transient failure at each retryable
    site must be absorbed by bounded retry — the workload completes and

@@ -11,8 +11,17 @@ type op =
   | Branch of string * string  (** new name, from branch *)
   | Merge of string * string  (** into, from *)
   | Flush  (** checkpoint: manifest write + WAL truncation *)
+  | Maint
+      (** run every applicable maintenance task crash-safely (GC with
+          an engine-chosen target, then materialize per active
+          branch); content-preserving, so it does not advance the
+          oracle state *)
 
 val default_workload : op list
+
+val maint_workload : op list
+(** Maintenance-concurrent schedule: fragmenting writes, two [Maint]
+    passes, and writer ops continuing in between. *)
 
 val schema : Decibel_storage.Schema.t
 (** The 3-int-column schema the scripted workloads use. *)
@@ -43,12 +52,31 @@ type summary = {
   s_sites : (string * int) list;  (** failpoint census of the dry run *)
 }
 
-val torture : ?workload:op list -> root:string -> Database.scheme -> summary
+val torture :
+  ?workload:op list ->
+  ?site_prefix:string ->
+  ?tag:string ->
+  root:string ->
+  Database.scheme ->
+  summary
 (** Torture one scheme under [root] (scratch space; per-case
     subdirectories are removed as they finish).  Each case arms one
     failpoint crossing, crashes, fsck-repairs, recovers, re-applies the
     swallowed suffix of the workload, and verifies both the recovered
-    prefix state and the final state against the oracle. *)
+    prefix state and the final state against the oracle.
+    [site_prefix] restricts which discovered sites get cases (the
+    census in [s_sites] still lists all of them); [tag] namespaces the
+    scratch directories so independent torture runs can share a
+    [root]. *)
+
+val maint_sites : string list
+(** The five maintenance failpoint sites a [Maint] pass crosses. *)
+
+val maint_torture : ?workload:op list -> root:string -> Database.scheme -> summary
+(** {!torture} with {!maint_workload}, killing at the [maint.*] sites
+    only: every case crashes inside (or at the journal boundaries of)
+    a compaction/materialization/GC and must recover
+    fingerprint-identical. *)
 
 val transient_check :
   ?workload:op list -> root:string -> Database.scheme -> (string * string) list

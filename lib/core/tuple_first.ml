@@ -50,9 +50,10 @@ module Make (B : Bitmap_intf.S) = struct
     schema : Schema.t;
     compress : bool;
     graph : Vg.t;
-    mutable seg : Col_segment.t; (* mutable only for [migrate] *)
-    bitmap : B.t;
-    pk : int Pk_index.t; (* branch -> key -> live row *)
+    mutable seg : Col_segment.t; (* replaced by [migrate] and compaction *)
+    mutable bitmap : B.t; (* replaced wholesale by compaction *)
+    mutable pk : int Pk_index.t; (* branch -> key -> live row *)
+    mutable gen : int; (* heap generation, bumped by each compaction *)
     histories : (branch_id, Commit_history.t) Hashtbl.t;
     commit_loc : (version_id, branch_id * int) Hashtbl.t;
         (* version -> (branch, index in that branch's history) *)
@@ -90,11 +91,24 @@ module Make (B : Bitmap_intf.S) = struct
     if Obs.enabled () then
       Workload.note_write ~table:(wl_table t) ~branch:(wl_branch t b) ()
 
+  (* Generation-suffixed file names: gen 0 keeps the original names so
+     pre-compaction repositories are untouched; each compaction rewrites
+     the heap and every history at gen+1 and retires the old files.
+     History names keep the ["hist_"] prefix so directory-scan
+     accounting ([commit_meta_bytes], [storage_report]) still sees
+     them. *)
+  let seg_file gen =
+    if gen = 0 then "heap.dat" else Printf.sprintf "heap.g%d.dat" gen
+
+  let hist_file gen b =
+    if gen = 0 then Printf.sprintf "hist_b%d.chx" b
+    else Printf.sprintf "hist_b%d.g%d.chx" b gen
+
   let history t b =
     match Hashtbl.find_opt t.histories b with
     | Some h -> h
     | None ->
-        let path = Filename.concat t.dir (Printf.sprintf "hist_b%d.chx" b) in
+        let path = Filename.concat t.dir (hist_file t.gen b) in
         let h =
           if Sys.file_exists path then Commit_history.open_existing ~path
           else Commit_history.create ~path
@@ -137,7 +151,7 @@ module Make (B : Bitmap_intf.S) = struct
     in
     { Col_segment.v1_encode = encode; v1_decode = decode }
 
-  let seg_path dir = Filename.concat dir "heap.dat"
+  let seg_path dir gen = Filename.concat dir (seg_file gen)
 
   let create ~format ~compress ~dir ~pool ~schema =
     if format <> 1 && format <> 2 then
@@ -146,8 +160,8 @@ module Make (B : Bitmap_intf.S) = struct
     let seg =
       if format = 1 then
         Col_segment.create_v1 ~pool ~schema ~compress
-          ~codec:(v1_codec ~schema ~compress) ~path:(seg_path dir)
-      else Col_segment.create_v2 ~pool ~schema ~compress ~path:(seg_path dir)
+          ~codec:(v1_codec ~schema ~compress) ~path:(seg_path dir 0)
+      else Col_segment.create_v2 ~pool ~schema ~compress ~path:(seg_path dir 0)
     in
     let t =
       {
@@ -158,6 +172,7 @@ module Make (B : Bitmap_intf.S) = struct
         seg;
         bitmap = B.create ();
         pk = Pk_index.create ();
+        gen = 0;
         histories = Hashtbl.create 16;
         commit_loc = Hashtbl.create 64;
         dirty = Hashtbl.create 16;
@@ -722,6 +737,9 @@ module Make (B : Bitmap_intf.S) = struct
     if Col_segment.format_version t.seg >= 2 then
       Col_segment.write_manifest_header buf;
     Binio.write_string buf B.layout;
+    (* heap generation, v2 manifests only: v1 stays byte-identical *)
+    if Col_segment.format_version t.seg >= 2 then
+      Binio.write_varint buf t.gen;
     Binio.write_u8 buf (if t.compress then 1 else 0);
     Schema.serialize buf t.schema;
     Binio.write_string buf (Vg.serialize t.graph);
@@ -768,15 +786,17 @@ module Make (B : Bitmap_intf.S) = struct
     if layout <> B.layout then
       errorf "tuple-first: manifest written by %s layout, opening as %s"
         layout B.layout;
+    let gen = if version >= 2 then Binio.read_varint s pos else 0 in
     let compress = Binio.read_u8 s pos = 1 in
     let schema = Schema.deserialize s pos in
     let graph = Vg.deserialize (Binio.read_string s pos) in
     let seg =
       if version >= 2 then
-        Col_segment.open_v2 ~pool ~schema ~compress ~path:(seg_path dir) s pos
+        Col_segment.open_v2 ~pool ~schema ~compress ~path:(seg_path dir gen) s
+          pos
       else begin
         let heap_size = Binio.read_varint s pos in
-        let heap = Heap_file.open_existing ~pool (seg_path dir) in
+        let heap = Heap_file.open_existing ~pool (seg_path dir 0) in
         (* drop bytes past the checkpoint (recovered via the WAL) *)
         Heap_file.truncate_to heap heap_size;
         let noff = Binio.read_varint s pos in
@@ -814,6 +834,7 @@ module Make (B : Bitmap_intf.S) = struct
         seg;
         bitmap;
         pk = Pk_index.create ();
+        gen;
         histories = Hashtbl.create 16;
         commit_loc;
         dirty;
@@ -834,13 +855,213 @@ module Make (B : Bitmap_intf.S) = struct
   let wal_marker t = t.wal_marker
   let set_wal_marker t lsn = t.wal_marker <- lsn
 
+  (* {2 Maintenance: generational whole-heap rewrite}
+
+     Tuple-first keeps every record ever written in one shared heap, so
+     the only way to reclaim dead space is to rewrite the whole store:
+     copy the rows any branch head or committed snapshot still reaches
+     into a fresh heap at generation [gen+1], re-commit every history
+     with remapped bitmaps (index-preserving, so [commit_loc] stays
+     valid), rebuild the bitmap index and key index over the dense new
+     row space, and swap in memory as the very last step.  Old-gen
+     files keep their names until [mp_cleanup], so a crash anywhere
+     before the manifest commit recovers the old generation
+     untouched. *)
+
+  (* Branches whose commit history exists (open handle or on-disk
+     file).  Probing via [history] would create empty files, so check
+     before opening. *)
+  let hist_branches t =
+    let bs = ref [] in
+    for b = B.branch_count t.bitmap - 1 downto 0 do
+      if
+        Hashtbl.mem t.histories b
+        || Sys.file_exists (Filename.concat t.dir (hist_file t.gen b))
+      then bs := b :: !bs
+    done;
+    !bs
+
+  let referenced_files t =
+    seg_file t.gen :: List.map (hist_file t.gen) (hist_branches t)
+
+  (* Rows reachable from any branch column (heads, including inactive
+     branches whose snapshots remain checkable) or any committed
+     snapshot in any history. *)
+  let keep_set t hb =
+    let keep = Bitvec.create ~capacity:(max 1 (B.row_count t.bitmap)) () in
+    for b = 0 to B.branch_count t.bitmap - 1 do
+      Bitvec.union_in_place keep (B.column_view t.bitmap ~branch:b)
+    done;
+    List.iter
+      (fun b ->
+        let h = history t b in
+        for i = 0 to Commit_history.count h - 1 do
+          Bitvec.union_in_place keep (Commit_history.checkout h i)
+        done)
+      hb;
+    keep
+
+  let plan_maintenance t ~kind ~target =
+    match kind with
+    | Engine_intf.M_materialize -> None
+    | Engine_intf.M_compact when target <> seg_file t.gen -> None
+    | Engine_intf.M_compact | Engine_intf.M_gc ->
+        if Col_segment.format_version t.seg < 2 then None
+        else
+          let rows = Col_segment.rows t.seg in
+          let hb = hist_branches t in
+          let keep = keep_set t hb in
+          let kept = Bitvec.pop_count keep in
+          if kept >= rows then None
+          else begin
+            let gen' = t.gen + 1 in
+            let nheap_path = seg_path t.dir gen' in
+            let bytes_before =
+              List.fold_left
+                (fun acc b -> acc + Commit_history.disk_bytes (history t b))
+                (Col_segment.byte_size t.seg)
+                hb
+            in
+            (* old-generation artifacts to retire, captured at swap *)
+            let retired :
+                (Col_segment.t * Commit_history.t list * string list) option
+                ref =
+              ref None
+            in
+            let apply () =
+              let nbranches = B.branch_count t.bitmap in
+              (* dense remap old row -> new row for kept rows *)
+              let map = Array.make (max 1 rows) (-1) in
+              let next = ref 0 in
+              Bitvec.iter_set
+                (fun row ->
+                  map.(row) <- !next;
+                  incr next)
+                keep;
+              let remap col =
+                let c = Bitvec.create ~capacity:(max 1 kept) () in
+                Bitvec.iter_set (fun row -> Bitvec.set c map.(row)) col;
+                c
+              in
+              let nseg =
+                Col_segment.create_v2 ~pool:(Col_segment.pool t.seg)
+                  ~schema:t.schema ~compress:t.compress ~path:nheap_path
+              in
+              let nhists = ref [] in
+              (try
+                 Decibel_fault.Failpoint.hit "maint.rewrite";
+                 Bitvec.iter_set
+                   (fun row ->
+                     let nrow =
+                       Col_segment.append nseg
+                         (Col_segment.Live (tuple_at t row))
+                     in
+                     assert (nrow = map.(row)))
+                   keep;
+                 Col_segment.flush nseg;
+                 (* re-commit every history at the new generation; commit
+                    indices are preserved so [commit_loc] needs no edit *)
+                 List.iter
+                   (fun b ->
+                     let oh = history t b in
+                     let nh =
+                       Commit_history.create
+                         ~path:(Filename.concat t.dir (hist_file gen' b))
+                     in
+                     nhists := (b, nh) :: !nhists;
+                     for i = 0 to Commit_history.count oh - 1 do
+                       let idx =
+                         Commit_history.commit nh
+                           (remap (Commit_history.checkout oh i))
+                       in
+                       assert (idx = i)
+                     done)
+                   hb
+               with e ->
+                 List.iter
+                   (fun (_, nh) ->
+                     let p = Commit_history.path nh in
+                     Commit_history.close nh;
+                     (try Sys.remove p with Sys_error _ -> ()))
+                   !nhists;
+                 Col_segment.abandon nseg;
+                 (try Sys.remove nheap_path with Sys_error _ -> ());
+                 raise e);
+              (* rebuild bitmap and key index over the new row space *)
+              let nb = B.create () in
+              for b = 0 to nbranches - 1 do
+                let bid = B.add_branch nb ~from:None in
+                assert (bid = b)
+              done;
+              for _ = 1 to kept do
+                ignore (B.append_row nb)
+              done;
+              let npk = Pk_index.create () in
+              for b = 0 to nbranches - 1 do
+                B.overwrite_column nb ~branch:b
+                  (remap (B.column_view t.bitmap ~branch:b));
+                let bid = Pk_index.add_branch npk ~from:None in
+                assert (bid = b);
+                Pk_index.iter t.pk ~branch:b (fun key row ->
+                    Pk_index.set npk ~branch:b key map.(row))
+              done;
+              (* swap: pure in-memory, nothing below can raise *)
+              let old_seg = t.seg in
+              let old_hists =
+                List.filter_map (fun b -> Hashtbl.find_opt t.histories b) hb
+              in
+              let old_paths =
+                Filename.concat t.dir (seg_file t.gen)
+                :: List.map
+                     (fun b -> Filename.concat t.dir (hist_file t.gen b))
+                     hb
+              in
+              t.seg <- nseg;
+              t.bitmap <- nb;
+              t.pk <- npk;
+              t.gen <- gen';
+              Hashtbl.reset t.histories;
+              List.iter
+                (fun (b, nh) -> Hashtbl.replace t.histories b nh)
+                !nhists;
+              retired := Some (old_seg, old_hists, old_paths)
+            in
+            let cleanup () =
+              match !retired with
+              | None -> ()
+              | Some (old_seg, old_hists, old_paths) ->
+                  retired := None;
+                  List.iter Commit_history.close old_hists;
+                  (* abandon (not close): invalidates the buffer pool's
+                     pages for the old heap without flushing bytes into
+                     a file about to be unlinked *)
+                  Col_segment.abandon old_seg;
+                  List.iter
+                    (fun p -> try Sys.remove p with Sys_error _ -> ())
+                    old_paths
+            in
+            Some
+              {
+                Engine_intf.mp_kind = kind;
+                mp_target = seg_file t.gen;
+                mp_new_files =
+                  seg_file gen' :: List.map (hist_file gen') hb;
+                mp_old_files =
+                  seg_file t.gen :: List.map (hist_file t.gen) hb;
+                mp_bytes_before = bytes_before;
+                mp_apply = apply;
+                mp_cleanup = cleanup;
+              }
+          end
+
   let verify t =
     let errs = ref [] in
     (match Atomic_file.verify (manifest_path t.dir) with
     | Some reason -> errs := ("manifest.tf", reason) :: !errs
     | None -> ());
+    let heap_name = Filename.basename (Col_segment.path t.seg) in
     List.iter
-      (fun (_, reason) -> errs := ("heap.dat", reason) :: !errs)
+      (fun (_, reason) -> errs := (heap_name, reason) :: !errs)
       (Col_segment.verify t.seg);
     Hashtbl.iter
       (fun vid _ ->

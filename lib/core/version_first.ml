@@ -1008,6 +1008,92 @@ let verify t =
     t.commits;
   List.rev !errs
 
+(* ------------------------------------------------------------------ *)
+(* maintenance *)
+
+let referenced_files t =
+  List.init (Vec.length t.segments) (fun sid ->
+      Printf.sprintf "seg_%d.dat" sid)
+
+let branch_by_name t name =
+  List.find_opt
+    (fun (br : Vg.branch) -> br.Vg.active && br.Vg.name = name)
+    (Vg.branches t.graph)
+
+(* Materialize a long delta chain: rewrite the branch's live winners
+   into one fresh parentless segment and repoint the head at it.
+   Purely additive — historical segments stay, because commit locators
+   and other branches still address their rows — so the payoff is read
+   locality (chain length 1), not reclaimed bytes. *)
+let plan_maintenance t ~kind ~target =
+  match kind with
+  | Engine_intf.M_compact | Engine_intf.M_gc ->
+      (* historical rows stay addressable by commit locators and other
+         branches' branch points; version-first cannot rewrite them *)
+      None
+  | Engine_intf.M_materialize -> (
+      if t.format < 2 then None
+      else
+        match branch_by_name t target with
+        | None -> None
+        | Some br ->
+            let b = br.Vg.bid in
+            let sid0, upto0 = head_loc t b in
+            if List.length (plan t sid0 upto0) <= 1 then None
+            else begin
+              let new_sid = Vec.length t.segments in
+              let path = seg_file_path t.dir new_sid in
+              let apply () =
+                let sid, upto = head_loc t b in
+                (* buffer the winners before creating any file so a
+                   failure during the lineage scan leaves no debris *)
+                let winners = ref [] in
+                scan_live t sid upto (fun _ _ tuple ->
+                    winners := tuple :: !winners);
+                let winners = List.rev !winners in
+                let seg =
+                  Col_segment.create_v2 ~pool:t.pool ~schema:t.schema
+                    ~compress:t.compress ~path
+                in
+                try
+                  Decibel_fault.Failpoint.hit "maint.rewrite";
+                  let locs =
+                    List.map
+                      (fun tuple ->
+                        let row =
+                          Col_segment.append seg (Col_segment.Live tuple)
+                        in
+                        (Tuple.pk t.schema tuple, row))
+                      winners
+                  in
+                  Col_segment.flush seg;
+                  (* swap is the last step: nothing above mutated [t],
+                     so an exception leaves the old state intact *)
+                  let _ =
+                    Vec.push t.segments { seg_id = new_sid; seg; parents = [] }
+                  in
+                  Vec.set t.head_seg b new_sid;
+                  List.iter
+                    (fun (key, row) ->
+                      Pk_index.set t.pk ~branch:b key (new_sid, row))
+                    locs
+                with e ->
+                  Col_segment.abandon seg;
+                  (try Sys.remove path with Sys_error _ -> ());
+                  raise e
+              in
+              Some
+                {
+                  Engine_intf.mp_kind = kind;
+                  mp_target = target;
+                  mp_new_files = [ Filename.basename path ];
+                  mp_old_files = [];
+                  mp_bytes_before = 0;
+                  mp_apply = apply;
+                  mp_cleanup = (fun () -> ());
+                }
+            end)
+
 let crash t =
   if not t.closed then begin
     Vec.iter (fun s -> Col_segment.abandon s.seg) t.segments;

@@ -1,0 +1,245 @@
+(** Maintenance intent log: one JSON object per line in [maint.jsonl].
+
+    The journal is the crash-safety backbone of the maintenance
+    executor.  A task's lifecycle is
+
+      Begin  -> written before any file is created
+      Apply  -> written after the engine manifest commits the new state
+      Done | Rolled_back -> terminal
+
+    so after a crash the latest entry of each task tells recovery
+    whether the rewrite committed (finish: reclaim old files) or not
+    (roll back: remove new files).  Appends go through the
+    ["maint.journal.append"] failpoint and may tear; the loader drops
+    any line that does not parse, which covers the torn-tail case the
+    same way the WAL reader does. *)
+
+module Failpoint = Decibel_fault.Failpoint
+module Obs = Decibel_obs.Obs
+
+type status = Begin | Apply | Done | Rolled_back
+
+type entry = {
+  e_id : int;
+  e_status : status;
+  e_kind : string;
+  e_target : string;
+  e_new : string list;
+  e_old : string list;
+}
+
+let path dir = Filename.concat dir "maint.jsonl"
+
+let status_name = function
+  | Begin -> "begin"
+  | Apply -> "apply"
+  | Done -> "done"
+  | Rolled_back -> "rolled_back"
+
+let status_of_name = function
+  | "begin" -> Some Begin
+  | "apply" -> Some Apply
+  | "done" -> Some Done
+  | "rolled_back" -> Some Rolled_back
+  | _ -> None
+
+let entry_json e =
+  let buf = Buffer.create 128 in
+  let str s = Buffer.add_string buf (Printf.sprintf "\"%s\"" (Obs.json_escape s)) in
+  Buffer.add_string buf (Printf.sprintf "{\"id\":%d,\"status\":\"%s\"," e.e_id (status_name e.e_status));
+  Buffer.add_string buf "\"kind\":";
+  str e.e_kind;
+  Buffer.add_string buf ",\"target\":";
+  str e.e_target;
+  let files key fs =
+    Buffer.add_string buf (Printf.sprintf ",\"%s\":[" key);
+    List.iteri
+      (fun i f ->
+        if i > 0 then Buffer.add_char buf ',';
+        str f)
+      fs;
+    Buffer.add_char buf ']'
+  in
+  files "new" e.e_new;
+  files "old" e.e_old;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+(* Minimal JSON-line parser for exactly the shape [entry_json] writes
+   (flat object: int, string and string-array values).  Any deviation
+   — including a torn prefix — raises [Bad], and the caller drops the
+   line. *)
+exception Bad
+
+let parse_line line =
+  let len = String.length line in
+  let pos = ref 0 in
+  let peek () = if !pos >= len then raise Bad else line.[!pos] in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < len && (match line.[!pos] with ' ' | '\t' | '\r' -> true | _ -> false) do
+      incr pos
+    done
+  in
+  let expect c =
+    skip_ws ();
+    if peek () <> c then raise Bad;
+    advance ()
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          (match peek () with
+          | '"' -> Buffer.add_char buf '"'; advance ()
+          | '\\' -> Buffer.add_char buf '\\'; advance ()
+          | '/' -> Buffer.add_char buf '/'; advance ()
+          | 'n' -> Buffer.add_char buf '\n'; advance ()
+          | 't' -> Buffer.add_char buf '\t'; advance ()
+          | 'r' -> Buffer.add_char buf '\r'; advance ()
+          | 'b' -> Buffer.add_char buf '\b'; advance ()
+          | 'f' -> Buffer.add_char buf '\012'; advance ()
+          | 'u' ->
+              advance ();
+              if !pos + 4 > len then raise Bad;
+              let hex = String.sub line !pos 4 in
+              let code = try int_of_string ("0x" ^ hex) with _ -> raise Bad in
+              if code > 0xff then raise Bad;
+              Buffer.add_char buf (Char.chr code);
+              pos := !pos + 4
+          | _ -> raise Bad);
+          go ()
+      | c -> Buffer.add_char buf c; advance (); go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_int () =
+    skip_ws ();
+    let start = !pos in
+    if !pos < len && line.[!pos] = '-' then advance ();
+    while !pos < len && (match line.[!pos] with '0' .. '9' -> true | _ -> false) do
+      advance ()
+    done;
+    if !pos = start then raise Bad;
+    try int_of_string (String.sub line start (!pos - start)) with _ -> raise Bad
+  in
+  let parse_string_list () =
+    expect '[';
+    skip_ws ();
+    if peek () = ']' then begin
+      advance ();
+      []
+    end
+    else begin
+      let rec go acc =
+        let s = parse_string () in
+        skip_ws ();
+        match peek () with
+        | ',' -> advance (); skip_ws (); go (s :: acc)
+        | ']' -> advance (); List.rev (s :: acc)
+        | _ -> raise Bad
+      in
+      go []
+    end
+  in
+  let id = ref None
+  and status = ref None
+  and kind = ref None
+  and target = ref None
+  and nw = ref None
+  and old = ref None in
+  expect '{';
+  skip_ws ();
+  if peek () <> '}' then begin
+    let rec fields () =
+      let key = parse_string () in
+      expect ':';
+      skip_ws ();
+      (match key with
+      | "id" -> id := Some (parse_int ())
+      | "status" -> (
+          match status_of_name (parse_string ()) with
+          | Some s -> status := Some s
+          | None -> raise Bad)
+      | "kind" -> kind := Some (parse_string ())
+      | "target" -> target := Some (parse_string ())
+      | "new" -> nw := Some (parse_string_list ())
+      | "old" -> old := Some (parse_string_list ())
+      | _ -> raise Bad);
+      skip_ws ();
+      match peek () with
+      | ',' -> advance (); skip_ws (); fields ()
+      | '}' -> advance ()
+      | _ -> raise Bad
+    in
+    fields ()
+  end
+  else advance ();
+  skip_ws ();
+  if !pos <> len then raise Bad;
+  match (!id, !status, !kind, !target, !nw, !old) with
+  | Some e_id, Some e_status, Some e_kind, Some e_target, Some e_new, Some e_old
+    ->
+      { e_id; e_status; e_kind; e_target; e_new; e_old }
+  | _ -> raise Bad
+
+let load dir =
+  let p = path dir in
+  if not (Sys.file_exists p) then []
+  else
+    let data = try Decibel_util.Binio.read_file p with _ -> "" in
+    String.split_on_char '\n' data
+    |> List.filter_map (fun line ->
+           if String.trim line = "" then None
+           else try Some (parse_line line) with Bad -> None)
+
+let next_id entries =
+  1 + List.fold_left (fun acc e -> max acc e.e_id) (-1) entries
+
+let tasks entries =
+  let tbl = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun e ->
+      match Hashtbl.find_opt tbl e.e_id with
+      | Some r -> r := e :: !r
+      | None ->
+          Hashtbl.add tbl e.e_id (ref [ e ]);
+          order := e.e_id :: !order)
+    entries;
+  List.rev !order
+  |> List.map (fun id -> (id, List.rev !(Hashtbl.find tbl id)))
+
+let is_terminal = function Done | Rolled_back -> true | Begin | Apply -> false
+
+let pending entries =
+  tasks entries
+  |> List.filter (fun (_, es) ->
+         match List.rev es with
+         | last :: _ -> not (is_terminal last.e_status)
+         | [] -> false)
+
+let append dir e =
+  let line = entry_json e ^ "\n" in
+  let fd =
+    Unix.openfile (path dir) [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644
+  in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      Failpoint.guard_write "maint.journal.append" line (fun data ->
+          let n = String.length data in
+          let off = ref 0 in
+          while !off < n do
+            off := !off + Unix.write_substring fd data !off (n - !off)
+          done;
+          Unix.fsync fd))
+
+let truncate dir =
+  let p = path dir in
+  if Sys.file_exists p then try Sys.remove p with Sys_error _ -> ()

@@ -91,6 +91,17 @@ let help_table =
       "Delta fragments replayed by the branch's scans" );
     ( "advisor_recommendations",
       "Open storage-advisor recommendations by kind" );
+    ("maint_tasks_run_total", "Maintenance tasks completed successfully");
+    ( "maint_tasks_failed_total",
+      "Maintenance tasks that raised or failed verification" );
+    ( "maint_tasks_rolled_back_total",
+      "Maintenance tasks rolled back (in-flight failure or crash recovery)" );
+    ( "maint_bytes_reclaimed_total",
+      "On-disk bytes reclaimed by compaction, materialization and GC" );
+    ( "maint_running_since",
+      "Unix time the in-flight maintenance task started (0 when idle)" );
+    ( "maint_consecutive_failures",
+      "Worst current consecutive-failure streak across maintenance targets" );
   ]
 
 (* escape HELP text: backslash and newline only (HELP values are not

@@ -21,6 +21,9 @@ type rules = {
   r_shed_warn : int;  (** admissions shed since the previous tick *)
   r_events_dropped_warn : int;  (** event-ring drops since previous tick *)
   r_hot_replay_warn : float;  (** fragments/s of hot-branch delta replay *)
+  r_maint_fail_warn : int;  (** maintenance failures since previous tick *)
+  r_maint_stall_s : float;  (** one maintenance task running this long *)
+  r_maint_streak_crit : int;  (** consecutive failures on one target *)
 }
 
 let default_rules =
@@ -32,6 +35,9 @@ let default_rules =
     r_shed_warn = 1;
     r_events_dropped_warn = 1;
     r_hot_replay_warn = 1.0;
+    r_maint_fail_warn = 1;
+    r_maint_stall_s = 60.0;
+    r_maint_streak_crit = 3;
   }
 
 type status = {
@@ -49,6 +55,7 @@ type t = {
      tick rather than process start *)
   mutable prev_shed : int;
   mutable prev_dropped : int;
+  mutable prev_maint_failed : int;
 }
 
 let create ?(rules = default_rules) () =
@@ -58,6 +65,7 @@ let create ?(rules = default_rules) () =
     status = { st_level = L_ok; st_findings = []; st_ticks = 0; st_time = 0.0 };
     prev_shed = 0;
     prev_dropped = 0;
+    prev_maint_failed = 0;
   }
 
 let status t =
@@ -76,7 +84,12 @@ let dead_ratio (b : Report.branch) =
   if total = 0 then 0.0
   else float_of_int b.Report.br_dead_tuples /. float_of_int total
 
-let evaluate t ~(report : Report.t) ~workload =
+(* the maintenance gauges live in decibel_maint, which layers above
+   this library; the shared metric registry is the seam *)
+let g_maint_running = Obs.gauge "maint.running_since"
+let g_maint_streak = Obs.gauge "maint.consecutive_failures"
+
+let evaluate t ~now ~(report : Report.t) ~workload =
   let findings = ref [] in
   let found rule level detail =
     findings := { fi_rule = rule; fi_level = level; fi_detail = detail } :: !findings
@@ -140,6 +153,26 @@ let evaluate t ~(report : Report.t) ~workload =
       (Printf.sprintf "%d events dropped from the ring since the last tick"
          d_dropped);
   t.prev_dropped <- dropped;
+  (* maintenance executor health: failures since the previous tick,
+     a task stalled past its budget, and the same target failing over
+     and over (a rewrite that will never succeed) *)
+  let mfailed = Obs.value_of "maint.tasks_failed" in
+  let d_mfailed = mfailed - t.prev_maint_failed in
+  if t.status.st_ticks > 0 && d_mfailed >= t.rules.r_maint_fail_warn then
+    found "maint_failed" L_warn
+      (Printf.sprintf "%d maintenance task(s) failed since the last tick"
+         d_mfailed);
+  t.prev_maint_failed <- mfailed;
+  let since = Obs.gauge_value g_maint_running in
+  if since > 0. && now -. since >= t.rules.r_maint_stall_s then
+    found "maint_stalled" L_warn
+      (Printf.sprintf "a maintenance task has been running for %.0fs"
+         (now -. since));
+  let streak = int_of_float (Obs.gauge_value g_maint_streak) in
+  if streak >= t.rules.r_maint_streak_crit then
+    found "maint_streak" L_critical
+      (Printf.sprintf
+         "a maintenance target has failed %d times in a row" streak);
   List.rev !findings
 
 let tick ?now t ~report ~workload =
@@ -148,7 +181,7 @@ let tick ?now t ~report ~workload =
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.m)
     (fun () ->
-      let findings = evaluate t ~report ~workload in
+      let findings = evaluate t ~now ~report ~workload in
       let level =
         List.fold_left (fun acc f -> worse acc f.fi_level) L_ok findings
       in

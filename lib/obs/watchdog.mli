@@ -3,7 +3,8 @@
 
     Each {!tick} evaluates its threshold rules — dead-tuple ratio,
     delta-chain depth, quarantined branches / degraded health, shed
-    rate rising, event-ring drops — and stores the verdict as the new
+    rate rising, event-ring drops, failed or stalled maintenance
+    tasks — and stores the verdict as the new
     status.  The status is {e sticky}: it is held between ticks rather
     than recomputed per request, so a [/health] probe is a constant-time
     read suitable for a load-balancer check.  Level transitions emit a
@@ -31,6 +32,13 @@ type rules = {
       (** warn when a branch's [read rate x fragments/read] — the
           continuous delta-replay cost the advisor's materialize rule
           targets — reaches this many fragments/s *)
+  r_maint_fail_warn : int;
+      (** maintenance tasks failed since the previous tick *)
+  r_maint_stall_s : float;
+      (** warn when one maintenance task has been running this long *)
+  r_maint_streak_crit : int;
+      (** critical when the same target keeps failing: worst current
+          consecutive-failure streak ([maint.consecutive_failures]) *)
 }
 
 val default_rules : rules

@@ -113,6 +113,14 @@ let create_v1 ~pool ~schema ~compress ~codec ~path =
 let create_v2 ~pool ~schema ~compress ~path =
   make ~pool ~schema ~compress ~path V2 (Heap_file.create ~pool path)
 
+(* Empty v2 segment staged over a slot file whose old bytes must stay
+   on disk until the engine manifest commits (maintenance compaction).
+   [save_meta] records size 0 and zero blocks without touching the fd,
+   and [open_v2]'s truncate-to-manifest-size reclaims the stale tail
+   on the next reopen. *)
+let empty_over ~pool ~schema ~compress ~path =
+  make ~pool ~schema ~compress ~path V2 (Heap_file.open_reset ~pool path)
+
 (* Wrap an already-opened v1 heap (the engine parsed its own manifest
    and truncated the file); [offsets] lists each row's heap offset. *)
 let of_v1 ~pool ~schema ~compress ~codec ~file ~offsets =
@@ -125,6 +133,7 @@ let of_v1 ~pool ~schema ~compress ~codec ~file ~offsets =
 let format_version t = match t.mode with V1 _ -> 1 | V2 -> 2
 let schema t = t.schema
 let path t = t.path
+let pool t = t.pool
 let rows t =
   match t.mode with
   | V1 _ -> Vec.length t.offsets

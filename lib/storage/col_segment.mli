@@ -44,6 +44,13 @@ val create_v1 :
 val create_v2 :
   pool:Buffer_pool.t -> schema:Schema.t -> compress:bool -> path:string -> t
 
+val empty_over :
+  pool:Buffer_pool.t -> schema:Schema.t -> compress:bool -> path:string -> t
+(** Empty v2 segment handle over [path] {e without} truncating the
+    file: old bytes stay on disk (crash safety for maintenance slot
+    swaps) and are reclaimed when the slot is next created or
+    reopened, since the manifest records size 0. *)
+
 val of_v1 :
   pool:Buffer_pool.t ->
   schema:Schema.t ->
@@ -73,6 +80,12 @@ val format_version : t -> int
 
 val schema : t -> Schema.t
 val path : t -> string
+
+val pool : t -> Buffer_pool.t
+(** The buffer pool this segment reads through — lets engines build
+    sibling segments (migration, compaction) without threading the pool
+    separately. *)
+
 val rows : t -> int
 val byte_size : t -> int
 val page_count : t -> int

@@ -51,6 +51,15 @@ let open_existing ~pool path =
   let size = (Unix.fstat fd).st_size in
   make ~pool path fd size
 
+(* Open-or-create with logical size 0 but WITHOUT truncating: the
+   maintenance executor uses this to stage an empty segment over a
+   slot whose old bytes must survive until the manifest commits (a
+   crash before the commit must still reopen the old data).  The stale
+   on-disk tail is reclaimed later by [truncate_to]/[create]. *)
+let open_reset ~pool path =
+  let fd = Unix.openfile path [ O_RDWR; O_CREAT ] 0o644 in
+  make ~pool path fd 0
+
 let path t = t.path
 let size t = t.size
 

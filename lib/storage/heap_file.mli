@@ -30,6 +30,13 @@ val create : pool:Buffer_pool.t -> string -> t
 val open_existing : pool:Buffer_pool.t -> string -> t
 (** Open for reading and appending; raises [Sys_error] if missing. *)
 
+val open_reset : pool:Buffer_pool.t -> string -> t
+(** Open-or-create with logical size 0 {e without} truncating the file
+    on disk.  The maintenance executor stages an empty segment over a
+    slot whose old bytes must stay readable until the manifest commit;
+    stale tail bytes are reclaimed by a later {!create} or
+    {!truncate_to}. *)
+
 val path : t -> string
 
 val size : t -> int

@@ -600,6 +600,45 @@ let test_watchdog_rising_and_events () =
          find 0))
     [ "status"; "ticks"; "time"; "findings" ]
 
+let test_watchdog_maint_rules () =
+  fresh ();
+  Obs.reset ();
+  Obs.set_enabled true;
+  let w = Watchdog.create () in
+  let st = tick w (report ()) in
+  Alcotest.(check bool) "baseline tick is ok" true
+    (st.Watchdog.st_level = Watchdog.L_ok);
+  (* failures since the previous tick warn *)
+  Obs.add (Obs.counter "maint.tasks_failed") 2;
+  let st = tick ~now:(t0 +. 1.0) w (report ()) in
+  Alcotest.(check bool) "maint failures warn" true
+    (List.exists
+       (fun f ->
+         f.Watchdog.fi_rule = "maint_failed"
+         && f.Watchdog.fi_level = Watchdog.L_warn)
+       st.Watchdog.st_findings);
+  (* a task running past its budget warns *)
+  Obs.set_gauge (Obs.gauge "maint.running_since") (t0 -. 120.0);
+  let st = tick ~now:(t0 +. 2.0) w (report ()) in
+  Alcotest.(check bool) "stalled task warns" true
+    (List.exists
+       (fun f -> f.Watchdog.fi_rule = "maint_stalled")
+       st.Watchdog.st_findings);
+  Obs.set_gauge (Obs.gauge "maint.running_since") 0.0;
+  (* repeated failures on one target are critical *)
+  Obs.set_gauge (Obs.gauge "maint.consecutive_failures") 3.0;
+  let st = tick ~now:(t0 +. 3.0) w (report ()) in
+  Alcotest.(check bool) "failure streak is critical" true
+    (st.Watchdog.st_level = Watchdog.L_critical
+    && List.exists
+         (fun f -> f.Watchdog.fi_rule = "maint_streak")
+         st.Watchdog.st_findings);
+  (* clears with the gauge *)
+  Obs.set_gauge (Obs.gauge "maint.consecutive_failures") 0.0;
+  let st = tick ~now:(t0 +. 4.0) w (report ()) in
+  Alcotest.(check bool) "recovers when the streak clears" true
+    (st.Watchdog.st_level = Watchdog.L_ok)
+
 let test_database_health_and_advise () =
   fresh ();
   Obs.reset ();
@@ -693,6 +732,8 @@ let () =
             test_watchdog_levels;
           Alcotest.test_case "rising rules and events" `Quick
             test_watchdog_rising_and_events;
+          Alcotest.test_case "maintenance rules" `Quick
+            test_watchdog_maint_rules;
           Alcotest.test_case "database health and advise" `Quick
             test_database_health_and_advise;
         ] );
